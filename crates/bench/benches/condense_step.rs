@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for one condensation step of each method —
+//! the per-step costs whose ratios drive Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deco::{DecoCondenser, DecoConfig};
+use deco_condense::{
+    one_step_match, CondenseContext, Condenser, DmCondenser, DmConfig, MatchBatch, SegmentData,
+    SyntheticBuffer,
+};
+use deco_nn::{feature_discrimination_loss, ConvNet, ConvNetConfig, DiscriminationSpec};
+use deco_tensor::{Rng, Tensor, Var};
+
+fn net(rng: &mut Rng) -> ConvNet {
+    ConvNet::new(
+        ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+        rng,
+    )
+}
+
+fn bench_one_step_match(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let model = net(&mut rng);
+    let syn = Tensor::randn([5, 3, 16, 16], &mut rng);
+    let syn_labels = vec![0usize; 5];
+    let real = Tensor::randn([32, 3, 16, 16], &mut rng);
+    let real_labels = vec![0usize; 32];
+    c.bench_function("one_step_match_ipc5_batch32", |bench| {
+        bench.iter(|| {
+            let batch = MatchBatch {
+                syn_images: &syn,
+                syn_labels: &syn_labels,
+                real_images: &real,
+                real_labels: &real_labels,
+                real_weights: None,
+            };
+            std::hint::black_box(one_step_match(&model, &batch, None, 0.01))
+        })
+    });
+}
+
+fn bench_deco_segment(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let scratch = net(&mut rng);
+    let deployed = net(&mut rng);
+    let images = Tensor::randn([32, 3, 16, 16], &mut rng);
+    let labels = vec![3usize; 32];
+    let weights = vec![1.0f32; 32];
+    let mut buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut rng);
+    let mut deco = DecoCondenser::new(DecoConfig::default().with_iterations(5));
+    c.bench_function("deco_condense_segment_l5", |bench| {
+        bench.iter(|| {
+            let seg = SegmentData {
+                images: &images,
+                labels: &labels,
+                weights: &weights,
+                active_classes: &[3],
+            };
+            let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+            deco.condense(&mut buffer, &seg, &mut ctx);
+        })
+    });
+}
+
+fn bench_dm_segment(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let scratch = net(&mut rng);
+    let deployed = net(&mut rng);
+    let images = Tensor::randn([32, 3, 16, 16], &mut rng);
+    let labels = vec![3usize; 32];
+    let weights = vec![1.0f32; 32];
+    let mut buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut rng);
+    let mut dm = DmCondenser::new(DmConfig::default());
+    c.bench_function("dm_condense_segment", |bench| {
+        bench.iter(|| {
+            let seg = SegmentData {
+                images: &images,
+                labels: &labels,
+                weights: &weights,
+                active_classes: &[3],
+            };
+            let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+            dm.condense(&mut buffer, &seg, &mut ctx);
+        })
+    });
+}
+
+fn bench_feature_discrimination(c: &mut Criterion) {
+    let mut rng = Rng::new(4);
+    let deployed = net(&mut rng);
+    let buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut rng);
+    let active: Vec<usize> = (0..5).collect();
+    let negs: Vec<usize> = active.iter().map(|_| 7).collect();
+    c.bench_function("feature_discrimination_loss_50imgs", |bench| {
+        bench.iter(|| {
+            let leaf = Var::leaf(buffer.images().clone(), true);
+            let z = deployed.features(&leaf, true);
+            let spec = DiscriminationSpec { active: active.clone(), negative_class: negs.clone() };
+            let loss = feature_discrimination_loss(&z, buffer.labels(), &spec, 0.07);
+            loss.backward();
+            std::hint::black_box(leaf.grad())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_one_step_match, bench_deco_segment, bench_dm_segment, bench_feature_discrimination
+}
+criterion_main!(benches);

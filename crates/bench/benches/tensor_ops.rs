@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the tensor/autograd substrate: the
+//! kernels whose cost dominates condensation (matmul, conv2d forward and
+//! backward, full ConvNet forward-backward).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deco_nn::{weighted_cross_entropy, ConvNet, ConvNetConfig};
+use deco_tensor::{Conv2dSpec, Reduction, Rng, Tensor, Var};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let a = Tensor::randn([64, 64], &mut rng);
+    let b = Tensor::randn([64, 64], &mut rng);
+    c.bench_function("matmul_64x64", |bench| bench.iter(|| std::hint::black_box(a.matmul(&b))));
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let x = Tensor::randn([8, 3, 16, 16], &mut rng);
+    let w = Tensor::randn([16, 3, 3, 3], &mut rng);
+    let spec = Conv2dSpec::default();
+    c.bench_function("conv2d_fwd_8x3x16x16_w16", |bench| {
+        bench.iter(|| std::hint::black_box(x.conv2d(&w, None, spec)))
+    });
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let x = Tensor::randn([8, 3, 16, 16], &mut rng);
+    let w = Tensor::randn([16, 3, 3, 3], &mut rng);
+    let g = Tensor::randn([8, 16, 16, 16], &mut rng);
+    let spec = Conv2dSpec::default();
+    c.bench_function("conv2d_bwd_input", |bench| {
+        bench.iter(|| std::hint::black_box(g.conv2d_input_grad(&w, (16, 16), spec)))
+    });
+    c.bench_function("conv2d_bwd_weight", |bench| {
+        bench.iter(|| std::hint::black_box(g.conv2d_weight_grad(&x, 3, spec)))
+    });
+}
+
+fn bench_convnet_forward_backward(c: &mut Criterion) {
+    let mut rng = Rng::new(4);
+    let net = ConvNet::new(
+        ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+        &mut rng,
+    );
+    let x = Tensor::randn([16, 3, 16, 16], &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    c.bench_function("convnet_fwd_bwd_batch16", |bench| {
+        bench.iter(|| {
+            let logits = net.forward(&Var::constant(x.clone()), false);
+            let loss = weighted_cross_entropy(&logits, &labels, None, Reduction::Mean);
+            loss.backward();
+            std::hint::black_box(loss.value().item())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_conv_forward, bench_conv_backward, bench_convnet_forward_backward
+}
+criterion_main!(benches);

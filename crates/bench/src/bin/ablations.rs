@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out (beyond the
+//! paper's own sweeps):
+//!
+//! 1. **Majority voting on/off** — m = 0.4 vs m = 0 (keep everything);
+//! 2. **Feature discrimination on/off** — α = 0.1 vs α = 0 (subsumes the
+//!    one-step matcher alone);
+//! 3. **Condensation iterations L** — L ∈ {1, 5, 10};
+//! 4. **Finite-difference fidelity** — cosine between the Eq. 7 image
+//!    gradient and a direct numeric ∇_X D on a small problem.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin ablations -- --scale smoke
+//! ```
+
+use deco_bench::BenchArgs;
+use deco_condense::{numeric_image_grad, one_step_match, MatchBatch, SyntheticBuffer};
+use deco_eval::{run_cell, write_json, DatasetId, MethodKind, Table, TrialSpec};
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_tensor::{Rng, Tensor};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRecord {
+    name: String,
+    setting: String,
+    accuracy_mean: f32,
+    accuracy_std: f32,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut params = args.scale.params(DatasetId::Core50);
+    params.seeds = args.seeds.unwrap_or(match args.scale {
+        deco_eval::ExperimentScale::Smoke => 1,
+        deco_eval::ExperimentScale::Paper => params.seeds,
+    });
+    let ipc = 5;
+    let mut records = Vec::new();
+    let mut table = Table::new(
+        format!("Ablations on CORe50 (IpC={ipc}, scale: {})", args.scale),
+        vec!["Ablation".into(), "Setting".into(), "acc(%)".into()],
+    );
+
+    let mut run = |name: &str, setting: &str, adjust: &dyn Fn(&mut TrialSpec)| {
+        eprintln!("[ablations] {name} = {setting}…");
+        let mut spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, ipc, 0, params);
+        adjust(&mut spec);
+        let cell = run_cell(&spec);
+        table.push_row(vec![
+            name.into(),
+            setting.into(),
+            format!("{:.2}±{:.2}", cell.accuracy.mean * 100.0, cell.accuracy.std * 100.0),
+        ]);
+        records.push(AblationRecord {
+            name: name.into(),
+            setting: setting.into(),
+            accuracy_mean: cell.accuracy.mean,
+            accuracy_std: cell.accuracy.std,
+        });
+    };
+
+    // 1. Majority voting on/off.
+    run("majority voting", "on (m=0.4)", &|_spec| {});
+    // m = 0.05 ≈ "voting off" at a fraction of the m = 0 cost (with m = 0
+    // every predicted class becomes active and condensation covers all 10
+    // classes per segment).
+    run("majority voting", "off (m=0.05)", &|spec| spec.vote_threshold_override = Some(0.05));
+
+    // 2. Feature discrimination on/off.
+    run("feature discrimination", "on (α=0.1)", &|spec| spec.alpha_override = Some(0.1));
+    run("feature discrimination", "off (α=0)", &|spec| spec.alpha_override = Some(0.0));
+
+    // 3. Condensation iterations L.
+    let l_grid: &[usize] = match args.scale {
+        deco_eval::ExperimentScale::Smoke => &[1, 5],
+        deco_eval::ExperimentScale::Paper => &[1, 5, 10],
+    };
+    for &l in l_grid {
+        run("iterations L", &l.to_string(), &|spec| spec.params.deco_iterations = l);
+    }
+
+    println!("{table}");
+
+    // 4. Finite-difference fidelity (no trial needed).
+    let mut rng = Rng::new(0xAB1A);
+    let net = ConvNet::new(
+        ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 2, norm: true },
+        &mut rng,
+    );
+    let buffer = SyntheticBuffer::new_random(2, 2, [1, 8, 8], &mut rng);
+    let rows: Vec<usize> = (0..buffer.len()).collect();
+    let syn = buffer.images().select_rows(&rows);
+    let real = Tensor::randn([8, 1, 8, 8], &mut rng);
+    let real_labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+    let batch = MatchBatch {
+        syn_images: &syn,
+        syn_labels: buffer.labels(),
+        real_images: &real,
+        real_labels: &real_labels,
+        real_weights: None,
+    };
+    let fast = one_step_match(&net, &batch, None, 0.01).image_grad;
+    let slow = numeric_image_grad(&net, &batch, None, 0.01, 3);
+    let (mut dot, mut nf, mut ns) = (0f64, 0f64, 0f64);
+    for i in (0..syn.numel()).step_by(3) {
+        let f = fast.data()[i] as f64;
+        let s = slow.data()[i] as f64;
+        dot += f * s;
+        nf += f * f;
+        ns += s * s;
+    }
+    let cos = dot / (nf.sqrt() * ns.sqrt() + 1e-12);
+    println!("finite-difference vs numeric ∇_X D cosine: {cos:.3}");
+
+    write_json(&args.out_dir, "ablations", &records).expect("write ablations.json");
+    eprintln!("[ablations] report written to {}/ablations.json", args.out_dir.display());
+}

@@ -1,0 +1,142 @@
+//! Cross-architecture generalization (extension experiment, following the
+//! classical DC evaluation): condense the CORe50 analogue with the standard
+//! ConvNet as the matching model, then train *different* architectures from
+//! scratch on the condensed buffer — a wider ConvNet, a norm-free ConvNet
+//! and an MLP. Condensed data is only genuinely informative if it transfers.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin cross_arch
+//! ```
+
+use deco::{accuracy, pretrain, DecoCondenser, DecoConfig};
+use deco_bench::BenchArgs;
+use deco_condense::{CondenseContext, Condenser, SegmentData, SyntheticBuffer};
+use deco_datasets::{LabeledSet, SyntheticVision};
+use deco_eval::{write_json, DatasetId, Table};
+use deco_nn::{weighted_cross_entropy, ConvNet, ConvNetConfig, Mlp, MlpConfig, Sgd};
+use deco_tensor::{Reduction, Rng, Tensor, Var};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    architecture: String,
+    condensed_accuracy: f32,
+    raw_subset_accuracy: f32,
+}
+
+fn train_mlp_on(set: &LabeledSet, input_dim: usize, classes: usize, steps: usize) -> Mlp {
+    let mut rng = Rng::new(0x31A9);
+    let mlp = Mlp::new(MlpConfig::small(input_dim, classes), &mut rng);
+    let mut opt = Sgd::new(0.02).with_momentum(0.9).with_weight_decay(5e-4);
+    for _ in 0..steps {
+        let logits = mlp.forward(&Var::constant(set.images.clone()), false);
+        let loss = weighted_cross_entropy(&logits, &set.labels, None, Reduction::Mean);
+        loss.backward();
+        opt.step(&mlp.params());
+    }
+    mlp
+}
+
+fn mlp_accuracy(mlp: &Mlp, set: &LabeledSet) -> f32 {
+    let preds = mlp.predict_classes(&set.images);
+    let correct = preds.iter().zip(&set.labels).filter(|(p, y)| p == y).count();
+    correct as f32 / set.len() as f32
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let data = SyntheticVision::new(DatasetId::Core50.spec());
+    let params = args.scale.params(DatasetId::Core50);
+    let test = data.test_set(params.test_per_class);
+    let train = data.balanced_set(12, 0x0FF1);
+    let ipc = 2;
+    let weights = vec![1.0f32; train.len()];
+    let active: Vec<usize> = (0..10).collect();
+
+    // Condense once with the standard matching ConvNet.
+    let match_cfg = ConvNetConfig {
+        in_channels: 3,
+        image_side: 16,
+        width: params.net_width,
+        depth: params.net_depth,
+        num_classes: 10,
+        norm: true,
+    };
+    let mut rng = Rng::new(0xC305);
+    let scratch = ConvNet::new(match_cfg, &mut rng);
+    let deployed = ConvNet::new(match_cfg, &mut rng);
+    let mut buffer = SyntheticBuffer::from_labeled(&train, ipc, 10, &mut rng);
+    let raw_buffer = buffer.clone();
+    eprintln!("[cross_arch] condensing with the standard ConvNet…");
+    let mut deco = DecoCondenser::new(DecoConfig::default().with_iterations(10));
+    let segment = SegmentData {
+        images: &train.images,
+        labels: &train.labels,
+        weights: &weights,
+        active_classes: &active,
+    };
+    let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+    deco.condense(&mut buffer, &segment, &mut ctx);
+
+    let as_set = |buf: &SyntheticBuffer| {
+        let (images, labels) = buf.as_training_batch();
+        LabeledSet { images, labels }
+    };
+    let condensed_set = as_set(&buffer);
+    let raw_set = as_set(&raw_buffer);
+
+    let mut table = Table::new(
+        format!("Cross-architecture transfer of the condensed buffer (IpC={ipc}, scale: {})", args.scale),
+        vec!["Train-from-scratch arch".into(), "condensed acc(%)".into(), "raw-subset acc(%)".into()],
+    );
+    let mut entries = Vec::new();
+
+    // Three held-out architectures (never used for matching).
+    let conv_archs = [
+        ("ConvNet wide (w=16)", ConvNetConfig { width: 16, ..match_cfg }),
+        ("ConvNet no-norm", ConvNetConfig { norm: false, ..match_cfg }),
+        ("ConvNet shallow (d=2)", ConvNetConfig { depth: 2, ..match_cfg }),
+    ];
+    for (name, cfg) in conv_archs {
+        eprintln!("[cross_arch] training {name}…");
+        let train_eval = |set: &LabeledSet| {
+            let net = ConvNet::new(cfg, &mut Rng::new(0xE7A1));
+            pretrain(&net, set, params.pretrain_steps * 2, 0.02);
+            accuracy(&net, &test)
+        };
+        let cond = train_eval(&condensed_set);
+        let raw = train_eval(&raw_set);
+        table.push_row(vec![
+            name.into(),
+            format!("{:.1}", cond * 100.0),
+            format!("{:.1}", raw * 100.0),
+        ]);
+        entries.push(Entry {
+            architecture: name.into(),
+            condensed_accuracy: cond,
+            raw_subset_accuracy: raw,
+        });
+    }
+
+    eprintln!("[cross_arch] training MLP…");
+    let input_dim = 3 * 16 * 16;
+    let cond_mlp = train_mlp_on(&condensed_set, input_dim, 10, params.pretrain_steps * 2);
+    let raw_mlp = train_mlp_on(&raw_set, input_dim, 10, params.pretrain_steps * 2);
+    let cond_acc = mlp_accuracy(&cond_mlp, &test);
+    let raw_acc = mlp_accuracy(&raw_mlp, &test);
+    table.push_row(vec![
+        "MLP (1×64 hidden)".into(),
+        format!("{:.1}", cond_acc * 100.0),
+        format!("{:.1}", raw_acc * 100.0),
+    ]);
+    entries.push(Entry {
+        architecture: "MLP".into(),
+        condensed_accuracy: cond_acc,
+        raw_subset_accuracy: raw_acc,
+    });
+
+    println!("{table}");
+    let _ = Tensor::zeros([1]); // keep the tensor dep used even if optimizers change
+    write_json(&args.out_dir, "cross_arch", &entries).expect("write cross_arch.json");
+    eprintln!("[cross_arch] report written to {}/cross_arch.json", args.out_dir.display());
+}

@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 2**: the top-3 most frequently misclassified classes
+//! for selected CIFAR-10 classes, as shares of all misclassifications of
+//! that class. On the confusable CIFAR-10 analogue the designed pairs
+//! (cat↔dog, deer↔horse, automobile↔truck, airplane↔ship, bird↔frog) must
+//! dominate their rows — the structure the paper's feature-discrimination
+//! loss is motivated by.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin fig2
+//! ```
+
+use deco::{confusion_matrix, pretrain};
+use deco_bench::BenchArgs;
+use deco_datasets::{SyntheticVision, CIFAR10_NAMES};
+use deco_eval::{top_confusions, write_json, DatasetId, Table};
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_tensor::Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RowRecord {
+    class: String,
+    confusions: Vec<(String, f32)>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let data = SyntheticVision::new(DatasetId::Cifar10.spec());
+    let params = args.scale.params(DatasetId::Cifar10);
+    let mut rng = Rng::new(0xF162);
+
+    let net = ConvNet::new(
+        ConvNetConfig {
+            in_channels: 3,
+            image_side: data.spec().image_side,
+            width: params.net_width,
+            depth: params.net_depth,
+            num_classes: 10,
+            norm: true,
+        },
+        &mut rng,
+    );
+    eprintln!("[fig2] training classifier…");
+    // A moderately trained classifier: Fig. 2 is about the *structure* of
+    // its mistakes, so the net must make enough of them to measure shares.
+    let train = data.balanced_set(params.pretrain_per_class * 2, 0x7217);
+    pretrain(&net, &train, params.pretrain_steps, params.pretrain_lr);
+
+    // A large evaluation set so every class accumulates misclassifications.
+    let test = data.balanced_set(40, 0x7E57_F162);
+    let matrix = confusion_matrix(&net, &test, 10);
+    let correct: usize = (0..10).map(|c| matrix[c][c]).sum();
+    eprintln!("[fig2] classifier accuracy: {:.1}%", correct as f32 / test.len() as f32 * 100.0);
+
+    let mut table = Table::new(
+        "Fig. 2 — top-3 misclassified classes (share of that class's errors)",
+        vec!["Class".into(), "1st".into(), "2nd".into(), "3rd".into()],
+    );
+    let mut records = Vec::new();
+    // The paper shows a selection of classes; we print all ten.
+    for class in 0..10 {
+        let top = top_confusions(&matrix, class, 3);
+        let mut row = vec![CIFAR10_NAMES[class].to_string()];
+        for k in 0..3 {
+            row.push(match top.get(k) {
+                Some(&(other, share)) => {
+                    format!("{} ({:.0}%)", CIFAR10_NAMES[other], share * 100.0)
+                }
+                None => "—".into(),
+            });
+        }
+        records.push(RowRecord {
+            class: CIFAR10_NAMES[class].into(),
+            confusions: top
+                .iter()
+                .map(|&(other, share)| (CIFAR10_NAMES[other].to_string(), share))
+                .collect(),
+        });
+        table.push_row(row);
+    }
+    println!("{table}");
+
+    // Validation of the paper's observation: for each designed pair, the
+    // partner should be the #1 confusion.
+    let pairs = [(3usize, 5usize), (0, 8), (1, 9), (4, 7), (2, 6)];
+    let mut hits = 0;
+    for (a, b) in pairs {
+        for (class, partner) in [(a, b), (b, a)] {
+            if let Some(&(top_class, _)) = top_confusions(&matrix, class, 1).first() {
+                if top_class == partner {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    println!("designed-pair is the #1 confusion in {hits}/10 rows");
+
+    write_json(&args.out_dir, "fig2", &records).expect("write fig2.json");
+    eprintln!("[fig2] report written to {}/fig2.json", args.out_dir.display());
+}

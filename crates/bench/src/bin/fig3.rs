@@ -1,0 +1,97 @@
+//! Regenerates **Fig. 3**: learning curves (test accuracy vs number of
+//! processed stream items) of DECO against the two strongest baselines
+//! (FIFO, Selective-BP) on the CORe50 and ImageNet-10 analogues at IpC=10.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin fig3 -- --scale smoke
+//! ```
+
+use deco_bench::BenchArgs;
+use deco_eval::{run_trial, write_json, DatasetId, ExperimentScale, MethodKind, Table, TrialSpec};
+use deco_replay::BaselineKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    dataset: String,
+    method: String,
+    points: Vec<deco_eval::CurvePoint>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let methods = [
+        MethodKind::Deco,
+        MethodKind::Selection(BaselineKind::Fifo),
+        MethodKind::Selection(BaselineKind::SelectiveBp),
+    ];
+    let ipc = match args.scale {
+        ExperimentScale::Smoke => 5,
+        ExperimentScale::Paper => 10,
+    };
+    let mut curves: Vec<Curve> = Vec::new();
+
+    for dataset in [DatasetId::Core50, DatasetId::ImageNet10] {
+        let mut params = args.scale.params(dataset);
+        // Frequent model updates so the curve has resolution.
+        params.beta = 2;
+        let eval_every = 2;
+        for method in methods {
+            eprintln!("[fig3] {dataset} {method}…");
+            let mut spec = TrialSpec::new(dataset, method, ipc, 0, params);
+            spec.eval_every = eval_every;
+            let result = run_trial(&spec);
+            curves.push(Curve {
+                dataset: dataset.label().into(),
+                method: method.label().into(),
+                points: result.curve,
+            });
+        }
+
+        // Print one table per dataset: rows = eval points, columns = methods.
+        let mut header = vec!["items".to_string()];
+        header.extend(methods.iter().map(|m| format!("{} acc(%)", m.label())));
+        let mut table = Table::new(
+            format!("Fig. 3 — learning curves on {dataset} (IpC={ipc}, scale: {})", args.scale),
+            header,
+        );
+        let ds_curves: Vec<&Curve> =
+            curves.iter().filter(|c| c.dataset == dataset.label()).collect();
+        let n_points = ds_curves.iter().map(|c| c.points.len()).min().unwrap_or(0);
+        for p in 0..n_points {
+            let mut row = vec![ds_curves[0].points[p].items.to_string()];
+            for c in &ds_curves {
+                row.push(format!("{:.1}", c.points[p].accuracy * 100.0));
+            }
+            table.push_row(row);
+        }
+        println!("{table}");
+
+        // The paper's headline: DECO reaches the baselines' final accuracy
+        // with a fraction of the data.
+        if n_points > 0 {
+            let deco = ds_curves.iter().find(|c| c.method == "DECO").expect("deco curve");
+            let best_baseline_final = ds_curves
+                .iter()
+                .filter(|c| c.method != "DECO")
+                .map(|c| c.points[n_points - 1].accuracy)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let crossing = deco
+                .points
+                .iter()
+                .find(|p| p.accuracy >= best_baseline_final)
+                .map(|p| p.items);
+            let total = deco.points[n_points - 1].items;
+            match crossing {
+                Some(items) => println!(
+                    "{dataset}: DECO reaches the best baseline's final accuracy after {items}/{total} items ({:.0}% of the stream)",
+                    items as f32 / total as f32 * 100.0
+                ),
+                None => println!("{dataset}: DECO did not reach the baseline final accuracy"),
+            }
+        }
+    }
+
+    write_json(&args.out_dir, "fig3", &curves).expect("write fig3.json");
+    eprintln!("[fig3] report written to {}/fig3.json", args.out_dir.display());
+}

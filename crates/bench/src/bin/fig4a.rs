@@ -1,0 +1,103 @@
+//! Regenerates **Fig. 4a**: the effect of the majority-voting filter
+//! threshold `m` on (a) the fraction of data retained, (b) the accuracy of
+//! the retained pseudo-labels, and (c) the final model accuracy, on the
+//! CORe50 analogue.
+//!
+//! Expected shape (paper §IV-B4): retention falls and pseudo-label
+//! accuracy rises with `m`; model accuracy peaks at an interior optimum
+//! (~0.4).
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin fig4a -- --scale smoke
+//! ```
+
+use deco_bench::BenchArgs;
+use deco_eval::{run_cell, write_json, DatasetId, MethodKind, Table, TrialSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    threshold: f32,
+    retention: f32,
+    pseudo_label_accuracy: f32,
+    model_accuracy_mean: f32,
+    model_accuracy_std: f32,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut params = args.scale.params(DatasetId::Core50);
+    if let Some(seeds) = args.seeds {
+        params.seeds = seeds;
+    }
+    // m = 0 makes every predicted class active (condensing all 10 classes
+    // per segment) and is ~10x the cost of high thresholds; the smoke sweep
+    // starts at 0.1 and uses one seed so the whole figure stays in minutes.
+    let thresholds: Vec<f32> = match args.scale {
+        deco_eval::ExperimentScale::Smoke => {
+            params.seeds = args.seeds.unwrap_or(1);
+            vec![0.1, 0.2, 0.4, 0.6, 0.8]
+        }
+        deco_eval::ExperimentScale::Paper => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+    };
+
+    let mut table = Table::new(
+        format!("Fig. 4a — filter threshold m on CORe50 (scale: {})", args.scale),
+        vec![
+            "m".into(),
+            "retained(%)".into(),
+            "pseudo-label acc(%)".into(),
+            "model acc(%)".into(),
+        ],
+    );
+    let mut points = Vec::new();
+    for &m in &thresholds {
+        eprintln!("[fig4a] m = {m}…");
+        let mut spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 5, 0, params);
+        spec.vote_threshold_override = Some(m);
+        let cell = run_cell(&spec);
+        let retention =
+            cell.trials.iter().map(|t| t.retention).sum::<f32>() / cell.trials.len() as f32;
+        let pseudo =
+            cell.trials.iter().map(|t| t.pseudo_accuracy).sum::<f32>() / cell.trials.len() as f32;
+        table.push_row(vec![
+            format!("{m:.1}"),
+            format!("{:.1}", retention * 100.0),
+            format!("{:.1}", pseudo * 100.0),
+            format!("{:.1}±{:.1}", cell.accuracy.mean * 100.0, cell.accuracy.std * 100.0),
+        ]);
+        points.push(Point {
+            threshold: m,
+            retention,
+            pseudo_label_accuracy: pseudo,
+            model_accuracy_mean: cell.accuracy.mean,
+            model_accuracy_std: cell.accuracy.std,
+        });
+        println!("{table}");
+    }
+    println!("{table}");
+
+    // Shape checks (the paper's qualitative claims).
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    println!(
+        "retention falls with m: {} ({:.2} -> {:.2})",
+        first.retention > last.retention,
+        first.retention,
+        last.retention
+    );
+    println!(
+        "pseudo-label accuracy rises with m: {} ({:.2} -> {:.2})",
+        last.pseudo_label_accuracy >= first.pseudo_label_accuracy,
+        first.pseudo_label_accuracy,
+        last.pseudo_label_accuracy
+    );
+    let best = points
+        .iter()
+        .max_by(|a, b| a.model_accuracy_mean.partial_cmp(&b.model_accuracy_mean).expect("finite"))
+        .expect("nonempty");
+    println!("best model accuracy at m = {:.1}", best.threshold);
+
+    write_json(&args.out_dir, "fig4a", &points).expect("write fig4a.json");
+    eprintln!("[fig4a] report written to {}/fig4a.json", args.out_dir.display());
+}

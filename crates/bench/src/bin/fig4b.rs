@@ -1,0 +1,83 @@
+//! Regenerates **Fig. 4b**: the effect of the feature-discrimination
+//! weight `α ∈ {0, 0.001, 0.01, 0.1, 0.5, 1}` on final accuracy, on the
+//! CIFAR-100 analogue for two IpC values.
+//!
+//! Expected shape (paper §IV-B5): accuracy improves from α = 0 up to
+//! α ≈ 0.1, then degrades for large α.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin fig4b -- --scale smoke
+//! ```
+
+use deco_bench::BenchArgs;
+use deco_eval::{run_cell, write_json, DatasetId, ExperimentScale, MethodKind, Table, TrialSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    alpha: f32,
+    ipc: usize,
+    accuracy_mean: f32,
+    accuracy_std: f32,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut params = args.scale.params(DatasetId::Cifar100);
+    if let Some(seeds) = args.seeds {
+        params.seeds = seeds;
+    }
+    // CIFAR-100 is the most expensive analogue; trim the stream at smoke
+    // scale so the sweep stays in CPU-minutes.
+    let (ipcs, alphas): (Vec<usize>, Vec<f32>) = match args.scale {
+        ExperimentScale::Smoke => {
+            params.num_segments = 8;
+            params.seeds = args.seeds.unwrap_or(1);
+            (vec![5], vec![0.0, 0.01, 0.1, 1.0])
+        }
+        ExperimentScale::Paper => (vec![5, 10], vec![0.0, 0.001, 0.01, 0.1, 0.5, 1.0]),
+    };
+
+    let mut header = vec!["alpha".to_string()];
+    header.extend(ipcs.iter().map(|ipc| format!("IpC={ipc} acc(%)")));
+    let mut table = Table::new(
+        format!("Fig. 4b — feature-discrimination weight α on CIFAR-100 (scale: {})", args.scale),
+        header,
+    );
+    let mut points = Vec::new();
+    for &alpha in &alphas {
+        let mut row = vec![format!("{alpha}")];
+        for &ipc in &ipcs {
+            eprintln!("[fig4b] α = {alpha}, IpC = {ipc}…");
+            let mut spec = TrialSpec::new(DatasetId::Cifar100, MethodKind::Deco, ipc, 0, params);
+            spec.alpha_override = Some(alpha);
+            let cell = run_cell(&spec);
+            row.push(format!(
+                "{:.2}±{:.2}",
+                cell.accuracy.mean * 100.0,
+                cell.accuracy.std * 100.0
+            ));
+            points.push(Point {
+                alpha,
+                ipc,
+                accuracy_mean: cell.accuracy.mean,
+                accuracy_std: cell.accuracy.std,
+            });
+        }
+        table.push_row(row);
+        println!("{table}");
+    }
+    println!("{table}");
+
+    for &ipc in &ipcs {
+        let best = points
+            .iter()
+            .filter(|p| p.ipc == ipc)
+            .max_by(|a, b| a.accuracy_mean.partial_cmp(&b.accuracy_mean).expect("finite"))
+            .expect("nonempty");
+        println!("IpC={ipc}: best α = {}", best.alpha);
+    }
+
+    write_json(&args.out_dir, "fig4b", &points).expect("write fig4b.json");
+    eprintln!("[fig4b] report written to {}/fig4b.json", args.out_dir.display());
+}

@@ -1,0 +1,98 @@
+//! Regenerates **Table I**: final average accuracy of Random / FIFO /
+//! Selective-BP / K-Center / GSS-Greedy / DECO across the four dataset
+//! analogues and the IpC grid, with mean ± std over seeds, the
+//! "Improvement" column (DECO vs best baseline) and the Upper Bound.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin table1 -- --scale smoke
+//! ```
+
+use deco_bench::BenchArgs;
+use deco_eval::{
+    relative_improvement, run_cell, upper_bound, write_json, DatasetId, MethodKind, Table,
+    TrialSpec,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CellRecord {
+    dataset: String,
+    ipc: usize,
+    method: String,
+    mean: f32,
+    std: f32,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    cells: Vec<CellRecord>,
+    upper_bounds: Vec<(String, f32)>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut report = Report { scale: args.scale.to_string(), cells: Vec::new(), upper_bounds: Vec::new() };
+
+    let mut header: Vec<String> = vec!["Dataset".into(), "IpC".into()];
+    header.extend(MethodKind::TABLE1.iter().map(|m| m.label().to_string()));
+    header.push("Improvement".into());
+    header.push("Upper Bound".into());
+    let mut table = Table::new(
+        format!("Table I — final average accuracy (scale: {})", args.scale),
+        header,
+    );
+
+    for dataset in DatasetId::TABLE1 {
+        let mut params = args.scale.params(dataset);
+        if let Some(seeds) = args.seeds {
+            params.seeds = seeds;
+        }
+        // The CIFAR-100 and ImageNet-10 analogues cost several times a
+        // 16-px 10-class trial on one CPU core; at smoke scale they run a
+        // reduced demonstration grid (IpC = 1, one seed). `--scale paper`
+        // runs the full grid everywhere.
+        let expensive = matches!(dataset, DatasetId::Cifar100 | DatasetId::ImageNet10);
+        let smoke = matches!(args.scale, deco_eval::ExperimentScale::Smoke);
+        if smoke && expensive && args.seeds.is_none() {
+            params.seeds = 1;
+        }
+        eprintln!("[table1] {dataset}: computing upper bound…");
+        let ub = upper_bound(dataset, &params, 0);
+        report.upper_bounds.push((dataset.label().to_string(), ub));
+
+        let ipc_grid =
+            if smoke && expensive { vec![1] } else { args.ipc_grid() };
+        for ipc in ipc_grid {
+            let mut row = vec![dataset.label().to_string(), ipc.to_string()];
+            let mut best_baseline = 0.0f32;
+            let mut deco_mean = 0.0f32;
+            for method in MethodKind::TABLE1 {
+                eprintln!("[table1] {dataset} IpC={ipc} {method}…");
+                let spec = TrialSpec::new(dataset, method, ipc, 0, params);
+                let cell = run_cell(&spec);
+                row.push(cell.accuracy.as_percent());
+                report.cells.push(CellRecord {
+                    dataset: dataset.label().into(),
+                    ipc,
+                    method: method.label().into(),
+                    mean: cell.accuracy.mean,
+                    std: cell.accuracy.std,
+                });
+                match method {
+                    MethodKind::Deco => deco_mean = cell.accuracy.mean,
+                    _ => best_baseline = best_baseline.max(cell.accuracy.mean),
+                }
+            }
+            let imp = relative_improvement(deco_mean, best_baseline);
+            row.push(format!("{:+.1}%", imp * 100.0));
+            row.push(format!("{:.2}%", ub * 100.0));
+            table.push_row(row);
+            println!("{table}");
+        }
+    }
+
+    println!("{table}");
+    write_json(&args.out_dir, "table1", &report).expect("write table1.json");
+    eprintln!("[table1] report written to {}/table1.json", args.out_dir.display());
+}

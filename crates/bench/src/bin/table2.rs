@@ -1,0 +1,88 @@
+//! Regenerates **Table II**: execution time and accuracy of the
+//! condensation methods DC, DSA, DM and DECO on the CORe50 analogue across
+//! the IpC grid. Times are the wall-clock spent inside segment processing
+//! (pseudo-labeling + condensation), the cost the paper compares.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin table2 -- --scale smoke
+//! ```
+
+use deco_bench::BenchArgs;
+use deco_eval::{run_trial, write_json, DatasetId, ExperimentScale, MethodKind, Table, TrialSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    method: String,
+    ipc: usize,
+    seconds: f32,
+    accuracy: f32,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut params = args.scale.params(DatasetId::Core50);
+    // Timing comparison needs fewer segments than the accuracy table; the
+    // per-segment cost ratio is what matters.
+    params.num_segments = match args.scale {
+        ExperimentScale::Smoke => 6,
+        ExperimentScale::Paper => 30,
+    };
+
+    let ipcs = match args.scale {
+        ExperimentScale::Smoke => vec![1, 5, 10],
+        ExperimentScale::Paper => vec![1, 5, 10, 50],
+    };
+
+    let mut header: Vec<String> = vec!["Method".into()];
+    for ipc in &ipcs {
+        header.push(format!("IpC={ipc} Time(s)"));
+        header.push(format!("IpC={ipc} Acc(%)"));
+    }
+    let mut table = Table::new(
+        format!("Table II — condensation execution time & accuracy on CORe50 (scale: {})", args.scale),
+        header,
+    );
+
+    let mut entries = Vec::new();
+    for method in MethodKind::TABLE2 {
+        let mut row = vec![method.label().to_string()];
+        for &ipc in &ipcs {
+            eprintln!("[table2] {method} IpC={ipc}…");
+            let spec = TrialSpec::new(DatasetId::Core50, method, ipc, 0, params);
+            let result = run_trial(&spec);
+            let secs = result.processing_time.as_secs_f32();
+            row.push(format!("{secs:.1}"));
+            row.push(format!("{:.1}", result.final_accuracy * 100.0));
+            entries.push(Entry {
+                method: method.label().into(),
+                ipc,
+                seconds: secs,
+                accuracy: result.final_accuracy,
+            });
+        }
+        table.push_row(row);
+        println!("{table}");
+    }
+
+    println!("{table}");
+    // Speedup summary (the paper's ~10x claim for DECO vs DC/DSA).
+    for &ipc in &ipcs {
+        let time_of = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.method == name && e.ipc == ipc)
+                .map(|e| e.seconds)
+                .unwrap_or(f32::NAN)
+        };
+        let deco = time_of("DECO");
+        println!(
+            "IpC={ipc}: DECO speedup vs DC {:.1}x, vs DSA {:.1}x, vs DM {:.2}x",
+            time_of("DC") / deco,
+            time_of("DSA") / deco,
+            time_of("DM") / deco,
+        );
+    }
+    write_json(&args.out_dir, "table2", &entries).expect("write table2.json");
+    eprintln!("[table2] report written to {}/table2.json", args.out_dir.display());
+}

@@ -1,0 +1,126 @@
+//! # deco-bench
+//!
+//! The benchmark harness of the DECO reproduction: one binary per paper
+//! table/figure (see `DESIGN.md` §3) plus Criterion micro-benchmarks.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale smoke|paper` — experiment size (default `smoke`: CPU-minutes;
+//!   `paper`: the fuller grid, CPU-hours);
+//! * `--out <dir>` — where JSON reports are written (default `reports/`);
+//! * `--seeds <n>` — override the per-cell seed count.
+//!
+//! ```bash
+//! cargo run -p deco-bench --release --bin table1 -- --scale smoke
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+
+use deco_eval::ExperimentScale;
+
+/// Command-line options shared by all bench binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Experiment size.
+    pub scale: ExperimentScale,
+    /// Report output directory.
+    pub out_dir: PathBuf,
+    /// Optional seed-count override.
+    pub seeds: Option<usize>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { scale: ExperimentScale::Smoke, out_dir: PathBuf::from("reports"), seeds: None }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--scale`, `--out` and `--seeds` from an argument iterator
+    /// (unknown flags are rejected).
+    ///
+    /// # Panics
+    /// Panics with a usage message on invalid arguments — appropriate for
+    /// the top of a bench binary.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value (smoke|paper)");
+                    out.scale = ExperimentScale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale {v:?}; use smoke or paper"));
+                }
+                "--out" => {
+                    out.out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
+                }
+                "--seeds" => {
+                    let v = it.next().expect("--seeds needs a number");
+                    out.seeds = Some(v.parse().expect("--seeds must be an integer"));
+                }
+                other => panic!("unknown flag {other:?}; known: --scale, --out, --seeds"),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn parse() -> BenchArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// The IpC grid for Table-style experiments at this scale.
+    pub fn ipc_grid(&self) -> Vec<usize> {
+        match self.scale {
+            ExperimentScale::Smoke => vec![1, 5],
+            ExperimentScale::Paper => vec![1, 5, 10, 50],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> BenchArgs {
+        BenchArgs::parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args(&[]);
+        assert_eq!(a.scale, ExperimentScale::Smoke);
+        assert_eq!(a.out_dir, PathBuf::from("reports"));
+        assert_eq!(a.seeds, None);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = args(&["--scale", "paper", "--out", "/tmp/x", "--seeds", "3"]);
+        assert_eq!(a.scale, ExperimentScale::Paper);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(a.seeds, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        let _ = args(&["--frobnicate"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn rejects_unknown_scale() {
+        let _ = args(&["--scale", "galactic"]);
+    }
+
+    #[test]
+    fn ipc_grid_depends_on_scale() {
+        assert_eq!(args(&[]).ipc_grid(), vec![1, 5]);
+        assert_eq!(args(&["--scale", "paper"]).ipc_grid(), vec![1, 5, 10, 50]);
+    }
+}

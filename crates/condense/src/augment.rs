@@ -1,0 +1,142 @@
+//! Differentiable siamese augmentation (DSA).
+//!
+//! DSA's key property is that the *same* randomly drawn transform is applied
+//! to the real and synthetic batches of a matching step, and that gradients
+//! flow through the transform into the synthetic images. The three
+//! transforms here (mirror, translation, cutout) are all linear index maps
+//! or constant masks, so their adjoints are exact.
+
+use deco_tensor::{Rng, Tensor, Var};
+
+/// One sampled augmentation, applied identically to both sides of a
+/// matching step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Augmentation {
+    /// No transformation.
+    Identity,
+    /// Horizontal mirror.
+    Flip,
+    /// Translation by whole pixels (zero fill).
+    Shift {
+        /// Vertical offset.
+        dy: isize,
+        /// Horizontal offset.
+        dx: isize,
+    },
+    /// Zero out a square region (mask broadcast over batch and channels).
+    Cutout {
+        /// `[1, 1, h, w]` multiplicative mask.
+        mask: Tensor,
+    },
+}
+
+impl Augmentation {
+    /// Draws a random augmentation for `side × side` images. Shift offsets
+    /// are up to ±25 % of the side; cutout squares cover ~25 % of the area.
+    pub fn sample(side: usize, rng: &mut Rng) -> Augmentation {
+        match rng.below(4) {
+            0 => Augmentation::Identity,
+            1 => Augmentation::Flip,
+            2 => {
+                let max = (side / 4).max(1) as isize;
+                Augmentation::Shift {
+                    dy: rng.below((2 * max + 1) as usize) as isize - max,
+                    dx: rng.below((2 * max + 1) as usize) as isize - max,
+                }
+            }
+            _ => {
+                let cut = (side / 2).max(1);
+                let y0 = rng.below(side - cut + 1);
+                let x0 = rng.below(side - cut + 1);
+                let mut mask = vec![1.0f32; side * side];
+                for y in y0..y0 + cut {
+                    for x in x0..x0 + cut {
+                        mask[y * side + x] = 0.0;
+                    }
+                }
+                Augmentation::Cutout { mask: Tensor::from_vec(mask, [1, 1, side, side]) }
+            }
+        }
+    }
+
+    /// Applies the augmentation to an NCHW batch, differentiably.
+    pub fn apply(&self, x: &Var) -> Var {
+        match self {
+            Augmentation::Identity => x.clone(),
+            Augmentation::Flip => x.flip_w(),
+            Augmentation::Shift { dy, dx } => x.shift2d(*dy, *dx),
+            Augmentation::Cutout { mask } => x.mul(&Var::constant(mask.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_covers_all_variants() {
+        let mut rng = Rng::new(1);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            match Augmentation::sample(8, &mut rng) {
+                Augmentation::Identity => seen[0] = true,
+                Augmentation::Flip => seen[1] = true,
+                Augmentation::Shift { .. } => seen[2] = true,
+                Augmentation::Cutout { .. } => seen[3] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "variants seen: {seen:?}");
+    }
+
+    #[test]
+    fn shift_offsets_are_bounded() {
+        let mut rng = Rng::new(2);
+        for _ in 0..200 {
+            if let Augmentation::Shift { dy, dx } = Augmentation::sample(16, &mut rng) {
+                assert!(dy.abs() <= 4 && dx.abs() <= 4, "({dy},{dx})");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_every_augmentation() {
+        let mut rng = Rng::new(3);
+        for _ in 0..20 {
+            let aug = Augmentation::sample(8, &mut rng);
+            let x = Var::leaf(Tensor::randn([2, 3, 8, 8], &mut rng), true);
+            aug.apply(&x).square().sum().backward();
+            let g = x.grad().expect("gradient must flow");
+            assert!(g.is_finite());
+        }
+    }
+
+    #[test]
+    fn cutout_zeroes_the_region_and_its_gradient() {
+        let mut rng = Rng::new(4);
+        // Force a cutout draw.
+        let aug = loop {
+            let a = Augmentation::sample(8, &mut rng);
+            if matches!(a, Augmentation::Cutout { .. }) {
+                break a;
+            }
+        };
+        let x = Var::leaf(Tensor::ones([1, 1, 8, 8]), true);
+        let y = aug.apply(&x);
+        let zeros = y.value().data().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros >= 16, "cutout removed {zeros} pixels");
+        y.sum().backward();
+        let gzeros = x.grad().unwrap().data().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(gzeros, zeros);
+    }
+
+    #[test]
+    fn same_augmentation_applies_identically_to_both_batches() {
+        let mut rng = Rng::new(5);
+        let aug = Augmentation::Shift { dy: 1, dx: -2 };
+        let a = Tensor::randn([1, 1, 8, 8], &mut rng);
+        let out1 = aug.apply(&Var::constant(a.clone()));
+        let out2 = aug.apply(&Var::constant(a));
+        assert_eq!(out1.value(), out2.value());
+    }
+}

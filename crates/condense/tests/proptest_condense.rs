@@ -1,0 +1,130 @@
+//! Property-based tests for the synthetic buffer and the matching machinery.
+
+use deco_condense::{
+    gradient_distance, one_step_match, Augmentation, MatchBatch, SyntheticBuffer,
+};
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_tensor::{Rng, Tensor, Var};
+use proptest::prelude::*;
+
+fn net(rng: &mut Rng, classes: usize) -> ConvNet {
+    ConvNet::new(
+        ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: classes, norm: true },
+        rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_buffers_are_balanced_for_any_geometry(
+        ipc in 1usize..5,
+        classes in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng::new(seed);
+        let buf = SyntheticBuffer::new_random(ipc, classes, [1, 4, 4], &mut rng);
+        buf.check_invariants();
+        prop_assert_eq!(buf.len(), ipc * classes);
+        for c in 0..classes {
+            let rows: Vec<usize> = buf.class_rows(c).collect();
+            prop_assert_eq!(rows.len(), ipc);
+            prop_assert!(rows.iter().all(|&r| buf.labels()[r] == c));
+        }
+    }
+
+    #[test]
+    fn add_scaled_rows_is_local(
+        ipc in 1usize..4,
+        classes in 2usize..5,
+        target in 0usize..100,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut buf = SyntheticBuffer::new_random(ipc, classes, [1, 4, 4], &mut rng);
+        let before = buf.images().clone();
+        let class = target % classes;
+        let rows: Vec<usize> = buf.class_rows(class).collect();
+        let delta = Tensor::randn([rows.len(), 1, 4, 4], &mut rng);
+        buf.add_scaled_rows(&rows, &delta, 0.5);
+        for r in 0..buf.len() {
+            let changed = buf.images().select_rows(&[r]).data()
+                != before.select_rows(&[r]).data();
+            prop_assert_eq!(changed, rows.contains(&r), "row {}", r);
+        }
+    }
+
+    #[test]
+    fn matching_distance_is_finite_for_random_inputs(
+        seed in 0u64..200,
+        n_syn in 1usize..4,
+        n_real in 1usize..6,
+    ) {
+        let mut rng = Rng::new(seed);
+        let model = net(&mut rng, 2);
+        let syn = Tensor::randn([n_syn, 1, 8, 8], &mut rng);
+        let syn_labels: Vec<usize> = (0..n_syn).map(|i| i % 2).collect();
+        let real = Tensor::randn([n_real, 1, 8, 8], &mut rng);
+        let real_labels: Vec<usize> = (0..n_real).map(|i| i % 2).collect();
+        let batch = MatchBatch {
+            syn_images: &syn,
+            syn_labels: &syn_labels,
+            real_images: &real,
+            real_labels: &real_labels,
+            real_weights: None,
+        };
+        let d = gradient_distance(&model, &batch, None);
+        prop_assert!(d.is_finite() && d >= 0.0, "distance {}", d);
+    }
+
+    #[test]
+    fn one_step_match_output_shape_and_restoration(
+        seed in 0u64..100,
+        n_syn in 1usize..4,
+    ) {
+        let mut rng = Rng::new(seed);
+        let model = net(&mut rng, 2);
+        let before = model.get_params();
+        let syn = Tensor::randn([n_syn, 1, 8, 8], &mut rng);
+        let syn_labels: Vec<usize> = (0..n_syn).map(|i| i % 2).collect();
+        let real = Tensor::randn([4, 1, 8, 8], &mut rng);
+        let real_labels = vec![0, 1, 0, 1];
+        let batch = MatchBatch {
+            syn_images: &syn,
+            syn_labels: &syn_labels,
+            real_images: &real,
+            real_labels: &real_labels,
+            real_weights: None,
+        };
+        let res = one_step_match(&model, &batch, None, 0.01);
+        prop_assert_eq!(res.image_grad.shape(), syn.shape());
+        prop_assert!(res.image_grad.is_finite());
+        // Parameters must be restored after the internal ±ε perturbations.
+        for (a, b) in model.get_params().iter().zip(&before) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn augmentations_preserve_shape_and_finiteness(seed in 0u64..300) {
+        let mut rng = Rng::new(seed);
+        let aug = Augmentation::sample(8, &mut rng);
+        let x = Var::constant(Tensor::randn([2, 3, 8, 8], &mut rng));
+        let y = aug.apply(&x);
+        prop_assert_eq!(y.shape().dims(), &[2, 3, 8, 8]);
+        prop_assert!(y.value().is_finite());
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_given_the_draw(seed in 0u64..200) {
+        let mut rng = Rng::new(seed);
+        let aug = Augmentation::sample(8, &mut rng);
+        let x = Var::constant(Tensor::randn([1, 1, 8, 8], &mut rng));
+        let a = aug.apply(&x);
+        let b = aug.apply(&x);
+        prop_assert_eq!(a.value(), b.value());
+    }
+}

@@ -1,0 +1,157 @@
+//! Checkpointing: persist and restore the on-device state (model
+//! parameters and the synthetic buffer) so learning can resume across
+//! device restarts — a practical necessity for real deployments that the
+//! paper's setting implies but does not spell out.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use deco_condense::SyntheticBuffer;
+use deco_nn::ConvNet;
+use deco_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of the on-device learning state.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Checkpoint {
+    /// Model parameter tensors, in `ConvNet::params` order.
+    pub model_params: Vec<Tensor>,
+    /// The synthetic buffer images.
+    pub buffer_images: Tensor,
+    /// The buffer's images-per-class.
+    pub buffer_ipc: usize,
+    /// The buffer's class count.
+    pub buffer_classes: usize,
+    /// Stream items processed when the snapshot was taken.
+    pub items_seen: usize,
+}
+
+impl Checkpoint {
+    /// Captures the current model and buffer.
+    pub fn capture(model: &ConvNet, buffer: &SyntheticBuffer, items_seen: usize) -> Checkpoint {
+        Checkpoint {
+            model_params: model.get_params(),
+            buffer_images: buffer.images().clone(),
+            buffer_ipc: buffer.ipc(),
+            buffer_classes: buffer.num_classes(),
+            items_seen,
+        }
+    }
+
+    /// Restores the model parameters and buffer images in place.
+    ///
+    /// # Panics
+    /// Panics if the model architecture or buffer geometry differs from the
+    /// snapshot.
+    pub fn restore(&self, model: &ConvNet, buffer: &mut SyntheticBuffer) {
+        assert_eq!(buffer.ipc(), self.buffer_ipc, "buffer IpC mismatch");
+        assert_eq!(buffer.num_classes(), self.buffer_classes, "buffer class-count mismatch");
+        model.set_params(&self.model_params);
+        buffer.set_images(self.buffer_images.clone());
+    }
+
+    /// Serializes to JSON bytes.
+    ///
+    /// # Errors
+    /// Returns a serialization error (practically impossible for this type).
+    pub fn to_json(&self) -> serde_json::Result<Vec<u8>> {
+        serde_json::to_vec(self)
+    }
+
+    /// Deserializes from JSON bytes.
+    ///
+    /// # Errors
+    /// Returns a parse error on malformed or mismatched payloads.
+    pub fn from_json(bytes: &[u8]) -> serde_json::Result<Checkpoint> {
+        serde_json::from_slice(bytes)
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    /// Returns any I/O or serialization error.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let bytes = self.to_json().map_err(std::io::Error::other)?;
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&bytes)
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    /// Returns any I/O or parse error.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Checkpoint> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_json(&bytes).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_nn::ConvNetConfig;
+    use deco_tensor::{Rng, Var};
+
+    fn tiny(rng: &mut Rng) -> ConvNet {
+        ConvNet::new(
+            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 3, norm: true },
+            rng,
+        )
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_preserves_outputs() {
+        let mut rng = Rng::new(1);
+        let model = tiny(&mut rng);
+        let mut buffer = SyntheticBuffer::new_random(2, 3, [1, 8, 8], &mut rng);
+        let x = Var::constant(Tensor::randn([2, 1, 8, 8], &mut rng));
+        let before = model.forward(&x, true).value().clone();
+        let ckpt = Checkpoint::capture(&model, &buffer, 42);
+
+        // Wreck the state…
+        model.reinit(&mut rng);
+        buffer.set_images(Tensor::zeros([6, 1, 8, 8]));
+        assert_ne!(model.forward(&x, true).value(), &before);
+
+        // …and restore it.
+        ckpt.restore(&model, &mut buffer);
+        assert_eq!(model.forward(&x, true).value(), &before);
+        assert_eq!(buffer.images(), &ckpt.buffer_images);
+        assert_eq!(ckpt.items_seen, 42);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut rng = Rng::new(2);
+        let model = tiny(&mut rng);
+        let buffer = SyntheticBuffer::new_random(1, 3, [1, 8, 8], &mut rng);
+        let ckpt = Checkpoint::capture(&model, &buffer, 7);
+        let bytes = ckpt.to_json().unwrap();
+        let back = Checkpoint::from_json(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = Rng::new(3);
+        let model = tiny(&mut rng);
+        let buffer = SyntheticBuffer::new_random(1, 3, [1, 8, 8], &mut rng);
+        let ckpt = Checkpoint::capture(&model, &buffer, 0);
+        let path = std::env::temp_dir().join("deco-checkpoint-test.json");
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer IpC mismatch")]
+    fn restore_rejects_wrong_geometry() {
+        let mut rng = Rng::new(4);
+        let model = tiny(&mut rng);
+        let buffer = SyntheticBuffer::new_random(1, 3, [1, 8, 8], &mut rng);
+        let ckpt = Checkpoint::capture(&model, &buffer, 0);
+        let mut other = SyntheticBuffer::new_random(2, 3, [1, 8, 8], &mut rng);
+        ckpt.restore(&model, &mut other);
+    }
+}

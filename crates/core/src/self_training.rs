@@ -1,0 +1,175 @@
+//! Plain self-training — the alternative to majority voting that the paper
+//! discusses (§III-B) and argues against: fine-tune the deployed model
+//! directly on its own confident pseudo-labels, with no temporal filtering
+//! and no buffer. Included so the framework can demonstrate *why* voting +
+//! condensation is preferable when the deployed model's accuracy is modest.
+
+use deco_datasets::Segment;
+use deco_nn::{ConvNet, Sgd};
+use deco_tensor::Rng;
+
+use crate::train::{train_classifier, WEIGHT_DECAY};
+use crate::voting::assign_pseudo_labels;
+
+/// Configuration of the self-training baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfTrainingConfig {
+    /// Minimum softmax confidence for a pseudo-label to be trained on.
+    pub confidence_threshold: f32,
+    /// Learning rate of the fine-tuning steps.
+    pub lr: f32,
+    /// Gradient steps per segment.
+    pub steps_per_segment: usize,
+}
+
+impl Default for SelfTrainingConfig {
+    fn default() -> Self {
+        SelfTrainingConfig { confidence_threshold: 0.6, lr: 1e-3, steps_per_segment: 4 }
+    }
+}
+
+/// Outcome of one self-training segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfTrainingReport {
+    /// Items confident enough to train on.
+    pub trained_on: usize,
+    /// Accuracy of the trained-on pseudo-labels vs ground truth.
+    pub pseudo_label_accuracy: Option<f32>,
+}
+
+/// The self-training loop: label a segment with the current model, keep
+/// only high-confidence items, and immediately fine-tune on them.
+#[derive(Debug)]
+pub struct SelfTrainer {
+    config: SelfTrainingConfig,
+    opt: Sgd,
+}
+
+impl SelfTrainer {
+    /// Creates the trainer.
+    ///
+    /// # Panics
+    /// Panics on out-of-range configuration values.
+    pub fn new(config: SelfTrainingConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.confidence_threshold), "threshold out of range");
+        assert!(config.lr > 0.0, "lr must be positive");
+        SelfTrainer {
+            config,
+            opt: Sgd::new(config.lr).with_momentum(0.9).with_weight_decay(WEIGHT_DECAY),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SelfTrainingConfig {
+        &self.config
+    }
+
+    /// Processes one segment: label, filter by confidence, fine-tune.
+    pub fn process_segment(
+        &mut self,
+        model: &ConvNet,
+        segment: &Segment,
+        _rng: &mut Rng,
+    ) -> SelfTrainingReport {
+        let predictions = assign_pseudo_labels(model, &segment.images);
+        let kept: Vec<usize> = predictions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| (p.confidence >= self.config.confidence_threshold).then_some(i))
+            .collect();
+        if kept.is_empty() {
+            return SelfTrainingReport { trained_on: 0, pseudo_label_accuracy: None };
+        }
+        let correct =
+            kept.iter().filter(|&&i| predictions[i].class == segment.true_labels[i]).count();
+        let images = segment.images.select_rows(&kept);
+        let labels: Vec<usize> = kept.iter().map(|&i| predictions[i].class).collect();
+        let weights: Vec<f32> = kept.iter().map(|&i| predictions[i].confidence).collect();
+        train_classifier(
+            model,
+            &images,
+            &labels,
+            Some(&weights),
+            self.config.steps_per_segment,
+            &mut self.opt,
+        );
+        SelfTrainingReport {
+            trained_on: kept.len(),
+            pseudo_label_accuracy: Some(correct as f32 / kept.len() as f32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{accuracy, pretrain};
+    use deco_datasets::{core50, Stream, StreamConfig, SyntheticVision};
+    use deco_nn::ConvNetConfig;
+
+    fn setup(rng: &mut Rng) -> (SyntheticVision, ConvNet) {
+        let data = SyntheticVision::new(core50());
+        let model = ConvNet::new(
+            ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+            rng,
+        );
+        pretrain(&model, &data.pretrain_set(4), 40, 0.02);
+        (data, model)
+    }
+
+    #[test]
+    fn self_training_processes_segments() {
+        let mut rng = Rng::new(1);
+        let (data, model) = setup(&mut rng);
+        let mut trainer = SelfTrainer::new(SelfTrainingConfig::default());
+        let cfg = StreamConfig { stc: 48, segment_size: 24, num_segments: 3, seed: 2 };
+        let mut trained = 0;
+        for segment in Stream::new(&data, cfg) {
+            let report = trainer.process_segment(&model, &segment, &mut rng);
+            trained += report.trained_on;
+        }
+        assert!(trained > 0, "never confident enough to train");
+    }
+
+    #[test]
+    fn threshold_one_trains_on_nothing() {
+        let mut rng = Rng::new(2);
+        let (data, model) = setup(&mut rng);
+        let before = model.get_params();
+        let mut trainer = SelfTrainer::new(SelfTrainingConfig {
+            confidence_threshold: 1.0,
+            ..SelfTrainingConfig::default()
+        });
+        let cfg = StreamConfig { stc: 48, segment_size: 16, num_segments: 2, seed: 3 };
+        for segment in Stream::new(&data, cfg) {
+            let report = trainer.process_segment(&model, &segment, &mut rng);
+            assert_eq!(report.trained_on, 0);
+        }
+        for (a, b) in model.get_params().iter().zip(&before) {
+            assert_eq!(a, b, "model changed without training data");
+        }
+    }
+
+    #[test]
+    fn self_training_is_vulnerable_to_drift() {
+        // The paper's argument: with a modest initial model and no
+        // filtering/buffer, training on own labels over a long one-class
+        // run does not preserve overall accuracy the way DECO does. We only
+        // assert it runs and stays finite — direction is seed-dependent.
+        let mut rng = Rng::new(3);
+        let (data, model) = setup(&mut rng);
+        let test = data.test_set(3);
+        let mut trainer = SelfTrainer::new(SelfTrainingConfig {
+            confidence_threshold: 0.3,
+            lr: 5e-3,
+            steps_per_segment: 6,
+        });
+        let cfg = StreamConfig { stc: 120, segment_size: 24, num_segments: 6, seed: 4 };
+        for segment in Stream::new(&data, cfg) {
+            trainer.process_segment(&model, &segment, &mut rng);
+        }
+        let acc = accuracy(&model, &test);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(model.get_params().iter().all(deco_tensor::Tensor::is_finite));
+    }
+}

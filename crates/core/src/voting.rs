@@ -1,0 +1,173 @@
+//! Majority-voting pseudo-label assignment (paper §III-B, Eqs. 2–3).
+//!
+//! The deployed model labels each item of a stream segment; because the
+//! stream is temporally correlated, classes that truly occur in the segment
+//! dominate the prediction counts. Classes whose prediction frequency
+//! exceeds the threshold `m` become *active*; items pseudo-labeled with an
+//! inactive class are discarded as probable mislabels.
+
+use deco_nn::{ConvNet, Prediction};
+use deco_tensor::Tensor;
+
+/// Assigns pseudo-labels (class + confidence) to every image of a segment
+/// using the deployed model.
+pub fn assign_pseudo_labels(model: &ConvNet, images: &Tensor) -> Vec<Prediction> {
+    model.predict(images)
+}
+
+/// The result of majority voting over one segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteOutcome {
+    /// The active classes `C_t^A` (ascending order).
+    pub active_classes: Vec<usize>,
+    /// Segment indices whose pseudo-label is active (the filtered `I_t^A`).
+    pub kept: Vec<usize>,
+}
+
+impl VoteOutcome {
+    /// Fraction of the segment retained after filtering.
+    pub fn retention(&self, segment_len: usize) -> f32 {
+        if segment_len == 0 {
+            return 0.0;
+        }
+        self.kept.len() as f32 / segment_len as f32
+    }
+}
+
+/// Majority voting (Eq. 2): a class is active when its share of the
+/// segment's pseudo-labels strictly exceeds `threshold`; Eq. 3 then keeps
+/// exactly the items labeled with an active class.
+///
+/// # Panics
+/// Panics unless `threshold ∈ [0, 1)` and every predicted class is below
+/// `num_classes`.
+pub fn majority_vote(
+    predictions: &[Prediction],
+    num_classes: usize,
+    threshold: f32,
+) -> VoteOutcome {
+    assert!((0.0..1.0).contains(&threshold), "threshold must be in [0, 1)");
+    let n = predictions.len();
+    let mut counts = vec![0usize; num_classes];
+    for p in predictions {
+        assert!(p.class < num_classes, "predicted class {} out of range", p.class);
+        counts[p.class] += 1;
+    }
+    let active_classes: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter_map(|(c, &k)| (n > 0 && k as f32 / n as f32 > threshold).then_some(c))
+        .collect();
+    let kept = predictions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| active_classes.binary_search(&p.class).is_ok().then_some(i))
+        .collect();
+    VoteOutcome { active_classes, kept }
+}
+
+/// Pseudo-label accuracy of the *kept* items against ground truth — the
+/// quantity the paper's Fig. 4a tracks as the filter threshold varies.
+///
+/// Returns `None` when nothing was kept.
+///
+/// # Panics
+/// Panics if lengths mismatch or a kept index is out of range.
+pub fn kept_label_accuracy(
+    predictions: &[Prediction],
+    outcome: &VoteOutcome,
+    true_labels: &[usize],
+) -> Option<f32> {
+    assert_eq!(predictions.len(), true_labels.len(), "label count mismatch");
+    if outcome.kept.is_empty() {
+        return None;
+    }
+    let correct = outcome
+        .kept
+        .iter()
+        .filter(|&&i| predictions[i].class == true_labels[i])
+        .count();
+    Some(correct as f32 / outcome.kept.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preds(classes: &[usize]) -> Vec<Prediction> {
+        classes.iter().map(|&class| Prediction { class, confidence: 0.5 }).collect()
+    }
+
+    #[test]
+    fn dominant_class_is_active() {
+        // 7 of 10 items are class 2.
+        let p = preds(&[2, 2, 2, 2, 2, 2, 2, 1, 0, 3]);
+        let out = majority_vote(&p, 4, 0.4);
+        assert_eq!(out.active_classes, vec![2]);
+        assert_eq!(out.kept.len(), 7);
+        assert!(out.kept.iter().all(|&i| p[i].class == 2));
+    }
+
+    #[test]
+    fn two_classes_can_be_active() {
+        let p = preds(&[0, 0, 0, 1, 1, 1]);
+        let out = majority_vote(&p, 2, 0.4);
+        assert_eq!(out.active_classes, vec![0, 1]);
+        assert_eq!(out.kept.len(), 6);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // Exactly 40 % must NOT activate at m = 0.4 (Eq. 2 uses >).
+        let p = preds(&[0, 0, 1, 1, 2]);
+        let out = majority_vote(&p, 3, 0.4);
+        assert!(out.active_classes.is_empty());
+        assert!(out.kept.is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let p = preds(&[0, 1, 2, 3]);
+        let out = majority_vote(&p, 4, 0.0);
+        assert_eq!(out.active_classes, vec![0, 1, 2, 3]);
+        assert_eq!(out.kept.len(), 4);
+    }
+
+    #[test]
+    fn higher_threshold_keeps_less() {
+        let p = preds(&[0, 0, 0, 0, 0, 0, 1, 1, 1, 2]);
+        let low = majority_vote(&p, 3, 0.05);
+        let high = majority_vote(&p, 3, 0.5);
+        assert!(high.kept.len() < low.kept.len());
+        assert_eq!(high.active_classes, vec![0]);
+    }
+
+    #[test]
+    fn retention_fraction() {
+        let p = preds(&[0, 0, 0, 1]);
+        let out = majority_vote(&p, 2, 0.4);
+        assert!((out.retention(4) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kept_accuracy_scores_only_kept_items() {
+        let p = preds(&[0, 0, 0, 1]);
+        let out = majority_vote(&p, 2, 0.4); // keeps the three 0-predictions
+        // Ground truth: first two really are 0, third is 1, fourth is 1.
+        let acc = kept_label_accuracy(&p, &out, &[0, 0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kept_accuracy_none_when_empty() {
+        let p = preds(&[0, 1]);
+        let out = majority_vote(&p, 2, 0.9);
+        assert_eq!(kept_label_accuracy(&p, &out, &[0, 1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_bad_threshold() {
+        let _ = majority_vote(&[], 2, 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dataset diagnostics: quantify the statistical properties the analogues
+//! are designed to have (class separability, environment shift, temporal
+//! correlation), so a preset can be *verified* rather than trusted.
+
+use deco_tensor::{Rng, Tensor};
+
+use crate::dataset::SyntheticVision;
+use crate::stream::{empirical_stc, Segment};
+
+/// Summary statistics of a generated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetDiagnostics {
+    /// Mean distance between same-class sample pairs (pixel space).
+    pub intra_class_distance: f32,
+    /// Mean distance between different-class sample pairs.
+    pub inter_class_distance: f32,
+    /// Mean distance between *confusable-pair* sample pairs.
+    pub pair_class_distance: f32,
+    /// Mean pixel-space shift induced by changing only the environment.
+    pub environment_shift: f32,
+}
+
+impl DatasetDiagnostics {
+    /// Fisher-style separability ratio: inter / intra (> 1 means classes
+    /// are separated beyond their internal spread).
+    pub fn separability(&self) -> f32 {
+        if self.intra_class_distance <= 0.0 {
+            return 0.0;
+        }
+        self.inter_class_distance / self.intra_class_distance
+    }
+
+    /// Whether confusable pairs sit closer than generic class pairs — the
+    /// property that generates the paper's Fig. 2 confusion structure.
+    pub fn pairs_are_confusable(&self) -> bool {
+        self.pair_class_distance < self.inter_class_distance
+    }
+}
+
+fn mean_distance(a: &[Tensor], b: &[Tensor], skip_same_index: bool) -> f32 {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (i, x) in a.iter().enumerate() {
+        for (j, y) in b.iter().enumerate() {
+            if skip_same_index && i == j {
+                continue;
+            }
+            let d = x - y;
+            total += f64::from(d.l2_norm());
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (total / count as f64) as f32
+    }
+}
+
+/// Measures dataset diagnostics from `samples_per_class` random frames per
+/// class. Deterministic in `seed`.
+pub fn diagnose(data: &SyntheticVision, samples_per_class: usize, seed: u64) -> DatasetDiagnostics {
+    let spec = data.spec();
+    let mut rng = Rng::new(seed);
+    let frames: Vec<Vec<Tensor>> = (0..spec.num_classes)
+        .map(|c| (0..samples_per_class).map(|_| data.random_frame(c, &mut rng)).collect())
+        .collect();
+
+    // Intra-class: same-class pairs, averaged over classes.
+    let intra = frames.iter().map(|f| mean_distance(f, f, true)).sum::<f32>()
+        / spec.num_classes as f32;
+
+    // Inter-class and pair-class distances.
+    let mut inter_total = 0.0f32;
+    let mut inter_count = 0usize;
+    let mut pair_total = 0.0f32;
+    let mut pair_count = 0usize;
+    for a in 0..spec.num_classes {
+        for b in (a + 1)..spec.num_classes {
+            let d = mean_distance(&frames[a], &frames[b], false);
+            if crate::spec::confusable_partner(spec, a) == Some(b) {
+                pair_total += d;
+                pair_count += 1;
+            } else {
+                inter_total += d;
+                inter_count += 1;
+            }
+        }
+    }
+    let inter = if inter_count > 0 { inter_total / inter_count as f32 } else { 0.0 };
+    let pair = if pair_count > 0 { pair_total / pair_count as f32 } else { inter };
+
+    // Environment shift: same class/instance/view, different environment.
+    let mut env_total = 0.0f32;
+    let mut env_count = 0usize;
+    if spec.num_environments > 1 {
+        for c in 0..spec.num_classes.min(4) {
+            let base = data.render(c, 0, 0, 0.25, &mut Rng::new(seed ^ 1));
+            let other = data.render(c, 0, spec.num_environments - 1, 0.25, &mut Rng::new(seed ^ 1));
+            let d = &base - &other;
+            env_total += d.l2_norm();
+            env_count += 1;
+        }
+    }
+    DatasetDiagnostics {
+        intra_class_distance: intra,
+        inter_class_distance: inter,
+        pair_class_distance: pair,
+        environment_shift: if env_count > 0 { env_total / env_count as f32 } else { 0.0 },
+    }
+}
+
+/// Summary statistics of a generated stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDiagnostics {
+    /// Observed mean same-class run length.
+    pub empirical_stc: f32,
+    /// Number of distinct classes observed.
+    pub classes_seen: usize,
+    /// Total items.
+    pub items: usize,
+}
+
+/// Measures stream diagnostics from a list of segments.
+pub fn diagnose_stream(segments: &[Segment]) -> StreamDiagnostics {
+    let labels: Vec<usize> = segments.iter().flat_map(|s| s.true_labels.clone()).collect();
+    let mut seen: Vec<usize> = labels.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    StreamDiagnostics {
+        empirical_stc: empirical_stc(&labels),
+        classes_seen: seen.len(),
+        items: labels.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{cifar10_confusable, core50};
+    use crate::stream::{Stream, StreamConfig};
+
+    #[test]
+    fn classes_are_separable_but_not_trivially() {
+        let data = SyntheticVision::new(core50());
+        let d = diagnose(&data, 4, 1);
+        assert!(d.separability() > 1.0, "classes inseparable: {d:?}");
+        assert!(d.separability() < 5.0, "classes trivially separable: {d:?}");
+    }
+
+    #[test]
+    fn confusable_pairs_are_closer() {
+        let data = SyntheticVision::new(cifar10_confusable());
+        let d = diagnose(&data, 4, 2);
+        assert!(d.pairs_are_confusable(), "{d:?}");
+    }
+
+    #[test]
+    fn environment_shift_is_nonzero_for_core50() {
+        let data = SyntheticVision::new(core50());
+        let d = diagnose(&data, 2, 3);
+        assert!(d.environment_shift > 0.0);
+    }
+
+    #[test]
+    fn stream_diagnostics_match_configuration() {
+        let data = SyntheticVision::new(core50());
+        let cfg = StreamConfig { stc: 20, segment_size: 32, num_segments: 10, seed: 4 };
+        let segments: Vec<Segment> = Stream::new(&data, cfg).collect();
+        let d = diagnose_stream(&segments);
+        assert_eq!(d.items, 320);
+        assert!(d.classes_seen >= 5, "saw {}", d.classes_seen);
+        assert!(
+            (d.empirical_stc - 20.0).abs() < 12.0,
+            "empirical STC {} far from 20",
+            d.empirical_stc
+        );
+    }
+
+    #[test]
+    fn diagnostics_are_deterministic() {
+        let data = SyntheticVision::new(core50());
+        assert_eq!(diagnose(&data, 2, 9), diagnose(&data, 2, 9));
+    }
+}

@@ -1,0 +1,267 @@
+//! Dataset specifications and the presets mirroring the paper's benchmarks.
+
+/// Parameters of a synthetic vision dataset.
+///
+/// The generator (see [`crate::SyntheticVision`]) only needs a handful of
+/// knobs to reproduce the *behaviourally relevant* properties of the paper's
+/// real datasets: class count, resolution, intra-class variation (instances,
+/// environments, views), inter-class similarity (confusability) and noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Square image side in pixels (divisible by 8 for the default net).
+    pub image_side: usize,
+    /// Image channels (3 = RGB-like).
+    pub channels: usize,
+    /// Distinct object instances per class.
+    pub instances_per_class: usize,
+    /// Distinct acquisition environments/sessions (CORe50 has 11).
+    pub num_environments: usize,
+    /// Fraction in `[0, 1)` of structure shared between paired classes;
+    /// higher values make the pair harder to distinguish (drives the
+    /// Fig. 2 confusion patterns).
+    pub confusability: f32,
+    /// Std of iid pixel noise added to every rendered frame.
+    pub noise_std: f32,
+    /// Maximum object rotation over a full view sweep, as a fraction of a
+    /// full turn.
+    pub view_rotation: f32,
+    /// Default strength of temporal correlation: expected run length of
+    /// consecutive same-class items in a stream.
+    pub stc: usize,
+    /// Generator seed; fixes prototypes, instances and environments.
+    pub seed: u64,
+    /// Optional class names (used by the Fig. 2 confusion analysis).
+    pub class_names: Option<&'static [&'static str]>,
+}
+
+impl DatasetSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if any count is zero or `confusability` ∉ `[0, 1)`.
+    pub fn validate(&self) {
+        assert!(self.num_classes > 0, "need at least one class");
+        assert!(self.image_side >= 8, "image side too small");
+        assert!(self.channels > 0, "need at least one channel");
+        assert!(self.instances_per_class > 0, "need at least one instance");
+        assert!(self.num_environments > 0, "need at least one environment");
+        assert!((0.0..1.0).contains(&self.confusability), "confusability must be in [0,1)");
+        assert!(self.stc > 0, "STC must be positive");
+    }
+
+    /// The class name, falling back to `class<i>`.
+    pub fn class_name(&self, class: usize) -> String {
+        match self.class_names {
+            Some(names) if class < names.len() => names[class].to_string(),
+            _ => format!("class{class}"),
+        }
+    }
+}
+
+/// iCub World 1.0 analogue: 10 household-object classes observed as
+/// near-real-time video (strong temporal correlation, few environments).
+pub fn icub1() -> DatasetSpec {
+    DatasetSpec {
+        name: "iCub1",
+        num_classes: 10,
+        image_side: 16,
+        channels: 3,
+        instances_per_class: 10,
+        num_environments: 4,
+        confusability: 0.45,
+        noise_std: 0.35,
+        view_rotation: 0.6,
+        stc: 80,
+        seed: 0x1C0B,
+        class_names: None,
+    }
+}
+
+/// CORe50 analogue: 10 object classes across 11 acquisition sessions.
+pub fn core50() -> DatasetSpec {
+    DatasetSpec {
+        name: "CORe50",
+        num_classes: 10,
+        image_side: 16,
+        channels: 3,
+        instances_per_class: 5,
+        num_environments: 11,
+        confusability: 0.35,
+        noise_std: 0.25,
+        view_rotation: 0.8,
+        stc: 100,
+        seed: 0xC0DE50,
+        class_names: None,
+    }
+}
+
+/// CIFAR-100 analogue: 100 classes, harder (more classes, fewer samples of
+/// each seen); STC 500 per the paper's streaming protocol.
+pub fn cifar100() -> DatasetSpec {
+    DatasetSpec {
+        name: "CIFAR-100",
+        num_classes: 100,
+        image_side: 16,
+        channels: 3,
+        instances_per_class: 20,
+        num_environments: 1,
+        confusability: 0.5,
+        noise_std: 0.4,
+        view_rotation: 0.4,
+        stc: 500,
+        seed: 0xC1FA_8100,
+        class_names: None,
+    }
+}
+
+/// ImageNet-10 analogue: 10 classes at higher resolution (32 px here,
+/// standing in for the paper's 224 px crops) with high intra-class
+/// variation, which keeps absolute accuracy low as in the paper.
+pub fn imagenet10() -> DatasetSpec {
+    DatasetSpec {
+        name: "ImageNet-10",
+        num_classes: 10,
+        image_side: 32,
+        channels: 3,
+        instances_per_class: 30,
+        num_environments: 6,
+        confusability: 0.55,
+        noise_std: 0.5,
+        view_rotation: 1.0,
+        stc: 100,
+        seed: 0x1346_0010,
+        class_names: None,
+    }
+}
+
+/// Names of the CIFAR-10 classes used by the Fig. 2 confusion analysis.
+pub const CIFAR10_NAMES: [&str; 10] = [
+    "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck",
+];
+
+/// CIFAR-10 analogue with *designed* confusable pairs — cat↔dog,
+/// airplane↔ship, automobile↔truck, deer↔horse, bird↔frog — matching the
+/// misclassification structure the paper's Fig. 2 reports.
+pub fn cifar10_confusable() -> DatasetSpec {
+    DatasetSpec {
+        name: "CIFAR-10",
+        num_classes: 10,
+        image_side: 16,
+        channels: 3,
+        instances_per_class: 20,
+        num_environments: 1,
+        confusability: 0.6,
+        noise_std: 0.35,
+        view_rotation: 0.5,
+        stc: 100,
+        seed: 0xC1FA_8010,
+        class_names: Some(&CIFAR10_NAMES),
+    }
+}
+
+/// The confusable class pairing used by the generator: classes `2k` and
+/// `2k+1` (after this permutation) share structure. For the CIFAR-10 preset
+/// the permutation realizes the named pairs of [`cifar10_confusable`].
+pub fn confusable_partner(spec: &DatasetSpec, class: usize) -> Option<usize> {
+    if spec.confusability <= 0.0 || spec.num_classes < 2 {
+        return None;
+    }
+    if spec.name == "CIFAR-10" {
+        // cat(3)↔dog(5), airplane(0)↔ship(8), automobile(1)↔truck(9),
+        // deer(4)↔horse(7), bird(2)↔frog(6).
+        const PAIRS: [(usize, usize); 5] = [(3, 5), (0, 8), (1, 9), (4, 7), (2, 6)];
+        for (a, b) in PAIRS {
+            if class == a {
+                return Some(b);
+            }
+            if class == b {
+                return Some(a);
+            }
+        }
+        return None;
+    }
+    // Default: consecutive pairs.
+    let partner = class ^ 1;
+    (partner < spec.num_classes).then_some(partner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for spec in [icub1(), core50(), cifar100(), imagenet10(), cifar10_confusable()] {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    fn preset_class_counts_match_paper() {
+        assert_eq!(icub1().num_classes, 10);
+        assert_eq!(core50().num_classes, 10);
+        assert_eq!(cifar100().num_classes, 100);
+        assert_eq!(imagenet10().num_classes, 10);
+    }
+
+    #[test]
+    fn core50_has_eleven_environments() {
+        assert_eq!(core50().num_environments, 11);
+    }
+
+    #[test]
+    fn paper_stc_settings() {
+        assert_eq!(cifar100().stc, 500);
+        assert_eq!(imagenet10().stc, 100);
+    }
+
+    #[test]
+    fn imagenet_preset_has_higher_resolution() {
+        assert!(imagenet10().image_side > core50().image_side);
+    }
+
+    #[test]
+    fn cifar10_pairs_are_symmetric() {
+        let spec = cifar10_confusable();
+        for c in 0..10 {
+            if let Some(p) = confusable_partner(&spec, c) {
+                assert_eq!(confusable_partner(&spec, p), Some(c), "class {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn cat_pairs_with_dog() {
+        let spec = cifar10_confusable();
+        let cat = CIFAR10_NAMES.iter().position(|&n| n == "cat").unwrap();
+        let dog = CIFAR10_NAMES.iter().position(|&n| n == "dog").unwrap();
+        assert_eq!(confusable_partner(&spec, cat), Some(dog));
+    }
+
+    #[test]
+    fn default_partner_is_consecutive() {
+        let spec = core50();
+        assert_eq!(confusable_partner(&spec, 0), Some(1));
+        assert_eq!(confusable_partner(&spec, 1), Some(0));
+    }
+
+    #[test]
+    fn class_name_fallback() {
+        let spec = core50();
+        assert_eq!(spec.class_name(3), "class3");
+        let cifar = cifar10_confusable();
+        assert_eq!(cifar.class_name(3), "cat");
+    }
+
+    #[test]
+    #[should_panic(expected = "confusability")]
+    fn validate_rejects_bad_confusability() {
+        let mut spec = core50();
+        spec.confusability = 1.5;
+        spec.validate();
+    }
+}

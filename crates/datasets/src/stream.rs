@@ -1,0 +1,284 @@
+//! The non-i.i.d. input stream simulator.
+//!
+//! Streams are sequences of *runs*: an object instance of one class observed
+//! over consecutive frames while its viewpoint sweeps smoothly — exactly the
+//! temporal correlation the paper exploits for majority-voting pseudo-label
+//! filtering. Run length is governed by the STC (strength of temporal
+//! correlation) parameter: the expected number of consecutive same-class
+//! items before a class transition.
+
+use deco_tensor::{Rng, Tensor};
+
+use crate::dataset::SyntheticVision;
+
+/// One segment `I_t` of the input stream: a stack of unlabeled images plus
+/// the (hidden) ground-truth labels used only for evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// `[b, c, h, w]` image stack.
+    pub images: Tensor,
+    /// Ground truth, for measuring pseudo-label accuracy — the learner
+    /// itself never reads these.
+    pub true_labels: Vec<usize>,
+}
+
+impl Segment {
+    /// Number of items in the segment.
+    pub fn len(&self) -> usize {
+        self.true_labels.len()
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.true_labels.is_empty()
+    }
+}
+
+/// Stream generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Expected run length of consecutive same-class items. Defaults to the
+    /// dataset's preset STC when built via [`Stream::new`] with `stc = None`.
+    pub stc: usize,
+    /// Items per segment (`|I_t|`; also the majority-voting window size).
+    pub segment_size: usize,
+    /// Total segments to emit.
+    pub num_segments: usize,
+    /// Stream-order seed.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if any count is zero.
+    pub fn validate(&self) {
+        assert!(self.stc > 0, "STC must be positive");
+        assert!(self.segment_size > 0, "segment size must be positive");
+        assert!(self.num_segments > 0, "need at least one segment");
+    }
+}
+
+/// State of the current same-class run.
+#[derive(Debug, Clone)]
+struct Run {
+    class: usize,
+    instance: usize,
+    environment: usize,
+    view: f32,
+    view_step: f32,
+    remaining: usize,
+}
+
+/// A lazily generated non-i.i.d. stream, yielding [`Segment`]s.
+///
+/// ```
+/// use deco_datasets::{core50, Stream, StreamConfig, SyntheticVision};
+///
+/// let data = SyntheticVision::new(core50());
+/// let cfg = StreamConfig { stc: 50, segment_size: 32, num_segments: 4, seed: 1 };
+/// let segments: Vec<_> = Stream::new(&data, cfg).collect();
+/// assert_eq!(segments.len(), 4);
+/// assert_eq!(segments[0].images.shape().dims(), &[32, 3, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stream<'a> {
+    dataset: &'a SyntheticVision,
+    config: StreamConfig,
+    rng: Rng,
+    run: Option<Run>,
+    emitted: usize,
+}
+
+impl<'a> Stream<'a> {
+    /// Creates a stream over `dataset`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(dataset: &'a SyntheticVision, config: StreamConfig) -> Self {
+        config.validate();
+        Stream {
+            dataset,
+            config,
+            rng: Rng::new(dataset.spec().seed ^ config.seed.wrapping_mul(0x5DEECE66D)),
+            run: None,
+            emitted: 0,
+        }
+    }
+
+    /// A config using the dataset's preset STC.
+    pub fn default_config(dataset: &SyntheticVision, num_segments: usize, seed: u64) -> StreamConfig {
+        StreamConfig {
+            stc: dataset.spec().stc,
+            segment_size: 64,
+            num_segments,
+            seed,
+        }
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    fn fresh_run(&mut self) -> Run {
+        let spec = self.dataset.spec();
+        // Avoid immediately repeating the previous class when possible.
+        let prev = self.run.as_ref().map(|r| r.class);
+        let class = loop {
+            let c = self.rng.below(spec.num_classes);
+            if Some(c) != prev || spec.num_classes == 1 {
+                break c;
+            }
+        };
+        // Run length: STC ± 50 % jitter.
+        let jitter = self.rng.uniform(0.5, 1.5);
+        let length = ((self.config.stc as f32 * jitter) as usize).max(1);
+        let view = self.rng.next_f32();
+        Run {
+            class,
+            instance: self.rng.below(spec.instances_per_class),
+            environment: self.rng.below(spec.num_environments),
+            view,
+            // A full pose sweep over the run.
+            view_step: 1.0 / length as f32,
+            remaining: length,
+        }
+    }
+
+    fn next_item(&mut self) -> (Tensor, usize) {
+        if self.run.as_ref().map_or(true, |r| r.remaining == 0) {
+            let run = self.fresh_run();
+            self.run = Some(run);
+        }
+        let (class, instance, environment, view) = {
+            let run = self.run.as_mut().expect("run initialized above");
+            let out = (run.class, run.instance, run.environment, run.view);
+            run.view = (run.view + run.view_step).fract();
+            run.remaining -= 1;
+            out
+        };
+        let frame = self.dataset.render(class, instance, environment, view, &mut self.rng);
+        (frame, class)
+    }
+}
+
+impl Iterator for Stream<'_> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.emitted >= self.config.num_segments {
+            return None;
+        }
+        self.emitted += 1;
+        let b = self.config.segment_size;
+        let spec = self.dataset.spec();
+        let mut data = Vec::with_capacity(b * self.dataset.frame_numel());
+        let mut labels = Vec::with_capacity(b);
+        for _ in 0..b {
+            let (frame, label) = self.next_item();
+            data.extend_from_slice(frame.data());
+            labels.push(label);
+        }
+        Some(Segment {
+            images: Tensor::from_vec(
+                data,
+                [b, spec.channels, spec.image_side, spec.image_side],
+            ),
+            true_labels: labels,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.num_segments - self.emitted;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Stream<'_> {}
+
+/// Measures the empirical mean run length (consecutive same-class items) of
+/// a label sequence — the observable STC.
+pub fn empirical_stc(labels: &[usize]) -> f32 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut runs = 1usize;
+    for w in labels.windows(2) {
+        if w[0] != w[1] {
+            runs += 1;
+        }
+    }
+    labels.len() as f32 / runs as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::core50;
+    use crate::SyntheticVision;
+
+    fn stream_labels(stc: usize, segments: usize, seed: u64) -> Vec<usize> {
+        let data = SyntheticVision::new(core50());
+        let cfg = StreamConfig { stc, segment_size: 32, num_segments: segments, seed };
+        Stream::new(&data, cfg).flat_map(|s| s.true_labels).collect()
+    }
+
+    #[test]
+    fn stream_emits_exact_segment_count() {
+        let data = SyntheticVision::new(core50());
+        let cfg = StreamConfig { stc: 10, segment_size: 16, num_segments: 5, seed: 0 };
+        let stream = Stream::new(&data, cfg);
+        assert_eq!(stream.len(), 5);
+        assert_eq!(stream.count(), 5);
+    }
+
+    #[test]
+    fn segments_have_requested_shape() {
+        let data = SyntheticVision::new(core50());
+        let cfg = StreamConfig { stc: 10, segment_size: 8, num_segments: 1, seed: 0 };
+        let seg = Stream::new(&data, cfg).next().unwrap();
+        assert_eq!(seg.len(), 8);
+        assert_eq!(seg.images.shape().dims(), &[8, 3, 16, 16]);
+    }
+
+    #[test]
+    fn empirical_stc_tracks_configured_stc() {
+        let labels = stream_labels(50, 40, 3);
+        let measured = empirical_stc(&labels);
+        assert!(
+            (measured - 50.0).abs() < 20.0,
+            "expected STC near 50, measured {measured}"
+        );
+    }
+
+    #[test]
+    fn higher_stc_means_longer_runs() {
+        let low = empirical_stc(&stream_labels(5, 40, 1));
+        let high = empirical_stc(&stream_labels(100, 40, 1));
+        assert!(high > low * 3.0, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        assert_eq!(stream_labels(20, 4, 9), stream_labels(20, 4, 9));
+        assert_ne!(stream_labels(20, 4, 9), stream_labels(20, 4, 10));
+    }
+
+    #[test]
+    fn stream_visits_many_classes() {
+        let labels = stream_labels(10, 40, 5);
+        let mut seen: Vec<usize> = labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 8, "saw only {} classes", seen.len());
+    }
+
+    #[test]
+    fn empirical_stc_edge_cases() {
+        assert_eq!(empirical_stc(&[]), 0.0);
+        assert_eq!(empirical_stc(&[1, 1, 1, 1]), 4.0);
+        assert_eq!(empirical_stc(&[1, 2, 3, 4]), 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the dataset generators and stream simulator.
+
+use deco_datasets::{
+    core50, empirical_stc, DatasetSpec, Stream, StreamConfig, SyntheticVision,
+};
+use deco_tensor::Rng;
+use proptest::prelude::*;
+
+fn spec_with(classes: usize, side_mult: usize, seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        num_classes: classes,
+        image_side: 8 * side_mult,
+        seed,
+        ..core50()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn balanced_sets_are_balanced_for_any_params(
+        classes in 2usize..8,
+        per_class in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let data = SyntheticVision::new(spec_with(classes, 1, seed));
+        let set = data.balanced_set(per_class, seed);
+        prop_assert_eq!(set.len(), classes * per_class);
+        for c in 0..classes {
+            prop_assert_eq!(set.indices_of_class(c).len(), per_class);
+        }
+    }
+
+    #[test]
+    fn frames_are_deterministic_and_finite(
+        classes in 2usize..6,
+        seed in 0u64..100,
+        class_pick in 0usize..100,
+        view in 0.0f32..1.0,
+    ) {
+        let data = SyntheticVision::new(spec_with(classes, 1, seed));
+        let class = class_pick % classes;
+        let a = data.render(class, 0, 0, view, &mut Rng::new(7));
+        let b = data.render(class, 0, 0, view, &mut Rng::new(7));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.is_finite());
+        prop_assert_eq!(a.numel(), data.frame_numel());
+    }
+
+    #[test]
+    fn stream_segment_labels_are_valid_classes(
+        classes in 2usize..6,
+        stc in 2usize..40,
+        seed in 0u64..100,
+    ) {
+        let data = SyntheticVision::new(spec_with(classes, 1, seed));
+        let cfg = StreamConfig { stc, segment_size: 16, num_segments: 3, seed };
+        for segment in Stream::new(&data, cfg) {
+            prop_assert!(segment.true_labels.iter().all(|&y| y < classes));
+            prop_assert_eq!(segment.images.shape().dim(0), 16);
+        }
+    }
+
+    #[test]
+    fn measured_stc_grows_with_configured_stc(seed in 0u64..50) {
+        let data = SyntheticVision::new(core50());
+        let labels_for = |stc: usize| -> Vec<usize> {
+            let cfg = StreamConfig { stc, segment_size: 32, num_segments: 20, seed };
+            Stream::new(&data, cfg).flat_map(|s| s.true_labels).collect()
+        };
+        let low = empirical_stc(&labels_for(3));
+        let high = empirical_stc(&labels_for(60));
+        prop_assert!(high > low, "stc 60 gave runs {high} vs stc 3 runs {low}");
+    }
+
+    #[test]
+    fn different_dataset_seeds_give_different_prototypes(seed in 0u64..100) {
+        let a = SyntheticVision::new(spec_with(4, 1, seed));
+        let b = SyntheticVision::new(spec_with(4, 1, seed ^ 0xFFFF_FFFF));
+        let fa = a.render(0, 0, 0, 0.0, &mut Rng::new(1));
+        let fb = b.render(0, 0, 0, 0.0, &mut Rng::new(1));
+        prop_assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn test_set_shape_matches_spec(side_mult in 1usize..3, seed in 0u64..50) {
+        let data = SyntheticVision::new(spec_with(3, side_mult, seed));
+        let set = data.test_set(2);
+        let dims = set.images.shape().dims().to_vec();
+        prop_assert_eq!(dims, vec![6, 3, 8 * side_mult, 8 * side_mult]);
+    }
+}

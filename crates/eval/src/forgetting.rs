@@ -1,0 +1,166 @@
+//! Continual-learning metrics beyond plain accuracy: per-class accuracy
+//! tracking, forgetting, and backward transfer. These quantify *why* the
+//! selection baselines lose to DECO — their buffers churn and previously
+//! learned classes decay.
+
+use deco::confusion_matrix;
+use deco_nn::ConvNet;
+use deco_datasets::LabeledSet;
+
+/// Per-class accuracies of a model on a labeled set (`NaN`-free: classes
+/// absent from the set get accuracy 0).
+pub fn per_class_accuracy(model: &ConvNet, set: &LabeledSet, num_classes: usize) -> Vec<f32> {
+    let matrix = confusion_matrix(model, set, num_classes);
+    (0..num_classes)
+        .map(|c| {
+            let total: usize = matrix[c].iter().sum();
+            if total == 0 {
+                0.0
+            } else {
+                matrix[c][c] as f32 / total as f32
+            }
+        })
+        .collect()
+}
+
+/// A history of per-class accuracy snapshots taken during a stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForgettingTracker {
+    snapshots: Vec<Vec<f32>>,
+}
+
+impl ForgettingTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one per-class accuracy snapshot.
+    ///
+    /// # Panics
+    /// Panics if the class count differs from earlier snapshots.
+    pub fn record(&mut self, per_class: Vec<f32>) {
+        if let Some(first) = self.snapshots.first() {
+            assert_eq!(first.len(), per_class.len(), "class count changed");
+        }
+        self.snapshots.push(per_class);
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether no snapshots were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// **Forgetting** per class: the gap between the best accuracy the
+    /// class ever reached and its final accuracy (0 when it never dropped).
+    /// Returns an empty vec without at least two snapshots.
+    pub fn forgetting(&self) -> Vec<f32> {
+        if self.snapshots.len() < 2 {
+            return Vec::new();
+        }
+        let last = self.snapshots.last().expect("non-empty");
+        (0..last.len())
+            .map(|c| {
+                let best = self
+                    .snapshots
+                    .iter()
+                    .map(|s| s[c])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                (best - last[c]).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Mean forgetting over classes (0 without enough snapshots).
+    pub fn mean_forgetting(&self) -> f32 {
+        let f = self.forgetting();
+        if f.is_empty() {
+            0.0
+        } else {
+            f.iter().sum::<f32>() / f.len() as f32
+        }
+    }
+
+    /// **Backward transfer** per class: final accuracy minus first-snapshot
+    /// accuracy (positive = the stream *improved* previously known classes).
+    pub fn backward_transfer(&self) -> Vec<f32> {
+        if self.snapshots.len() < 2 {
+            return Vec::new();
+        }
+        let first = &self.snapshots[0];
+        let last = self.snapshots.last().expect("non-empty");
+        first.iter().zip(last).map(|(a, b)| b - a).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco::pretrain;
+    use deco_datasets::{core50, SyntheticVision};
+    use deco_nn::ConvNetConfig;
+    use deco_tensor::Rng;
+
+    #[test]
+    fn per_class_accuracy_sums_consistently() {
+        let mut rng = Rng::new(1);
+        let data = SyntheticVision::new(core50());
+        let model = ConvNet::new(
+            ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+            &mut rng,
+        );
+        pretrain(&model, &data.pretrain_set(3), 30, 0.02);
+        let test = data.test_set(4);
+        let per_class = per_class_accuracy(&model, &test, 10);
+        assert_eq!(per_class.len(), 10);
+        let overall = deco::accuracy(&model, &test);
+        let mean: f32 = per_class.iter().sum::<f32>() / 10.0;
+        // Balanced test set → macro average equals micro average.
+        assert!((overall - mean).abs() < 1e-5, "{overall} vs {mean}");
+    }
+
+    #[test]
+    fn forgetting_measures_drops_only() {
+        let mut t = ForgettingTracker::new();
+        t.record(vec![0.8, 0.2]);
+        t.record(vec![0.5, 0.6]);
+        let f = t.forgetting();
+        assert!((f[0] - 0.3).abs() < 1e-6); // dropped 0.8 → 0.5
+        assert_eq!(f[1], 0.0); // improved, no forgetting
+        assert!((t.mean_forgetting() - 0.15).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_transfer_signs() {
+        let mut t = ForgettingTracker::new();
+        t.record(vec![0.5, 0.5]);
+        t.record(vec![0.7, 0.3]);
+        let b = t.backward_transfer();
+        assert!(b[0] > 0.0);
+        assert!(b[1] < 0.0);
+    }
+
+    #[test]
+    fn degenerate_tracker_is_silent() {
+        let mut t = ForgettingTracker::new();
+        assert!(t.is_empty());
+        assert!(t.forgetting().is_empty());
+        assert_eq!(t.mean_forgetting(), 0.0);
+        t.record(vec![0.5]);
+        assert_eq!(t.len(), 1);
+        assert!(t.backward_transfer().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "class count changed")]
+    fn tracker_rejects_inconsistent_snapshots() {
+        let mut t = ForgettingTracker::new();
+        t.record(vec![0.5]);
+        t.record(vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # deco-eval
+//!
+//! Experiment infrastructure for the DECO reproduction: dataset/method
+//! grids, seeded trial execution (parallel across seeds), learning-curve
+//! recording, mean±std aggregation, and table/JSON report output.
+//!
+//! The `deco-bench` crate builds one binary per paper table/figure on top
+//! of this crate; see `DESIGN.md` §3 for the experiment index.
+//!
+//! ```no_run
+//! use deco_eval::{run_cell, DatasetId, ExperimentScale, MethodKind, TrialSpec};
+//!
+//! let params = ExperimentScale::Smoke.params(DatasetId::Core50);
+//! let spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 1, 0, params);
+//! let cell = run_cell(&spec);
+//! println!("CORe50 IpC=1 DECO: {}", cell.accuracy.as_percent());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod forgetting;
+mod plot;
+mod report;
+mod runner;
+mod scale;
+mod stats;
+
+pub use forgetting::{per_class_accuracy, ForgettingTracker};
+pub use plot::{ascii_plot, Series};
+pub use report::{write_json, Table};
+pub use runner::{
+    run_cell, run_trial, upper_bound, CellResult, CurvePoint, MethodKind, TrialResult, TrialSpec,
+};
+pub use scale::{DatasetId, ExperimentScale, ScaleParams};
+pub use stats::{relative_improvement, top_confusions, MeanStd};

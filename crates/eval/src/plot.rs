@@ -1,0 +1,123 @@
+//! Terminal line plots for learning curves — figures without a plotting
+//! stack. Multiple named series share axes; values render on a character
+//! grid with a legend.
+
+/// A named data series for [`ascii_plot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; x is typically "items processed".
+    pub points: Vec<(f32, f32)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f32, f32)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+/// Marker characters assigned to series in order.
+const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders the series on a `width × height` character grid with axis
+/// ranges inferred from the data, followed by a legend. Returns an empty
+/// string if no series has points.
+pub fn ascii_plot(series: &[Series], width: usize, height: usize) -> String {
+    let all: Vec<(f32, f32)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() || width < 8 || height < 4 {
+        return String::new();
+    }
+    let (mut x_min, mut x_max, mut y_min, mut y_max) =
+        (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f32).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f32).round() as usize;
+            grid[height - 1 - row][col.min(width - 1)] = marker;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:8.2} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str("         │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:8.2} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("         └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("          {x_min:<12.0}{: >w$.0}\n", x_max, w = width.saturating_sub(12)));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("          {} {}\n", MARKERS[si % MARKERS.len()], s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_renders_nothing() {
+        assert_eq!(ascii_plot(&[], 40, 10), "");
+        assert_eq!(ascii_plot(&[Series::new("a", vec![])], 40, 10), "");
+    }
+
+    #[test]
+    fn plot_contains_markers_and_legend() {
+        let s = vec![
+            Series::new("DECO", vec![(0.0, 0.2), (100.0, 0.6)]),
+            Series::new("FIFO", vec![(0.0, 0.2), (100.0, 0.3)]),
+        ];
+        let plot = ascii_plot(&s, 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("DECO"));
+        assert!(plot.contains("FIFO"));
+    }
+
+    #[test]
+    fn rising_series_puts_late_points_high() {
+        let s = vec![Series::new("up", vec![(0.0, 0.0), (1.0, 1.0)])];
+        let plot = ascii_plot(&s, 20, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        // The first grid line (top) must contain the marker near the right.
+        let top = lines[0];
+        let bottom = lines[7];
+        assert!(top.rfind('*') > bottom.rfind('*').map(|_| 0).or(Some(0)));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = vec![Series::new("flat", vec![(0.0, 0.5), (10.0, 0.5)])];
+        let plot = ascii_plot(&s, 20, 6);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn tiny_canvas_is_rejected() {
+        let s = vec![Series::new("a", vec![(0.0, 1.0)])];
+        assert_eq!(ascii_plot(&s, 4, 2), "");
+    }
+}

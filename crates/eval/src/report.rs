@@ -1,0 +1,115 @@
+//! Table formatting and machine-readable report output.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A rendered experiment table: header row plus data rows.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table {
+    /// Table title (e.g. `"Table I — final average accuracy"`).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<String>) -> Self {
+        Table { title: title.into(), header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns (markdown-ish).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{:w$}", c, w = w))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Writes any serializable report next to the printed table so results can
+/// be post-processed (`reports/<name>.json`).
+///
+/// # Errors
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_json<T: Serialize>(dir: impl AsRef<Path>, name: &str, value: &T) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(value)?;
+    file.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", vec!["Method".into(), "Acc".into()]);
+        t.push_row(vec!["DECO".into(), "29.84±0.26".into()]);
+        t.push_row(vec!["FIFO".into(), "18.88".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| DECO"));
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table: {widths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_checks_width() {
+        let mut t = Table::new("demo", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("deco-report-test");
+        let t = Table::new("x", vec!["c".into()]);
+        write_json(&dir, "t", &t).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert!(content.contains("\"title\": \"x\""));
+    }
+}

@@ -1,0 +1,394 @@
+//! The experiment runner: builds a method's buffer policy, drives the
+//! on-device learning loop over a stream, and aggregates trials over seeds
+//! (in parallel — one thread per seed).
+
+use std::time::{Duration, Instant};
+
+use deco::{
+    accuracy, pretrain, BufferPolicy, DecoCondenser, DecoConfig, LearnerConfig, OnDeviceLearner,
+};
+use deco_condense::{DcCondenser, DcConfig, DmCondenser, DmConfig, DsaCondenser, SyntheticBuffer};
+use deco_datasets::{LabeledSet, Stream, StreamConfig, SyntheticVision};
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
+use deco_tensor::Rng;
+
+use crate::scale::{DatasetId, ScaleParams};
+use crate::stats::MeanStd;
+
+/// A buffer-maintenance method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// The paper's method.
+    Deco,
+    /// Vanilla gradient-matching condensation.
+    Dc,
+    /// DC + differentiable siamese augmentation.
+    Dsa,
+    /// Distribution matching.
+    Dm,
+    /// A selection-strategy baseline.
+    Selection(BaselineKind),
+}
+
+impl MethodKind {
+    /// The six Table I columns, in paper order.
+    pub const TABLE1: [MethodKind; 6] = [
+        MethodKind::Selection(BaselineKind::Random),
+        MethodKind::Selection(BaselineKind::Fifo),
+        MethodKind::Selection(BaselineKind::SelectiveBp),
+        MethodKind::Selection(BaselineKind::KCenter),
+        MethodKind::Selection(BaselineKind::GssGreedy),
+        MethodKind::Deco,
+    ];
+
+    /// The four Table II condensation methods, in paper order.
+    pub const TABLE2: [MethodKind; 4] =
+        [MethodKind::Dc, MethodKind::Dsa, MethodKind::Dm, MethodKind::Deco];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::Deco => "DECO",
+            MethodKind::Dc => "DC",
+            MethodKind::Dsa => "DSA",
+            MethodKind::Dm => "DM",
+            MethodKind::Selection(k) => k.label(),
+        }
+    }
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully specified single trial.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSpec {
+    /// Dataset analogue.
+    pub dataset: DatasetId,
+    /// Buffer method.
+    pub method: MethodKind,
+    /// Synthetic/stored images per class.
+    pub ipc: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Scale parameters.
+    pub params: ScaleParams,
+    /// Evaluate the test accuracy every this many segments for the learning
+    /// curve (0 = final evaluation only).
+    pub eval_every: usize,
+    /// Override for the DECO feature-discrimination weight `α`
+    /// (`None` = paper default 0.1). Used by the Fig. 4b sweep.
+    pub alpha_override: Option<f32>,
+    /// Override for the majority-voting threshold `m` (`None` = 0.4).
+    /// Used by the Fig. 4a sweep.
+    pub vote_threshold_override: Option<f32>,
+}
+
+impl TrialSpec {
+    /// A default trial for the given cell.
+    pub fn new(dataset: DatasetId, method: MethodKind, ipc: usize, seed: u64, params: ScaleParams) -> Self {
+        TrialSpec {
+            dataset,
+            method,
+            ipc,
+            seed,
+            params,
+            eval_every: 0,
+            alpha_override: None,
+            vote_threshold_override: None,
+        }
+    }
+}
+
+/// A point of a learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct CurvePoint {
+    /// Stream items processed so far.
+    pub items: usize,
+    /// Test accuracy at that point.
+    pub accuracy: f32,
+}
+
+/// The outcome of one trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Final test accuracy.
+    pub final_accuracy: f32,
+    /// Learning curve (empty when `eval_every == 0`).
+    pub curve: Vec<CurvePoint>,
+    /// Mean fraction of each segment kept by majority voting.
+    pub retention: f32,
+    /// Mean accuracy of the kept pseudo-labels.
+    pub pseudo_accuracy: f32,
+    /// Wall-clock time spent inside `process_segment` (the condensation /
+    /// selection cost Table II reports).
+    pub processing_time: Duration,
+}
+
+fn convnet_config(dataset: DatasetId, params: &ScaleParams) -> ConvNetConfig {
+    let spec = dataset.spec();
+    ConvNetConfig {
+        in_channels: spec.channels,
+        image_side: spec.image_side,
+        width: params.net_width,
+        depth: params.net_depth,
+        num_classes: spec.num_classes,
+        norm: true,
+    }
+}
+
+fn build_policy(
+    spec: &TrialSpec,
+    data: &SyntheticVision,
+    pretrain_set: &LabeledSet,
+    model: &ConvNet,
+    rng: &mut Rng,
+) -> BufferPolicy {
+    let classes = data.num_classes();
+    match spec.method {
+        MethodKind::Deco => {
+            let mut cfg = DecoConfig::default()
+                .with_iterations(spec.params.deco_iterations)
+                .with_model_lr(spec.params.model_lr)
+                .with_model_epochs(spec.params.model_epochs)
+                .with_beta(spec.params.beta);
+            if let Some(alpha) = spec.alpha_override {
+                cfg = cfg.with_alpha(alpha);
+            }
+            if let Some(m) = spec.vote_threshold_override {
+                cfg = cfg.with_vote_threshold(m);
+            }
+            BufferPolicy::Condensed {
+                condenser: Box::new(DecoCondenser::new(cfg)),
+                buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng),
+            }
+        }
+        MethodKind::Dc | MethodKind::Dsa => {
+            let cfg = DcConfig::default();
+            let condenser: Box<dyn deco_condense::Condenser> = if spec.method == MethodKind::Dc {
+                Box::new(DcCondenser::new(cfg))
+            } else {
+                Box::new(DsaCondenser::new(cfg))
+            };
+            BufferPolicy::Condensed {
+                condenser,
+                buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng),
+            }
+        }
+        MethodKind::Dm => BufferPolicy::Condensed {
+            condenser: Box::new(DmCondenser::new(DmConfig::default())),
+            buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng),
+        },
+        MethodKind::Selection(kind) => {
+            // Pre-fill the baseline buffer from the pre-training set, so
+            // every method starts from the same labeled knowledge.
+            let mut strategy = kind.build();
+            let mut buffer = ReplayBuffer::new(spec.ipc * classes);
+            let frame: Vec<usize> = pretrain_set.images.shape().dims()[1..].to_vec();
+            for i in 0..pretrain_set.len() {
+                if buffer.is_full() {
+                    break;
+                }
+                let image = pretrain_set.images.select_rows(&[i]).reshape(frame.clone());
+                let item =
+                    BufferItem { image, label: pretrain_set.labels[i], confidence: 1.0 };
+                let mut ctx = SelectionContext { model, rng };
+                strategy.offer(&mut buffer, item, &mut ctx);
+            }
+            BufferPolicy::Selection { strategy, buffer }
+        }
+    }
+}
+
+/// Runs one trial end to end: pre-train, deploy, stream, evaluate.
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    let data = spec.dataset.build();
+    let params = &spec.params;
+    let mut rng = Rng::new(0xDEC0 ^ spec.seed.wrapping_mul(0x9E37_79B9));
+
+    let net_cfg = convnet_config(spec.dataset, params);
+    let model = ConvNet::new(net_cfg, &mut rng);
+    let pretrain_set = data.pretrain_set(params.pretrain_per_class);
+    pretrain(&model, &pretrain_set, params.pretrain_steps, params.pretrain_lr);
+    let scratch = ConvNet::new(net_cfg, &mut rng);
+    let test_set = data.test_set(params.test_per_class);
+
+    let policy = build_policy(spec, &data, &pretrain_set, &model, &mut rng);
+    let learner_cfg = LearnerConfig {
+        vote_threshold: spec.vote_threshold_override.unwrap_or(0.4),
+        beta: params.beta,
+        model_lr: params.model_lr,
+        model_epochs: params.model_epochs,
+    };
+    let mut learner = OnDeviceLearner::new(model, scratch, policy, learner_cfg, rng.fork(1));
+
+    let stream_cfg = StreamConfig {
+        stc: params.stc,
+        segment_size: params.segment_size,
+        num_segments: params.num_segments,
+        seed: spec.seed,
+    };
+    let mut curve = Vec::new();
+    let mut processing_time = Duration::ZERO;
+    for (i, segment) in Stream::new(&data, stream_cfg).enumerate() {
+        let start = Instant::now();
+        learner.process_segment(&segment);
+        processing_time += start.elapsed();
+        if spec.eval_every > 0 && (i + 1) % spec.eval_every == 0 {
+            curve.push(CurvePoint {
+                items: learner.items_seen(),
+                accuracy: learner.evaluate(&test_set),
+            });
+        }
+    }
+    // Final model update if the stream length is not a multiple of β.
+    if params.num_segments % params.beta != 0 {
+        learner.train_model_now();
+    }
+    let (retention, pseudo_accuracy) = learner.pseudo_label_stats();
+    TrialResult {
+        final_accuracy: learner.evaluate(&test_set),
+        curve,
+        retention,
+        pseudo_accuracy,
+        processing_time,
+    }
+}
+
+/// Aggregated trials of one (dataset, method, IpC) cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Final-accuracy statistics over seeds.
+    pub accuracy: MeanStd,
+    /// Per-seed results.
+    pub trials: Vec<TrialResult>,
+}
+
+/// Runs `params.seeds` trials of a cell in parallel (one thread per seed).
+pub fn run_cell(base: &TrialSpec) -> CellResult {
+    let trials: Vec<TrialResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..base.params.seeds as u64)
+            .map(|seed| {
+                let mut spec = *base;
+                spec.seed = seed;
+                scope.spawn(move |_| run_trial(&spec))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
+    })
+    .expect("trial scope panicked");
+    let accs: Vec<f32> = trials.iter().map(|t| t.final_accuracy).collect();
+    CellResult { accuracy: MeanStd::of(&accs), trials }
+}
+
+/// The paper's "Upper Bound": accuracy achievable with an unlimited buffer
+/// — here, training the pre-trained model on a large balanced labeled set
+/// drawn from the same distribution as the stream.
+pub fn upper_bound(dataset: DatasetId, params: &ScaleParams, seed: u64) -> f32 {
+    let data = dataset.build();
+    let mut rng = Rng::new(0xFFFF ^ seed);
+    let net_cfg = convnet_config(dataset, params);
+    let model = ConvNet::new(net_cfg, &mut rng);
+    let pretrain_set = data.pretrain_set(params.pretrain_per_class);
+    pretrain(&model, &pretrain_set, params.pretrain_steps, params.pretrain_lr);
+    // "Unlimited" buffer: a balanced sample of the stream distribution,
+    // several times the biggest bounded buffer. Kept CPU-frugal: the upper
+    // bound only anchors the table's headroom.
+    let per_class = (params.pretrain_per_class * 4).max(12);
+    let big = data.balanced_set(per_class, 0xB16_B0F ^ seed);
+    pretrain(&model, &big, params.pretrain_steps, params.pretrain_lr * 0.5);
+    accuracy(&model, &data.test_set(params.test_per_class))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+
+    fn micro_params() -> ScaleParams {
+        let mut p = ExperimentScale::Smoke.params(DatasetId::Core50);
+        p.num_segments = 3;
+        p.segment_size = 16;
+        p.model_epochs = 3;
+        p.pretrain_steps = 10;
+        p.test_per_class = 2;
+        p.seeds = 2;
+        p.deco_iterations = 2;
+        p.beta = 2;
+        p
+    }
+
+    #[test]
+    fn deco_trial_runs_and_reports() {
+        let spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 1, 0, micro_params());
+        let result = run_trial(&spec);
+        assert!((0.0..=1.0).contains(&result.final_accuracy));
+        assert!(result.processing_time > Duration::ZERO);
+        assert!(result.curve.is_empty());
+    }
+
+    #[test]
+    fn baseline_trial_runs() {
+        let spec = TrialSpec::new(
+            DatasetId::Core50,
+            MethodKind::Selection(BaselineKind::Fifo),
+            1,
+            0,
+            micro_params(),
+        );
+        let result = run_trial(&spec);
+        assert!((0.0..=1.0).contains(&result.final_accuracy));
+    }
+
+    #[test]
+    fn learning_curve_has_requested_points() {
+        let mut spec = TrialSpec::new(DatasetId::Core50, MethodKind::Dm, 1, 0, micro_params());
+        spec.eval_every = 1;
+        let result = run_trial(&spec);
+        assert_eq!(result.curve.len(), 3);
+        assert!(result.curve[0].items < result.curve[2].items);
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 1, 3, micro_params());
+        let a = run_trial(&spec);
+        let b = run_trial(&spec);
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+    }
+
+    #[test]
+    fn run_cell_aggregates_over_seeds() {
+        let spec = TrialSpec::new(
+            DatasetId::Core50,
+            MethodKind::Selection(BaselineKind::Random),
+            1,
+            0,
+            micro_params(),
+        );
+        let cell = run_cell(&spec);
+        assert_eq!(cell.trials.len(), 2);
+        assert!(cell.accuracy.std >= 0.0);
+    }
+
+    #[test]
+    fn upper_bound_is_a_probability() {
+        let ub = upper_bound(DatasetId::Core50, &micro_params(), 0);
+        assert!((0.0..=1.0).contains(&ub));
+    }
+
+    #[test]
+    fn method_labels_match_paper() {
+        let labels: Vec<&str> = MethodKind::TABLE1.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Random", "FIFO", "Selective-BP", "K-Center", "GSS-Greedy", "DECO"]
+        );
+        let t2: Vec<&str> = MethodKind::TABLE2.iter().map(|m| m.label()).collect();
+        assert_eq!(t2, vec!["DC", "DSA", "DM", "DECO"]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Experiment scales: the paper's settings are GPU-sized, so every
+//! experiment can run at a reduced **Smoke** scale (minutes on a laptop
+//! CPU) or the fuller **Paper** scale (hours). All relative comparisons —
+//! who wins, by roughly what factor — are preserved at both scales; only
+//! absolute accuracy changes.
+
+use deco_datasets::{
+    cifar100, cifar10_confusable, core50, icub1, imagenet10, DatasetSpec, SyntheticVision,
+};
+
+/// Which benchmark dataset analogue an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// iCub World 1.0 analogue.
+    ICub1,
+    /// CORe50 analogue.
+    Core50,
+    /// CIFAR-100 analogue.
+    Cifar100,
+    /// ImageNet-10 analogue.
+    ImageNet10,
+    /// CIFAR-10 analogue with designed confusable pairs (Fig. 2).
+    Cifar10,
+}
+
+impl DatasetId {
+    /// The four Table I datasets, in paper row order.
+    pub const TABLE1: [DatasetId; 4] =
+        [DatasetId::ICub1, DatasetId::Core50, DatasetId::Cifar100, DatasetId::ImageNet10];
+
+    /// The dataset's generator spec.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            DatasetId::ICub1 => icub1(),
+            DatasetId::Core50 => core50(),
+            DatasetId::Cifar100 => cifar100(),
+            DatasetId::ImageNet10 => imagenet10(),
+            DatasetId::Cifar10 => cifar10_confusable(),
+        }
+    }
+
+    /// Builds the dataset.
+    pub fn build(self) -> SyntheticVision {
+        SyntheticVision::new(self.spec())
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetId::ICub1 => "iCub1",
+            DatasetId::Core50 => "CORe50",
+            DatasetId::Cifar100 => "CIFAR-100",
+            DatasetId::ImageNet10 => "ImageNet-10",
+            DatasetId::Cifar10 => "CIFAR-10",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Experiment size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExperimentScale {
+    /// CPU-minutes per table: short streams, narrow nets, 2 seeds.
+    #[default]
+    Smoke,
+    /// Longer streams, wider nets, the paper's 5 seeds. CPU-hours.
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses `"smoke"` / `"paper"` (used by the bench binaries' CLI).
+    pub fn parse(s: &str) -> Option<ExperimentScale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(ExperimentScale::Smoke),
+            "paper" => Some(ExperimentScale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Concrete run parameters for a dataset at this scale.
+    pub fn params(self, dataset: DatasetId) -> ScaleParams {
+        let spec = dataset.spec();
+        let classes = spec.num_classes;
+        // The CIFAR-100 (100 classes) and ImageNet-10 (32 px) analogues
+        // cost several times a 16-px 10-class trial; shorten their streams
+        // at smoke scale so the full grids stay in CPU-minutes.
+        let expensive = classes >= 100 || spec.image_side > 16;
+        match self {
+            ExperimentScale::Smoke => ScaleParams {
+                net_width: 8,
+                net_depth: 3,
+                num_segments: if expensive { 8 } else { 12 },
+                segment_size: 32,
+                stc: spec.stc.min(40),
+                model_epochs: if expensive { 8 } else { 12 },
+                beta: 4,
+                pretrain_per_class: if classes >= 100 { 2 } else { 4 },
+                pretrain_steps: if expensive { 30 } else { 50 },
+                pretrain_lr: 0.02,
+                model_lr: 5e-3,
+                deco_iterations: 5,
+                test_per_class: if classes >= 100 { 2 } else { 4 },
+                seeds: 2,
+            },
+            ExperimentScale::Paper => ScaleParams {
+                net_width: 16,
+                net_depth: 3,
+                num_segments: 120,
+                segment_size: 64,
+                stc: spec.stc.min(128),
+                model_epochs: 60,
+                beta: 10,
+                pretrain_per_class: if classes >= 100 { 4 } else { 8 },
+                pretrain_steps: 150,
+                pretrain_lr: 0.02,
+                model_lr: 2e-3,
+                deco_iterations: 10,
+                test_per_class: if classes >= 100 { 4 } else { 16 },
+                seeds: 5,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentScale::Smoke => f.write_str("smoke"),
+            ExperimentScale::Paper => f.write_str("paper"),
+        }
+    }
+}
+
+/// Concrete experiment parameters (see [`ExperimentScale::params`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleParams {
+    /// ConvNet channel width.
+    pub net_width: usize,
+    /// ConvNet depth (blocks).
+    pub net_depth: usize,
+    /// Stream length in segments.
+    pub num_segments: usize,
+    /// Items per segment (also the voting window).
+    pub segment_size: usize,
+    /// Temporal-correlation run length used for the stream.
+    pub stc: usize,
+    /// Full-batch steps per model update.
+    pub model_epochs: usize,
+    /// Model-update interval in segments (`β`).
+    pub beta: usize,
+    /// Labeled pre-training images per class.
+    pub pretrain_per_class: usize,
+    /// Pre-training steps.
+    pub pretrain_steps: usize,
+    /// Pre-training learning rate.
+    pub pretrain_lr: f32,
+    /// On-device model learning rate.
+    pub model_lr: f32,
+    /// DECO condensation iterations `L`.
+    pub deco_iterations: usize,
+    /// Held-out test images per class.
+    pub test_per_class: usize,
+    /// Number of random seeds per cell.
+    pub seeds: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_exist_for_every_dataset_and_scale() {
+        for d in [
+            DatasetId::ICub1,
+            DatasetId::Core50,
+            DatasetId::Cifar100,
+            DatasetId::ImageNet10,
+            DatasetId::Cifar10,
+        ] {
+            for s in [ExperimentScale::Smoke, ExperimentScale::Paper] {
+                let p = s.params(d);
+                assert!(p.num_segments > 0 && p.seeds > 0, "{d} {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_larger() {
+        let smoke = ExperimentScale::Smoke.params(DatasetId::Core50);
+        let paper = ExperimentScale::Paper.params(DatasetId::Core50);
+        assert!(paper.num_segments > smoke.num_segments);
+        assert!(paper.seeds > smoke.seeds);
+        assert!(paper.net_width >= smoke.net_width);
+    }
+
+    #[test]
+    fn cifar100_gets_reduced_per_class_budgets() {
+        let p = ExperimentScale::Smoke.params(DatasetId::Cifar100);
+        let q = ExperimentScale::Smoke.params(DatasetId::Core50);
+        assert!(p.pretrain_per_class < q.pretrain_per_class);
+    }
+
+    #[test]
+    fn scale_parse_roundtrip() {
+        assert_eq!(ExperimentScale::parse("smoke"), Some(ExperimentScale::Smoke));
+        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(ExperimentScale::parse("huge"), None);
+    }
+
+    #[test]
+    fn table1_datasets_match_paper_order() {
+        let labels: Vec<&str> = DatasetId::TABLE1.iter().map(|d| d.label()).collect();
+        assert_eq!(labels, vec!["iCub1", "CORe50", "CIFAR-100", "ImageNet-10"]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Small statistics helpers for aggregating trial results.
+
+use serde::Serialize;
+
+/// Mean ± standard deviation of a set of trial outcomes (the paper reports
+/// every Table I cell this way).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f32,
+    /// Population standard deviation (the paper's ± column).
+    pub std: f32,
+}
+
+impl MeanStd {
+    /// Computes mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of(values: &[f32]) -> MeanStd {
+        assert!(!values.is_empty(), "cannot aggregate zero values");
+        let n = values.len() as f64;
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        MeanStd { mean: mean as f32, std: var.sqrt() as f32 }
+    }
+
+    /// Formats as the paper's `12.34±0.56` (values in percent).
+    pub fn as_percent(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}±{:.4}", self.mean, self.std)
+    }
+}
+
+/// Relative improvement of `ours` over `best_baseline`, as the paper's
+/// "Improvement" column (a fraction; multiply by 100 for percent).
+pub fn relative_improvement(ours: f32, best_baseline: f32) -> f32 {
+    if best_baseline <= 0.0 {
+        return 0.0;
+    }
+    (ours - best_baseline) / best_baseline
+}
+
+/// The top-`k` largest off-diagonal entries of a confusion-matrix row —
+/// i.e. the classes most frequently confused with `class` — as
+/// `(other_class, share_of_misclassifications)` (Fig. 2).
+pub fn top_confusions(matrix: &[Vec<usize>], class: usize, k: usize) -> Vec<(usize, f32)> {
+    let row = &matrix[class];
+    let total_wrong: usize =
+        row.iter().enumerate().filter(|&(j, _)| j != class).map(|(_, &v)| v).sum();
+    if total_wrong == 0 {
+        return Vec::new();
+    }
+    let mut wrong: Vec<(usize, usize)> = row
+        .iter()
+        .enumerate()
+        .filter(|&(j, &v)| j != class && v > 0)
+        .map(|(j, &v)| (j, v))
+        .collect();
+    wrong.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    wrong
+        .into_iter()
+        .take(k)
+        .map(|(j, v)| (j, v as f32 / total_wrong as f32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let m = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert!((m.mean - 2.0).abs() < 1e-6);
+        assert!((m.std - (2.0f32 / 3.0).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mean_std_single_value_has_zero_std() {
+        let m = MeanStd::of(&[0.5]);
+        assert_eq!(m.mean, 0.5);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        let m = MeanStd { mean: 0.2984, std: 0.0026 };
+        assert_eq!(m.as_percent(), "29.84±0.26");
+    }
+
+    #[test]
+    fn improvement_matches_paper_example() {
+        // CORe50 IpC=1: DECO 29.84 over best baseline 19.05 → 56.7 %.
+        let imp = relative_improvement(0.2984, 0.1905);
+        assert!((imp * 100.0 - 56.7).abs() < 0.2, "improvement {}", imp * 100.0);
+    }
+
+    #[test]
+    fn improvement_handles_zero_baseline() {
+        assert_eq!(relative_improvement(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn top_confusions_ranks_and_normalizes() {
+        // Row for class 0: diagonal 10, confused with 1 (6), 2 (3), 3 (1).
+        let matrix = vec![
+            vec![10, 6, 3, 1],
+            vec![0, 1, 0, 0],
+            vec![0, 0, 1, 0],
+            vec![0, 0, 0, 1],
+        ];
+        let top = top_confusions(&matrix, 0, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1);
+        assert!((top[0].1 - 0.6).abs() < 1e-6);
+        assert_eq!(top[1].0, 2);
+    }
+
+    #[test]
+    fn top_confusions_empty_when_perfect() {
+        let matrix = vec![vec![5, 0], vec![0, 5]];
+        assert!(top_confusions(&matrix, 0, 3).is_empty());
+    }
+}

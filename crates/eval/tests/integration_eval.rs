@@ -1,0 +1,77 @@
+//! Integration tests for the reporting stack: plots, forgetting metrics and
+//! table/JSON output working together on real trial data.
+
+use deco_eval::{
+    ascii_plot, per_class_accuracy, run_trial, write_json, DatasetId, ExperimentScale,
+    ForgettingTracker, MethodKind, ScaleParams, Series, Table, TrialSpec,
+};
+
+fn micro() -> ScaleParams {
+    let mut p = ExperimentScale::Smoke.params(DatasetId::Core50);
+    p.num_segments = 2;
+    p.segment_size = 16;
+    p.model_epochs = 2;
+    p.pretrain_steps = 6;
+    p.test_per_class = 2;
+    p.seeds = 1;
+    p.deco_iterations = 1;
+    p.beta = 1;
+    p
+}
+
+#[test]
+fn learning_curve_renders_as_ascii_plot() {
+    let mut spec = TrialSpec::new(DatasetId::Core50, MethodKind::Dm, 1, 0, micro());
+    spec.eval_every = 1;
+    let result = run_trial(&spec);
+    let series = vec![Series::new(
+        "DM",
+        result.curve.iter().map(|p| (p.items as f32, p.accuracy)).collect(),
+    )];
+    let plot = ascii_plot(&series, 40, 8);
+    assert!(plot.contains("DM"));
+    assert!(plot.contains('*'));
+}
+
+#[test]
+fn forgetting_tracker_works_on_real_models() {
+    let data = DatasetId::Core50.build();
+    let test = data.test_set(2);
+    let mut rng = deco_tensor::Rng::new(1);
+    let net = deco_nn::ConvNet::new(
+        deco_nn::ConvNetConfig {
+            in_channels: 3,
+            image_side: 16,
+            width: 8,
+            depth: 3,
+            num_classes: 10,
+            norm: true,
+        },
+        &mut rng,
+    );
+    let mut tracker = ForgettingTracker::new();
+    tracker.record(per_class_accuracy(&net, &test, 10));
+    deco::pretrain(&net, &data.pretrain_set(3), 25, 0.02);
+    tracker.record(per_class_accuracy(&net, &test, 10));
+    // Training from scratch should produce positive mean backward transfer.
+    let bt: f32 = tracker.backward_transfer().iter().sum::<f32>() / 10.0;
+    assert!(bt > 0.0, "training made things worse on average: {bt}");
+}
+
+#[test]
+fn reports_serialize_trial_artifacts() {
+    let spec = TrialSpec::new(DatasetId::Core50, MethodKind::Selection(deco_replay::BaselineKind::Fifo), 1, 0, micro());
+    let result = run_trial(&spec);
+    let dir = std::env::temp_dir().join("deco-eval-integration");
+    write_json(&dir, "trial", &serde_json::json!({
+        "accuracy": result.final_accuracy,
+        "retention": result.retention,
+    }))
+    .unwrap();
+    let text = std::fs::read_to_string(dir.join("trial.json")).unwrap();
+    assert!(text.contains("accuracy"));
+
+    let mut table = Table::new("integration", vec!["k".into(), "v".into()]);
+    table.push_row(vec!["accuracy".into(), format!("{:.3}", result.final_accuracy)]);
+    assert!(table.render().contains("accuracy"));
+}

@@ -1,0 +1,99 @@
+//! Inverted dropout for the on-device training loops.
+
+use deco_tensor::{Rng, Tensor, Var};
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales survivors by `1/(1−p)` so the expectation is
+/// unchanged; at evaluation it is the identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates dropout with drop probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Applies dropout. With `training = false` (or `p = 0`) this is the
+    /// identity; otherwise a fresh mask is drawn from `rng` and gradients
+    /// flow only through the surviving activations.
+    pub fn forward(&self, x: &Var, training: bool, rng: &mut Rng) -> Var {
+        if !training || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> =
+            (0..x.value().numel()).map(|_| if rng.coin(keep) { scale } else { 0.0 }).collect();
+        let mask = Tensor::from_vec(mask_data, x.shape().dims().to_vec());
+        x.mul(&Var::constant(mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = Rng::new(1);
+        let d = Dropout::new(0.5);
+        let x = Var::constant(Tensor::randn([4, 4], &mut rng));
+        let y = d.forward(&x, false, &mut rng);
+        assert_eq!(y.value(), x.value());
+    }
+
+    #[test]
+    fn training_mode_zeroes_roughly_p_fraction() {
+        let mut rng = Rng::new(2);
+        let d = Dropout::new(0.3);
+        let x = Var::constant(Tensor::ones([100, 100]));
+        let y = d.forward(&x, true, &mut rng);
+        let zeros = y.value().data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let mut rng = Rng::new(3);
+        let d = Dropout::new(0.5);
+        let x = Var::constant(Tensor::ones([100, 100]));
+        let y = d.forward(&x, true, &mut rng);
+        assert!((y.value().mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn gradients_flow_only_through_survivors() {
+        let mut rng = Rng::new(4);
+        let d = Dropout::new(0.5);
+        let x = Var::leaf(Tensor::ones([64]), true);
+        let y = d.forward(&x, true, &mut rng);
+        y.sum().backward();
+        let g = x.grad().unwrap();
+        for (gi, yi) in g.data().iter().zip(y.value().data()) {
+            if *yi == 0.0 {
+                assert_eq!(*gi, 0.0);
+            } else {
+                assert!((gi - 2.0).abs() < 1e-6); // 1/(1-0.5)
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Weight initialization schemes.
+
+use deco_tensor::{Rng, Tensor};
+
+/// Kaiming (He) normal initialization for a conv weight
+/// `[c_out, c_in, k, k]`: std = √(2 / fan_in) with fan_in = c_in·k².
+pub fn kaiming_conv(c_out: usize, c_in: usize, k: usize, rng: &mut Rng) -> Tensor {
+    let fan_in = (c_in * k * k) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    &Tensor::randn([c_out, c_in, k, k], rng) * std
+}
+
+/// Kaiming (He) normal initialization for a linear weight `[in, out]`:
+/// std = √(2 / in).
+pub fn kaiming_linear(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    &Tensor::randn([fan_in, fan_out], rng) * std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_init_shape_and_scale() {
+        let mut rng = Rng::new(1);
+        let w = kaiming_conv(8, 4, 3, &mut rng);
+        assert_eq!(w.shape().dims(), &[8, 4, 3, 3]);
+        let std = (w.dot(&w) / w.numel() as f32).sqrt();
+        let expect = (2.0f32 / 36.0).sqrt();
+        assert!((std - expect).abs() < 0.2 * expect, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn linear_init_shape_and_scale() {
+        let mut rng = Rng::new(2);
+        let w = kaiming_linear(64, 10, &mut rng);
+        assert_eq!(w.shape().dims(), &[64, 10]);
+        let std = (w.dot(&w) / w.numel() as f32).sqrt();
+        let expect = (2.0f32 / 64.0).sqrt();
+        assert!((std - expect).abs() < 0.2 * expect);
+    }
+
+    #[test]
+    fn different_seeds_give_different_weights() {
+        let mut r1 = Rng::new(1);
+        let mut r2 = Rng::new(2);
+        assert_ne!(kaiming_conv(2, 2, 3, &mut r1), kaiming_conv(2, 2, 3, &mut r2));
+    }
+}

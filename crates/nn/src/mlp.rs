@@ -1,0 +1,189 @@
+//! A multilayer perceptron backbone — the cross-architecture evaluation
+//! model. Condensed data is only useful if it trains *other* architectures
+//! too (the classical DC generalization experiment), so this model shares
+//! nothing with [`crate::ConvNet`] except the parameter machinery.
+
+use deco_tensor::{Rng, Tensor, Var};
+
+use crate::init;
+use crate::layers::Linear;
+use crate::param::Param;
+
+/// MLP architecture parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Flat input dimension (`c·h·w` for images).
+    pub input_dim: usize,
+    /// Hidden layer widths (may be empty for a linear classifier).
+    pub hidden: Vec<usize>,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl MlpConfig {
+    /// A single-hidden-layer default sized for flattened images.
+    pub fn small(input_dim: usize, num_classes: usize) -> Self {
+        MlpConfig { input_dim, hidden: vec![64], num_classes }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions.
+    pub fn validate(&self) {
+        assert!(self.input_dim > 0, "input dim must be positive");
+        assert!(self.num_classes > 0, "need at least one class");
+        assert!(self.hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+    }
+}
+
+/// A ReLU MLP classifier over flattened image batches.
+///
+/// ```
+/// use deco_nn::{Mlp, MlpConfig};
+/// use deco_tensor::{Rng, Tensor, Var};
+///
+/// let mut rng = Rng::new(0);
+/// let mlp = Mlp::new(MlpConfig::small(3 * 16 * 16, 10), &mut rng);
+/// let images = Var::constant(Tensor::randn([4, 3, 16, 16], &mut rng));
+/// assert_eq!(mlp.forward(&images, true).shape().dims(), &[4, 10]);
+/// ```
+#[derive(Debug)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds and initializes the network.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(config: MlpConfig, rng: &mut Rng) -> Self {
+        config.validate();
+        let mut dims = vec![config.input_dim];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(config.num_classes);
+        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        Mlp { config, layers }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Class logits for an image batch of any rank ≥ 2 (flattened per
+    /// sample).
+    ///
+    /// # Panics
+    /// Panics if the per-sample element count differs from `input_dim`.
+    pub fn forward(&self, x: &Var, frozen: bool) -> Var {
+        let n = x.shape().dim(0);
+        let per_sample = x.value().numel() / n.max(1);
+        assert_eq!(per_sample, self.config.input_dim, "input dim mismatch");
+        let mut h = x.reshape([n, self.config.input_dim]);
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h, frozen);
+            if i + 1 < self.layers.len() {
+                h = h.relu();
+            }
+        }
+        h
+    }
+
+    /// All parameters, in a stable order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(Linear::params).collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Re-randomizes every parameter.
+    pub fn reinit(&self, rng: &mut Rng) {
+        for layer in &self.layers {
+            layer.reinit(rng);
+        }
+        // Keep the initialization distribution identical to `new`.
+        let _ = init::kaiming_linear; // (documented entry point)
+    }
+
+    /// Top-1 predictions for an image batch.
+    pub fn predict_classes(&self, images: &Tensor) -> Vec<usize> {
+        self.forward(&Var::constant(images.clone()), true).value().argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use deco_tensor::Reduction;
+
+    #[test]
+    fn forward_shape_and_flattening() {
+        let mut rng = Rng::new(1);
+        let mlp = Mlp::new(MlpConfig { input_dim: 12, hidden: vec![8, 6], num_classes: 3 }, &mut rng);
+        let x = Var::constant(Tensor::randn([5, 3, 2, 2], &mut rng));
+        assert_eq!(mlp.forward(&x, true).shape().dims(), &[5, 3]);
+        assert_eq!(mlp.params().len(), 6); // 3 layers × (w, b)
+    }
+
+    #[test]
+    fn no_hidden_layers_is_linear_model() {
+        let mut rng = Rng::new(2);
+        let mlp = Mlp::new(MlpConfig { input_dim: 4, hidden: vec![], num_classes: 2 }, &mut rng);
+        assert_eq!(mlp.params().len(), 2);
+        let x = Var::constant(Tensor::randn([3, 4], &mut rng));
+        assert_eq!(mlp.forward(&x, true).shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn mlp_learns_a_separable_problem() {
+        let mut rng = Rng::new(3);
+        let mlp = Mlp::new(MlpConfig { input_dim: 8, hidden: vec![16], num_classes: 2 }, &mut rng);
+        // Class = sign of the first coordinate.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..32 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            data.push(sign * 2.0 + 0.2 * rng.normal());
+            for _ in 1..8 {
+                data.push(rng.normal());
+            }
+            labels.push(usize::from(i % 2 == 1));
+        }
+        let x = Tensor::from_vec(data, [32, 8]);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        for _ in 0..60 {
+            let logits = mlp.forward(&Var::constant(x.clone()), false);
+            logits.log_softmax().nll(&labels, None, Reduction::Mean).backward();
+            opt.step(&mlp.params());
+        }
+        let preds = mlp.predict_classes(&x);
+        let correct = preds.iter().zip(&labels).filter(|(p, y)| p == y).count();
+        assert!(correct >= 29, "only {correct}/32 correct");
+    }
+
+    #[test]
+    fn reinit_changes_outputs() {
+        let mut rng = Rng::new(4);
+        let mlp = Mlp::new(MlpConfig::small(16, 4), &mut rng);
+        let x = Var::constant(Tensor::randn([2, 16], &mut rng));
+        let before = mlp.forward(&x, true).value().clone();
+        mlp.reinit(&mut rng);
+        assert_ne!(mlp.forward(&x, true).value(), &before);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn rejects_wrong_input_dim() {
+        let mut rng = Rng::new(5);
+        let mlp = Mlp::new(MlpConfig::small(10, 2), &mut rng);
+        let x = Var::constant(Tensor::randn([2, 12], &mut rng));
+        let _ = mlp.forward(&x, true);
+    }
+}

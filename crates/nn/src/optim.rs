@@ -1,0 +1,275 @@
+//! Optimizers: SGD with momentum (the on-device model optimizer `opt_θ`)
+//! and Adam (the synthetic-data optimizer `opt_S`).
+//!
+//! Both expose two levels:
+//! * [`Sgd::step`] / [`Adam::step`] update a model's [`Param`]s from their
+//!   recorded autograd gradients;
+//! * [`Sgd::step_slot`] / [`Adam::step_slot`] update a raw tensor from an
+//!   explicitly supplied gradient — which is how the condensers apply the
+//!   finite-difference image gradients that never pass through autograd.
+
+use deco_tensor::Tensor;
+
+use crate::param::Param;
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates `value` in place from `grad`, using per-`slot` momentum
+    /// state. Slots identify parameters across steps; pass a stable index.
+    ///
+    /// # Panics
+    /// Panics if `value` and `grad` shapes differ.
+    pub fn step_slot(&mut self, slot: usize, value: &mut Tensor, grad: &Tensor) {
+        assert_eq!(value.shape(), grad.shape(), "grad shape mismatch");
+        if self.velocity.len() <= slot {
+            self.velocity.resize(slot + 1, None);
+        }
+        let mut g = grad.clone();
+        if self.weight_decay > 0.0 {
+            g.add_scaled(value, self.weight_decay);
+        }
+        let update = if self.momentum > 0.0 {
+            let v = self.velocity[slot]
+                .get_or_insert_with(|| Tensor::zeros(value.shape().dims().to_vec()));
+            v.scale_mut(self.momentum);
+            v.add_scaled(&g, 1.0);
+            v.clone()
+        } else {
+            g
+        };
+        value.add_scaled(&update, -self.lr);
+    }
+
+    /// Updates every parameter from its recorded gradient; parameters with
+    /// no gradient are left untouched.
+    pub fn step(&mut self, params: &[&Param]) {
+        for (i, p) in params.iter().enumerate() {
+            if let Some(g) = p.grad() {
+                let mut v = p.tensor();
+                self.step_slot(i, &mut v, &g);
+                p.set(v);
+            }
+        }
+    }
+
+    /// Forgets all momentum state.
+    pub fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with default betas (0.9, 0.999).
+    ///
+    /// # Panics
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Advances the shared timestep. Call once per optimization step,
+    /// before the `step_slot` calls of that step.
+    pub fn tick(&mut self) {
+        self.t += 1;
+    }
+
+    /// Updates `value` in place from `grad` with per-`slot` moment state.
+    /// [`Adam::tick`] must have been called at least once.
+    ///
+    /// # Panics
+    /// Panics if shapes differ or `tick` was never called.
+    pub fn step_slot(&mut self, slot: usize, value: &mut Tensor, grad: &Tensor) {
+        assert_eq!(value.shape(), grad.shape(), "grad shape mismatch");
+        assert!(self.t > 0, "call Adam::tick before step_slot");
+        if self.m.len() <= slot {
+            self.m.resize(slot + 1, None);
+            self.v.resize(slot + 1, None);
+        }
+        let m = self.m[slot].get_or_insert_with(|| Tensor::zeros(value.shape().dims().to_vec()));
+        m.scale_mut(self.beta1);
+        m.add_scaled(grad, 1.0 - self.beta1);
+        let v = self.v[slot].get_or_insert_with(|| Tensor::zeros(value.shape().dims().to_vec()));
+        v.scale_mut(self.beta2);
+        let g2 = grad * grad;
+        v.add_scaled(&g2, 1.0 - self.beta2);
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let eps = self.eps;
+        let update = m.zip_broadcast(v, |mi, vi| (mi / bc1) / ((vi / bc2).sqrt() + eps));
+        value.add_scaled(&update, -self.lr);
+    }
+
+    /// Ticks once and updates every parameter from its recorded gradient.
+    pub fn step(&mut self, params: &[&Param]) {
+        self.tick();
+        for (i, p) in params.iter().enumerate() {
+            if let Some(g) = p.grad() {
+                let mut v = p.tensor();
+                self.step_slot(i, &mut v, &g);
+                p.set(v);
+            }
+        }
+    }
+
+    /// Forgets all moment state and resets the timestep.
+    pub fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_tensor::{Reduction, Rng, Var};
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut opt = Sgd::new(0.1);
+        let mut x = Tensor::from_vec(vec![1.0], [1]);
+        let g = Tensor::from_vec(vec![2.0], [1]);
+        opt.step_slot(0, &mut x, &g);
+        assert!((x.item() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates_repeated_direction() {
+        let mut plain = Sgd::new(0.1);
+        let mut mom = Sgd::new(0.1).with_momentum(0.9);
+        let g = Tensor::from_vec(vec![1.0], [1]);
+        let mut x1 = Tensor::from_vec(vec![0.0], [1]);
+        let mut x2 = x1.clone();
+        for _ in 0..5 {
+            plain.step_slot(0, &mut x1, &g);
+            mom.step_slot(0, &mut x2, &g);
+        }
+        assert!(x2.item() < x1.item(), "momentum {} vs plain {}", x2.item(), x1.item());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient_signal() {
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut x = Tensor::from_vec(vec![1.0], [1]);
+        opt.step_slot(0, &mut x, &Tensor::zeros([1]));
+        assert!(x.item() < 1.0);
+    }
+
+    #[test]
+    fn sgd_quadratic_converges() {
+        // minimize (x - 3)²
+        let mut opt = Sgd::new(0.1).with_momentum(0.5);
+        let mut x = Tensor::from_vec(vec![0.0], [1]);
+        for _ in 0..100 {
+            let g = Tensor::from_vec(vec![2.0 * (x.item() - 3.0)], [1]);
+            opt.step_slot(0, &mut x, &g);
+        }
+        assert!((x.item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_quadratic_converges() {
+        let mut opt = Adam::new(0.2);
+        let mut x = Tensor::from_vec(vec![10.0], [1]);
+        for _ in 0..300 {
+            opt.tick();
+            let g = Tensor::from_vec(vec![2.0 * (x.item() - 3.0)], [1]);
+            opt.step_slot(0, &mut x, &g);
+        }
+        assert!((x.item() - 3.0).abs() < 0.05, "x = {}", x.item());
+    }
+
+    #[test]
+    #[should_panic(expected = "call Adam::tick")]
+    fn adam_requires_tick() {
+        let mut opt = Adam::new(0.1);
+        let mut x = Tensor::zeros([1]);
+        opt.step_slot(0, &mut x, &Tensor::ones([1]));
+    }
+
+    #[test]
+    fn step_updates_params_via_recorded_grads() {
+        let p = Param::new(Tensor::from_vec(vec![2.0], [1]));
+        let v = p.var();
+        v.square().sum().backward(); // grad = 4
+        let mut opt = Sgd::new(0.25);
+        opt.step(&[&p]);
+        assert!((p.tensor().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_a_linear_model_reduces_loss() {
+        // End-to-end: params + autograd + SGD fit random labels better than init.
+        let mut rng = Rng::new(1);
+        let w = Param::new(Tensor::randn([4, 3], &mut rng));
+        let x = Tensor::randn([16, 4], &mut rng);
+        let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        let loss_of = |w: &Param| {
+            let logits = Var::constant(x.clone()).matmul(&w.var());
+            logits.log_softmax().nll(&labels, None, Reduction::Mean)
+        };
+        let initial = loss_of(&w).value().item();
+        let mut opt = Sgd::new(0.5).with_momentum(0.9);
+        for _ in 0..50 {
+            let loss = loss_of(&w);
+            loss.backward();
+            opt.step(&[&w]);
+        }
+        let fin = loss_of(&w).value().item();
+        assert!(fin < initial * 0.5, "initial {initial}, final {fin}");
+    }
+}

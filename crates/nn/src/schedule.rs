@@ -1,0 +1,113 @@
+//! Learning-rate schedules for the on-device training loops.
+
+/// A learning-rate schedule: maps a step index to a multiplier of the base
+/// learning rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Cosine annealing from 1 to `floor` over `total_steps`.
+    Cosine {
+        /// Steps over which to anneal.
+        total_steps: usize,
+        /// Final multiplier in `[0, 1]`.
+        floor: f32,
+    },
+    /// Multiply by `gamma` every `every` steps.
+    Step {
+        /// Interval in steps.
+        every: usize,
+        /// Decay factor per interval in `(0, 1]`.
+        gamma: f32,
+    },
+    /// Linear warmup over `warmup` steps, then constant.
+    Warmup {
+        /// Warmup length in steps.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at `step` (0-based).
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (zero interval or total).
+    pub fn multiplier(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Cosine { total_steps, floor } => {
+                assert!(total_steps > 0, "cosine schedule needs total_steps > 0");
+                let t = (step.min(total_steps)) as f32 / total_steps as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                floor + (1.0 - floor) * cos
+            }
+            LrSchedule::Step { every, gamma } => {
+                assert!(every > 0, "step schedule needs every > 0");
+                gamma.powi((step / every) as i32)
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || step >= warmup {
+                    1.0
+                } else {
+                    (step + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+
+    /// The learning rate at `step` for a base rate.
+    pub fn lr_at(&self, base_lr: f32, step: usize) -> f32 {
+        base_lr * self.multiplier(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(1000), 1.0);
+    }
+
+    #[test]
+    fn cosine_starts_high_ends_at_floor() {
+        let s = LrSchedule::Cosine { total_steps: 100, floor: 0.1 };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(100) - 0.1).abs() < 1e-6);
+        assert!((s.multiplier(200) - 0.1).abs() < 1e-6); // clamps past total
+        // Monotone decreasing.
+        let mut prev = f32::INFINITY;
+        for step in 0..=100 {
+            let m = s.multiplier(step);
+            assert!(m <= prev + 1e-6);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn step_decays_in_plateaus() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(9), 1.0);
+        assert_eq!(s.multiplier(10), 0.5);
+        assert_eq!(s.multiplier(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.multiplier(0), 0.25);
+        assert_eq!(s.multiplier(1), 0.5);
+        assert_eq!(s.multiplier(3), 1.0);
+        assert_eq!(s.multiplier(10), 1.0);
+    }
+
+    #[test]
+    fn lr_at_scales_base() {
+        let s = LrSchedule::Step { every: 1, gamma: 0.1 };
+        assert!((s.lr_at(0.5, 1) - 0.05).abs() < 1e-7);
+    }
+}

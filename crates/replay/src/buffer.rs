@@ -1,0 +1,199 @@
+//! The bounded replay buffer of real samples used by all selection-based
+//! baselines.
+
+use deco_tensor::Tensor;
+
+/// One stored sample: an image, its (pseudo-)label, and the model
+/// confidence recorded when it was offered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferItem {
+    /// `[c, h, w]` image.
+    pub image: Tensor,
+    /// Label under which the sample is replayed.
+    pub label: usize,
+    /// Model confidence of that label when the sample arrived.
+    pub confidence: f32,
+}
+
+/// A capacity-bounded store of [`BufferItem`]s.
+///
+/// The buffer itself is policy-free: strategies in
+/// [`crate::strategies`] decide which items enter and which leave.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<BufferItem>,
+    /// Total number of items ever offered (used by reservoir sampling).
+    seen: usize,
+}
+
+impl ReplayBuffer {
+    /// An empty buffer with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        ReplayBuffer { capacity, items: Vec::with_capacity(capacity), seen: 0 }
+    }
+
+    /// Maximum number of stored items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Total number of items ever offered through [`ReplayBuffer::record_seen`].
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Increments the offered-item counter and returns the new count.
+    pub fn record_seen(&mut self) -> usize {
+        self.seen += 1;
+        self.seen
+    }
+
+    /// The stored items.
+    pub fn items(&self) -> &[BufferItem] {
+        &self.items
+    }
+
+    /// Appends an item.
+    ///
+    /// # Panics
+    /// Panics if the buffer is full (strategies must evict first).
+    pub fn push(&mut self, item: BufferItem) {
+        assert!(!self.is_full(), "push into a full buffer");
+        self.items.push(item);
+    }
+
+    /// Replaces the item at `index`, returning the evicted item.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn replace(&mut self, index: usize, item: BufferItem) -> BufferItem {
+        assert!(index < self.items.len(), "replace index {index} out of range");
+        std::mem::replace(&mut self.items[index], item)
+    }
+
+    /// Stacks the buffer into training tensors: `[n, c, h, w]` images, the
+    /// labels, and the recorded confidences.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    pub fn as_training_batch(&self) -> (Tensor, Vec<usize>, Vec<f32>) {
+        assert!(!self.is_empty(), "cannot batch an empty buffer");
+        let images: Vec<&Tensor> = self.items.iter().map(|i| &i.image).collect();
+        let frame_dims = images[0].shape().dims().to_vec();
+        let mut data = Vec::with_capacity(images.len() * images[0].numel());
+        for img in &images {
+            assert_eq!(img.shape().dims(), frame_dims, "inhomogeneous image shapes");
+            data.extend_from_slice(img.data());
+        }
+        let mut dims = vec![self.items.len()];
+        dims.extend_from_slice(&frame_dims);
+        (
+            Tensor::from_vec(data, dims),
+            self.items.iter().map(|i| i.label).collect(),
+            self.items.iter().map(|i| i.confidence).collect(),
+        )
+    }
+
+    /// Per-class item counts (length = `num_classes`).
+    pub fn class_histogram(&self, num_classes: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; num_classes];
+        for item in &self.items {
+            if item.label < num_classes {
+                hist[item.label] += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(label: usize, conf: f32) -> BufferItem {
+        BufferItem { image: Tensor::full([1, 2, 2], label as f32), label, confidence: conf }
+    }
+
+    #[test]
+    fn push_until_full() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(item(0, 0.5));
+        assert!(!buf.is_full());
+        buf.push(item(1, 0.6));
+        assert!(buf.is_full());
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full buffer")]
+    fn push_into_full_panics() {
+        let mut buf = ReplayBuffer::new(1);
+        buf.push(item(0, 0.5));
+        buf.push(item(1, 0.5));
+    }
+
+    #[test]
+    fn replace_returns_evicted() {
+        let mut buf = ReplayBuffer::new(1);
+        buf.push(item(0, 0.5));
+        let old = buf.replace(0, item(7, 0.9));
+        assert_eq!(old.label, 0);
+        assert_eq!(buf.items()[0].label, 7);
+    }
+
+    #[test]
+    fn training_batch_stacks_in_order() {
+        let mut buf = ReplayBuffer::new(3);
+        buf.push(item(2, 0.1));
+        buf.push(item(5, 0.2));
+        let (images, labels, confs) = buf.as_training_batch();
+        assert_eq!(images.shape().dims(), &[2, 1, 2, 2]);
+        assert_eq!(labels, vec![2, 5]);
+        assert_eq!(confs, vec![0.1, 0.2]);
+        assert_eq!(images.at(&[1, 0, 0, 0]), 5.0);
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.push(item(0, 0.5));
+        buf.push(item(0, 0.5));
+        buf.push(item(3, 0.5));
+        assert_eq!(buf.class_histogram(4), vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn seen_counter_advances() {
+        let mut buf = ReplayBuffer::new(1);
+        assert_eq!(buf.record_seen(), 1);
+        assert_eq!(buf.record_seen(), 2);
+        assert_eq!(buf.seen(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn batching_empty_buffer_panics() {
+        let buf = ReplayBuffer::new(1);
+        let _ = buf.as_training_batch();
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the replay buffer and every selection strategy.
+
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
+use deco_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn model(rng: &mut Rng) -> ConvNet {
+    ConvNet::new(
+        ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 4, norm: true },
+        rng,
+    )
+}
+
+fn item(rng: &mut Rng, label: usize) -> BufferItem {
+    BufferItem {
+        image: Tensor::randn([1, 8, 8], rng),
+        label,
+        confidence: rng.next_f32(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn no_strategy_ever_exceeds_capacity(
+        capacity in 1usize..8,
+        offers in 1usize..40,
+        seed in 0u64..100,
+    ) {
+        for kind in BaselineKind::EXTENDED {
+            let mut rng = Rng::new(seed);
+            let net = model(&mut rng);
+            let mut strategy = kind.build();
+            let mut buffer = ReplayBuffer::new(capacity);
+            for k in 0..offers {
+                let it = item(&mut rng, k % 4);
+                let mut ctx = SelectionContext { model: &net, rng: &mut rng };
+                strategy.offer(&mut buffer, it, &mut ctx);
+                prop_assert!(buffer.len() <= capacity, "{} overfilled", kind.label());
+            }
+            prop_assert_eq!(buffer.len(), capacity.min(offers), "{} underfilled", kind.label());
+            prop_assert_eq!(buffer.seen(), offers);
+        }
+    }
+
+    #[test]
+    fn fifo_always_holds_the_most_recent_suffix(
+        capacity in 1usize..6,
+        offers in 6usize..30,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng::new(seed);
+        let net = model(&mut rng);
+        let mut strategy = BaselineKind::Fifo.build();
+        let mut buffer = ReplayBuffer::new(capacity);
+        for k in 0..offers {
+            let mut it = item(&mut rng, 0);
+            it.image = Tensor::full([1, 8, 8], k as f32);
+            let mut ctx = SelectionContext { model: &net, rng: &mut rng };
+            strategy.offer(&mut buffer, it, &mut ctx);
+        }
+        let mut fills: Vec<usize> =
+            buffer.items().iter().map(|it| it.image.data()[0] as usize).collect();
+        fills.sort_unstable();
+        let expect: Vec<usize> = (offers - capacity..offers).collect();
+        prop_assert_eq!(fills, expect);
+    }
+
+    #[test]
+    fn selective_bp_buffer_confidence_never_increases(
+        capacity in 1usize..6,
+        offers in 8usize..30,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng::new(seed);
+        let net = model(&mut rng);
+        let mut strategy = BaselineKind::SelectiveBp.build();
+        let mut buffer = ReplayBuffer::new(capacity);
+        let mut prev_max = f32::INFINITY;
+        for k in 0..offers {
+            let it = item(&mut rng, k % 4);
+            let mut ctx = SelectionContext { model: &net, rng: &mut rng };
+            strategy.offer(&mut buffer, it, &mut ctx);
+            if buffer.is_full() {
+                let max_conf = buffer
+                    .items()
+                    .iter()
+                    .map(|i| i.confidence)
+                    .fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(max_conf <= prev_max + 1e-6);
+                prev_max = max_conf;
+            }
+        }
+    }
+
+    #[test]
+    fn training_batch_matches_buffer_contents(
+        capacity in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut buffer = ReplayBuffer::new(capacity);
+        for k in 0..capacity {
+            buffer.push(item(&mut rng, k % 3));
+        }
+        let (images, labels, confs) = buffer.as_training_batch();
+        prop_assert_eq!(images.shape().dim(0), capacity);
+        prop_assert_eq!(labels.len(), capacity);
+        prop_assert_eq!(confs.len(), capacity);
+        for (i, it) in buffer.items().iter().enumerate() {
+            let row = images.select_rows(&[i]);
+            prop_assert_eq!(row.data(), it.image.data());
+            prop_assert_eq!(labels[i], it.label);
+        }
+    }
+
+    #[test]
+    fn class_histogram_sums_to_len(capacity in 1usize..8, seed in 0u64..100) {
+        let mut rng = Rng::new(seed);
+        let mut buffer = ReplayBuffer::new(capacity);
+        for k in 0..capacity {
+            buffer.push(item(&mut rng, k % 4));
+        }
+        let hist = buffer.class_histogram(4);
+        prop_assert_eq!(hist.iter().sum::<usize>(), buffer.len());
+    }
+}

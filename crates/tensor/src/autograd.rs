@@ -1,0 +1,1056 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Var`] wraps a [`Tensor`] plus the recipe that produced it. Calling
+//! [`Var::backward`] on a scalar output walks the recorded graph in reverse
+//! topological order and accumulates gradients into every upstream node that
+//! requires them — network parameters *and* input images alike, which is
+//! exactly what dataset condensation needs (the synthetic images are leaves
+//! with `requires_grad = true`).
+//!
+//! The graph is rebuilt on every forward pass (define-by-run); nodes are
+//! reference-counted and freed when the last `Var` handle drops.
+//!
+//! ```
+//! use deco_tensor::{Tensor, Var};
+//! let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0], [2]), true);
+//! let y = x.mul(&x).sum(); // y = Σ x²
+//! y.backward();
+//! assert_eq!(x.grad().unwrap().data(), &[2.0, 4.0]); // dy/dx = 2x
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::ops::conv::Conv2dSpec;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn fresh_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Reduction mode for loss-style operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Sum over the batch.
+    Sum,
+    /// Mean over the batch.
+    #[default]
+    Mean,
+}
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Option<Tensor>>>;
+
+struct Node {
+    id: u64,
+    value: Tensor,
+    requires_grad: bool,
+    grad: RefCell<Option<Tensor>>,
+    parents: Vec<Var>,
+    /// Maps the output gradient to one gradient per parent (None for parents
+    /// that do not require gradients).
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autograd graph: a tensor value plus its differentiation
+/// recipe. Cloning is cheap (shared node).
+#[derive(Clone)]
+pub struct Var {
+    node: Rc<Node>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Var(id={}, value={:?}, requires_grad={})",
+            self.node.id, self.node.value, self.node.requires_grad
+        )
+    }
+}
+
+impl Var {
+    /// Creates a graph leaf. Pass `requires_grad = true` for anything whose
+    /// gradient you want to read after `backward` (parameters, synthetic
+    /// images); `false` for plain data.
+    pub fn leaf(value: Tensor, requires_grad: bool) -> Var {
+        Var {
+            node: Rc::new(Node {
+                id: fresh_id(),
+                value,
+                requires_grad,
+                grad: RefCell::new(None),
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// A leaf that never receives gradients (e.g. labels, masks).
+    pub fn constant(value: Tensor) -> Var {
+        Var::leaf(value, false)
+    }
+
+    fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
+        let requires_grad = parents.iter().any(Var::requires_grad);
+        Var {
+            node: Rc::new(Node {
+                id: fresh_id(),
+                value,
+                requires_grad,
+                grad: RefCell::new(None),
+                parents,
+                backward: if requires_grad { Some(backward) } else { None },
+            }),
+        }
+    }
+
+    /// The forward value.
+    pub fn value(&self) -> &Tensor {
+        &self.node.value
+    }
+
+    /// The value's shape.
+    pub fn shape(&self) -> &Shape {
+        self.node.value.shape()
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.node.requires_grad
+    }
+
+    /// The accumulated gradient, if `backward` has run through this node.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.node.grad.borrow().clone()
+    }
+
+    /// Clears this node's accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.node.grad.borrow_mut() = None;
+    }
+
+    /// A detached copy: same value, no history, no gradient flow.
+    pub fn detach(&self) -> Var {
+        Var::constant(self.node.value.clone())
+    }
+
+    /// Runs reverse-mode differentiation from this node, seeding with a
+    /// gradient of ones (call on scalars for standard loss semantics).
+    pub fn backward(&self) {
+        self.backward_with(Tensor::ones(self.shape().dims().to_vec()));
+    }
+
+    /// Runs reverse-mode differentiation with an explicit seed gradient.
+    ///
+    /// # Panics
+    /// Panics if the seed's shape differs from this node's value shape.
+    pub fn backward_with(&self, seed: Tensor) {
+        assert_eq!(
+            seed.shape(),
+            self.shape(),
+            "seed gradient shape {} does not match value shape {}",
+            seed.shape(),
+            self.shape()
+        );
+        if !self.requires_grad() {
+            return;
+        }
+        // Topological order over the subgraph that requires gradients.
+        let mut order: Vec<Var> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        // Iterative DFS with an explicit stack to avoid recursion limits.
+        enum Visit {
+            Enter(Var),
+            Exit(Var),
+        }
+        let mut stack = vec![Visit::Enter(self.clone())];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(var) => {
+                    if seen.contains(&var.node.id) || !var.requires_grad() {
+                        continue;
+                    }
+                    seen.insert(var.node.id);
+                    stack.push(Visit::Exit(var.clone()));
+                    for p in &var.node.parents {
+                        stack.push(Visit::Enter(p.clone()));
+                    }
+                }
+                Visit::Exit(var) => order.push(var),
+            }
+        }
+        // Seed and propagate in reverse topological order.
+        accumulate(&self.node.grad, seed);
+        for var in order.iter().rev() {
+            let Some(backward) = var.node.backward.as_ref() else { continue };
+            let grad_out = var.node.grad.borrow().clone().expect("node visited without gradient");
+            let parent_grads = backward(&grad_out);
+            assert_eq!(
+                parent_grads.len(),
+                var.node.parents.len(),
+                "backward returned wrong number of parent gradients"
+            );
+            for (p, g) in var.node.parents.iter().zip(parent_grads) {
+                if let Some(g) = g {
+                    if p.requires_grad() {
+                        assert_eq!(
+                            g.shape(),
+                            p.shape(),
+                            "gradient shape {} does not match parent shape {}",
+                            g.shape(),
+                            p.shape()
+                        );
+                        accumulate(&p.node.grad, g);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- elementwise arithmetic (broadcasting) ----
+
+    /// Elementwise sum with broadcasting.
+    pub fn add(&self, rhs: &Var) -> Var {
+        let value = self.value() + rhs.value();
+        let (sa, sb) = (self.shape().clone(), rhs.shape().clone());
+        Var::from_op(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(move |g| vec![Some(g.sum_to(&sa)), Some(g.sum_to(&sb))]),
+        )
+    }
+
+    /// Elementwise difference with broadcasting.
+    pub fn sub(&self, rhs: &Var) -> Var {
+        let value = self.value() - rhs.value();
+        let (sa, sb) = (self.shape().clone(), rhs.shape().clone());
+        Var::from_op(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(move |g| vec![Some(g.sum_to(&sa)), Some((-g).sum_to(&sb))]),
+        )
+    }
+
+    /// Elementwise product with broadcasting.
+    pub fn mul(&self, rhs: &Var) -> Var {
+        let value = self.value() * rhs.value();
+        let (sa, sb) = (self.shape().clone(), rhs.shape().clone());
+        let (va, vb) = (self.value().clone(), rhs.value().clone());
+        Var::from_op(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(move |g| {
+                vec![Some((g * &vb).sum_to(&sa)), Some((g * &va).sum_to(&sb))]
+            }),
+        )
+    }
+
+    /// Elementwise quotient with broadcasting.
+    pub fn div(&self, rhs: &Var) -> Var {
+        let value = self.value() / rhs.value();
+        let (sa, sb) = (self.shape().clone(), rhs.shape().clone());
+        let (va, vb) = (self.value().clone(), rhs.value().clone());
+        Var::from_op(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(move |g| {
+                let ga = (g / &vb).sum_to(&sa);
+                let gb = (&(&(-g) * &va) / &(&vb * &vb)).sum_to(&sb);
+                vec![Some(ga), Some(gb)]
+            }),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        let value = -self.value();
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(-g)]))
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, c: f32) -> Var {
+        let value = self.value() + c;
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.clone())]))
+    }
+
+    /// Multiplies by a scalar.
+    pub fn mul_scalar(&self, c: f32) -> Var {
+        let value = self.value() * c;
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g * c)]))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        let v = self.value().clone();
+        let value = self.value() * self.value();
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(&(g * 2.0) * &v)]))
+    }
+
+    /// Elementwise square root.
+    ///
+    /// The derivative is `1 / (2√x)`; keep inputs positive for stability.
+    pub fn sqrt(&self) -> Var {
+        let value = self.value().map(f32::sqrt);
+        let out = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g * &out.map(|y| 0.5 / y))]),
+        )
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Var {
+        let value = self.value().map(f32::exp);
+        let out = value.clone();
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g * &out)]))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Var {
+        let v = self.value().clone();
+        let value = self.value().map(f32::ln);
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g / &v)]))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let v = self.value().clone();
+        let value = self.value().map(|x| x.max(0.0));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![Some(g.zip_broadcast(&v, |gi, xi| if xi > 0.0 { gi } else { 0.0 }))]
+            }),
+        )
+    }
+
+    /// Subtracts a scalar.
+    pub fn sub_scalar(&self, c: f32) -> Var {
+        self.add_scalar(-c)
+    }
+
+    /// Divides by a scalar.
+    ///
+    /// # Panics
+    /// Panics if `c == 0`.
+    pub fn div_scalar(&self, c: f32) -> Var {
+        assert!(c != 0.0, "division by zero scalar");
+        self.mul_scalar(1.0 / c)
+    }
+
+    /// Elementwise integer power (composed from repeated squaring of the
+    /// graph for small `n`; use `square` for `n = 2`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (a constant; differentiate nothing instead).
+    pub fn powi(&self, n: u32) -> Var {
+        assert!(n >= 1, "powi(0) is a constant — use a constant Var");
+        let mut acc = self.clone();
+        for _ in 1..n {
+            acc = acc.mul(self);
+        }
+        acc
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let value = self.value().map(f32::tanh);
+        let out = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g * &out.map(|y| 1.0 - y * y))]),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let value = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let out = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g * &out.map(|y| y * (1.0 - y)))]),
+        )
+    }
+
+    /// Leaky rectified linear unit with negative slope `slope`.
+    pub fn leaky_relu(&self, slope: f32) -> Var {
+        let v = self.value().clone();
+        let value = self.value().map(|x| if x > 0.0 { x } else { slope * x });
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![Some(g.zip_broadcast(&v, |gi, xi| if xi > 0.0 { gi } else { slope * gi }))]
+            }),
+        )
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the origin).
+    pub fn abs(&self) -> Var {
+        let v = self.value().clone();
+        let value = self.value().map(f32::abs);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![Some(g.zip_broadcast(&v, |gi, xi| if xi == 0.0 { 0.0 } else { gi * xi.signum() }))]
+            }),
+        )
+    }
+
+    // ---- structure ----
+
+    /// Reshapes without copying.
+    pub fn reshape(&self, dims: impl Into<Shape>) -> Var {
+        let dims = dims.into();
+        let value = self.value().reshape(dims.dims().to_vec());
+        let orig = self.shape().clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.reshape(orig.dims().to_vec()))]),
+        )
+    }
+
+    /// Gathers rows by index (axis 0); gradient scatters back, accumulating
+    /// over repeated indices.
+    pub fn select_rows(&self, indices: &[usize]) -> Var {
+        let value = self.value().select_rows(indices);
+        let idx = indices.to_vec();
+        let n = self.shape().dim(0);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.scatter_rows_add(&idx, n))]),
+        )
+    }
+
+    /// Concatenates along axis 0.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or mismatched trailing dims.
+    pub fn concat_rows(parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows needs at least one Var");
+        let tensors: Vec<&Tensor> = parts.iter().map(Var::value).collect();
+        let value = Tensor::concat_rows(&tensors);
+        let row_counts: Vec<usize> = parts.iter().map(|p| p.shape().dim(0)).collect();
+        Var::from_op(
+            value,
+            parts.to_vec(),
+            Box::new(move |g| {
+                let mut grads = Vec::with_capacity(row_counts.len());
+                let mut start = 0usize;
+                for &rows in &row_counts {
+                    let idx: Vec<usize> = (start..start + rows).collect();
+                    grads.push(Some(g.select_rows(&idx)));
+                    start += rows;
+                }
+                grads
+            }),
+        )
+    }
+
+    /// Spatial translation (NCHW); gradient is the opposite translation.
+    pub fn shift2d(&self, dy: isize, dx: isize) -> Var {
+        let value = self.value().shift2d(dy, dx);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.shift2d(-dy, -dx))]),
+        )
+    }
+
+    /// Horizontal mirror (NCHW); gradient mirrors back.
+    pub fn flip_w(&self) -> Var {
+        let value = self.value().flip_w();
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.flip_w())]))
+    }
+
+    // ---- linear algebra ----
+
+    /// Matrix product of rank-2 vars.
+    pub fn matmul(&self, rhs: &Var) -> Var {
+        let value = self.value().matmul(rhs.value());
+        let (a, b) = (self.value().clone(), rhs.value().clone());
+        Var::from_op(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(move |g| {
+                let ga = g.matmul(&b.transpose2());
+                let gb = a.transpose2().matmul(g);
+                vec![Some(ga), Some(gb)]
+            }),
+        )
+    }
+
+    /// Rank-2 transpose.
+    pub fn t(&self) -> Var {
+        let value = self.value().transpose2();
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.transpose2())]))
+    }
+
+    // ---- convolution ----
+
+    /// 2-D convolution; gradients flow to input, weight and bias.
+    pub fn conv2d(&self, weight: &Var, bias: Option<&Var>, spec: Conv2dSpec) -> Var {
+        let value = self.value().conv2d(weight.value(), bias.map(Var::value), spec);
+        let x = self.value().clone();
+        let w = weight.value().clone();
+        let hw = (self.shape().dim(2), self.shape().dim(3));
+        let kernel = spec.kernel;
+        let mut parents = vec![self.clone(), weight.clone()];
+        let has_bias = bias.is_some();
+        if let Some(b) = bias {
+            parents.push(b.clone());
+        }
+        Var::from_op(
+            value,
+            parents,
+            Box::new(move |g| {
+                let gx = g.conv2d_input_grad(&w, hw, spec);
+                let gw = g.conv2d_weight_grad(&x, kernel, spec);
+                let mut out = vec![Some(gx), Some(gw)];
+                if has_bias {
+                    out.push(Some(g.conv2d_bias_grad()));
+                }
+                out
+            }),
+        )
+    }
+
+    /// Non-overlapping average pooling.
+    pub fn avg_pool2d(&self, k: usize) -> Var {
+        let value = self.value().avg_pool2d(k);
+        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.avg_pool2d_grad(k))]))
+    }
+
+    /// Non-overlapping max pooling; the gradient routes to the winning
+    /// input positions.
+    pub fn max_pool2d(&self, k: usize) -> Var {
+        let (value, indices) = self.value().max_pool2d(k);
+        let input_numel = self.value().numel();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.max_pool2d_grad(&indices, input_numel))]),
+        )
+    }
+
+    // ---- reductions ----
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self) -> Var {
+        let value = Tensor::scalar(self.value().sum());
+        let shape = self.shape().clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(Tensor::full(shape.dims().to_vec(), g.item()))]),
+        )
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self) -> Var {
+        let n = self.value().numel() as f32;
+        self.sum().mul_scalar(1.0 / n)
+    }
+
+    /// Sum over axes, keeping reduced axes with size 1.
+    pub fn sum_axes_keepdim(&self, axes: &[usize]) -> Var {
+        let value = self.value().sum_axes(axes, true);
+        let shape = self.shape().clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                // Broadcast the reduced gradient back over the summed axes.
+                vec![Some(g.zip_broadcast(&Tensor::zeros(shape.dims().to_vec()), |a, _| a))]
+            }),
+        )
+    }
+
+    /// Mean over axes, keeping reduced axes with size 1.
+    pub fn mean_axes_keepdim(&self, axes: &[usize]) -> Var {
+        let count: usize = axes.iter().map(|&a| self.shape().dim(a)).product();
+        self.sum_axes_keepdim(axes).mul_scalar(1.0 / count as f32)
+    }
+
+    // ---- classification heads ----
+
+    /// Row-wise log-softmax of a rank-2 tensor (`[n, classes]`).
+    ///
+    /// # Panics
+    /// Panics unless the input is rank 2.
+    pub fn log_softmax(&self) -> Var {
+        assert_eq!(self.shape().rank(), 2, "log_softmax needs [n, classes]");
+        let (n, c) = (self.shape().dim(0), self.shape().dim(1));
+        let x = self.value().data();
+        let mut out = vec![0.0f32; n * c];
+        for i in 0..n {
+            let row = &x[i * c..(i + 1) * c];
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for j in 0..c {
+                out[i * c + j] = row[j] - lse;
+            }
+        }
+        let value = Tensor::from_vec(out, [n, c]);
+        let logp = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                // dx = g - softmax * rowsum(g)
+                let gd = g.data();
+                let lp = logp.data();
+                let mut gx = vec![0.0f32; n * c];
+                for i in 0..n {
+                    let gsum: f32 = gd[i * c..(i + 1) * c].iter().sum();
+                    for j in 0..c {
+                        let p = lp[i * c + j].exp();
+                        gx[i * c + j] = gd[i * c + j] - p * gsum;
+                    }
+                }
+                vec![Some(Tensor::from_vec(gx, [n, c]))]
+            }),
+        )
+    }
+
+    /// Negative log-likelihood from row-wise log-probabilities, with
+    /// optional per-sample weights (the paper's Eq. 4 confidence weighting).
+    ///
+    /// `self` must be `[n, classes]` log-probabilities (from
+    /// [`Var::log_softmax`]).
+    ///
+    /// # Panics
+    /// Panics on label/weight length mismatches or out-of-range labels.
+    pub fn nll(&self, labels: &[usize], weights: Option<&[f32]>, reduction: Reduction) -> Var {
+        assert_eq!(self.shape().rank(), 2, "nll needs [n, classes] log-probs");
+        let (n, c) = (self.shape().dim(0), self.shape().dim(1));
+        assert_eq!(labels.len(), n, "label count mismatch");
+        if let Some(w) = weights {
+            assert_eq!(w.len(), n, "weight count mismatch");
+        }
+        let w: Vec<f32> = weights.map(<[f32]>::to_vec).unwrap_or_else(|| vec![1.0; n]);
+        let lp = self.value().data();
+        let mut total = 0.0f64;
+        for (i, &y) in labels.iter().enumerate() {
+            assert!(y < c, "label {y} out of range ({c} classes)");
+            total -= (w[i] * lp[i * c + y]) as f64;
+        }
+        let scale = match reduction {
+            Reduction::Sum => 1.0,
+            Reduction::Mean => 1.0 / n as f32,
+        };
+        let value = Tensor::scalar(total as f32 * scale);
+        let labels = labels.to_vec();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gv = g.item() * scale;
+                let mut gx = vec![0.0f32; n * c];
+                for (i, &y) in labels.iter().enumerate() {
+                    gx[i * c + y] = -w[i] * gv;
+                }
+                vec![Some(Tensor::from_vec(gx, [n, c]))]
+            }),
+        )
+    }
+
+    /// Row-wise masked log-sum-exp of a rank-2 tensor: for each row `i`,
+    /// `ln Σ_j mask[i,j]·exp(x[i,j])` over entries where `mask` is nonzero.
+    /// Used by the feature-discrimination (contrastive) loss denominator.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or if any row of `mask` is entirely zero.
+    pub fn masked_log_sum_exp_rows(&self, mask: &Tensor) -> Var {
+        assert_eq!(self.shape().rank(), 2, "masked LSE needs a rank-2 input");
+        assert_eq!(self.shape(), mask.shape(), "mask shape mismatch");
+        let (n, c) = (self.shape().dim(0), self.shape().dim(1));
+        let x = self.value().data();
+        let m = mask.data();
+        let mut out = vec![0.0f32; n];
+        let mut soft = vec![0.0f32; n * c]; // masked softmax, saved for backward
+        for i in 0..n {
+            let row = &x[i * c..(i + 1) * c];
+            let mrow = &m[i * c..(i + 1) * c];
+            let mx = row
+                .iter()
+                .zip(mrow)
+                .filter(|(_, &mi)| mi != 0.0)
+                .map(|(&v, _)| v)
+                .fold(f32::NEG_INFINITY, f32::max);
+            assert!(mx.is_finite(), "masked_log_sum_exp_rows: row {i} has an all-zero mask");
+            let mut z = 0.0f32;
+            for j in 0..c {
+                if mrow[j] != 0.0 {
+                    let e = (row[j] - mx).exp();
+                    soft[i * c + j] = e;
+                    z += e;
+                }
+            }
+            for j in 0..c {
+                soft[i * c + j] /= z;
+            }
+            out[i] = mx + z.ln();
+        }
+        let value = Tensor::from_vec(out, [n]);
+        let soft = Tensor::from_vec(soft, [n, c]);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gd = g.data();
+                let s = soft.data();
+                let mut gx = vec![0.0f32; n * c];
+                for i in 0..n {
+                    for j in 0..c {
+                        gx[i * c + j] = gd[i] * s[i * c + j];
+                    }
+                }
+                vec![Some(Tensor::from_vec(gx, [n, c]))]
+            }),
+        )
+    }
+}
+
+fn accumulate(slot: &RefCell<Option<Tensor>>, g: Tensor) {
+    let mut borrow = slot.borrow_mut();
+    match borrow.as_mut() {
+        Some(acc) => acc.add_scaled(&g, 1.0),
+        None => *borrow = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn add_grads_are_ones() {
+        let a = Var::leaf(Tensor::from_vec(vec![1.0, 2.0], [2]), true);
+        let b = Var::leaf(Tensor::from_vec(vec![3.0, 4.0], [2]), true);
+        a.add(&b).sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(b.grad().unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_grads_swap_operands() {
+        let a = Var::leaf(Tensor::from_vec(vec![2.0, 3.0], [2]), true);
+        let b = Var::leaf(Tensor::from_vec(vec![5.0, 7.0], [2]), true);
+        a.mul(&b).sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_add_reduces_gradient() {
+        let m = Var::leaf(Tensor::ones([2, 3]), true);
+        let r = Var::leaf(Tensor::ones([3]), true);
+        m.add(&r).sum().backward();
+        assert_eq!(r.grad().unwrap().data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(m.grad().unwrap().shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn div_gradient() {
+        let a = Var::leaf(Tensor::from_vec(vec![6.0], [1]), true);
+        let b = Var::leaf(Tensor::from_vec(vec![3.0], [1]), true);
+        a.div(&b).sum().backward();
+        assert!((a.grad().unwrap().data()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((b.grad().unwrap().data()[0] + 6.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_rule_through_square() {
+        let x = Var::leaf(Tensor::from_vec(vec![3.0], [1]), true);
+        // y = (2x)² → dy/dx = 8x = 24
+        x.mul_scalar(2.0).square().sum().backward();
+        assert!((x.grad().unwrap().data()[0] - 24.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates() {
+        let x = Var::leaf(Tensor::from_vec(vec![1.0], [1]), true);
+        // y = x + x → dy/dx = 2
+        x.add(&x).sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn relu_masks_negative_side() {
+        let x = Var::leaf(Tensor::from_vec(vec![-1.0, 2.0], [2]), true);
+        x.relu().sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formulas() {
+        let mut rng = Rng::new(1);
+        let a = Var::leaf(Tensor::randn([2, 3], &mut rng), true);
+        let b = Var::leaf(Tensor::randn([3, 4], &mut rng), true);
+        a.matmul(&b).sum().backward();
+        // dL/dA = 1 Bᵀ, dL/dB = Aᵀ 1
+        let ones = Tensor::ones([2, 4]);
+        let expect_a = ones.matmul(&b.value().transpose2());
+        let expect_b = a.value().transpose2().matmul(&ones);
+        for (g, e) in a.grad().unwrap().data().iter().zip(expect_a.data()) {
+            assert!((g - e).abs() < 1e-5);
+        }
+        for (g, e) in b.grad().unwrap().data().iter().zip(expect_b.data()) {
+            assert!((g - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let x = Var::leaf(Tensor::ones([2]), true);
+        let c = Var::constant(Tensor::ones([2]));
+        x.mul(&c).sum().backward();
+        assert!(c.grad().is_none());
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    fn detach_blocks_gradient_flow() {
+        let x = Var::leaf(Tensor::from_vec(vec![2.0], [1]), true);
+        let d = x.detach();
+        d.square().sum().backward();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn log_softmax_rows_sum_to_one_in_prob_space() {
+        let mut rng = Rng::new(2);
+        let x = Var::leaf(Tensor::randn([4, 7], &mut rng), true);
+        let lp = x.log_softmax();
+        for i in 0..4 {
+            let s: f32 = (0..7).map(|j| lp.value().at(&[i, j]).exp()).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_y() {
+        let mut rng = Rng::new(3);
+        let logits = Var::leaf(Tensor::randn([3, 5], &mut rng), true);
+        let labels = [0usize, 2, 4];
+        logits.log_softmax().nll(&labels, None, Reduction::Sum).backward();
+        let g = logits.grad().unwrap();
+        let lp = logits.log_softmax();
+        for i in 0..3 {
+            for j in 0..5 {
+                let p = lp.value().at(&[i, j]).exp();
+                let y = if labels[i] == j { 1.0 } else { 0.0 };
+                assert!((g.at(&[i, j]) - (p - y)).abs() < 1e-5, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_nll_scales_gradient() {
+        let mut rng = Rng::new(4);
+        let t = Tensor::randn([2, 3], &mut rng);
+        let l1 = Var::leaf(t.clone(), true);
+        let l2 = Var::leaf(t, true);
+        let labels = [1usize, 2];
+        l1.log_softmax().nll(&labels, Some(&[2.0, 2.0]), Reduction::Sum).backward();
+        l2.log_softmax().nll(&labels, None, Reduction::Sum).backward();
+        let g1 = l1.grad().unwrap();
+        let g2 = l2.grad().unwrap();
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mean_reduction_divides_by_batch() {
+        let mut rng = Rng::new(5);
+        let t = Tensor::randn([4, 3], &mut rng);
+        let a = Var::leaf(t.clone(), true);
+        let b = Var::leaf(t, true);
+        let labels = [0usize, 1, 2, 0];
+        a.log_softmax().nll(&labels, None, Reduction::Mean).backward();
+        b.log_softmax().nll(&labels, None, Reduction::Sum).backward();
+        for (x, y) in a.grad().unwrap().data().iter().zip(b.grad().unwrap().data()) {
+            assert!((4.0 * x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn masked_lse_matches_manual() {
+        let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]), true);
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0], [2, 2]);
+        let lse = x.masked_log_sum_exp_rows(&mask);
+        assert!((lse.value().data()[0] - 1.0).abs() < 1e-5); // only x[0,0]
+        let expect = (3.0f32.exp() + 4.0f32.exp()).ln();
+        assert!((lse.value().data()[1] - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn masked_lse_gradient_is_masked_softmax() {
+        let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0, 5.0], [1, 3]), true);
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0], [1, 3]);
+        x.masked_log_sum_exp_rows(&mask).sum().backward();
+        let g = x.grad().unwrap();
+        let z = 1.0f32.exp() + 2.0f32.exp();
+        assert!((g.data()[0] - 1.0f32.exp() / z).abs() < 1e-5);
+        assert!((g.data()[1] - 2.0f32.exp() / z).abs() < 1e-5);
+        assert_eq!(g.data()[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero mask")]
+    fn masked_lse_rejects_empty_rows() {
+        let x = Var::leaf(Tensor::ones([1, 2]), true);
+        let mask = Tensor::zeros([1, 2]);
+        let _ = x.masked_log_sum_exp_rows(&mask);
+    }
+
+    #[test]
+    fn select_rows_gradient_scatters() {
+        let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], [3, 1]), true);
+        x.select_rows(&[2, 2, 0]).sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_rows_splits_gradient() {
+        let a = Var::leaf(Tensor::ones([2, 2]), true);
+        let b = Var::leaf(Tensor::ones([1, 2]), true);
+        let c = Var::concat_rows(&[a.clone(), b.clone()]);
+        c.mul_scalar(3.0).sum().backward();
+        assert_eq!(a.grad().unwrap().shape().dims(), &[2, 2]);
+        assert_eq!(b.grad().unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_and_pool_backward_shapes() {
+        let mut rng = Rng::new(6);
+        let x = Var::leaf(Tensor::randn([2, 3, 8, 8], &mut rng), true);
+        let w = Var::leaf(Tensor::randn([4, 3, 3, 3], &mut rng), true);
+        let b = Var::leaf(Tensor::zeros([4]), true);
+        let y = x.conv2d(&w, Some(&b), Conv2dSpec::default()).relu().avg_pool2d(2);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap().shape().dims(), &[2, 3, 8, 8]);
+        assert_eq!(w.grad().unwrap().shape().dims(), &[4, 3, 3, 3]);
+        assert_eq!(b.grad().unwrap().shape().dims(), &[4]);
+    }
+
+    #[test]
+    fn sum_axes_keepdim_backward_broadcasts() {
+        let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]), true);
+        let s = x.sum_axes_keepdim(&[1]);
+        assert_eq!(s.shape().dims(), &[2, 1]);
+        s.mul_scalar(2.0).sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn shift_and_flip_gradients_are_adjoint() {
+        let mut rng = Rng::new(7);
+        let x = Var::leaf(Tensor::randn([1, 1, 4, 4], &mut rng), true);
+        let seed = Tensor::randn([1, 1, 4, 4], &mut rng);
+        let y = x.shift2d(1, -1).flip_w();
+        y.backward_with(seed.clone());
+        // <y, seed> should equal <x, grad_x> (linear map adjoint property).
+        let lhs = y.value().dot(&seed);
+        let rhs = x.value().dot(&x.grad().unwrap());
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn backward_with_custom_seed() {
+        let x = Var::leaf(Tensor::ones([2]), true);
+        let y = x.mul_scalar(3.0);
+        y.backward_with(Tensor::from_vec(vec![1.0, 10.0], [2]));
+        assert_eq!(x.grad().unwrap().data(), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn backward_on_no_grad_graph_is_noop() {
+        let x = Var::constant(Tensor::ones([2]));
+        let y = x.mul_scalar(2.0).sum();
+        y.backward(); // must not panic
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn tanh_gradient_is_one_minus_square() {
+        let x = Var::leaf(Tensor::from_vec(vec![0.5, -1.0], [2]), true);
+        x.tanh().sum().backward();
+        let g = x.grad().unwrap();
+        for (i, &xi) in [0.5f32, -1.0].iter().enumerate() {
+            let t = xi.tanh();
+            assert!((g.data()[i] - (1.0 - t * t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_gradient_peaks_at_zero() {
+        let x = Var::leaf(Tensor::from_vec(vec![0.0, 4.0], [2]), true);
+        x.sigmoid().sum().backward();
+        let g = x.grad().unwrap();
+        assert!((g.data()[0] - 0.25).abs() < 1e-6);
+        assert!(g.data()[1] < 0.05);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negative_side() {
+        let x = Var::leaf(Tensor::from_vec(vec![-2.0, 3.0], [2]), true);
+        x.leaky_relu(0.1).sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn abs_gradient_is_sign() {
+        let x = Var::leaf(Tensor::from_vec(vec![-2.0, 0.0, 3.0], [3]), true);
+        x.abs().sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let x = Var::leaf(Tensor::from_vec(vec![2.0], [1]), true);
+        x.powi(3).sum().backward();
+        // d(x³)/dx = 3x² = 12
+        assert!((x.grad().unwrap().item() - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scalar_helpers_compose() {
+        let x = Var::leaf(Tensor::from_vec(vec![6.0], [1]), true);
+        let y = x.sub_scalar(2.0).div_scalar(2.0); // (x-2)/2 = 2
+        assert_eq!(y.value().item(), 2.0);
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 0.5);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut v = Var::leaf(Tensor::scalar(1.0), true);
+        let x = v.clone();
+        for _ in 0..5000 {
+            v = v.add_scalar(1.0);
+        }
+        v.backward();
+        assert_eq!(x.grad().unwrap().item(), 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Numerical gradient checking for autograd correctness tests.
+
+use crate::autograd::Var;
+use crate::tensor::Tensor;
+
+/// Compares reverse-mode gradients against central finite differences for a
+/// scalar-valued function of several tensors.
+///
+/// `f` must build a fresh graph from leaf `Var`s and return a scalar `Var`.
+/// Returns the maximum absolute deviation over all checked elements.
+///
+/// With `stride > 1` only every `stride`-th element of each input is probed
+/// (cheaper for large tensors).
+///
+/// # Panics
+/// Panics if `f` returns a non-scalar.
+pub fn max_grad_deviation(
+    inputs: &[Tensor],
+    eps: f32,
+    stride: usize,
+    f: impl Fn(&[Var]) -> Var,
+) -> f32 {
+    let leaves: Vec<Var> = inputs.iter().map(|t| Var::leaf(t.clone(), true)).collect();
+    let out = f(&leaves);
+    assert_eq!(out.value().numel(), 1, "gradcheck requires a scalar output");
+    out.backward();
+    let analytic: Vec<Tensor> = leaves
+        .iter()
+        .map(|l| l.grad().unwrap_or_else(|| Tensor::zeros(l.shape().dims().to_vec())))
+        .collect();
+
+    let eval = |tensors: &[Tensor]| -> f32 {
+        let vars: Vec<Var> = tensors.iter().map(|t| Var::constant(t.clone())).collect();
+        f(&vars).value().item()
+    };
+
+    let mut worst = 0.0f32;
+    for (ti, t) in inputs.iter().enumerate() {
+        for ei in (0..t.numel()).step_by(stride.max(1)) {
+            let mut plus = inputs.to_vec();
+            plus[ti].data_mut()[ei] += eps;
+            let mut minus = inputs.to_vec();
+            minus[ti].data_mut()[ei] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let dev = (analytic[ti].data()[ei] - numeric).abs();
+            if dev > worst {
+                worst = dev;
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::Conv2dSpec;
+    use crate::rng::Rng;
+    use crate::Reduction;
+
+    #[test]
+    fn gradcheck_product_and_sum() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([3, 4], &mut rng);
+        let b = Tensor::randn([3, 4], &mut rng);
+        let dev = max_grad_deviation(&[a, b], 1e-2, 1, |v| v[0].mul(&v[1]).sum());
+        assert!(dev < 1e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_broadcast_ops() {
+        let mut rng = Rng::new(2);
+        let m = Tensor::randn([4, 3], &mut rng);
+        let r = Tensor::randn([3], &mut rng);
+        let dev = max_grad_deviation(&[m, r], 1e-2, 1, |v| v[0].add(&v[1]).square().sum());
+        assert!(dev < 2e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_division() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn([5], &mut rng);
+        let b = &Tensor::rand_uniform([5], 1.0, 2.0, &mut rng) + 0.5;
+        let dev = max_grad_deviation(&[a, b], 1e-3, 1, |v| v[0].div(&v[1]).sum());
+        assert!(dev < 1e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_matmul_chain() {
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn([3, 4], &mut rng);
+        let b = Tensor::randn([4, 2], &mut rng);
+        let dev = max_grad_deviation(&[a, b], 1e-2, 1, |v| v[0].matmul(&v[1]).relu().sum());
+        assert!(dev < 2e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_conv_pool_net() {
+        let mut rng = Rng::new(5);
+        let x = Tensor::randn([1, 2, 4, 4], &mut rng);
+        let w = &Tensor::randn([3, 2, 3, 3], &mut rng) * 0.5;
+        // Use a smooth nonlinearity: central differences across a ReLU kink
+        // are inaccurate by construction (ReLU's gradient is checked exactly
+        // in the autograd unit tests instead).
+        let dev = max_grad_deviation(&[x, w], 1e-2, 3, |v| {
+            v[0].conv2d(&v[1], None, Conv2dSpec::default()).square().avg_pool2d(2).sum()
+        });
+        assert!(dev < 3e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        let mut rng = Rng::new(6);
+        let logits = Tensor::randn([4, 5], &mut rng);
+        let labels = [0usize, 1, 2, 3];
+        let dev = max_grad_deviation(&[logits], 1e-2, 1, |v| {
+            v[0].log_softmax().nll(&labels, Some(&[1.0, 0.5, 2.0, 0.1]), Reduction::Mean)
+        });
+        assert!(dev < 1e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_normalization_pattern() {
+        // The group-norm computation pattern: (x - mean) / sqrt(var + eps).
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn([2, 6], &mut rng);
+        let dev = max_grad_deviation(&[x], 1e-2, 1, |v| {
+            let mean = v[0].mean_axes_keepdim(&[1]);
+            let centered = v[0].sub(&mean);
+            let var = centered.square().mean_axes_keepdim(&[1]);
+            let std = var.add_scalar(1e-5).sqrt();
+            centered.div(&std).square().sum()
+        });
+        assert!(dev < 3e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_masked_lse() {
+        let mut rng = Rng::new(8);
+        let x = Tensor::randn([3, 4], &mut rng);
+        let mask = Tensor::from_vec(
+            vec![1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0],
+            [3, 4],
+        );
+        let dev = max_grad_deviation(&[x], 1e-2, 1, |v| {
+            v[0].masked_log_sum_exp_rows(&mask).sum()
+        });
+        assert!(dev < 1e-2, "deviation {dev}");
+    }
+
+    #[test]
+    fn gradcheck_exp_ln_sqrt() {
+        let mut rng = Rng::new(9);
+        let x = &Tensor::rand_uniform([6], 0.5, 2.0, &mut rng) + 0.0;
+        let dev = max_grad_deviation(&[x], 1e-3, 1, |v| {
+            v[0].exp().ln().sqrt().sum()
+        });
+        assert!(dev < 1e-2, "deviation {dev}");
+    }
+}

@@ -1,0 +1,492 @@
+//! 2-D convolution and average pooling (NCHW layout), with explicit
+//! gradient kernels used by the autograd layer.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Convenience constructor.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dSpec { kernel, stride, padding }
+    }
+
+    /// Output spatial side for an input side of `n`.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_side(&self, n: usize) -> usize {
+        let padded = n + 2 * self.padding;
+        assert!(padded >= self.kernel, "kernel {} larger than padded input {}", self.kernel, padded);
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec { kernel: 3, stride: 1, padding: 1 }
+    }
+}
+
+impl Tensor {
+    /// 2-D convolution (cross-correlation) of an NCHW input with an
+    /// `[c_out, c_in, k, k]` weight, plus an optional `[c_out]` bias.
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatches.
+    pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+        assert_eq!(self.rank(), 4, "conv2d input must be NCHW, got {}", self.shape());
+        assert_eq!(weight.rank(), 4, "conv2d weight must be [co,ci,k,k], got {}", weight.shape());
+        let (n, cin, h, w) = dims4(self);
+        let (cout, cin2, kh, kw) = dims4(weight);
+        assert_eq!(cin, cin2, "conv2d channel mismatch: input {cin}, weight {cin2}");
+        assert_eq!(kh, spec.kernel, "weight kernel {kh} vs spec {}", spec.kernel);
+        assert_eq!(kw, spec.kernel, "weight kernel {kw} vs spec {}", spec.kernel);
+        if let Some(b) = bias {
+            assert_eq!(b.numel(), cout, "bias length {} vs c_out {}", b.numel(), cout);
+        }
+        let (oh, ow) = (spec.out_side(h), spec.out_side(w));
+        let mut out = vec![0.0f32; n * cout * oh * ow];
+        let x = self.data();
+        let wt = weight.data();
+        let (s, p, k) = (spec.stride, spec.padding as isize, spec.kernel);
+        for ni in 0..n {
+            for co in 0..cout {
+                let o_base = (ni * cout + co) * oh * ow;
+                for ci in 0..cin {
+                    let x_base = (ni * cin + ci) * h * w;
+                    let w_base = (co * cin + ci) * k * k;
+                    for khi in 0..k {
+                        for kwi in 0..k {
+                            let wv = wt[w_base + khi * k + kwi];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            for ohi in 0..oh {
+                                let ih = (ohi * s) as isize + khi as isize - p;
+                                if ih < 0 || ih >= h as isize {
+                                    continue;
+                                }
+                                let x_row = x_base + (ih as usize) * w;
+                                let o_row = o_base + ohi * ow;
+                                for owi in 0..ow {
+                                    let iw = (owi * s) as isize + kwi as isize - p;
+                                    if iw < 0 || iw >= w as isize {
+                                        continue;
+                                    }
+                                    out[o_row + owi] += wv * x[x_row + iw as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(b) = bias {
+                    let bv = b.data()[co];
+                    if bv != 0.0 {
+                        for o in &mut out[o_base..o_base + oh * ow] {
+                            *o += bv;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, [n, cout, oh, ow])
+    }
+
+    /// Gradient of [`Tensor::conv2d`] w.r.t. its input.
+    ///
+    /// `self` is the output gradient `[n, c_out, oh, ow]`.
+    pub fn conv2d_input_grad(&self, weight: &Tensor, input_hw: (usize, usize), spec: Conv2dSpec) -> Tensor {
+        let (n, cout, oh, ow) = dims4(self);
+        let (cout2, cin, k, _) = dims4(weight);
+        assert_eq!(cout, cout2, "conv2d_input_grad c_out mismatch");
+        let (h, w) = input_hw;
+        let mut gin = vec![0.0f32; n * cin * h * w];
+        let g = self.data();
+        let wt = weight.data();
+        let (s, p) = (spec.stride, spec.padding as isize);
+        for ni in 0..n {
+            for co in 0..cout {
+                let g_base = (ni * cout + co) * oh * ow;
+                for ci in 0..cin {
+                    let gi_base = (ni * cin + ci) * h * w;
+                    let w_base = (co * cin + ci) * k * k;
+                    for khi in 0..k {
+                        for kwi in 0..k {
+                            let wv = wt[w_base + khi * k + kwi];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            for ohi in 0..oh {
+                                let ih = (ohi * s) as isize + khi as isize - p;
+                                if ih < 0 || ih >= h as isize {
+                                    continue;
+                                }
+                                let gi_row = gi_base + (ih as usize) * w;
+                                let g_row = g_base + ohi * ow;
+                                for owi in 0..ow {
+                                    let iw = (owi * s) as isize + kwi as isize - p;
+                                    if iw < 0 || iw >= w as isize {
+                                        continue;
+                                    }
+                                    gin[gi_row + iw as usize] += wv * g[g_row + owi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gin, [n, cin, h, w])
+    }
+
+    /// Gradient of [`Tensor::conv2d`] w.r.t. its weight.
+    ///
+    /// `self` is the output gradient; `input` the forward input.
+    pub fn conv2d_weight_grad(&self, input: &Tensor, kernel: usize, spec: Conv2dSpec) -> Tensor {
+        let (n, cout, oh, ow) = dims4(self);
+        let (n2, cin, h, w) = dims4(input);
+        assert_eq!(n, n2, "conv2d_weight_grad batch mismatch");
+        let k = kernel;
+        let mut gw = vec![0.0f32; cout * cin * k * k];
+        let g = self.data();
+        let x = input.data();
+        let (s, p) = (spec.stride, spec.padding as isize);
+        for ni in 0..n {
+            for co in 0..cout {
+                let g_base = (ni * cout + co) * oh * ow;
+                for ci in 0..cin {
+                    let x_base = (ni * cin + ci) * h * w;
+                    let w_base = (co * cin + ci) * k * k;
+                    for khi in 0..k {
+                        for kwi in 0..k {
+                            let mut acc = 0.0f32;
+                            for ohi in 0..oh {
+                                let ih = (ohi * s) as isize + khi as isize - p;
+                                if ih < 0 || ih >= h as isize {
+                                    continue;
+                                }
+                                let x_row = x_base + (ih as usize) * w;
+                                let g_row = g_base + ohi * ow;
+                                for owi in 0..ow {
+                                    let iw = (owi * s) as isize + kwi as isize - p;
+                                    if iw < 0 || iw >= w as isize {
+                                        continue;
+                                    }
+                                    acc += g[g_row + owi] * x[x_row + iw as usize];
+                                }
+                            }
+                            gw[w_base + khi * k + kwi] += acc;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gw, [cout, cin, k, k])
+    }
+
+    /// Gradient of [`Tensor::conv2d`] w.r.t. its bias: sum over batch and
+    /// spatial axes of the output gradient.
+    pub fn conv2d_bias_grad(&self) -> Tensor {
+        let (_, cout, _, _) = dims4(self);
+        self.sum_axes(&[0, 2, 3], false).reshape([cout])
+    }
+
+    /// Non-overlapping average pooling with a square `k × k` window.
+    ///
+    /// # Panics
+    /// Panics unless the input is rank 4 and H, W are divisible by `k`.
+    pub fn avg_pool2d(&self, k: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "avg_pool2d input must be NCHW");
+        let (n, c, h, w) = dims4(self);
+        assert!(h % k == 0 && w % k == 0, "pool window {k} must divide {h}x{w}");
+        let (oh, ow) = (h / k, w / k);
+        let x = self.data();
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for nc in 0..n * c {
+            let x_base = nc * h * w;
+            let o_base = nc * oh * ow;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..k {
+                        let row = x_base + (ohi * k + dy) * w + owi * k;
+                        for dx in 0..k {
+                            acc += x[row + dx];
+                        }
+                    }
+                    out[o_base + ohi * ow + owi] = acc * inv;
+                }
+            }
+        }
+        Tensor::from_vec(out, [n, c, oh, ow])
+    }
+
+    /// Gradient of [`Tensor::avg_pool2d`]: spreads each output gradient
+    /// uniformly over its window. `self` is the output gradient.
+    pub fn avg_pool2d_grad(&self, k: usize) -> Tensor {
+        let (n, c, oh, ow) = dims4(self);
+        let (h, w) = (oh * k, ow * k);
+        let g = self.data();
+        let inv = 1.0 / (k * k) as f32;
+        let mut gin = vec![0.0f32; n * c * h * w];
+        for nc in 0..n * c {
+            let g_base = nc * oh * ow;
+            let gi_base = nc * h * w;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let gv = g[g_base + ohi * ow + owi] * inv;
+                    for dy in 0..k {
+                        let row = gi_base + (ohi * k + dy) * w + owi * k;
+                        for dx in 0..k {
+                            gin[row + dx] += gv;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gin, [n, c, h, w])
+    }
+}
+
+impl Tensor {
+    /// Non-overlapping max pooling with a square `k × k` window, returning
+    /// the pooled values and the flat input index of each selected maximum
+    /// (for the backward pass).
+    ///
+    /// # Panics
+    /// Panics unless the input is rank 4 and H, W are divisible by `k`.
+    pub fn max_pool2d(&self, k: usize) -> (Tensor, Vec<usize>) {
+        assert_eq!(self.rank(), 4, "max_pool2d input must be NCHW");
+        let (n, c, h, w) = dims4(self);
+        assert!(h % k == 0 && w % k == 0, "pool window {k} must divide {h}x{w}");
+        let (oh, ow) = (h / k, w / k);
+        let x = self.data();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut idx = vec![0usize; n * c * oh * ow];
+        for nc in 0..n * c {
+            let x_base = nc * h * w;
+            let o_base = nc * oh * ow;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dy in 0..k {
+                        let row = x_base + (ohi * k + dy) * w + owi * k;
+                        for dx in 0..k {
+                            let v = x[row + dx];
+                            if v > best {
+                                best = v;
+                                best_i = row + dx;
+                            }
+                        }
+                    }
+                    out[o_base + ohi * ow + owi] = best;
+                    idx[o_base + ohi * ow + owi] = best_i;
+                }
+            }
+        }
+        (Tensor::from_vec(out, [n, c, oh, ow]), idx)
+    }
+
+    /// Gradient of [`Tensor::max_pool2d`]: routes each output gradient to
+    /// the input position that won the max. `self` is the output gradient;
+    /// `indices` comes from the forward pass.
+    ///
+    /// # Panics
+    /// Panics if `indices` length differs from this tensor's element count.
+    pub fn max_pool2d_grad(&self, indices: &[usize], input_numel: usize) -> Tensor {
+        assert_eq!(indices.len(), self.numel(), "index count mismatch");
+        let (n, c, oh, ow) = dims4(self);
+        let k2 = input_numel / (n * c * oh * ow);
+        // k² must be a perfect square times the output; reconstruct sides.
+        let k = (k2 as f32).sqrt() as usize;
+        debug_assert_eq!(k * k * n * c * oh * ow, input_numel);
+        let g = self.data();
+        let mut gin = vec![0.0f32; input_numel];
+        for (o, &i) in indices.iter().enumerate() {
+            gin[i] += g[o];
+        }
+        Tensor::from_vec(gin, [n, c, oh * k, ow * k])
+    }
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.rank(), 4, "expected rank-4 tensor, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2), t.shape().dim(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_side_formula() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        assert_eq!(spec.out_side(8), 8); // "same" conv
+        let spec2 = Conv2dSpec::new(3, 2, 1);
+        assert_eq!(spec2.out_side(8), 4);
+        let spec3 = Conv2dSpec::new(2, 2, 0);
+        assert_eq!(spec3.out_side(8), 4);
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), [1, 1, 4, 4]);
+        let w = Tensor::from_vec(vec![1.0], [1, 1, 1, 1]);
+        let y = x.conv2d(&w, None, Conv2dSpec::new(1, 1, 0));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_matches_hand_computation() {
+        // 2x2 input, 2x2 kernel, no padding → single output element.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]);
+        let w = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], [1, 1, 2, 2]);
+        let y = x.conv2d(&w, None, Conv2dSpec::new(2, 1, 0));
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.item(), 1.0 * 10.0 + 2.0 * 20.0 + 3.0 * 30.0 + 4.0 * 40.0);
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let mut rng = crate::Rng::new(1);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let w = Tensor::randn([4, 3, 3, 3], &mut rng);
+        let y = x.conv2d(&w, None, Conv2dSpec::new(3, 1, 1));
+        assert_eq!(y.shape().dims(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn bias_adds_per_channel() {
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let w = Tensor::zeros([2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![5.0, -3.0], [2]);
+        let y = x.conv2d(&w, Some(&b), Conv2dSpec::new(1, 1, 0));
+        assert_eq!(y.data(), &[5.0, 5.0, 5.0, 5.0, -3.0, -3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn conv_is_linear_in_input() {
+        let mut rng = crate::Rng::new(2);
+        let x1 = Tensor::randn([1, 2, 5, 5], &mut rng);
+        let x2 = Tensor::randn([1, 2, 5, 5], &mut rng);
+        let w = Tensor::randn([3, 2, 3, 3], &mut rng);
+        let spec = Conv2dSpec::default();
+        let y_sum = (&x1 + &x2).conv2d(&w, None, spec);
+        let sum_y = &x1.conv2d(&w, None, spec) + &x2.conv2d(&w, None, spec);
+        for (a, b) in y_sum.data().iter().zip(sum_y.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn input_grad_matches_finite_difference() {
+        let mut rng = crate::Rng::new(3);
+        let x = Tensor::randn([1, 1, 4, 4], &mut rng);
+        let w = Tensor::randn([2, 1, 3, 3], &mut rng);
+        let spec = Conv2dSpec::default();
+        // Loss = sum(conv(x, w)); dL/dx via kernel.
+        let gout = Tensor::ones([1, 2, 4, 4]);
+        let gin = gout.conv2d_input_grad(&w, (4, 4), spec);
+        let eps = 1e-2;
+        for i in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (xp.conv2d(&w, None, spec).sum() - xm.conv2d(&w, None, spec).sum()) / (2.0 * eps);
+            assert!((gin.data()[i] - num).abs() < 1e-2, "elem {i}: {} vs {}", gin.data()[i], num);
+        }
+    }
+
+    #[test]
+    fn weight_grad_matches_finite_difference() {
+        let mut rng = crate::Rng::new(4);
+        let x = Tensor::randn([2, 1, 4, 4], &mut rng);
+        let w = Tensor::randn([1, 1, 3, 3], &mut rng);
+        let spec = Conv2dSpec::default();
+        let gout = Tensor::ones([2, 1, 4, 4]);
+        let gw = gout.conv2d_weight_grad(&x, 3, spec);
+        let eps = 1e-2;
+        for i in 0..9 {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (x.conv2d(&wp, None, spec).sum() - x.conv2d(&wm, None, spec).sum()) / (2.0 * eps);
+            assert!((gw.data()[i] - num).abs() < 2e-2, "elem {i}: {} vs {}", gw.data()[i], num);
+        }
+    }
+
+    #[test]
+    fn bias_grad_counts_positions() {
+        let g = Tensor::ones([2, 3, 4, 4]);
+        let gb = g.conv2d_bias_grad();
+        assert_eq!(gb.shape().dims(), &[3]);
+        assert_eq!(gb.data(), &[32.0, 32.0, 32.0]);
+    }
+
+    #[test]
+    fn avg_pool_halves_and_averages() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]);
+        let y = x.avg_pool2d(2);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.item(), 2.5);
+    }
+
+    #[test]
+    fn avg_pool_grad_distributes_uniformly() {
+        let g = Tensor::from_vec(vec![4.0], [1, 1, 1, 1]);
+        let gin = g.avg_pool2d_grad(2);
+        assert_eq!(gin.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool_selects_maxima() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], [1, 1, 2, 2]);
+        let (y, idx) = x.max_pool2d(2);
+        assert_eq!(y.item(), 5.0);
+        assert_eq!(idx, vec![1]);
+    }
+
+    #[test]
+    fn max_pool_grad_routes_to_winner() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], [1, 1, 2, 2]);
+        let (_, idx) = x.max_pool2d(2);
+        let g = Tensor::from_vec(vec![7.0], [1, 1, 1, 1]);
+        let gin = g.max_pool2d_grad(&idx, 4);
+        assert_eq!(gin.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_ge_avg_pool() {
+        let mut rng = crate::Rng::new(6);
+        let x = Tensor::randn([2, 3, 4, 4], &mut rng);
+        let (mx, _) = x.max_pool2d(2);
+        let av = x.avg_pool2d(2);
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn avg_pool_then_grad_preserves_total() {
+        let mut rng = crate::Rng::new(5);
+        let g = Tensor::randn([1, 2, 3, 3], &mut rng);
+        let gin = g.avg_pool2d_grad(2);
+        assert!((gin.sum() - g.sum()).abs() < 1e-4);
+        assert_eq!(gin.shape().dims(), &[1, 2, 6, 6]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Matrix operations: matmul and 2-D transpose.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Uses an ikj loop order with a flat output buffer, which keeps the
+    /// inner loop contiguous and lets the compiler vectorize it.
+    ///
+    /// # Panics
+    /// Panics unless both tensors are rank 2 with matching inner dimension.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape());
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {}", other.shape());
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
+        assert_eq!(k, k2, "matmul inner dims: {} vs {}", self.shape(), other.shape());
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2 needs rank 2, got {}", self.shape());
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let src = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = src[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, [n, m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        assert_eq!(a.matmul(&eye), a);
+        assert_eq!(eye.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::ones([2, 3]);
+        let b = Tensor::ones([4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let t = a.transpose2();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), 6.0);
+        assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn matmul_matches_transpose_identity() {
+        // (A B)^T == B^T A^T
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.5).collect(), [3, 4]);
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,7 @@
+//! Tensor operation kernels, grouped by family.
+
+pub mod conv;
+pub mod linalg;
+pub mod reduce;
+pub mod stats;
+pub mod transform;

@@ -1,0 +1,180 @@
+//! Axis reductions and argmax utilities.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sums over the given axes. With `keepdim`, reduced axes stay with size
+    /// 1 (so the result broadcasts back against the input).
+    ///
+    /// # Panics
+    /// Panics if any axis is out of range or repeated.
+    pub fn sum_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        let rank = self.rank();
+        let mut reduce = vec![false; rank];
+        for &ax in axes {
+            assert!(ax < rank, "axis {ax} out of range for rank {rank}");
+            assert!(!reduce[ax], "axis {ax} repeated");
+            reduce[ax] = true;
+        }
+        let out_dims: Vec<usize> = self
+            .shape()
+            .dims()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| {
+                if reduce[i] {
+                    if keepdim {
+                        Some(1)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(d)
+                }
+            })
+            .collect();
+        let out_shape = Shape::new(out_dims);
+        // Build an indexer: the output index of each input element.
+        let in_strides = self.shape().strides();
+        // Stride of each non-reduced input axis in the output.
+        let mut out_axis_strides = vec![0usize; rank];
+        {
+            let mut acc = 1usize;
+            for i in (0..rank).rev() {
+                if !reduce[i] {
+                    out_axis_strides[i] = acc;
+                    acc *= self.shape().dim(i);
+                } else if keepdim {
+                    // size-1 axis contributes stride 0 regardless
+                }
+            }
+        }
+        let mut out = vec![0.0f32; out_shape.numel()];
+        let src = self.data();
+        for (flat, &v) in src.iter().enumerate() {
+            let mut rem = flat;
+            let mut out_idx = 0usize;
+            for i in 0..rank {
+                let c = rem / in_strides[i];
+                rem %= in_strides[i];
+                if !reduce[i] {
+                    out_idx += c * out_axis_strides[i];
+                }
+            }
+            out[out_idx] += v;
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// Means over the given axes (see [`Tensor::sum_axes`]).
+    pub fn mean_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        let count: usize = axes.iter().map(|&a| self.shape().dim(a)).product();
+        let summed = self.sum_axes(axes, keepdim);
+        summed * (1.0 / count as f32)
+    }
+
+    /// Index of the maximum element in each row of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 2 with at least one column.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows needs rank 2, got {}", self.shape());
+        let (n, c) = (self.shape().dim(0), self.shape().dim(1));
+        assert!(c > 0, "argmax_rows needs at least one column");
+        let data = self.data();
+        (0..n)
+            .map(|i| {
+                let row = &data[i * c..(i + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .map(|(j, _)| j)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Per-row maximum of a rank-2 tensor, as an `[n, 1]` tensor.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 2 with at least one column.
+    pub fn max_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "max_rows needs rank 2, got {}", self.shape());
+        let (n, c) = (self.shape().dim(0), self.shape().dim(1));
+        assert!(c > 0, "max_rows needs at least one column");
+        let data = self.data();
+        let out: Vec<f32> = (0..n)
+            .map(|i| data[i * c..(i + 1) * c].iter().cloned().fold(f32::NEG_INFINITY, f32::max))
+            .collect();
+        Tensor::from_vec(out, [n, 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axes_single_axis() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let s0 = t.sum_axes(&[0], false);
+        assert_eq!(s0.shape().dims(), &[3]);
+        assert_eq!(s0.data(), &[5.0, 7.0, 9.0]);
+        let s1 = t.sum_axes(&[1], false);
+        assert_eq!(s1.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_axes_keepdim_broadcasts_back() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let s = t.sum_axes(&[1], true);
+        assert_eq!(s.shape().dims(), &[2, 1]);
+        let centered = &t - &s;
+        assert_eq!(centered.shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn sum_axes_multiple() {
+        let t = Tensor::ones([2, 3, 4]);
+        let s = t.sum_axes(&[0, 2], false);
+        assert_eq!(s.shape().dims(), &[3]);
+        assert_eq!(s.data(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn sum_axes_all_gives_total() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let s = t.sum_axes(&[0, 1], false);
+        assert_eq!(s.shape().rank(), 0);
+        assert_eq!(s.item(), 10.0);
+    }
+
+    #[test]
+    fn mean_axes_divides_by_count() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], [2, 2]);
+        let m = t.mean_axes(&[0], false);
+        assert_eq!(m.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.3], [2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn max_rows_shape_and_values() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, -1.0, 2.0], [2, 2]);
+        let m = t.max_rows();
+        assert_eq!(m.shape().dims(), &[2, 1]);
+        assert_eq!(m.data(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 3 out of range")]
+    fn sum_axes_rejects_bad_axis() {
+        let t = Tensor::ones([2, 2]);
+        let _ = t.sum_axes(&[3], false);
+    }
+}

@@ -1,0 +1,326 @@
+//! Statistical and shaping utilities: per-axis variance, standardization,
+//! clamping, softmax and pairwise similarity.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Population variance over the given axes (see [`Tensor::sum_axes`]).
+    pub fn var_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        let mean = self.mean_axes(axes, true);
+        let centered = self - &mean;
+        (&centered * &centered).mean_axes(axes, keepdim)
+    }
+
+    /// Population standard deviation over the given axes.
+    pub fn std_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        self.var_axes(axes, keepdim).map(f32::sqrt)
+    }
+
+    /// Standardizes to zero mean and unit variance over the whole tensor
+    /// (with an epsilon guard for constant tensors).
+    pub fn standardized(&self) -> Tensor {
+        let mean = self.mean();
+        let var = self.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / self.numel() as f32;
+        let std = (var + 1e-8).sqrt();
+        self.map(|x| (x - mean) / std)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp bounds inverted: {lo} > {hi}");
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (non-autograd convenience; use
+    /// [`crate::Var::log_softmax`] inside training graphs).
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows needs [n, c]");
+        let (n, c) = (self.shape().dim(0), self.shape().dim(1));
+        let x = self.data();
+        let mut out = vec![0.0f32; n * c];
+        for i in 0..n {
+            let row = &x[i * c..(i + 1) * c];
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for j in 0..c {
+                let e = (row[j] - m).exp();
+                out[i * c + j] = e;
+                z += e;
+            }
+            for j in 0..c {
+                out[i * c + j] /= z;
+            }
+        }
+        Tensor::from_vec(out, [n, c])
+    }
+
+    /// Cosine similarity between the flattened tensors, in `[-1, 1]`
+    /// (0 when either is a zero tensor).
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn cosine_similarity(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.numel(), other.numel(), "cosine length mismatch");
+        let na = self.l2_norm();
+        let nb = other.l2_norm();
+        if na < 1e-12 || nb < 1e-12 {
+            return 0.0;
+        }
+        (self.dot(other) / (na * nb)).clamp(-1.0, 1.0)
+    }
+
+    /// Pairwise squared Euclidean distances between the rows of two rank-2
+    /// tensors: `[m, d] × [n, d] → [m, n]`.
+    ///
+    /// # Panics
+    /// Panics unless both are rank 2 with equal feature dimension.
+    pub fn pairwise_sq_distances(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "pairwise needs rank-2 lhs");
+        assert_eq!(other.rank(), 2, "pairwise needs rank-2 rhs");
+        let (m, d) = (self.shape().dim(0), self.shape().dim(1));
+        let (n, d2) = (other.shape().dim(0), other.shape().dim(1));
+        assert_eq!(d, d2, "feature dim mismatch: {d} vs {d2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let ra = &a[i * d..(i + 1) * d];
+            for j in 0..n {
+                let rb = &b[j * d..(j + 1) * d];
+                let mut acc = 0.0f32;
+                for (x, y) in ra.iter().zip(rb) {
+                    let diff = x - y;
+                    acc += diff * diff;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// The histogram of values over `bins` equal-width buckets spanning
+    /// `[lo, hi]`; out-of-range values clamp into the edge buckets.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn histogram(&self, lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "histogram range inverted");
+        let mut counts = vec![0usize; bins];
+        let scale = bins as f32 / (hi - lo);
+        for &v in self.data() {
+            let idx = (((v - lo) * scale) as isize).clamp(0, bins as isize - 1) as usize;
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Mean over axis 0 of a rank ≥ 1 tensor, keeping the remaining shape.
+    ///
+    /// # Panics
+    /// Panics on a rank-0 tensor.
+    pub fn mean_rows(&self) -> Tensor {
+        assert!(self.rank() >= 1, "mean_rows needs rank >= 1");
+        let tail: Vec<usize> = self.shape().dims()[1..].to_vec();
+        self.mean_axes(&[0], false).reshape(if tail.is_empty() { vec![] } else { tail })
+    }
+}
+
+/// A numerically stable running mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f32) {
+        self.count += 1;
+        let delta = value as f64 - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value as f64 - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64) as f32
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+}
+
+/// Validates that a shape matches an expected pattern, returning a
+/// descriptive error string on mismatch (used by bindings that prefer
+/// `Result` over panics).
+pub fn expect_shape(actual: &Shape, expected: &[usize]) -> Result<(), String> {
+    if actual.dims() == expected {
+        Ok(())
+    } else {
+        Err(format!("expected shape {expected:?}, got {actual}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn var_and_std_axes() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 2.0, 4.0], [2, 2]);
+        let v = t.var_axes(&[0], false);
+        assert_eq!(v.data(), &[0.25, 0.25]);
+        let s = t.std_axes(&[0], false);
+        assert_eq!(s.data(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn standardized_has_zero_mean_unit_var() {
+        let mut rng = Rng::new(1);
+        let t = &Tensor::randn([100], &mut rng) * 3.0 + 7.0;
+        let z = t.standardized();
+        assert!(z.mean().abs() < 1e-4);
+        let var = z.data().iter().map(|&x| x * x).sum::<f32>() / 100.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn standardized_handles_constant_input() {
+        let t = Tensor::full([5], 3.0);
+        let z = t.standardized();
+        assert!(z.is_finite());
+        assert!(z.abs().max() < 1e-3);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let t = Tensor::from_vec(vec![-2.0, 0.5, 9.0], [3]);
+        assert_eq!(t.clamp(-1.0, 1.0).data(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::new(2);
+        let t = Tensor::randn([3, 5], &mut rng);
+        let s = t.softmax_rows();
+        for i in 0..3 {
+            let sum: f32 = (0..5).map(|j| s.at(&[i, j])).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!((0..5).all(|j| s.at(&[i, j]) > 0.0));
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_properties() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn([8], &mut rng);
+        assert!((a.cosine_similarity(&a) - 1.0).abs() < 1e-5);
+        assert!((a.cosine_similarity(&(-&a)) + 1.0).abs() < 1e-5);
+        assert_eq!(a.cosine_similarity(&Tensor::zeros([8])), 0.0);
+    }
+
+    #[test]
+    fn pairwise_distances_match_manual() {
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0], [2, 2]);
+        let b = Tensor::from_vec(vec![0.0, 1.0], [1, 2]);
+        let d = a.pairwise_sq_distances(&b);
+        assert_eq!(d.shape().dims(), &[2, 1]);
+        assert_eq!(d.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pairwise_diagonal_is_zero() {
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn([4, 3], &mut rng);
+        let d = a.pairwise_sq_distances(&a);
+        for i in 0..4 {
+            assert!(d.at(&[i, i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let t = Tensor::from_vec(vec![-10.0, 0.1, 0.2, 0.9, 10.0], [5]);
+        let h = t.histogram(0.0, 1.0, 2);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h, vec![3, 2]); // -10 clamps low, 10 clamps high
+    }
+
+    #[test]
+    fn mean_rows_reduces_axis_zero() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let m = t.mean_rows();
+        assert_eq!(m.shape().dims(), &[2]);
+        assert_eq!(m.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn running_stats_match_batch_stats() {
+        let mut rng = Rng::new(5);
+        let values: Vec<f32> = (0..500).map(|_| rng.normal_with(2.0, 3.0)).collect();
+        let mut rs = RunningStats::new();
+        for &v in &values {
+            rs.push(v);
+        }
+        let mean = values.iter().sum::<f32>() / 500.0;
+        let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 500.0;
+        assert!((rs.mean() - mean).abs() < 1e-3);
+        assert!((rs.variance() - var).abs() < 1e-2);
+        assert_eq!(rs.count(), 500);
+    }
+
+    #[test]
+    fn running_stats_degenerate_cases() {
+        let mut rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        rs.push(5.0);
+        assert_eq!(rs.mean(), 5.0);
+        assert_eq!(rs.std(), 0.0);
+    }
+
+    #[test]
+    fn expect_shape_formats_errors() {
+        let s = Shape::new(vec![2, 3]);
+        assert!(expect_shape(&s, &[2, 3]).is_ok());
+        let err = expect_shape(&s, &[3, 2]).unwrap_err();
+        assert!(err.contains("[3, 2]"));
+    }
+}

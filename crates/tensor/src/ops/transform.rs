@@ -1,0 +1,249 @@
+//! Structural transforms: row selection/concatenation, spatial shift and
+//! flip (used by DSA augmentation), and one-hot encoding.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Gathers rows (axis-0 slices) by index, in order, possibly repeating.
+    ///
+    /// # Panics
+    /// Panics if the tensor is rank 0 or any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        assert!(self.rank() >= 1, "select_rows needs rank >= 1");
+        let n = self.shape().dim(0);
+        let row = self.numel() / n.max(1);
+        let mut out = Vec::with_capacity(indices.len() * row);
+        for &i in indices {
+            assert!(i < n, "row index {i} out of range (n = {n})");
+            out.extend_from_slice(&self.data()[i * row..(i + 1) * row]);
+        }
+        let mut dims = self.shape().dims().to_vec();
+        dims[0] = indices.len();
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Adjoint of [`Tensor::select_rows`]: scatters this tensor's rows into
+    /// a zero tensor with `n_rows` rows, accumulating on repeated indices.
+    ///
+    /// # Panics
+    /// Panics if `indices.len()` differs from this tensor's row count.
+    pub fn scatter_rows_add(&self, indices: &[usize], n_rows: usize) -> Tensor {
+        assert!(self.rank() >= 1, "scatter_rows_add needs rank >= 1");
+        assert_eq!(indices.len(), self.shape().dim(0), "index count mismatch");
+        let row = self.numel() / self.shape().dim(0).max(1);
+        let mut dims = self.shape().dims().to_vec();
+        dims[0] = n_rows;
+        let shape = Shape::new(dims);
+        let mut out = vec![0.0f32; shape.numel()];
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < n_rows, "row index {i} out of range (n = {n_rows})");
+            let src = &self.data()[r * row..(r + 1) * row];
+            let dst = &mut out[i * row..(i + 1) * row];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        Tensor::from_vec(out, shape)
+    }
+
+    /// Concatenates tensors along axis 0. All trailing dims must match.
+    ///
+    /// # Panics
+    /// Panics on an empty input list or mismatched trailing dimensions.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows needs at least one tensor");
+        let tail: Vec<usize> = parts[0].shape().dims()[1..].to_vec();
+        let mut total = 0;
+        for p in parts {
+            assert_eq!(&p.shape().dims()[1..], tail.as_slice(), "trailing dims mismatch in concat");
+            total += p.shape().dim(0);
+        }
+        let mut data = Vec::with_capacity(total * tail.iter().product::<usize>().max(1));
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        let mut dims = vec![total];
+        dims.extend_from_slice(&tail);
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Translates an NCHW image batch by `(dy, dx)` pixels, filling vacated
+    /// pixels with zero. Positive `dy` moves content down, positive `dx`
+    /// moves it right.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 4.
+    pub fn shift2d(&self, dy: isize, dx: isize) -> Tensor {
+        assert_eq!(self.rank(), 4, "shift2d input must be NCHW");
+        let (n, c, h, w) = (
+            self.shape().dim(0),
+            self.shape().dim(1),
+            self.shape().dim(2),
+            self.shape().dim(3),
+        );
+        let x = self.data();
+        let mut out = vec![0.0f32; x.len()];
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            for oy in 0..h as isize {
+                let iy = oy - dy;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for ox in 0..w as isize {
+                    let ix = ox - dx;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    out[base + (oy as usize) * w + ox as usize] =
+                        x[base + (iy as usize) * w + ix as usize];
+                }
+            }
+        }
+        Tensor::from_vec(out, self.shape().dims().to_vec())
+    }
+
+    /// Horizontally mirrors an NCHW image batch.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 4.
+    pub fn flip_w(&self) -> Tensor {
+        assert_eq!(self.rank(), 4, "flip_w input must be NCHW");
+        let (n, c, h, w) = (
+            self.shape().dim(0),
+            self.shape().dim(1),
+            self.shape().dim(2),
+            self.shape().dim(3),
+        );
+        let x = self.data();
+        let mut out = vec![0.0f32; x.len()];
+        for nch in 0..n * c * h {
+            let base = nch * w;
+            for i in 0..w {
+                out[base + i] = x[base + w - 1 - i];
+            }
+        }
+        Tensor::from_vec(out, self.shape().dims().to_vec())
+    }
+
+    /// One-hot encodes class labels into an `[n, num_classes]` matrix.
+    ///
+    /// # Panics
+    /// Panics if any label is `>= num_classes`.
+    pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
+        let mut data = vec![0.0f32; labels.len() * num_classes];
+        for (i, &y) in labels.iter().enumerate() {
+            assert!(y < num_classes, "label {y} out of range ({num_classes} classes)");
+            data[i * num_classes + y] = 1.0;
+        }
+        Tensor::from_vec(data, [labels.len(), num_classes])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2x3() -> Tensor {
+        Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3])
+    }
+
+    #[test]
+    fn select_rows_gathers_in_order() {
+        let t = t2x3();
+        let s = t.select_rows(&[1, 0, 1]);
+        assert_eq!(s.shape().dims(), &[3, 3]);
+        assert_eq!(s.data(), &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scatter_is_adjoint_of_select() {
+        // <select(x, idx), g> == <x, scatter(g, idx)>
+        let mut rng = crate::Rng::new(7);
+        let x = Tensor::randn([5, 4], &mut rng);
+        let g = Tensor::randn([3, 4], &mut rng);
+        let idx = [4usize, 0, 4];
+        let lhs = x.select_rows(&idx).dot(&g);
+        let rhs = x.dot(&g.scatter_rows_add(&idx, 5));
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scatter_accumulates_duplicates() {
+        let g = Tensor::from_vec(vec![1.0, 10.0], [2, 1]);
+        let s = g.scatter_rows_add(&[0, 0], 2);
+        assert_eq!(s.data(), &[11.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = t2x3();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0], [1, 3]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape().dims(), &[3, 3]);
+        assert_eq!(c.data()[6..], [7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing dims mismatch")]
+    fn concat_rejects_mismatched_tails() {
+        let a = Tensor::ones([2, 3]);
+        let b = Tensor::ones([2, 4]);
+        let _ = Tensor::concat_rows(&[&a, &b]);
+    }
+
+    #[test]
+    fn shift_moves_content() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]);
+        let y = x.shift2d(1, 0);
+        // Row 0 becomes zeros, old row 0 moves to row 1.
+        assert_eq!(y.data(), &[0.0, 0.0, 1.0, 2.0]);
+        let z = x.shift2d(0, -1);
+        assert_eq!(z.data(), &[2.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn shift_zero_is_identity() {
+        let mut rng = crate::Rng::new(8);
+        let x = Tensor::randn([2, 3, 4, 4], &mut rng);
+        assert_eq!(x.shift2d(0, 0), x);
+    }
+
+    #[test]
+    fn shift_adjoint_is_opposite_shift() {
+        // <shift(x, d), g> == <x, shift(g, -d)>
+        let mut rng = crate::Rng::new(9);
+        let x = Tensor::randn([1, 1, 5, 5], &mut rng);
+        let g = Tensor::randn([1, 1, 5, 5], &mut rng);
+        let lhs = x.shift2d(2, -1).dot(&g);
+        let rhs = x.dot(&g.shift2d(-2, 1));
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let mut rng = crate::Rng::new(10);
+        let x = Tensor::randn([2, 1, 3, 4], &mut rng);
+        assert_eq!(x.flip_w().flip_w(), x);
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 1, 1, 3]);
+        assert_eq!(x.flip_w().data(), &[3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn one_hot_encodes() {
+        let oh = Tensor::one_hot(&[2, 0], 3);
+        assert_eq!(oh.shape().dims(), &[2, 3]);
+        assert_eq!(oh.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        let _ = Tensor::one_hot(&[3], 3);
+    }
+}

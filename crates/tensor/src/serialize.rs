@@ -1,0 +1,87 @@
+//! Serde support: tensors serialize as `{ dims, data }`, which makes
+//! buffers and model snapshots persistable (e.g. checkpointing the
+//! on-device learner's synthetic buffer between sessions).
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Serialize for Shape {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.dims().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Shape {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Shape::new(Vec::<usize>::deserialize(deserializer)?))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct TensorRepr {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Serialize for Tensor {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        TensorRepr { dims: self.shape().dims().to_vec(), data: self.data().to_vec() }
+            .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Tensor {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = TensorRepr::deserialize(deserializer)?;
+        let expected: usize = repr.dims.iter().product();
+        if repr.data.len() != expected {
+            return Err(D::Error::custom(format!(
+                "tensor data length {} does not match dims {:?}",
+                repr.data.len(),
+                repr.dims
+            )));
+        }
+        Ok(Tensor::from_vec(repr.data, repr.dims))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn tensor_json_roundtrip() {
+        let mut rng = Rng::new(1);
+        let t = Tensor::randn([2, 3, 4], &mut rng);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn shape_json_roundtrip() {
+        let s = Shape::new(vec![5, 1, 2]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Shape = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(3.5);
+        let back: Tensor = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(back.item(), 3.5);
+        assert_eq!(back.rank(), 0);
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let bad = r#"{"dims":[2,2],"data":[1.0,2.0,3.0]}"#;
+        let res: Result<Tensor, _> = serde_json::from_str(bad);
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Tensor shapes, strides and broadcasting rules.
+//!
+//! Shapes are dense, row-major (C order). Broadcasting follows the usual
+//! numpy convention: trailing axes are aligned, and axes of size 1 stretch.
+
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), row-major.
+///
+/// A `Shape` is a thin wrapper around `Vec<usize>` that adds element
+/// counting, stride computation and broadcasting.
+///
+/// ```
+/// use deco_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from its dimension list. A zero-rank shape denotes a
+    /// scalar with one element.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size along axis `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Whether the two shapes are broadcast-compatible (numpy rules).
+    pub fn broadcast_compatible(&self, other: &Shape) -> bool {
+        self.broadcast(other).is_some()
+    }
+
+    /// The broadcast result shape, or `None` when incompatible.
+    ///
+    /// ```
+    /// use deco_tensor::Shape;
+    /// let a = Shape::new(vec![4, 1, 3]);
+    /// let b = Shape::new(vec![2, 3]);
+    /// assert_eq!(a.broadcast(&b), Some(Shape::new(vec![4, 2, 3])));
+    /// ```
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
+            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
+            dims[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return None;
+            };
+        }
+        Some(Shape(dims))
+    }
+
+    /// Converts a flat row-major index into per-axis coordinates.
+    pub fn unravel(&self, mut index: usize) -> Vec<usize> {
+        let mut coords = vec![0; self.rank()];
+        for (i, s) in self.strides().iter().enumerate() {
+            coords[i] = index / s;
+            index %= s;
+        }
+        coords
+    }
+
+    /// Converts per-axis coordinates into a flat row-major index.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != rank`.
+    pub fn ravel(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.rank(), "coordinate rank mismatch");
+        coords.iter().zip(self.strides()).map(|(c, s)| c * s).sum()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        let a = Shape::new(vec![2, 3]);
+        assert_eq!(a.broadcast(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn broadcast_stretches_ones() {
+        let a = Shape::new(vec![2, 1, 4]);
+        let b = Shape::new(vec![1, 3, 1]);
+        assert_eq!(a.broadcast(&b), Some(Shape::new(vec![2, 3, 4])));
+    }
+
+    #[test]
+    fn broadcast_aligns_trailing_axes() {
+        let a = Shape::new(vec![5, 2, 3]);
+        let b = Shape::new(vec![3]);
+        assert_eq!(a.broadcast(&b), Some(Shape::new(vec![5, 2, 3])));
+    }
+
+    #[test]
+    fn broadcast_rejects_mismatch() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![2, 4]);
+        assert_eq!(a.broadcast(&b), None);
+        assert!(!a.broadcast_compatible(&b));
+    }
+
+    #[test]
+    fn scalar_broadcasts_with_anything() {
+        let a = Shape::scalar();
+        let b = Shape::new(vec![7, 2]);
+        assert_eq!(a.broadcast(&b), Some(b.clone()));
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let s = Shape::new(vec![3, 4, 5]);
+        for i in 0..s.numel() {
+            assert_eq!(s.ravel(&s.unravel(i)), i);
+        }
+    }
+
+    #[test]
+    fn unravel_first_and_last() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.unravel(0), vec![0, 0]);
+        assert_eq!(s.unravel(5), vec![1, 2]);
+    }
+}

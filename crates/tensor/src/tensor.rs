@@ -1,0 +1,480 @@
+//! The dense `f32` tensor type.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::rng::Rng;
+use crate::shape::Shape;
+
+/// A dense, row-major `f32` tensor.
+///
+/// Storage is shared (`Arc`), so `clone` is O(1); mutating accessors use
+/// copy-on-write semantics. All numeric code in the reproduction — network
+/// weights, images, gradients — is built on this type.
+///
+/// ```
+/// use deco_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// assert_eq!(t.shape().dims(), &[2, 2]);
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// ```
+#[derive(Clone)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { data: Arc::new(data), shape }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: Arc::new(vec![value]), shape: Shape::scalar() }
+    }
+
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: Arc::new(vec![0.0; shape.numel()]), shape }
+    }
+
+    /// All-one tensor of the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Constant tensor of the given shape.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor { data: Arc::new(vec![value; shape.numel()]), shape }
+    }
+
+    /// Tensor of iid standard-normal samples.
+    pub fn randn(shape: impl Into<Shape>, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+        Tensor { data: Arc::new(data), shape }
+    }
+
+    /// Tensor of iid uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { data: Arc::new(data), shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// The flat row-major data buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the data (copy-on-write if shared).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// The element at the given coordinates.
+    ///
+    /// # Panics
+    /// Panics on rank mismatch or out-of-range coordinates.
+    pub fn at(&self, coords: &[usize]) -> f32 {
+        self.data[self.shape.ravel(coords)]
+    }
+
+    /// The single value of a one-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor of shape {}", self.shape);
+        self.data[0]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "cannot reshape {} into {}",
+            self.shape,
+            shape
+        );
+        Tensor { data: Arc::clone(&self.data), shape }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f(self_elem, other_elem)` with numpy-style broadcasting.
+    ///
+    /// # Panics
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            let data: Vec<f32> =
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            return Tensor { data: Arc::new(data), shape: self.shape.clone() };
+        }
+        let out_shape = self
+            .shape
+            .broadcast(&other.shape)
+            .unwrap_or_else(|| panic!("shapes {} and {} not broadcastable", self.shape, other.shape));
+        let mut out = vec![0.0; out_shape.numel()];
+        let a_idx = BroadcastIndexer::new(&self.shape, &out_shape);
+        let b_idx = BroadcastIndexer::new(&other.shape, &out_shape);
+        for (i, slot) in out.iter_mut().enumerate() {
+            let coords = out_shape.unravel(i);
+            *slot = f(self.data[a_idx.index(&coords)], other.data[b_idx.index(&coords)]);
+        }
+        Tensor { data: Arc::new(out), shape: out_shape }
+    }
+
+    /// In-place `self += alpha * other` (same shape required).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled shape mismatch");
+        let dst = self.data_mut();
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += alpha * s;
+        }
+    }
+
+    /// In-place elementwise scale.
+    pub fn scale_mut(&mut self, alpha: f32) {
+        for d in self.data_mut() {
+            *d *= alpha;
+        }
+    }
+
+    /// Sum of all elements (f64 accumulation for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> f32 {
+        assert!(self.numel() > 0, "max of empty tensor");
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> f32 {
+        assert!(self.numel() > 0, "min of empty tensor");
+        self.data.iter().cloned().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        (self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+    }
+
+    /// Dot product of the flattened tensors.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.numel(), other.numel(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum::<f64>() as f32
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Reduces this tensor (a broadcast result gradient) back to `target`,
+    /// summing over broadcast axes. This is the adjoint of broadcasting and
+    /// is used by autograd backward passes.
+    ///
+    /// # Panics
+    /// Panics if `target` is not broadcast-compatible with `self.shape()`.
+    pub fn sum_to(&self, target: &Shape) -> Tensor {
+        if &self.shape == target {
+            return self.clone();
+        }
+        assert!(
+            target.broadcast(&self.shape) == Some(self.shape.clone()),
+            "cannot reduce {} to {}",
+            self.shape,
+            target
+        );
+        let mut out = vec![0.0f32; target.numel()];
+        let t_idx = BroadcastIndexer::new(target, &self.shape);
+        for (i, &v) in self.data.iter().enumerate() {
+            let coords = self.shape.unravel(i);
+            out[t_idx.index(&coords)] += v;
+        }
+        Tensor { data: Arc::new(out), shape: target.clone() }
+    }
+}
+
+/// Maps coordinates in a broadcast output shape to flat indices in a source
+/// shape (stride 0 on stretched axes).
+pub(crate) struct BroadcastIndexer {
+    strides: Vec<usize>,
+}
+
+impl BroadcastIndexer {
+    pub(crate) fn new(src: &Shape, out: &Shape) -> Self {
+        let offset = out.rank() - src.rank();
+        let src_strides = src.strides();
+        let mut strides = vec![0usize; out.rank()];
+        for i in 0..src.rank() {
+            strides[i + offset] = if src.dim(i) == 1 { 0 } else { src_strides[i] };
+        }
+        BroadcastIndexer { strides }
+    }
+
+    pub(crate) fn index(&self, out_coords: &[usize]) -> usize {
+        out_coords.iter().zip(&self.strides).map(|(c, s)| c * s).sum()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).cloned().collect();
+        let ellipsis = if self.numel() > 8 { ", …" } else { "" };
+        write!(f, "Tensor({} {:?}{})", self.shape, preview, ellipsis)
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+// ---- elementwise operators (broadcasting) ----
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl std::ops::$trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip_broadcast(rhs, $f)
+            }
+        }
+        impl std::ops::$trait<Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                (&self).$method(&rhs)
+            }
+        }
+        impl std::ops::$trait<f32> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                self.map(|x| $f(x, rhs))
+            }
+        }
+        impl std::ops::$trait<f32> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                self.map(|x| $f(x, rhs))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, |a: f32, b: f32| a + b);
+impl_binop!(Sub, sub, |a: f32, b: f32| a - b);
+impl_binop!(Mul, mul, |a: f32, b: f32| a * b);
+impl_binop!(Div, div, |a: f32, b: f32| a / b);
+
+impl std::ops::Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl std::ops::Neg for Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        let t = Tensor::from_vec(vec![1.0; 6], [2, 3]);
+        assert_eq!(t.numel(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Tensor::from_vec(vec![1.0; 5], [2, 3]);
+    }
+
+    #[test]
+    fn clone_is_shallow_mutation_is_cow() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data()[0], 1.0);
+        assert_eq!(b.data()[0], 9.0);
+    }
+
+    #[test]
+    fn elementwise_add_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
+        assert_eq!((&a + &b).data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn broadcast_row_vector_over_matrix() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let r = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
+        let out = &m + &r;
+        assert_eq!(out.shape().dims(), &[2, 3]);
+        assert_eq!(out.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_column_vector_over_matrix() {
+        let m = Tensor::ones([2, 3]);
+        let c = Tensor::from_vec(vec![1.0, 2.0], [2, 1]);
+        let out = &m * &c;
+        assert_eq!(out.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], [2]);
+        assert_eq!((&a * 2.0).data(), &[2.0, -4.0]);
+        assert_eq!((&a + 1.0).data(), &[2.0, -1.0]);
+        assert_eq!((-&a).data(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_to_reverses_broadcast() {
+        let g = Tensor::ones([2, 3]);
+        let reduced = g.sum_to(&Shape::new(vec![3]));
+        assert_eq!(reduced.data(), &[2.0, 2.0, 2.0]);
+        let reduced2 = g.sum_to(&Shape::new(vec![2, 1]));
+        assert_eq!(reduced2.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn sum_to_scalar() {
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        assert_eq!(g.sum_to(&Shape::scalar()).item(), 6.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), 1.0);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], [2]);
+        assert_eq!(a.l2_norm(), 5.0);
+        let b = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        assert_eq!(a.dot(&b), 11.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let r = t.reshape([4]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape().dims(), &[4]);
+    }
+
+    #[test]
+    fn add_scaled_in_place() {
+        let mut a = Tensor::zeros([3]);
+        let b = Tensor::ones([3]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn randn_is_seeded() {
+        let mut r1 = Rng::new(5);
+        let mut r2 = Rng::new(5);
+        let a = Tensor::randn([4, 4], &mut r1);
+        let b = Tensor::randn([4, 4], &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut t = Tensor::ones([2]);
+        assert!(t.is_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.is_finite());
+    }
+}

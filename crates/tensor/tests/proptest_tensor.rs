@@ -1,0 +1,189 @@
+//! Property-based tests for tensor algebra and autograd invariants.
+
+use deco_tensor::{Conv2dSpec, Reduction, Rng, Shape, Tensor, Var};
+use proptest::prelude::*;
+
+/// Strategy: a small shape (rank 1–3, each dim 1–5).
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=5, 1..=3)
+}
+
+/// Strategy: a tensor of the given shape with bounded values.
+fn tensor_of(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-4.0f32..4.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()))
+}
+
+fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(dims in small_shape(), seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(dims.clone(), &mut rng);
+        let b = Tensor::randn(dims, &mut rng);
+        prop_assert!(approx_eq(&(&a + &b), &(&b + &a), 1e-6));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(dims in small_shape(), seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(dims.clone(), &mut rng);
+        let b = Tensor::randn(dims.clone(), &mut rng);
+        let c = Tensor::randn(dims, &mut rng);
+        let lhs = &a * &(&b + &c);
+        let rhs = &(&a * &b) + &(&a * &c);
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn broadcast_result_shape_is_commutative(
+        d1 in small_shape(),
+        d2 in small_shape(),
+    ) {
+        let s1 = Shape::new(d1);
+        let s2 = Shape::new(d2);
+        prop_assert_eq!(s1.broadcast(&s2), s2.broadcast(&s1));
+    }
+
+    #[test]
+    fn sum_to_is_adjoint_of_broadcast(seed in 0u64..1000, rows in 1usize..5, cols in 1usize..5) {
+        // <broadcast(x), g> == <x, sum_to(g)>
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn([cols], &mut rng);
+        let g = Tensor::randn([rows, cols], &mut rng);
+        let broadcast_x = &Tensor::zeros([rows, cols]) + &x;
+        let lhs = broadcast_x.dot(&g);
+        let rhs = x.dot(&g.sum_to(x.shape()));
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn sum_axes_totals_match(dims in prop::collection::vec(1usize..=4, 2..=3), seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn(dims.clone(), &mut rng);
+        let total: f32 = t.sum();
+        let per_axis = t.sum_axes(&[0], false).sum();
+        prop_assert!((total - per_axis).abs() < 1e-3 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn matmul_associates(seed in 0u64..500) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn([3, 4], &mut rng);
+        let b = Tensor::randn([4, 2], &mut rng);
+        let c = Tensor::randn([2, 5], &mut rng);
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn conv_is_linear_in_weights(seed in 0u64..200) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn([1, 2, 4, 4], &mut rng);
+        let w1 = Tensor::randn([2, 2, 3, 3], &mut rng);
+        let w2 = Tensor::randn([2, 2, 3, 3], &mut rng);
+        let spec = Conv2dSpec::default();
+        let joint = x.conv2d(&(&w1 + &w2), None, spec);
+        let split = &x.conv2d(&w1, None, spec) + &x.conv2d(&w2, None, spec);
+        prop_assert!(approx_eq(&joint, &split, 1e-3));
+    }
+
+    #[test]
+    fn autograd_is_linear_in_seed(seed in 0u64..200, scale in 0.5f32..3.0) {
+        // backward(k·g) == k·backward(g) for the whole graph.
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn([3, 3], &mut rng);
+        let g = Tensor::randn([3, 3], &mut rng);
+
+        let run = |seed_grad: Tensor| -> Tensor {
+            let x = Var::leaf(t.clone(), true);
+            let y = x.mul(&x).add_scalar(1.0);
+            y.backward_with(seed_grad);
+            x.grad().unwrap()
+        };
+        let g1 = run(&g * scale);
+        let mut g2 = run(g);
+        g2.scale_mut(scale);
+        prop_assert!(approx_eq(&g1, &g2, 1e-4));
+    }
+
+    #[test]
+    fn softmax_gradient_rows_sum_to_zero(seed in 0u64..500, n in 1usize..5, c in 2usize..6) {
+        // Cross-entropy gradient per row sums to zero (p − y sums to 0).
+        let mut rng = Rng::new(seed);
+        let logits = Var::leaf(Tensor::randn([n, c], &mut rng), true);
+        let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+        logits.log_softmax().nll(&labels, None, Reduction::Sum).backward();
+        let g = logits.grad().unwrap();
+        for i in 0..n {
+            let row_sum: f32 = (0..c).map(|j| g.at(&[i, j])).sum();
+            prop_assert!(row_sum.abs() < 1e-4, "row {} sums to {}", i, row_sum);
+        }
+    }
+
+    #[test]
+    fn select_scatter_roundtrip_preserves_rows(seed in 0u64..500, n in 2usize..6) {
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn([n, 3], &mut rng);
+        let idx: Vec<usize> = (0..n).collect();
+        let roundtrip = t.select_rows(&idx).scatter_rows_add(&idx, n);
+        prop_assert!(approx_eq(&t, &roundtrip, 1e-6));
+    }
+
+    #[test]
+    fn shift_preserves_or_drops_mass(seed in 0u64..200, dy in -2isize..=2, dx in -2isize..=2) {
+        // Shifting never creates mass: |shift(x)|₁ ≤ |x|₁.
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn([1, 1, 5, 5], &mut rng).map(f32::abs);
+        let shifted = x.shift2d(dy, dx);
+        prop_assert!(shifted.sum() <= x.sum() + 1e-4);
+    }
+
+    #[test]
+    fn flip_preserves_sum(seed in 0u64..200) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn([2, 2, 3, 4], &mut rng);
+        prop_assert!((x.flip_w().sum() - x.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn avg_pool_preserves_mean(seed in 0u64..200) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn([1, 2, 4, 4], &mut rng);
+        let pooled = x.avg_pool2d(2);
+        prop_assert!((pooled.mean() - x.mean()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(n in 1usize..8, c in 1usize..6, seed in 0u64..100) {
+        let mut rng = Rng::new(seed);
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(c)).collect();
+        let oh = Tensor::one_hot(&labels, c);
+        for i in 0..n {
+            let s: f32 = (0..c).map(|j| oh.at(&[i, j])).sum();
+            prop_assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn rng_below_is_roughly_uniform(seed in 0u64..50) {
+        let mut rng = Rng::new(seed);
+        let k = 4usize;
+        let n = 4000;
+        let mut counts = vec![0usize; k];
+        for _ in 0..n {
+            counts[rng.below(k)] += 1;
+        }
+        let expected = n / k;
+        for &c in &counts {
+            // Loose 4-sigma-ish bound.
+            prop_assert!((c as isize - expected as isize).unsigned_abs() < 200);
+        }
+    }
+}

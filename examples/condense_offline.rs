@@ -1,0 +1,94 @@
+//! Offline dataset condensation, the classical setting: distill a labeled
+//! set into a handful of synthetic images per class with DC, DSA, DM and
+//! DECO's one-step matcher, then train a *fresh* model on each condensed
+//! set and compare accuracy and wall-clock — Table II in miniature.
+//!
+//! ```bash
+//! cargo run --release --example condense_offline
+//! ```
+
+use std::time::Instant;
+
+use deco_repro::condense::{
+    CondenseContext, Condenser, DcCondenser, DcConfig, DmCondenser, DmConfig, DsaCondenser,
+    SegmentData,
+};
+use deco_repro::prelude::*;
+
+fn main() {
+    let mut rng = Rng::new(11);
+    let data = SyntheticVision::new(core50());
+    let test = data.test_set(6);
+    let train = data.balanced_set(12, 0x0FF1); // the "large" labeled set
+    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+
+    // Reference: train directly on the full labeled set.
+    let full_model = ConvNet::new(net_cfg, &mut rng);
+    pretrain(&full_model, &train, 80, 0.02);
+    println!(
+        "full set ({} images)        : {:.1}%\n",
+        train.len(),
+        accuracy(&full_model, &test) * 100.0
+    );
+
+    let ipc = 2;
+    let weights = vec![1.0f32; train.len()];
+    let active: Vec<usize> = (0..10).collect();
+
+    let mut methods: Vec<(&str, Box<dyn Condenser>)> = vec![
+        (
+            "DC",
+            Box::new(DcCondenser::new(DcConfig { outer_inits: 3, matching_rounds: 5, ..DcConfig::default() })),
+        ),
+        (
+            "DSA",
+            Box::new(DsaCondenser::new(DcConfig { outer_inits: 3, matching_rounds: 5, ..DcConfig::default() })),
+        ),
+        ("DM", Box::new(DmCondenser::new(DmConfig::default()))),
+        (
+            "DECO (one-step)",
+            Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(10))),
+        ),
+    ];
+
+    println!("condensing {} images into {} per class:", train.len(), ipc);
+    for (name, condenser) in &mut methods {
+        let mut rng_m = Rng::new(42);
+        let scratch = ConvNet::new(net_cfg, &mut rng_m);
+        let deployed = ConvNet::new(net_cfg, &mut rng_m);
+        // Condensation starts from real samples, as in the paper.
+        let mut buffer = SyntheticBuffer::from_labeled(&train, ipc, 10, &mut rng_m);
+        let segment = SegmentData {
+            images: &train.images,
+            labels: &train.labels,
+            weights: &weights,
+            active_classes: &active,
+        };
+        let started = Instant::now();
+        let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng_m };
+        condenser.condense(&mut buffer, &segment, &mut ctx);
+        let elapsed = started.elapsed();
+
+        // Train a fresh model on the condensed set only.
+        let eval_model = ConvNet::new(net_cfg, &mut Rng::new(7));
+        let (images, labels) = buffer.as_training_batch();
+        let set = LabeledSet { images, labels };
+        pretrain(&eval_model, &set, 80, 0.02);
+        println!(
+            "  {name:16}: {:.1}% accuracy, {:.2}s condensation",
+            accuracy(&eval_model, &test) * 100.0,
+            elapsed.as_secs_f32()
+        );
+    }
+
+    // Reference: the same buffer without any condensation (IpC real images).
+    let raw_buffer = SyntheticBuffer::from_labeled(&train, ipc, 10, &mut Rng::new(42));
+    let raw_model = ConvNet::new(net_cfg, &mut Rng::new(7));
+    let (images, labels) = raw_buffer.as_training_batch();
+    pretrain(&raw_model, &LabeledSet { images, labels }, 80, 0.02);
+    println!(
+        "  {:16}: {:.1}% accuracy, 0.00s condensation",
+        "raw subset",
+        accuracy(&raw_model, &test) * 100.0
+    );
+}

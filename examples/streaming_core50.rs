@@ -1,0 +1,53 @@
+//! Head-to-head on-device learning on the CORe50-like stream: DECO vs two
+//! selection baselines (FIFO and GSS-Greedy) under the same tiny buffer,
+//! same model, same stream — the Table I / Fig. 3 setting in miniature.
+//!
+//! ```bash
+//! cargo run --release --example streaming_core50
+//! ```
+
+use deco_repro::prelude::*;
+
+fn run_method(name: &str, policy_for: impl FnOnce(&SyntheticVision, &mut Rng) -> BufferPolicy) {
+    let mut rng = Rng::new(7);
+    let data = SyntheticVision::new(core50());
+    let test = data.test_set(6);
+
+    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let model = ConvNet::new(net_cfg, &mut rng);
+    pretrain(&model, &data.pretrain_set(4), 50, 0.02);
+    let scratch = ConvNet::new(net_cfg, &mut rng);
+
+    let policy = policy_for(&data, &mut rng);
+    let config = LearnerConfig { vote_threshold: 0.4, beta: 4, model_lr: 5e-3, model_epochs: 12 };
+    let mut learner = OnDeviceLearner::new(model, scratch, policy, config, rng.fork(1));
+
+    let stream_cfg = StreamConfig { stc: 48, segment_size: 32, num_segments: 16, seed: 3 };
+    print!("{name:12}");
+    for (i, segment) in Stream::new(&data, stream_cfg).enumerate() {
+        learner.process_segment(&segment);
+        if (i + 1) % 4 == 0 {
+            print!("  {:4.1}%", learner.evaluate(&test) * 100.0);
+        }
+    }
+    println!("   (accuracy after 4/8/12/16 segments)");
+}
+
+fn main() {
+    println!("On-device learning on CORe50-like stream, buffer = 2 images/class\n");
+
+    run_method("DECO", |data, rng| BufferPolicy::Condensed {
+        condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(5))),
+        buffer: SyntheticBuffer::from_labeled(&data.pretrain_set(4), 2, 10, rng),
+    });
+
+    for kind in [BaselineKind::Fifo, BaselineKind::GssGreedy] {
+        run_method(kind.label(), |_data, _rng| BufferPolicy::Selection {
+            strategy: kind.build(),
+            buffer: ReplayBuffer::new(20),
+        });
+    }
+
+    println!("\nDECO keeps (and refines) its synthetic buffer, while the baselines'");
+    println!("buffers churn with the stream — the source of the paper's Table I gap.");
+}

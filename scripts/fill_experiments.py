@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Injects measured results from reports/logs/*.log into EXPERIMENTS.md.
+
+Each `<!-- NAME_RESULTS -->` placeholder is replaced by the corresponding
+table block(s) extracted from the bench binaries' logs. Idempotent: reruns
+replace previously injected blocks (delimited by marker comments).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+LOGS = ROOT / "reports" / "logs"
+
+
+def final_tables(log_name: str) -> str:
+    """Extract the final copy of every distinct table in a log, plus any
+    plain-prose summary lines after the last table.
+
+    Bench binaries re-print a table after each appended row; the final copy
+    of each distinct title (the one with the most rows) wins.
+    """
+    path = LOGS / f"{log_name}.log"
+    if not path.exists():
+        return "*(not yet measured — run `./run_experiments.sh`)*"
+    text = path.read_text()
+
+    # Split into chunks starting at "## " headers.
+    starts = [m.start() for m in re.finditer(r"^## ", text, re.M)]
+    if not starts:
+        return "*(log contains no table)*"
+    chunks = []
+    for i, s in enumerate(starts):
+        e = starts[i + 1] if i + 1 < len(starts) else len(text)
+        chunks.append(text[s:e])
+
+    best: dict[str, str] = {}
+    order: list[str] = []
+    trailing_prose: list[str] = []
+    for chunk in chunks:
+        lines = chunk.splitlines()
+        title = lines[0]
+        table_lines = [lines[0], ""]
+        prose: list[str] = []
+        for line in lines[1:]:
+            if line.startswith("|"):
+                table_lines.append(line)
+            elif line.startswith("[") or not line.strip():
+                continue
+            elif not line.startswith("#"):
+                prose.append(line.strip())
+        rendered = "\n".join(table_lines)
+        if title not in best or len(rendered) > len(best[title]):
+            best[title] = rendered
+            if title not in order:
+                order.append(title)
+        trailing_prose = prose or trailing_prose
+    out = "\n\n".join(best[t] for t in order)
+    if trailing_prose:
+        out += "\n\n" + "\n".join("> " + p for p in trailing_prose)
+    return out
+
+
+def inject(content: str, name: str, block: str) -> str:
+    begin = f"<!-- {name}_RESULTS -->"
+    end = f"<!-- /{name}_RESULTS -->"
+    if end in content:
+        pattern = re.escape(begin) + r".*?" + re.escape(end)
+        return re.sub(pattern, lambda _m: f"{begin}\n{block}\n{end}", content, flags=re.S)
+    return content.replace(begin, f"{begin}\n{block}\n{end}")
+
+
+def main() -> int:
+    content = EXPERIMENTS.read_text()
+    for name, log in [
+        ("TABLE1", "table1"),
+        ("FIG2", "fig2"),
+        ("FIG3", "fig3"),
+        ("FIG4A", "fig4a"),
+        ("FIG4B", "fig4b"),
+        ("ABLATIONS", "ablations"),
+        ("CROSS_ARCH", "cross_arch"),
+    ]:
+        content = inject(content, name, final_tables(log))
+    EXPERIMENTS.write_text(content)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full on-device learning pipeline
+//! (datasets → voting → condensation/selection → model updates → eval)
+//! exercised end to end at tiny scale.
+
+use deco_repro::condense::SyntheticBuffer;
+use deco_repro::prelude::*;
+
+fn net_cfg() -> ConvNetConfig {
+    ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true }
+}
+
+fn deployed_model(data: &SyntheticVision, rng: &mut Rng) -> ConvNet {
+    let model = ConvNet::new(net_cfg(), rng);
+    pretrain(&model, &data.pretrain_set(4), 40, 0.02);
+    model
+}
+
+fn deco_learner(data: &SyntheticVision, ipc: usize, rng: &mut Rng) -> OnDeviceLearner {
+    let model = deployed_model(data, rng);
+    let scratch = ConvNet::new(net_cfg(), rng);
+    let policy = BufferPolicy::Condensed {
+        condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(2))),
+        buffer: SyntheticBuffer::from_labeled(&data.pretrain_set(4), ipc, 10, rng),
+    };
+    let config = LearnerConfig { vote_threshold: 0.4, beta: 3, model_lr: 5e-3, model_epochs: 6 };
+    OnDeviceLearner::new(model, scratch, policy, config, rng.fork(3))
+}
+
+#[test]
+fn full_deco_pipeline_improves_or_holds_accuracy() {
+    let mut rng = Rng::new(100);
+    let data = SyntheticVision::new(core50());
+    let test = data.test_set(4);
+    let mut learner = deco_learner(&data, 1, &mut rng);
+    let before = learner.evaluate(&test);
+    let cfg = StreamConfig { stc: 48, segment_size: 32, num_segments: 9, seed: 2 };
+    for segment in Stream::new(&data, cfg) {
+        learner.process_segment(&segment);
+    }
+    let after = learner.evaluate(&test);
+    // On-device learning must not catastrophically degrade the model.
+    assert!(after >= before - 0.1, "accuracy collapsed: {before} -> {after}");
+}
+
+#[test]
+fn condensed_buffer_stays_class_balanced_through_the_stream() {
+    let mut rng = Rng::new(101);
+    let data = SyntheticVision::new(core50());
+    let mut learner = deco_learner(&data, 2, &mut rng);
+    let cfg = StreamConfig { stc: 32, segment_size: 24, num_segments: 6, seed: 5 };
+    for segment in Stream::new(&data, cfg) {
+        learner.process_segment(&segment);
+        match learner.policy() {
+            BufferPolicy::Condensed { buffer, .. } => {
+                buffer.check_invariants();
+                assert!(buffer.images().is_finite(), "buffer contains NaN/inf");
+            }
+            _ => unreachable!("DECO uses a condensed buffer"),
+        }
+    }
+}
+
+#[test]
+fn every_baseline_survives_the_same_stream() {
+    let data = SyntheticVision::new(core50());
+    let test = data.test_set(3);
+    for kind in BaselineKind::ALL {
+        let mut rng = Rng::new(102);
+        let model = deployed_model(&data, &mut rng);
+        let scratch = ConvNet::new(net_cfg(), &mut rng);
+        let policy = BufferPolicy::Selection {
+            strategy: kind.build(),
+            buffer: ReplayBuffer::new(10),
+        };
+        let config =
+            LearnerConfig { vote_threshold: 0.4, beta: 3, model_lr: 5e-3, model_epochs: 4 };
+        let mut learner = OnDeviceLearner::new(model, scratch, policy, config, rng.fork(3));
+        let cfg = StreamConfig { stc: 32, segment_size: 24, num_segments: 4, seed: 6 };
+        for segment in Stream::new(&data, cfg) {
+            learner.process_segment(&segment);
+        }
+        let acc = learner.evaluate(&test);
+        assert!((0.0..=1.0).contains(&acc), "{}: bad accuracy {acc}", kind.label());
+        match learner.policy() {
+            BufferPolicy::Selection { buffer, .. } => {
+                assert!(buffer.len() <= buffer.capacity(), "{} overfilled", kind.label());
+                assert!(!buffer.is_empty(), "{} stored nothing", kind.label());
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_per_seed() {
+    let run = || {
+        let mut rng = Rng::new(103);
+        let data = SyntheticVision::new(core50());
+        let mut learner = deco_learner(&data, 1, &mut rng);
+        let cfg = StreamConfig { stc: 32, segment_size: 24, num_segments: 4, seed: 7 };
+        for segment in Stream::new(&data, cfg) {
+            learner.process_segment(&segment);
+        }
+        learner.evaluate(&data.test_set(3))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn high_stc_streams_yield_few_active_classes() {
+    let mut rng = Rng::new(104);
+    let data = SyntheticVision::new(core50());
+    let mut learner = deco_learner(&data, 1, &mut rng);
+    let cfg = StreamConfig { stc: 100, segment_size: 32, num_segments: 6, seed: 8 };
+    let mut total_active = 0usize;
+    let mut segments = 0usize;
+    for segment in Stream::new(&data, cfg) {
+        let report = learner.process_segment(&segment);
+        total_active += report.active_classes.len();
+        segments += 1;
+    }
+    // With STC >> segment size, most segments contain 1–2 true classes.
+    assert!(
+        total_active <= 2 * segments,
+        "too many active classes: {total_active} over {segments} segments"
+    );
+}
+
+#[test]
+fn model_updates_follow_beta_schedule() {
+    let mut rng = Rng::new(105);
+    let data = SyntheticVision::new(core50());
+    let mut learner = deco_learner(&data, 1, &mut rng); // beta = 3
+    let cfg = StreamConfig { stc: 32, segment_size: 16, num_segments: 7, seed: 9 };
+    for segment in Stream::new(&data, cfg) {
+        learner.process_segment(&segment);
+    }
+    let updates: Vec<bool> = learner.reports().iter().map(|r| r.model_updated).collect();
+    assert_eq!(updates, vec![false, false, true, false, false, true, false]);
+}
