@@ -12,7 +12,14 @@ use deco_tensor::{Rng, Tensor, Var};
 
 fn net(rng: &mut Rng) -> ConvNet {
     ConvNet::new(
-        ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+        ConvNetConfig {
+            in_channels: 3,
+            image_side: 16,
+            width: 8,
+            depth: 3,
+            num_classes: 10,
+            norm: true,
+        },
         rng,
     )
 }
@@ -55,7 +62,11 @@ fn bench_deco_segment(c: &mut Criterion) {
                 weights: &weights,
                 active_classes: &[3],
             };
-            let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+            let mut ctx = CondenseContext {
+                scratch: &scratch,
+                deployed: &deployed,
+                rng: &mut rng,
+            };
             deco.condense(&mut buffer, &seg, &mut ctx);
         })
     });
@@ -78,7 +89,11 @@ fn bench_dm_segment(c: &mut Criterion) {
                 weights: &weights,
                 active_classes: &[3],
             };
-            let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+            let mut ctx = CondenseContext {
+                scratch: &scratch,
+                deployed: &deployed,
+                rng: &mut rng,
+            };
             dm.condense(&mut buffer, &seg, &mut ctx);
         })
     });
@@ -94,7 +109,10 @@ fn bench_feature_discrimination(c: &mut Criterion) {
         bench.iter(|| {
             let leaf = Var::leaf(buffer.images().clone(), true);
             let z = deployed.features(&leaf, true);
-            let spec = DiscriminationSpec { active: active.clone(), negative_class: negs.clone() };
+            let spec = DiscriminationSpec {
+                active: active.clone(),
+                negative_class: negs.clone(),
+            };
             let loss = feature_discrimination_loss(&z, buffer.labels(), &spec, 0.07);
             loss.backward();
             std::hint::black_box(leaf.grad())

@@ -10,7 +10,9 @@ fn bench_matmul(c: &mut Criterion) {
     let mut rng = Rng::new(1);
     let a = Tensor::randn([64, 64], &mut rng);
     let b = Tensor::randn([64, 64], &mut rng);
-    c.bench_function("matmul_64x64", |bench| bench.iter(|| std::hint::black_box(a.matmul(&b))));
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
 }
 
 fn bench_conv_forward(c: &mut Criterion) {
@@ -40,7 +42,14 @@ fn bench_conv_backward(c: &mut Criterion) {
 fn bench_convnet_forward_backward(c: &mut Criterion) {
     let mut rng = Rng::new(4);
     let net = ConvNet::new(
-        ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+        ConvNetConfig {
+            in_channels: 3,
+            image_side: 16,
+            width: 8,
+            depth: 3,
+            num_classes: 10,
+            norm: true,
+        },
         &mut rng,
     );
     let x = Tensor::randn([16, 3, 16, 16], &mut rng);

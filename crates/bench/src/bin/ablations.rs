@@ -16,16 +16,22 @@ use deco_bench::BenchArgs;
 use deco_condense::{numeric_image_grad, one_step_match, MatchBatch, SyntheticBuffer};
 use deco_eval::{run_cell, write_json, DatasetId, MethodKind, Table, TrialSpec};
 use deco_nn::{ConvNet, ConvNetConfig};
+use deco_telemetry::impl_to_json;
 use deco_tensor::{Rng, Tensor};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct AblationRecord {
     name: String,
     setting: String,
     accuracy_mean: f32,
     accuracy_std: f32,
 }
+
+impl_to_json!(AblationRecord {
+    name,
+    setting,
+    accuracy_mean,
+    accuracy_std
+});
 
 fn main() {
     let args = BenchArgs::parse();
@@ -49,7 +55,11 @@ fn main() {
         table.push_row(vec![
             name.into(),
             setting.into(),
-            format!("{:.2}±{:.2}", cell.accuracy.mean * 100.0, cell.accuracy.std * 100.0),
+            format!(
+                "{:.2}±{:.2}",
+                cell.accuracy.mean * 100.0,
+                cell.accuracy.std * 100.0
+            ),
         ]);
         records.push(AblationRecord {
             name: name.into(),
@@ -64,11 +74,17 @@ fn main() {
     // m = 0.05 ≈ "voting off" at a fraction of the m = 0 cost (with m = 0
     // every predicted class becomes active and condensation covers all 10
     // classes per segment).
-    run("majority voting", "off (m=0.05)", &|spec| spec.vote_threshold_override = Some(0.05));
+    run("majority voting", "off (m=0.05)", &|spec| {
+        spec.vote_threshold_override = Some(0.05)
+    });
 
     // 2. Feature discrimination on/off.
-    run("feature discrimination", "on (α=0.1)", &|spec| spec.alpha_override = Some(0.1));
-    run("feature discrimination", "off (α=0)", &|spec| spec.alpha_override = Some(0.0));
+    run("feature discrimination", "on (α=0.1)", &|spec| {
+        spec.alpha_override = Some(0.1)
+    });
+    run("feature discrimination", "off (α=0)", &|spec| {
+        spec.alpha_override = Some(0.0)
+    });
 
     // 3. Condensation iterations L.
     let l_grid: &[usize] = match args.scale {
@@ -76,7 +92,9 @@ fn main() {
         deco_eval::ExperimentScale::Paper => &[1, 5, 10],
     };
     for &l in l_grid {
-        run("iterations L", &l.to_string(), &|spec| spec.params.deco_iterations = l);
+        run("iterations L", &l.to_string(), &|spec| {
+            spec.params.deco_iterations = l
+        });
     }
 
     println!("{table}");
@@ -84,7 +102,14 @@ fn main() {
     // 4. Finite-difference fidelity (no trial needed).
     let mut rng = Rng::new(0xAB1A);
     let net = ConvNet::new(
-        ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 2, norm: true },
+        ConvNetConfig {
+            in_channels: 1,
+            image_side: 8,
+            width: 4,
+            depth: 2,
+            num_classes: 2,
+            norm: true,
+        },
         &mut rng,
     );
     let buffer = SyntheticBuffer::new_random(2, 2, [1, 8, 8], &mut rng);
@@ -113,5 +138,8 @@ fn main() {
     println!("finite-difference vs numeric ∇_X D cosine: {cos:.3}");
 
     write_json(&args.out_dir, "ablations", &records).expect("write ablations.json");
-    eprintln!("[ablations] report written to {}/ablations.json", args.out_dir.display());
+    eprintln!(
+        "[ablations] report written to {}/ablations.json",
+        args.out_dir.display()
+    );
 }

@@ -14,15 +14,20 @@ use deco_condense::{CondenseContext, Condenser, SegmentData, SyntheticBuffer};
 use deco_datasets::{LabeledSet, SyntheticVision};
 use deco_eval::{write_json, DatasetId, Table};
 use deco_nn::{weighted_cross_entropy, ConvNet, ConvNetConfig, Mlp, MlpConfig, Sgd};
+use deco_telemetry::impl_to_json;
 use deco_tensor::{Reduction, Rng, Tensor, Var};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Entry {
     architecture: String,
     condensed_accuracy: f32,
     raw_subset_accuracy: f32,
 }
+
+impl_to_json!(Entry {
+    architecture,
+    condensed_accuracy,
+    raw_subset_accuracy
+});
 
 fn train_mlp_on(set: &LabeledSet, input_dim: usize, classes: usize, steps: usize) -> Mlp {
     let mut rng = Rng::new(0x31A9);
@@ -39,7 +44,11 @@ fn train_mlp_on(set: &LabeledSet, input_dim: usize, classes: usize, steps: usize
 
 fn mlp_accuracy(mlp: &Mlp, set: &LabeledSet) -> f32 {
     let preds = mlp.predict_classes(&set.images);
-    let correct = preds.iter().zip(&set.labels).filter(|(p, y)| p == y).count();
+    let correct = preds
+        .iter()
+        .zip(&set.labels)
+        .filter(|(p, y)| p == y)
+        .count();
     correct as f32 / set.len() as f32
 }
 
@@ -75,7 +84,11 @@ fn main() {
         weights: &weights,
         active_classes: &active,
     };
-    let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+    let mut ctx = CondenseContext {
+        scratch: &scratch,
+        deployed: &deployed,
+        rng: &mut rng,
+    };
     deco.condense(&mut buffer, &segment, &mut ctx);
 
     let as_set = |buf: &SyntheticBuffer| {
@@ -86,16 +99,41 @@ fn main() {
     let raw_set = as_set(&raw_buffer);
 
     let mut table = Table::new(
-        format!("Cross-architecture transfer of the condensed buffer (IpC={ipc}, scale: {})", args.scale),
-        vec!["Train-from-scratch arch".into(), "condensed acc(%)".into(), "raw-subset acc(%)".into()],
+        format!(
+            "Cross-architecture transfer of the condensed buffer (IpC={ipc}, scale: {})",
+            args.scale
+        ),
+        vec![
+            "Train-from-scratch arch".into(),
+            "condensed acc(%)".into(),
+            "raw-subset acc(%)".into(),
+        ],
     );
     let mut entries = Vec::new();
 
     // Three held-out architectures (never used for matching).
     let conv_archs = [
-        ("ConvNet wide (w=16)", ConvNetConfig { width: 16, ..match_cfg }),
-        ("ConvNet no-norm", ConvNetConfig { norm: false, ..match_cfg }),
-        ("ConvNet shallow (d=2)", ConvNetConfig { depth: 2, ..match_cfg }),
+        (
+            "ConvNet wide (w=16)",
+            ConvNetConfig {
+                width: 16,
+                ..match_cfg
+            },
+        ),
+        (
+            "ConvNet no-norm",
+            ConvNetConfig {
+                norm: false,
+                ..match_cfg
+            },
+        ),
+        (
+            "ConvNet shallow (d=2)",
+            ConvNetConfig {
+                depth: 2,
+                ..match_cfg
+            },
+        ),
     ];
     for (name, cfg) in conv_archs {
         eprintln!("[cross_arch] training {name}…");
@@ -138,5 +176,8 @@ fn main() {
     println!("{table}");
     let _ = Tensor::zeros([1]); // keep the tensor dep used even if optimizers change
     write_json(&args.out_dir, "cross_arch", &entries).expect("write cross_arch.json");
-    eprintln!("[cross_arch] report written to {}/cross_arch.json", args.out_dir.display());
+    eprintln!(
+        "[cross_arch] report written to {}/cross_arch.json",
+        args.out_dir.display()
+    );
 }

@@ -14,14 +14,15 @@ use deco_bench::BenchArgs;
 use deco_datasets::{SyntheticVision, CIFAR10_NAMES};
 use deco_eval::{top_confusions, write_json, DatasetId, Table};
 use deco_nn::{ConvNet, ConvNetConfig};
+use deco_telemetry::impl_to_json;
 use deco_tensor::Rng;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct RowRecord {
     class: String,
     confusions: Vec<(String, f32)>,
 }
+
+impl_to_json!(RowRecord { class, confusions });
 
 fn main() {
     let args = BenchArgs::parse();
@@ -50,7 +51,10 @@ fn main() {
     let test = data.balanced_set(40, 0x7E57_F162);
     let matrix = confusion_matrix(&net, &test, 10);
     let correct: usize = (0..10).map(|c| matrix[c][c]).sum();
-    eprintln!("[fig2] classifier accuracy: {:.1}%", correct as f32 / test.len() as f32 * 100.0);
+    eprintln!(
+        "[fig2] classifier accuracy: {:.1}%",
+        correct as f32 / test.len() as f32 * 100.0
+    );
 
     let mut table = Table::new(
         "Fig. 2 — top-3 misclassified classes (share of that class's errors)",
@@ -58,9 +62,9 @@ fn main() {
     );
     let mut records = Vec::new();
     // The paper shows a selection of classes; we print all ten.
-    for class in 0..10 {
+    for (class, name) in CIFAR10_NAMES.iter().enumerate() {
         let top = top_confusions(&matrix, class, 3);
-        let mut row = vec![CIFAR10_NAMES[class].to_string()];
+        let mut row = vec![name.to_string()];
         for k in 0..3 {
             row.push(match top.get(k) {
                 Some(&(other, share)) => {
@@ -70,7 +74,7 @@ fn main() {
             });
         }
         records.push(RowRecord {
-            class: CIFAR10_NAMES[class].into(),
+            class: (*name).into(),
             confusions: top
                 .iter()
                 .map(|&(other, share)| (CIFAR10_NAMES[other].to_string(), share))
@@ -96,5 +100,8 @@ fn main() {
     println!("designed-pair is the #1 confusion in {hits}/10 rows");
 
     write_json(&args.out_dir, "fig2", &records).expect("write fig2.json");
-    eprintln!("[fig2] report written to {}/fig2.json", args.out_dir.display());
+    eprintln!(
+        "[fig2] report written to {}/fig2.json",
+        args.out_dir.display()
+    );
 }

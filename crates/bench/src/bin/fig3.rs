@@ -9,14 +9,19 @@
 use deco_bench::BenchArgs;
 use deco_eval::{run_trial, write_json, DatasetId, ExperimentScale, MethodKind, Table, TrialSpec};
 use deco_replay::BaselineKind;
-use serde::Serialize;
+use deco_telemetry::impl_to_json;
 
-#[derive(Serialize)]
 struct Curve {
     dataset: String,
     method: String,
     points: Vec<deco_eval::CurvePoint>,
 }
+
+impl_to_json!(Curve {
+    dataset,
+    method,
+    points
+});
 
 fn main() {
     let args = BenchArgs::parse();
@@ -52,11 +57,16 @@ fn main() {
         let mut header = vec!["items".to_string()];
         header.extend(methods.iter().map(|m| format!("{} acc(%)", m.label())));
         let mut table = Table::new(
-            format!("Fig. 3 — learning curves on {dataset} (IpC={ipc}, scale: {})", args.scale),
+            format!(
+                "Fig. 3 — learning curves on {dataset} (IpC={ipc}, scale: {})",
+                args.scale
+            ),
             header,
         );
-        let ds_curves: Vec<&Curve> =
-            curves.iter().filter(|c| c.dataset == dataset.label()).collect();
+        let ds_curves: Vec<&Curve> = curves
+            .iter()
+            .filter(|c| c.dataset == dataset.label())
+            .collect();
         let n_points = ds_curves.iter().map(|c| c.points.len()).min().unwrap_or(0);
         for p in 0..n_points {
             let mut row = vec![ds_curves[0].points[p].items.to_string()];
@@ -70,7 +80,10 @@ fn main() {
         // The paper's headline: DECO reaches the baselines' final accuracy
         // with a fraction of the data.
         if n_points > 0 {
-            let deco = ds_curves.iter().find(|c| c.method == "DECO").expect("deco curve");
+            let deco = ds_curves
+                .iter()
+                .find(|c| c.method == "DECO")
+                .expect("deco curve");
             let best_baseline_final = ds_curves
                 .iter()
                 .filter(|c| c.method != "DECO")
@@ -93,5 +106,8 @@ fn main() {
     }
 
     write_json(&args.out_dir, "fig3", &curves).expect("write fig3.json");
-    eprintln!("[fig3] report written to {}/fig3.json", args.out_dir.display());
+    eprintln!(
+        "[fig3] report written to {}/fig3.json",
+        args.out_dir.display()
+    );
 }

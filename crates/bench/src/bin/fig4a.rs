@@ -12,17 +12,32 @@
 //! ```
 
 use deco_bench::BenchArgs;
-use deco_eval::{run_cell, write_json, DatasetId, MethodKind, Table, TrialSpec};
-use serde::Serialize;
+use deco_eval::{
+    run_cell, write_json_value, DatasetId, MethodKind, ResourceUsage, Table, TrialSpec,
+};
+use deco_telemetry::impl_to_json;
+use deco_telemetry::json::{Json, ToJson};
+use deco_telemetry::TelemetrySnapshot;
 
-#[derive(Serialize)]
 struct Point {
     threshold: f32,
     retention: f32,
     pseudo_label_accuracy: f32,
     model_accuracy_mean: f32,
     model_accuracy_std: f32,
+    peak_memory_bytes: Option<u64>,
+    wall_time_ms: Option<f64>,
 }
+
+impl_to_json!(Point {
+    threshold,
+    retention,
+    pseudo_label_accuracy,
+    model_accuracy_mean,
+    model_accuracy_std,
+    peak_memory_bytes,
+    wall_time_ms,
+});
 
 fn main() {
     let args = BenchArgs::parse();
@@ -42,7 +57,10 @@ fn main() {
     };
 
     let mut table = Table::new(
-        format!("Fig. 4a — filter threshold m on CORe50 (scale: {})", args.scale),
+        format!(
+            "Fig. 4a — filter threshold m on CORe50 (scale: {})",
+            args.scale
+        ),
         vec![
             "m".into(),
             "retained(%)".into(),
@@ -64,7 +82,11 @@ fn main() {
             format!("{m:.1}"),
             format!("{:.1}", retention * 100.0),
             format!("{:.1}", pseudo * 100.0),
-            format!("{:.1}±{:.1}", cell.accuracy.mean * 100.0, cell.accuracy.std * 100.0),
+            format!(
+                "{:.1}±{:.1}",
+                cell.accuracy.mean * 100.0,
+                cell.accuracy.std * 100.0
+            ),
         ]);
         points.push(Point {
             threshold: m,
@@ -72,6 +94,14 @@ fn main() {
             pseudo_label_accuracy: pseudo,
             model_accuracy_mean: cell.accuracy.mean,
             model_accuracy_std: cell.accuracy.std,
+            peak_memory_bytes: cell.trials.iter().filter_map(|t| t.peak_memory_bytes).max(),
+            wall_time_ms: Some(
+                cell.trials
+                    .iter()
+                    .map(|t| t.processing_time.as_secs_f64() * 1e3)
+                    .sum::<f64>()
+                    / cell.trials.len() as f64,
+            ),
         });
         println!("{table}");
     }
@@ -94,10 +124,33 @@ fn main() {
     );
     let best = points
         .iter()
-        .max_by(|a, b| a.model_accuracy_mean.partial_cmp(&b.model_accuracy_mean).expect("finite"))
+        .max_by(|a, b| {
+            a.model_accuracy_mean
+                .partial_cmp(&b.model_accuracy_mean)
+                .expect("finite")
+        })
         .expect("nonempty");
     println!("best model accuracy at m = {:.1}", best.threshold);
 
-    write_json(&args.out_dir, "fig4a", &points).expect("write fig4a.json");
-    eprintln!("[fig4a] report written to {}/fig4a.json", args.out_dir.display());
+    let usage = ResourceUsage {
+        peak_memory_bytes: points.iter().filter_map(|p| p.peak_memory_bytes).max(),
+        wall_time_ms: Some(points.iter().filter_map(|p| p.wall_time_ms).sum::<f64>()),
+    };
+    let report = Json::obj([
+        ("points", points.to_json()),
+        ("usage", usage.to_json()),
+        (
+            "telemetry",
+            if args.telemetry {
+                TelemetrySnapshot::capture().to_json()
+            } else {
+                Json::Null
+            },
+        ),
+    ]);
+    write_json_value(&args.out_dir, "fig4a", &report).expect("write fig4a.json");
+    eprintln!(
+        "[fig4a] report written to {}/fig4a.json",
+        args.out_dir.display()
+    );
 }

@@ -10,16 +10,31 @@
 //! ```
 
 use deco_bench::BenchArgs;
-use deco_eval::{run_cell, write_json, DatasetId, ExperimentScale, MethodKind, Table, TrialSpec};
-use serde::Serialize;
+use deco_eval::{
+    run_cell, write_json_value, DatasetId, ExperimentScale, MethodKind, ResourceUsage, Table,
+    TrialSpec,
+};
+use deco_telemetry::impl_to_json;
+use deco_telemetry::json::{Json, ToJson};
+use deco_telemetry::TelemetrySnapshot;
 
-#[derive(Serialize)]
 struct Point {
     alpha: f32,
     ipc: usize,
     accuracy_mean: f32,
     accuracy_std: f32,
+    peak_memory_bytes: Option<u64>,
+    wall_time_ms: Option<f64>,
 }
+
+impl_to_json!(Point {
+    alpha,
+    ipc,
+    accuracy_mean,
+    accuracy_std,
+    peak_memory_bytes,
+    wall_time_ms
+});
 
 fn main() {
     let args = BenchArgs::parse();
@@ -41,7 +56,10 @@ fn main() {
     let mut header = vec!["alpha".to_string()];
     header.extend(ipcs.iter().map(|ipc| format!("IpC={ipc} acc(%)")));
     let mut table = Table::new(
-        format!("Fig. 4b — feature-discrimination weight α on CIFAR-100 (scale: {})", args.scale),
+        format!(
+            "Fig. 4b — feature-discrimination weight α on CIFAR-100 (scale: {})",
+            args.scale
+        ),
         header,
     );
     let mut points = Vec::new();
@@ -62,6 +80,14 @@ fn main() {
                 ipc,
                 accuracy_mean: cell.accuracy.mean,
                 accuracy_std: cell.accuracy.std,
+                peak_memory_bytes: cell.trials.iter().filter_map(|t| t.peak_memory_bytes).max(),
+                wall_time_ms: Some(
+                    cell.trials
+                        .iter()
+                        .map(|t| t.processing_time.as_secs_f64() * 1e3)
+                        .sum::<f64>()
+                        / cell.trials.len() as f64,
+                ),
             });
         }
         table.push_row(row);
@@ -73,11 +99,34 @@ fn main() {
         let best = points
             .iter()
             .filter(|p| p.ipc == ipc)
-            .max_by(|a, b| a.accuracy_mean.partial_cmp(&b.accuracy_mean).expect("finite"))
+            .max_by(|a, b| {
+                a.accuracy_mean
+                    .partial_cmp(&b.accuracy_mean)
+                    .expect("finite")
+            })
             .expect("nonempty");
         println!("IpC={ipc}: best α = {}", best.alpha);
     }
 
-    write_json(&args.out_dir, "fig4b", &points).expect("write fig4b.json");
-    eprintln!("[fig4b] report written to {}/fig4b.json", args.out_dir.display());
+    let usage = ResourceUsage {
+        peak_memory_bytes: points.iter().filter_map(|p| p.peak_memory_bytes).max(),
+        wall_time_ms: Some(points.iter().filter_map(|p| p.wall_time_ms).sum::<f64>()),
+    };
+    let report = Json::obj([
+        ("points", points.to_json()),
+        ("usage", usage.to_json()),
+        (
+            "telemetry",
+            if args.telemetry {
+                TelemetrySnapshot::capture().to_json()
+            } else {
+                Json::Null
+            },
+        ),
+    ]);
+    write_json_value(&args.out_dir, "fig4b", &report).expect("write fig4b.json");
+    eprintln!(
+        "[fig4b] report written to {}/fig4b.json",
+        args.out_dir.display()
+    );
 }

@@ -12,9 +12,8 @@ use deco_eval::{
     relative_improvement, run_cell, upper_bound, write_json, DatasetId, MethodKind, Table,
     TrialSpec,
 };
-use serde::Serialize;
+use deco_telemetry::impl_to_json;
 
-#[derive(Serialize)]
 struct CellRecord {
     dataset: String,
     ipc: usize,
@@ -23,16 +22,33 @@ struct CellRecord {
     std: f32,
 }
 
-#[derive(Serialize)]
+impl_to_json!(CellRecord {
+    dataset,
+    ipc,
+    method,
+    mean,
+    std
+});
+
 struct Report {
     scale: String,
     cells: Vec<CellRecord>,
     upper_bounds: Vec<(String, f32)>,
 }
 
+impl_to_json!(Report {
+    scale,
+    cells,
+    upper_bounds
+});
+
 fn main() {
     let args = BenchArgs::parse();
-    let mut report = Report { scale: args.scale.to_string(), cells: Vec::new(), upper_bounds: Vec::new() };
+    let mut report = Report {
+        scale: args.scale.to_string(),
+        cells: Vec::new(),
+        upper_bounds: Vec::new(),
+    };
 
     let mut header: Vec<String> = vec!["Dataset".into(), "IpC".into()];
     header.extend(MethodKind::TABLE1.iter().map(|m| m.label().to_string()));
@@ -61,8 +77,11 @@ fn main() {
         let ub = upper_bound(dataset, &params, 0);
         report.upper_bounds.push((dataset.label().to_string(), ub));
 
-        let ipc_grid =
-            if smoke && expensive { vec![1] } else { args.ipc_grid() };
+        let ipc_grid = if smoke && expensive {
+            vec![1]
+        } else {
+            args.ipc_grid()
+        };
         for ipc in ipc_grid {
             let mut row = vec![dataset.label().to_string(), ipc.to_string()];
             let mut best_baseline = 0.0f32;
@@ -94,5 +113,8 @@ fn main() {
 
     println!("{table}");
     write_json(&args.out_dir, "table1", &report).expect("write table1.json");
-    eprintln!("[table1] report written to {}/table1.json", args.out_dir.display());
+    eprintln!(
+        "[table1] report written to {}/table1.json",
+        args.out_dir.display()
+    );
 }

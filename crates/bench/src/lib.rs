@@ -8,7 +8,9 @@
 //! * `--scale smoke|paper` — experiment size (default `smoke`: CPU-minutes;
 //!   `paper`: the fuller grid, CPU-hours);
 //! * `--out <dir>` — where JSON reports are written (default `reports/`);
-//! * `--seeds <n>` — override the per-cell seed count.
+//! * `--seeds <n>` — override the per-cell seed count;
+//! * `--telemetry` — enable metrics/span/memory collection
+//!   (`deco-telemetry`) and attach a snapshot to the JSON report.
 //!
 //! ```bash
 //! cargo run -p deco-bench --release --bin table1 -- --scale smoke
@@ -30,17 +32,24 @@ pub struct BenchArgs {
     pub out_dir: PathBuf,
     /// Optional seed-count override.
     pub seeds: Option<usize>,
+    /// Whether telemetry collection was requested (`--telemetry`).
+    pub telemetry: bool,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: ExperimentScale::Smoke, out_dir: PathBuf::from("reports"), seeds: None }
+        BenchArgs {
+            scale: ExperimentScale::Smoke,
+            out_dir: PathBuf::from("reports"),
+            seeds: None,
+            telemetry: false,
+        }
     }
 }
 
 impl BenchArgs {
-    /// Parses `--scale`, `--out` and `--seeds` from an argument iterator
-    /// (unknown flags are rejected).
+    /// Parses `--scale`, `--out`, `--seeds` and `--telemetry` from an
+    /// argument iterator (unknown flags are rejected).
     ///
     /// # Panics
     /// Panics with a usage message on invalid arguments — appropriate for
@@ -62,15 +71,23 @@ impl BenchArgs {
                     let v = it.next().expect("--seeds needs a number");
                     out.seeds = Some(v.parse().expect("--seeds must be an integer"));
                 }
-                other => panic!("unknown flag {other:?}; known: --scale, --out, --seeds"),
+                "--telemetry" => out.telemetry = true,
+                other => {
+                    panic!("unknown flag {other:?}; known: --scale, --out, --seeds, --telemetry")
+                }
             }
         }
         out
     }
 
-    /// Parses the process arguments (skipping the binary name).
+    /// Parses the process arguments (skipping the binary name) and, when
+    /// `--telemetry` is present, turns global collection on.
     pub fn parse() -> BenchArgs {
-        Self::parse_from(std::env::args().skip(1))
+        let args = Self::parse_from(std::env::args().skip(1));
+        if args.telemetry {
+            deco_telemetry::set_enabled(true);
+        }
+        args
     }
 
     /// The IpC grid for Table-style experiments at this scale.
@@ -96,14 +113,24 @@ mod tests {
         assert_eq!(a.scale, ExperimentScale::Smoke);
         assert_eq!(a.out_dir, PathBuf::from("reports"));
         assert_eq!(a.seeds, None);
+        assert!(!a.telemetry);
     }
 
     #[test]
     fn parses_all_flags() {
-        let a = args(&["--scale", "paper", "--out", "/tmp/x", "--seeds", "3"]);
+        let a = args(&[
+            "--scale",
+            "paper",
+            "--out",
+            "/tmp/x",
+            "--seeds",
+            "3",
+            "--telemetry",
+        ]);
         assert_eq!(a.scale, ExperimentScale::Paper);
         assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
         assert_eq!(a.seeds, Some(3));
+        assert!(a.telemetry);
     }
 
     #[test]

@@ -5,22 +5,43 @@ use deco_tensor::{Rng, Tensor};
 fn main() {
     let mut rng = Rng::new(4);
     let net = ConvNet::new(
-        ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 2, norm: true },
+        ConvNetConfig {
+            in_channels: 1,
+            image_side: 8,
+            width: 4,
+            depth: 2,
+            num_classes: 2,
+            norm: true,
+        },
         &mut rng,
     );
     let syn = Tensor::randn([2, 1, 8, 8], &mut rng);
     let sl = vec![0, 1];
     let real = Tensor::randn([4, 1, 8, 8], &mut rng);
     let rl = vec![0, 0, 1, 1];
-    let batch = MatchBatch { syn_images: &syn, syn_labels: &sl, real_images: &real, real_labels: &rl, real_weights: None };
+    let batch = MatchBatch {
+        syn_images: &syn,
+        syn_labels: &sl,
+        real_images: &real,
+        real_labels: &rl,
+        real_weights: None,
+    };
     let fast = one_step_match(&net, &batch, None, 0.01).image_grad;
     for (pe, stride) in [(0.01f32, 7usize), (0.005, 7), (0.01, 3), (0.02, 7)] {
         let slow = numeric_image_grad(&net, &batch, None, pe, stride);
         let (mut dot, mut nf, mut ns) = (0f64, 0f64, 0f64);
         for i in (0..syn.numel()).step_by(stride) {
-            let f = fast.data()[i] as f64; let s = slow.data()[i] as f64;
-            dot += f*s; nf += f*f; ns += s*s;
+            let f = fast.data()[i] as f64;
+            let s = slow.data()[i] as f64;
+            dot += f * s;
+            nf += f * f;
+            ns += s * s;
         }
-        println!("pe={pe} stride={stride} cos={:.3} |fast|={:.4} |slow|={:.4}", dot/(nf.sqrt()*ns.sqrt()+1e-12), nf.sqrt(), ns.sqrt());
+        println!(
+            "pe={pe} stride={stride} cos={:.3} |fast|={:.4} |slow|={:.4}",
+            dot / (nf.sqrt() * ns.sqrt() + 1e-12),
+            nf.sqrt(),
+            ns.sqrt()
+        );
     }
 }

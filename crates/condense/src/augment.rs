@@ -54,7 +54,9 @@ impl Augmentation {
                         mask[y * side + x] = 0.0;
                     }
                 }
-                Augmentation::Cutout { mask: Tensor::from_vec(mask, [1, 1, side, side]) }
+                Augmentation::Cutout {
+                    mask: Tensor::from_vec(mask, [1, 1, side, side]),
+                }
             }
         }
     }
@@ -126,7 +128,13 @@ mod tests {
         let zeros = y.value().data().iter().filter(|&&v| v == 0.0).count();
         assert!(zeros >= 16, "cutout removed {zeros} pixels");
         y.sum().backward();
-        let gzeros = x.grad().unwrap().data().iter().filter(|&&v| v == 0.0).count();
+        let gzeros = x
+            .grad()
+            .unwrap()
+            .data()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
         assert_eq!(gzeros, zeros);
     }
 

@@ -40,7 +40,12 @@ impl SyntheticBuffer {
         let n = ipc * num_classes;
         let images = Tensor::randn([n, frame_dims[0], frame_dims[1], frame_dims[2]], rng);
         let labels = (0..n).map(|i| i / ipc).collect();
-        SyntheticBuffer { images, labels, ipc, num_classes }
+        SyntheticBuffer {
+            images,
+            labels,
+            ipc,
+            num_classes,
+        }
     }
 
     /// Initializes from labeled (pre-training) data: the first `ipc` samples
@@ -53,7 +58,10 @@ impl SyntheticBuffer {
     /// # Panics
     /// Panics if the set is empty or `ipc`/`num_classes` is zero.
     pub fn from_labeled(set: &LabeledSet, ipc: usize, num_classes: usize, rng: &mut Rng) -> Self {
-        assert!(ipc > 0 && num_classes > 0, "IpC and class count must be positive");
+        assert!(
+            ipc > 0 && num_classes > 0,
+            "IpC and class count must be positive"
+        );
         assert!(!set.is_empty(), "cannot initialize from an empty set");
         let frame: Vec<usize> = set.images.shape().dims()[1..].to_vec();
         let frame_numel: usize = frame.iter().product();
@@ -118,6 +126,14 @@ impl SyntheticBuffer {
         &self.labels
     }
 
+    /// Approximate heap bytes held by the buffer: the single contiguous
+    /// `[ipc·C, c, h, w]` image stack plus the label vector. The
+    /// condensed-memory number Table 2 compares against
+    /// `ReplayBuffer::approx_bytes` in `deco-replay`.
+    pub fn approx_bytes(&self) -> u64 {
+        self.images.heap_bytes() + (self.labels.len() * std::mem::size_of::<usize>()) as u64
+    }
+
     /// Row indices of one class.
     ///
     /// # Panics
@@ -150,7 +166,11 @@ impl SyntheticBuffer {
     pub fn add_scaled_rows(&mut self, rows: &[usize], delta: &Tensor, alpha: f32) {
         assert_eq!(delta.shape().dim(0), rows.len(), "row count mismatch");
         let frame_numel = self.images.numel() / self.len();
-        assert_eq!(delta.numel(), rows.len() * frame_numel, "frame shape mismatch");
+        assert_eq!(
+            delta.numel(),
+            rows.len() * frame_numel,
+            "frame shape mismatch"
+        );
         let data = self.images.data_mut();
         for (r, &row) in rows.iter().enumerate() {
             let dst = &mut data[row * frame_numel..(row + 1) * frame_numel];

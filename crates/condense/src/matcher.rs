@@ -70,7 +70,14 @@ pub fn model_gradient(
 /// under the current parameters of `net` (no update; used by diagnostics
 /// and tests).
 pub fn gradient_distance(net: &ConvNet, batch: &MatchBatch<'_>, aug: Option<&Augmentation>) -> f32 {
-    let g_real = model_gradient(net, batch.real_images, batch.real_labels, batch.real_weights, aug);
+    deco_telemetry::counter!("condense.matcher.distance_evals");
+    let g_real = model_gradient(
+        net,
+        batch.real_images,
+        batch.real_labels,
+        batch.real_weights,
+        aug,
+    );
     let g_syn = model_gradient(net, batch.syn_images, batch.syn_labels, None, aug);
     cosine_distance(&g_syn, &g_real)
 }
@@ -88,7 +95,8 @@ fn input_gradient(
     let logits = net.forward(&x, true);
     let loss = weighted_cross_entropy(&logits, labels, None, Reduction::Sum);
     loss.backward();
-    leaf.grad().unwrap_or_else(|| Tensor::zeros(images.shape().dims().to_vec()))
+    leaf.grad()
+        .unwrap_or_else(|| Tensor::zeros(images.shape().dims().to_vec()))
 }
 
 /// One efficient matching step (paper Eqs. 5–7): returns the distance and
@@ -107,8 +115,16 @@ pub fn one_step_match(
     epsilon_scale: f32,
 ) -> MatchResult {
     assert!(epsilon_scale > 0.0, "epsilon scale must be positive");
+    let _g = deco_telemetry::span!("condense.matcher.one_step");
+    deco_telemetry::counter!("condense.matcher.distance_evals");
     // Pass 1: g_real (with confidence weights).
-    let g_real = model_gradient(net, batch.real_images, batch.real_labels, batch.real_weights, aug);
+    let g_real = model_gradient(
+        net,
+        batch.real_images,
+        batch.real_labels,
+        batch.real_weights,
+        aug,
+    );
     // Pass 2: g_syn.
     let g_syn = model_gradient(net, batch.syn_images, batch.syn_labels, None, aug);
 
@@ -134,7 +150,10 @@ pub fn one_step_match(
     let mut image_grad = grad_plus;
     image_grad.add_scaled(&grad_minus, -1.0);
     image_grad.scale_mut(1.0 / (2.0 * eps));
-    MatchResult { distance, image_grad }
+    MatchResult {
+        distance,
+        image_grad,
+    }
 }
 
 /// Reference implementation of `∇_X D` by direct central differences on the
@@ -154,8 +173,22 @@ pub fn numeric_image_grad(
         plus.data_mut()[i] += pixel_eps;
         let mut minus = batch.syn_images.clone();
         minus.data_mut()[i] -= pixel_eps;
-        let d_plus = gradient_distance(net, &MatchBatch { syn_images: &plus, ..*batch }, aug);
-        let d_minus = gradient_distance(net, &MatchBatch { syn_images: &minus, ..*batch }, aug);
+        let d_plus = gradient_distance(
+            net,
+            &MatchBatch {
+                syn_images: &plus,
+                ..*batch
+            },
+            aug,
+        );
+        let d_minus = gradient_distance(
+            net,
+            &MatchBatch {
+                syn_images: &minus,
+                ..*batch
+            },
+            aug,
+        );
         grad.data_mut()[i] = (d_plus - d_minus) / (2.0 * pixel_eps);
     }
     grad
@@ -320,7 +353,10 @@ mod tests {
             real_weights: None,
         };
         let w = [1.0f32, 0.1, 0.1, 1.0, 0.1, 0.1];
-        let weighted = MatchBatch { real_weights: Some(&w), ..unweighted };
+        let weighted = MatchBatch {
+            real_weights: Some(&w),
+            ..unweighted
+        };
         let d0 = gradient_distance(&net, &unweighted, None);
         let d1 = gradient_distance(&net, &weighted, None);
         assert_ne!(d0, d1);
@@ -341,6 +377,10 @@ mod tests {
             real_weights: None,
         };
         let res = one_step_match(&net, &batch, None, 0.01);
-        assert!(res.image_grad.l2_norm() < 1e-3, "norm {}", res.image_grad.l2_norm());
+        assert!(
+            res.image_grad.l2_norm() < 1e-3,
+            "norm {}",
+            res.image_grad.l2_norm()
+        );
     }
 }

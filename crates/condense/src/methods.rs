@@ -64,7 +64,12 @@ pub trait Condenser {
 
 /// Trains `net` on the buffer for `steps` SGD steps (the inner loop of the
 /// bilevel methods). Returns the last loss.
-pub fn train_on_buffer(net: &ConvNet, buffer: &SyntheticBuffer, steps: usize, opt: &mut Sgd) -> f32 {
+pub fn train_on_buffer(
+    net: &ConvNet,
+    buffer: &SyntheticBuffer,
+    steps: usize,
+    opt: &mut Sgd,
+) -> f32 {
     let (images, labels) = buffer.as_training_batch();
     let mut last = 0.0;
     for _ in 0..steps {
@@ -169,6 +174,7 @@ impl Condenser for DcCondenser {
     ) {
         let cfg = &self.config;
         for _ in 0..cfg.outer_inits {
+            let _outer = deco_telemetry::span!("condense.dc.outer");
             ctx.scratch.reinit(ctx.rng);
             let mut model_opt = Sgd::new(cfg.model_lr).with_momentum(0.5);
             for _ in 0..cfg.matching_rounds {
@@ -183,7 +189,12 @@ impl Condenser for DcCondenser {
                         cfg.epsilon_scale,
                     );
                 }
-                train_on_buffer(ctx.scratch, buffer, cfg.model_steps_per_round, &mut model_opt);
+                train_on_buffer(
+                    ctx.scratch,
+                    buffer,
+                    cfg.model_steps_per_round,
+                    &mut model_opt,
+                );
             }
         }
     }
@@ -217,6 +228,7 @@ impl Condenser for DsaCondenser {
         let cfg = &self.config;
         let side = segment.images.shape().dim(2);
         for _ in 0..cfg.outer_inits {
+            let _outer = deco_telemetry::span!("condense.dsa.outer");
             ctx.scratch.reinit(ctx.rng);
             let mut model_opt = Sgd::new(cfg.model_lr).with_momentum(0.5);
             for _ in 0..cfg.matching_rounds {
@@ -232,7 +244,12 @@ impl Condenser for DsaCondenser {
                         cfg.epsilon_scale,
                     );
                 }
-                train_on_buffer(ctx.scratch, buffer, cfg.model_steps_per_round, &mut model_opt);
+                train_on_buffer(
+                    ctx.scratch,
+                    buffer,
+                    cfg.model_steps_per_round,
+                    &mut model_opt,
+                );
             }
         }
     }
@@ -249,7 +266,10 @@ pub struct DmConfig {
 
 impl Default for DmConfig {
     fn default() -> Self {
-        DmConfig { rounds: 8, image_lr: 1.0 }
+        DmConfig {
+            rounds: 8,
+            image_lr: 1.0,
+        }
     }
 }
 
@@ -282,6 +302,7 @@ impl Condenser for DmCondenser {
     ) {
         let cfg = &self.config;
         for _ in 0..cfg.rounds {
+            let _outer = deco_telemetry::span!("condense.dm.outer");
             let scratch = ctx.scratch;
             scratch.reinit(ctx.rng);
             for &class in segment.active_classes {
@@ -292,8 +313,7 @@ impl Condenser for DmCondenser {
                 let real = segment.images.select_rows(&idx);
                 // Real mean embedding (no gradient needed).
                 let real_feats = scratch.features(&Var::constant(real), true);
-                let real_mean =
-                    Var::constant(real_feats.value().mean_axes(&[0], true));
+                let real_mean = Var::constant(real_feats.value().mean_axes(&[0], true));
                 // Synthetic mean embedding, differentiable w.r.t. images.
                 let rows: Vec<usize> = buffer.class_rows(class).collect();
                 let syn_leaf = Var::leaf(buffer.images().select_rows(&rows), true);
@@ -316,7 +336,14 @@ mod tests {
 
     fn tiny_net(rng: &mut Rng) -> ConvNet {
         ConvNet::new(
-            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 3, norm: true },
+            ConvNetConfig {
+                in_channels: 1,
+                image_side: 8,
+                width: 4,
+                depth: 2,
+                num_classes: 3,
+                norm: true,
+            },
             rng,
         )
     }
@@ -351,7 +378,11 @@ mod tests {
             active_classes: &[0, 1, 2],
         };
         let deployed = tiny_net(&mut rng);
-        let mut ctx = CondenseContext { scratch: &net, deployed: &deployed, rng: &mut rng };
+        let mut ctx = CondenseContext {
+            scratch: &net,
+            deployed: &deployed,
+            rng: &mut rng,
+        };
         c.condense(&mut buffer, &seg, &mut ctx);
         buffer.check_invariants();
         (before, buffer)
@@ -359,7 +390,11 @@ mod tests {
 
     #[test]
     fn dc_modifies_buffer_images() {
-        let mut c = DcCondenser::new(DcConfig { outer_inits: 1, matching_rounds: 2, ..DcConfig::default() });
+        let mut c = DcCondenser::new(DcConfig {
+            outer_inits: 1,
+            matching_rounds: 2,
+            ..DcConfig::default()
+        });
         let (before, after) = run_condenser(&mut c);
         assert_ne!(before.images().data(), after.images().data());
         assert!(after.images().is_finite());
@@ -367,7 +402,11 @@ mod tests {
 
     #[test]
     fn dsa_modifies_buffer_images() {
-        let mut c = DsaCondenser::new(DcConfig { outer_inits: 1, matching_rounds: 2, ..DcConfig::default() });
+        let mut c = DsaCondenser::new(DcConfig {
+            outer_inits: 1,
+            matching_rounds: 2,
+            ..DcConfig::default()
+        });
         let (before, after) = run_condenser(&mut c);
         assert_ne!(before.images().data(), after.images().data());
         assert!(after.images().is_finite());
@@ -375,7 +414,10 @@ mod tests {
 
     #[test]
     fn dm_modifies_buffer_images() {
-        let mut c = DmCondenser::new(DmConfig { rounds: 2, image_lr: 0.5 });
+        let mut c = DmCondenser::new(DmConfig {
+            rounds: 2,
+            image_lr: 0.5,
+        });
         let (before, after) = run_condenser(&mut c);
         assert_ne!(before.images().data(), after.images().data());
         assert!(after.images().is_finite());
@@ -406,9 +448,16 @@ mod tests {
             total
         };
         let gap0 = mean_gap(&buffer);
-        let mut c = DmCondenser::new(DmConfig { rounds: 6, image_lr: 0.5 });
+        let mut c = DmCondenser::new(DmConfig {
+            rounds: 6,
+            image_lr: 0.5,
+        });
         let deployed = tiny_net(&mut rng);
-        let mut ctx = CondenseContext { scratch: &net, deployed: &deployed, rng: &mut rng };
+        let mut ctx = CondenseContext {
+            scratch: &net,
+            deployed: &deployed,
+            rng: &mut rng,
+        };
         c.condense(&mut buffer, &seg, &mut ctx);
         // DM matches means in *feature* space; for this near-linear tiny net
         // the pixel-space gap should still shrink.
@@ -429,9 +478,18 @@ mod tests {
             weights: &weights,
             active_classes: &[1], // only class 1 active
         };
-        let mut c = DcCondenser::new(DcConfig { outer_inits: 1, matching_rounds: 1, model_steps_per_round: 0, ..DcConfig::default() });
+        let mut c = DcCondenser::new(DcConfig {
+            outer_inits: 1,
+            matching_rounds: 1,
+            model_steps_per_round: 0,
+            ..DcConfig::default()
+        });
         let deployed = tiny_net(&mut rng);
-        let mut ctx = CondenseContext { scratch: &net, deployed: &deployed, rng: &mut rng };
+        let mut ctx = CondenseContext {
+            scratch: &net,
+            deployed: &deployed,
+            rng: &mut rng,
+        };
         c.condense(&mut buffer, &seg, &mut ctx);
         for class in [0usize, 2] {
             let rows: Vec<usize> = buffer.class_rows(class).collect();
@@ -450,7 +508,12 @@ mod tests {
         // A learnable buffer: distinct constant patterns per class.
         let mut buffer = SyntheticBuffer::new_random(2, 3, [1, 8, 8], &mut rng);
         let imgs = buffer.images().clone();
-        let shifted = imgs.data().iter().enumerate().map(|(i, &v)| v + (i / 128) as f32).collect();
+        let shifted = imgs
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + (i / 128) as f32)
+            .collect();
         buffer.set_images(Tensor::from_vec(shifted, [6, 1, 8, 8]));
         let mut opt = Sgd::new(0.05).with_momentum(0.9);
         let first = train_on_buffer(&net, &buffer, 1, &mut opt);

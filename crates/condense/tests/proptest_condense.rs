@@ -1,15 +1,20 @@
 //! Property-based tests for the synthetic buffer and the matching machinery.
 
-use deco_condense::{
-    gradient_distance, one_step_match, Augmentation, MatchBatch, SyntheticBuffer,
-};
+use deco_condense::{gradient_distance, one_step_match, Augmentation, MatchBatch, SyntheticBuffer};
 use deco_nn::{ConvNet, ConvNetConfig};
 use deco_tensor::{Rng, Tensor, Var};
 use proptest::prelude::*;
 
 fn net(rng: &mut Rng, classes: usize) -> ConvNet {
     ConvNet::new(
-        ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: classes, norm: true },
+        ConvNetConfig {
+            in_channels: 1,
+            image_side: 8,
+            width: 4,
+            depth: 2,
+            num_classes: classes,
+            norm: true,
+        },
         rng,
     )
 }

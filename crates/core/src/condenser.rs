@@ -9,7 +9,9 @@
 //!    *deployed* model's encoder;
 //! 4. apply the combined update (Eq. 9): `opt_S(∇_S D + α ∇_S L_disc)`.
 
-use deco_condense::{one_step_match, CondenseContext, Condenser, MatchBatch, SegmentData, SyntheticBuffer};
+use deco_condense::{
+    one_step_match, CondenseContext, Condenser, MatchBatch, SegmentData, SyntheticBuffer,
+};
 use deco_nn::{feature_discrimination_loss, DiscriminationSpec, Sgd};
 use deco_tensor::{Rng, Tensor, Var};
 
@@ -27,7 +29,9 @@ pub struct DecoCondenser {
 
 impl std::fmt::Debug for DecoCondenser {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DecoCondenser").field("config", &self.config).finish()
+        f.debug_struct("DecoCondenser")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -114,6 +118,7 @@ impl Condenser for DecoCondenser {
         }
         let frame_numel = buffer.images().numel() / buffer.len();
         for _ in 0..self.config.iterations {
+            let _outer = deco_telemetry::span!("condense.deco.outer");
             // Fresh random model for this one-step match.
             ctx.scratch.reinit(ctx.rng);
 
@@ -167,17 +172,28 @@ impl Condenser for DecoCondenser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use deco_nn::{ConvNet, ConvNetConfig};
 
     fn tiny_net(rng: &mut Rng, classes: usize) -> ConvNet {
         ConvNet::new(
-            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: classes, norm: true },
+            ConvNetConfig {
+                in_channels: 1,
+                image_side: 8,
+                width: 4,
+                depth: 2,
+                num_classes: classes,
+                norm: true,
+            },
             rng,
         )
     }
 
-    fn class_structured_segment(rng: &mut Rng, classes: usize, per_class: usize) -> (Tensor, Vec<usize>, Vec<f32>) {
+    fn class_structured_segment(
+        rng: &mut Rng,
+        classes: usize,
+        per_class: usize,
+    ) -> (Tensor, Vec<usize>, Vec<f32>) {
         let mut data = Vec::new();
         let mut labels = Vec::new();
         for class in 0..classes {
@@ -190,11 +206,17 @@ mod tests {
             }
         }
         let n = classes * per_class;
-        (Tensor::from_vec(data, [n, 1, 8, 8]), labels.clone(), vec![1.0; n])
+        (
+            Tensor::from_vec(data, [n, 1, 8, 8]),
+            labels.clone(),
+            vec![1.0; n],
+        )
     }
 
     fn smoke_config() -> DecoConfig {
-        DecoConfig::default().with_iterations(4).with_model_epochs(5)
+        DecoConfig::default()
+            .with_iterations(4)
+            .with_model_epochs(5)
     }
 
     #[test]
@@ -211,7 +233,11 @@ mod tests {
             active_classes: &[0, 2],
         };
         let mut deco = DecoCondenser::new(smoke_config());
-        let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+        let mut ctx = CondenseContext {
+            scratch: &scratch,
+            deployed: &deployed,
+            rng: &mut rng,
+        };
         deco.condense(&mut buffer, &seg, &mut ctx);
         buffer.check_invariants();
         assert!(buffer.images().is_finite());
@@ -238,7 +264,11 @@ mod tests {
         let mean_distance = |buffer: &mut SyntheticBuffer, seed: u64| -> f32 {
             let mut rng = Rng::new(seed);
             let mut deco = DecoCondenser::new(DecoConfig::default().with_iterations(15));
-            let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+            let mut ctx = CondenseContext {
+                scratch: &scratch,
+                deployed: &deployed,
+                rng: &mut rng,
+            };
             deco.condense(buffer, &seg, &mut ctx);
             let ds = deco.last_distances();
             ds.iter().sum::<f32>() / ds.len() as f32
@@ -273,7 +303,11 @@ mod tests {
             active_classes: &[],
         };
         let mut deco = DecoCondenser::new(smoke_config().with_alpha(0.0));
-        let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+        let mut ctx = CondenseContext {
+            scratch: &scratch,
+            deployed: &deployed,
+            rng: &mut rng,
+        };
         deco.condense(&mut buffer, &seg, &mut ctx);
         assert_eq!(before.images().data(), buffer.images().data());
     }
@@ -297,7 +331,11 @@ mod tests {
             active_classes: &[1], // active but with zero matching data
         };
         let mut deco = DecoCondenser::new(smoke_config().with_alpha(1.0));
-        let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+        let mut ctx = CondenseContext {
+            scratch: &scratch,
+            deployed: &deployed,
+            rng: &mut rng,
+        };
         deco.condense(&mut buffer, &seg, &mut ctx);
         // Active class rows moved…
         let rows1: Vec<usize> = buffer.class_rows(1).collect();
@@ -321,9 +359,18 @@ mod tests {
         let images = Tensor::zeros([0, 1, 8, 8]);
         let mut buffer = SyntheticBuffer::new_random(1, 2, [1, 8, 8], &mut rng);
         let before = buffer.clone();
-        let seg = SegmentData { images: &images, labels: &[], weights: &[], active_classes: &[] };
+        let seg = SegmentData {
+            images: &images,
+            labels: &[],
+            weights: &[],
+            active_classes: &[],
+        };
         let mut deco = DecoCondenser::new(smoke_config());
-        let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng };
+        let mut ctx = CondenseContext {
+            scratch: &scratch,
+            deployed: &deployed,
+            rng: &mut rng,
+        };
         deco.condense(&mut buffer, &seg, &mut ctx);
         assert_eq!(before.images().data(), buffer.images().data());
     }

@@ -12,6 +12,7 @@ use deco_condense::{CondenseContext, Condenser, SegmentData, SyntheticBuffer};
 use deco_datasets::{LabeledSet, Segment};
 use deco_nn::{ConvNet, Sgd};
 use deco_replay::{BufferItem, ReplayBuffer, SelectionContext, SelectionStrategy};
+use deco_telemetry::{MemoryComponent, MemoryTracker};
 use deco_tensor::{Rng, Tensor};
 
 use crate::train::{train_classifier, WEIGHT_DECAY};
@@ -99,7 +100,12 @@ pub struct LearnerConfig {
 
 impl Default for LearnerConfig {
     fn default() -> Self {
-        LearnerConfig { vote_threshold: 0.4, beta: 10, model_lr: 1e-3, model_epochs: 200 }
+        LearnerConfig {
+            vote_threshold: 0.4,
+            beta: 10,
+            model_lr: 1e-3,
+            model_epochs: 200,
+        }
     }
 }
 
@@ -132,6 +138,10 @@ pub struct OnDeviceLearner {
     segments_seen: usize,
     items_seen: usize,
     reports: Vec<SegmentReport>,
+    /// Private byte accounting for this learner, so per-trial peaks stay
+    /// attributable when trials run on parallel threads (the global
+    /// tracker only sees the process-wide sum).
+    tracker: MemoryTracker,
 }
 
 impl std::fmt::Debug for OnDeviceLearner {
@@ -157,10 +167,18 @@ impl OnDeviceLearner {
         config: LearnerConfig,
         rng: Rng,
     ) -> Self {
-        assert!((0.0..1.0).contains(&config.vote_threshold), "vote threshold out of range");
+        assert!(
+            (0.0..1.0).contains(&config.vote_threshold),
+            "vote threshold out of range"
+        );
         assert!(config.beta > 0, "beta must be positive");
         assert!(config.model_lr > 0.0, "model lr must be positive");
-        let opt_model = Sgd::new(config.model_lr).with_momentum(0.9).with_weight_decay(WEIGHT_DECAY);
+        let opt_model = Sgd::new(config.model_lr)
+            .with_momentum(0.9)
+            .with_weight_decay(WEIGHT_DECAY);
+        // Per-trial tape attribution: the learner runs on one thread, so
+        // the thread-local tape peak since construction is its tape HWM.
+        deco_tensor::reset_tape_peak();
         OnDeviceLearner {
             model,
             scratch,
@@ -171,6 +189,7 @@ impl OnDeviceLearner {
             segments_seen: 0,
             items_seen: 0,
             reports: Vec::new(),
+            tracker: MemoryTracker::new(),
         }
     }
 
@@ -199,9 +218,62 @@ impl OnDeviceLearner {
         &self.reports
     }
 
+    /// This learner's private byte accounting (replay buffer, synthetic
+    /// dataset, model params, optimizer state, autograd tape). Updated at
+    /// the end of every [`OnDeviceLearner::process_segment`] while
+    /// telemetry is enabled; `total_peak()` is the per-trial
+    /// `peak_memory_bytes` reported by `deco-eval`.
+    pub fn memory_tracker(&self) -> &MemoryTracker {
+        &self.tracker
+    }
+
+    /// Re-measures every memory component into the private tracker and
+    /// mirrors the values into the global tracker. No-op while telemetry
+    /// is disabled.
+    fn account_memory(&self) {
+        if !deco_telemetry::is_enabled() {
+            return;
+        }
+        let (buffer_component, buffer_bytes) = match &self.policy {
+            BufferPolicy::Condensed { buffer, .. } => {
+                (MemoryComponent::SyntheticDataset, buffer.approx_bytes())
+            }
+            BufferPolicy::Selection { strategy, buffer } => {
+                deco_telemetry::metrics::gauge(&format!("replay.occupancy.{}", strategy.name()))
+                    .set(buffer.len() as i64);
+                (MemoryComponent::ReplayBuffer, buffer.approx_bytes())
+            }
+        };
+        let model_bytes: u64 = self
+            .model
+            .params()
+            .iter()
+            .map(|p| p.tensor().heap_bytes())
+            .sum();
+        let updates = [
+            (buffer_component, buffer_bytes),
+            (MemoryComponent::ModelParams, model_bytes),
+            (
+                MemoryComponent::OptimizerState,
+                self.opt_model.state_bytes(),
+            ),
+            // The tape shrinks back before this runs; record its
+            // high-water mark on this thread as the component's level.
+            (
+                MemoryComponent::AutogradTape,
+                deco_tensor::tape_peak_bytes(),
+            ),
+        ];
+        for (component, bytes) in updates {
+            self.tracker.set(component, bytes);
+            deco_telemetry::track_set(component, bytes);
+        }
+    }
+
     /// Processes one stream segment: pseudo-label, vote, update the buffer,
     /// and retrain the model every `β` segments.
     pub fn process_segment(&mut self, segment: &Segment) -> SegmentReport {
+        let _seg = deco_telemetry::span!("core.process_segment");
         let num_classes = self.model.config().num_classes;
         let predictions = assign_pseudo_labels(&self.model, &segment.images);
         let outcome = majority_vote(&predictions, num_classes, self.config.vote_threshold);
@@ -212,8 +284,11 @@ impl OnDeviceLearner {
             let kept_images = segment.images.select_rows(&outcome.kept);
             let kept_labels: Vec<usize> =
                 outcome.kept.iter().map(|&i| predictions[i].class).collect();
-            let kept_weights: Vec<f32> =
-                outcome.kept.iter().map(|&i| predictions[i].confidence).collect();
+            let kept_weights: Vec<f32> = outcome
+                .kept
+                .iter()
+                .map(|&i| predictions[i].confidence)
+                .collect();
             match &mut self.policy {
                 BufferPolicy::Condensed { condenser, buffer } => {
                     let data = SegmentData {
@@ -238,7 +313,10 @@ impl OnDeviceLearner {
                             label: kept_labels[k],
                             confidence: kept_weights[k],
                         };
-                        let mut ctx = SelectionContext { model: &self.model, rng: &mut self.rng };
+                        let mut ctx = SelectionContext {
+                            model: &self.model,
+                            rng: &mut self.rng,
+                        };
                         strategy.offer(buffer, item, &mut ctx);
                     }
                 }
@@ -247,10 +325,12 @@ impl OnDeviceLearner {
 
         self.segments_seen += 1;
         self.items_seen += segment.len();
-        let model_updated = self.segments_seen % self.config.beta == 0;
+        let model_updated = self.segments_seen.is_multiple_of(self.config.beta);
         if model_updated {
             self.train_model_now();
         }
+
+        self.account_memory();
 
         let report = SegmentReport {
             segment_len: segment.len(),
@@ -266,6 +346,7 @@ impl OnDeviceLearner {
     /// Retrains the deployed model on the current buffer immediately
     /// (normally invoked automatically every `β` segments).
     pub fn train_model_now(&mut self) {
+        let _g = deco_telemetry::span!("core.train_model");
         if let Some((images, labels, weights)) = self.policy.training_data() {
             train_classifier(
                 &self.model,
@@ -298,8 +379,11 @@ impl OnDeviceLearner {
             .map(|r| r.kept as f32 / r.segment_len.max(1) as f32)
             .sum::<f32>()
             / self.reports.len() as f32;
-        let accs: Vec<f32> =
-            self.reports.iter().filter_map(|r| r.pseudo_label_accuracy).collect();
+        let accs: Vec<f32> = self
+            .reports
+            .iter()
+            .filter_map(|r| r.pseudo_label_accuracy)
+            .collect();
         let acc = if accs.is_empty() {
             0.0
         } else {
@@ -320,7 +404,14 @@ mod tests {
     use deco_replay::BaselineKind;
 
     fn small_cfg(classes: usize) -> ConvNetConfig {
-        ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: classes, norm: true }
+        ConvNetConfig {
+            in_channels: 3,
+            image_side: 16,
+            width: 8,
+            depth: 3,
+            num_classes: classes,
+            norm: true,
+        }
     }
 
     fn make_learner(policy_kind: &str, rng: &mut Rng) -> (OnDeviceLearner, SyntheticVision) {
@@ -330,9 +421,7 @@ mod tests {
         let scratch = ConvNet::new(small_cfg(10), rng);
         let policy = match policy_kind {
             "deco" => BufferPolicy::Condensed {
-                condenser: Box::new(DecoCondenser::new(
-                    DecoConfig::default().with_iterations(2),
-                )),
+                condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(2))),
                 buffer: SyntheticBuffer::from_labeled(&data.pretrain_set(4), 1, 10, rng),
             },
             _ => BufferPolicy::Selection {
@@ -340,15 +429,28 @@ mod tests {
                 buffer: ReplayBuffer::new(10),
             },
         };
-        let config = LearnerConfig { vote_threshold: 0.4, beta: 2, model_lr: 5e-3, model_epochs: 5 };
-        (OnDeviceLearner::new(model, scratch, policy, config, rng.fork(77)), data)
+        let config = LearnerConfig {
+            vote_threshold: 0.4,
+            beta: 2,
+            model_lr: 5e-3,
+            model_epochs: 5,
+        };
+        (
+            OnDeviceLearner::new(model, scratch, policy, config, rng.fork(77)),
+            data,
+        )
     }
 
     #[test]
     fn deco_learner_processes_a_stream() {
         let mut rng = Rng::new(1);
         let (mut learner, data) = make_learner("deco", &mut rng);
-        let cfg = StreamConfig { stc: 30, segment_size: 24, num_segments: 4, seed: 5 };
+        let cfg = StreamConfig {
+            stc: 30,
+            segment_size: 24,
+            num_segments: 4,
+            seed: 5,
+        };
         for segment in Stream::new(&data, cfg) {
             let report = learner.process_segment(&segment);
             assert_eq!(report.segment_len, 24);
@@ -364,13 +466,18 @@ mod tests {
     fn selection_learner_fills_buffer() {
         let mut rng = Rng::new(2);
         let (mut learner, data) = make_learner("fifo", &mut rng);
-        let cfg = StreamConfig { stc: 30, segment_size: 24, num_segments: 3, seed: 6 };
+        let cfg = StreamConfig {
+            stc: 30,
+            segment_size: 24,
+            num_segments: 3,
+            seed: 6,
+        };
         for segment in Stream::new(&data, cfg) {
             learner.process_segment(&segment);
         }
         match learner.policy() {
             BufferPolicy::Selection { buffer, .. } => {
-                assert!(buffer.len() > 0, "buffer stayed empty");
+                assert!(!buffer.is_empty(), "buffer stayed empty");
                 assert!(buffer.len() <= buffer.capacity());
             }
             _ => unreachable!(),
@@ -382,11 +489,20 @@ mod tests {
         let mut rng = Rng::new(3);
         let (mut learner, data) = make_learner("deco", &mut rng);
         // High STC: each segment is dominated by one class.
-        let cfg = StreamConfig { stc: 100, segment_size: 32, num_segments: 3, seed: 7 };
+        let cfg = StreamConfig {
+            stc: 100,
+            segment_size: 32,
+            num_segments: 3,
+            seed: 7,
+        };
         for segment in Stream::new(&data, cfg) {
             let report = learner.process_segment(&segment);
             // The number of active classes stays small under high STC.
-            assert!(report.active_classes.len() <= 2, "active {:?}", report.active_classes);
+            assert!(
+                report.active_classes.len() <= 2,
+                "active {:?}",
+                report.active_classes
+            );
         }
         let (retention, _) = learner.pseudo_label_stats();
         assert!(retention > 0.0);
@@ -407,7 +523,12 @@ mod tests {
         let mut rng = Rng::new(5);
         let (mut learner, data) = make_learner("deco", &mut rng);
         let test = data.test_set(3);
-        let cfg = StreamConfig { stc: 40, segment_size: 24, num_segments: 6, seed: 8 };
+        let cfg = StreamConfig {
+            stc: 40,
+            segment_size: 24,
+            num_segments: 6,
+            seed: 8,
+        };
         for segment in Stream::new(&data, cfg) {
             learner.process_segment(&segment);
         }

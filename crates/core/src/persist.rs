@@ -8,11 +8,12 @@ use std::path::Path;
 
 use deco_condense::SyntheticBuffer;
 use deco_nn::ConvNet;
+use deco_telemetry::impl_json;
+use deco_telemetry::json::{FromJson, Json, JsonError, ToJson};
 use deco_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// A serializable snapshot of the on-device learning state.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Model parameter tensors, in `ConvNet::params` order.
     pub model_params: Vec<Tensor>,
@@ -45,7 +46,11 @@ impl Checkpoint {
     /// snapshot.
     pub fn restore(&self, model: &ConvNet, buffer: &mut SyntheticBuffer) {
         assert_eq!(buffer.ipc(), self.buffer_ipc, "buffer IpC mismatch");
-        assert_eq!(buffer.num_classes(), self.buffer_classes, "buffer class-count mismatch");
+        assert_eq!(
+            buffer.num_classes(),
+            self.buffer_classes,
+            "buffer class-count mismatch"
+        );
         model.set_params(&self.model_params);
         buffer.set_images(self.buffer_images.clone());
     }
@@ -53,17 +58,19 @@ impl Checkpoint {
     /// Serializes to JSON bytes.
     ///
     /// # Errors
-    /// Returns a serialization error (practically impossible for this type).
-    pub fn to_json(&self) -> serde_json::Result<Vec<u8>> {
-        serde_json::to_vec(self)
+    /// This serialization is infallible; the `Result` is kept for call-site
+    /// stability.
+    pub fn to_json(&self) -> Result<Vec<u8>, JsonError> {
+        Ok(ToJson::to_json(self).to_string_compact().into_bytes())
     }
 
     /// Deserializes from JSON bytes.
     ///
     /// # Errors
     /// Returns a parse error on malformed or mismatched payloads.
-    pub fn from_json(bytes: &[u8]) -> serde_json::Result<Checkpoint> {
-        serde_json::from_slice(bytes)
+    pub fn from_json(bytes: &[u8]) -> Result<Checkpoint, JsonError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| JsonError("not utf-8".into()))?;
+        FromJson::from_json(&Json::parse(text)?)
     }
 
     /// Writes the checkpoint to a file.
@@ -87,6 +94,14 @@ impl Checkpoint {
     }
 }
 
+impl_json!(Checkpoint {
+    model_params,
+    buffer_images,
+    buffer_ipc,
+    buffer_classes,
+    items_seen
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,7 +110,14 @@ mod tests {
 
     fn tiny(rng: &mut Rng) -> ConvNet {
         ConvNet::new(
-            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 3, norm: true },
+            ConvNetConfig {
+                in_channels: 1,
+                image_side: 8,
+                width: 4,
+                depth: 2,
+                num_classes: 3,
+                norm: true,
+            },
             rng,
         )
     }

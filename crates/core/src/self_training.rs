@@ -24,7 +24,11 @@ pub struct SelfTrainingConfig {
 
 impl Default for SelfTrainingConfig {
     fn default() -> Self {
-        SelfTrainingConfig { confidence_threshold: 0.6, lr: 1e-3, steps_per_segment: 4 }
+        SelfTrainingConfig {
+            confidence_threshold: 0.6,
+            lr: 1e-3,
+            steps_per_segment: 4,
+        }
     }
 }
 
@@ -51,11 +55,16 @@ impl SelfTrainer {
     /// # Panics
     /// Panics on out-of-range configuration values.
     pub fn new(config: SelfTrainingConfig) -> Self {
-        assert!((0.0..=1.0).contains(&config.confidence_threshold), "threshold out of range");
+        assert!(
+            (0.0..=1.0).contains(&config.confidence_threshold),
+            "threshold out of range"
+        );
         assert!(config.lr > 0.0, "lr must be positive");
         SelfTrainer {
             config,
-            opt: Sgd::new(config.lr).with_momentum(0.9).with_weight_decay(WEIGHT_DECAY),
+            opt: Sgd::new(config.lr)
+                .with_momentum(0.9)
+                .with_weight_decay(WEIGHT_DECAY),
         }
     }
 
@@ -78,10 +87,15 @@ impl SelfTrainer {
             .filter_map(|(i, p)| (p.confidence >= self.config.confidence_threshold).then_some(i))
             .collect();
         if kept.is_empty() {
-            return SelfTrainingReport { trained_on: 0, pseudo_label_accuracy: None };
+            return SelfTrainingReport {
+                trained_on: 0,
+                pseudo_label_accuracy: None,
+            };
         }
-        let correct =
-            kept.iter().filter(|&&i| predictions[i].class == segment.true_labels[i]).count();
+        let correct = kept
+            .iter()
+            .filter(|&&i| predictions[i].class == segment.true_labels[i])
+            .count();
         let images = segment.images.select_rows(&kept);
         let labels: Vec<usize> = kept.iter().map(|&i| predictions[i].class).collect();
         let weights: Vec<f32> = kept.iter().map(|&i| predictions[i].confidence).collect();
@@ -110,7 +124,14 @@ mod tests {
     fn setup(rng: &mut Rng) -> (SyntheticVision, ConvNet) {
         let data = SyntheticVision::new(core50());
         let model = ConvNet::new(
-            ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+            ConvNetConfig {
+                in_channels: 3,
+                image_side: 16,
+                width: 8,
+                depth: 3,
+                num_classes: 10,
+                norm: true,
+            },
             rng,
         );
         pretrain(&model, &data.pretrain_set(4), 40, 0.02);
@@ -122,7 +143,12 @@ mod tests {
         let mut rng = Rng::new(1);
         let (data, model) = setup(&mut rng);
         let mut trainer = SelfTrainer::new(SelfTrainingConfig::default());
-        let cfg = StreamConfig { stc: 48, segment_size: 24, num_segments: 3, seed: 2 };
+        let cfg = StreamConfig {
+            stc: 48,
+            segment_size: 24,
+            num_segments: 3,
+            seed: 2,
+        };
         let mut trained = 0;
         for segment in Stream::new(&data, cfg) {
             let report = trainer.process_segment(&model, &segment, &mut rng);
@@ -140,7 +166,12 @@ mod tests {
             confidence_threshold: 1.0,
             ..SelfTrainingConfig::default()
         });
-        let cfg = StreamConfig { stc: 48, segment_size: 16, num_segments: 2, seed: 3 };
+        let cfg = StreamConfig {
+            stc: 48,
+            segment_size: 16,
+            num_segments: 2,
+            seed: 3,
+        };
         for segment in Stream::new(&data, cfg) {
             let report = trainer.process_segment(&model, &segment, &mut rng);
             assert_eq!(report.trained_on, 0);
@@ -164,12 +195,20 @@ mod tests {
             lr: 5e-3,
             steps_per_segment: 6,
         });
-        let cfg = StreamConfig { stc: 120, segment_size: 24, num_segments: 6, seed: 4 };
+        let cfg = StreamConfig {
+            stc: 120,
+            segment_size: 24,
+            num_segments: 6,
+            seed: 4,
+        };
         for segment in Stream::new(&data, cfg) {
             trainer.process_segment(&model, &segment, &mut rng);
         }
         let acc = accuracy(&model, &test);
         assert!((0.0..=1.0).contains(&acc));
-        assert!(model.get_params().iter().all(deco_tensor::Tensor::is_finite));
+        assert!(model
+            .get_params()
+            .iter()
+            .all(deco_tensor::Tensor::is_finite));
     }
 }

@@ -36,7 +36,9 @@ pub fn train_classifier(
 /// Pre-trains a model on the small labeled set available before deployment
 /// (the paper uses 1 % of labels, 10 % for CIFAR-100).
 pub fn pretrain(net: &ConvNet, set: &LabeledSet, steps: usize, lr: f32) -> f32 {
-    let mut opt = Sgd::new(lr).with_momentum(0.9).with_weight_decay(WEIGHT_DECAY);
+    let mut opt = Sgd::new(lr)
+        .with_momentum(0.9)
+        .with_weight_decay(WEIGHT_DECAY);
     train_classifier(net, &set.images, &set.labels, None, steps, &mut opt)
 }
 
@@ -115,7 +117,14 @@ mod tests {
 
     fn tiny_net(rng: &mut Rng) -> ConvNet {
         ConvNet::new(
-            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 2, norm: false },
+            ConvNetConfig {
+                in_channels: 1,
+                image_side: 8,
+                width: 4,
+                depth: 2,
+                num_classes: 2,
+                norm: false,
+            },
             rng,
         )
     }

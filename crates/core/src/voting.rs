@@ -46,11 +46,18 @@ pub fn majority_vote(
     num_classes: usize,
     threshold: f32,
 ) -> VoteOutcome {
-    assert!((0.0..1.0).contains(&threshold), "threshold must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&threshold),
+        "threshold must be in [0, 1)"
+    );
     let n = predictions.len();
     let mut counts = vec![0usize; num_classes];
     for p in predictions {
-        assert!(p.class < num_classes, "predicted class {} out of range", p.class);
+        assert!(
+            p.class < num_classes,
+            "predicted class {} out of range",
+            p.class
+        );
         counts[p.class] += 1;
     }
     let active_classes: Vec<usize> = counts
@@ -63,7 +70,10 @@ pub fn majority_vote(
         .enumerate()
         .filter_map(|(i, p)| active_classes.binary_search(&p.class).is_ok().then_some(i))
         .collect();
-    VoteOutcome { active_classes, kept }
+    VoteOutcome {
+        active_classes,
+        kept,
+    }
 }
 
 /// Pseudo-label accuracy of the *kept* items against ground truth — the
@@ -95,7 +105,13 @@ mod tests {
     use super::*;
 
     fn preds(classes: &[usize]) -> Vec<Prediction> {
-        classes.iter().map(|&class| Prediction { class, confidence: 0.5 }).collect()
+        classes
+            .iter()
+            .map(|&class| Prediction {
+                class,
+                confidence: 0.5,
+            })
+            .collect()
     }
 
     #[test]
@@ -153,7 +169,7 @@ mod tests {
     fn kept_accuracy_scores_only_kept_items() {
         let p = preds(&[0, 0, 0, 1]);
         let out = majority_vote(&p, 2, 0.4); // keeps the three 0-predictions
-        // Ground truth: first two really are 0, third is 1, fourth is 1.
+                                             // Ground truth: first two really are 0, third is 1, fourth is 1.
         let acc = kept_label_accuracy(&p, &out, &[0, 0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
     }

@@ -1,0 +1,133 @@
+//! A small, offline drop-in for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment cannot reach crates.io, so the real
+//! `criterion` cannot be fetched. This shim keeps the bench sources
+//! unchanged — [`Criterion::bench_function`], [`Bencher::iter`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and
+//! `sample_size` — and reports mean / min nanoseconds per iteration on
+//! stdout. It performs no statistical analysis, HTML reporting, or
+//! baseline comparison.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall time per sample; `iter` batches the closure until each
+/// sample has run at least this long so cheap ops aren't pure timer
+/// noise.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Benchmark driver. One instance is threaded through every bench
+/// function of a group.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` (which must call [`Bencher::iter`]) `sample_size` times
+    /// and prints mean / min time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One untimed warm-up pass to populate caches and lazy statics.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+        let min = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        println!("bench {name:<44} mean {mean:>12.1} ns/iter   min {min:>12.1} ns/iter");
+        self
+    }
+
+    /// Compatibility no-op: the shim has no persistent configuration to
+    /// finalize.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times a closure inside [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` in a batch sized to last at least a few
+    /// milliseconds and records the mean nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_TIME || iters >= 1 << 20 {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            // Grow the batch toward the target duration.
+            let scale = (MIN_SAMPLE_TIME.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
+                .ceil() as u64;
+            iters = (iters * scale.clamp(2, 100)).min(1 << 20);
+        }
+    }
+}
+
+/// Re-exported so call sites may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a bench group function that runs each target with a shared
+/// [`Criterion`] built from `config`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}

@@ -63,11 +63,18 @@ pub fn diagnose(data: &SyntheticVision, samples_per_class: usize, seed: u64) -> 
     let spec = data.spec();
     let mut rng = Rng::new(seed);
     let frames: Vec<Vec<Tensor>> = (0..spec.num_classes)
-        .map(|c| (0..samples_per_class).map(|_| data.random_frame(c, &mut rng)).collect())
+        .map(|c| {
+            (0..samples_per_class)
+                .map(|_| data.random_frame(c, &mut rng))
+                .collect()
+        })
         .collect();
 
     // Intra-class: same-class pairs, averaged over classes.
-    let intra = frames.iter().map(|f| mean_distance(f, f, true)).sum::<f32>()
+    let intra = frames
+        .iter()
+        .map(|f| mean_distance(f, f, true))
+        .sum::<f32>()
         / spec.num_classes as f32;
 
     // Inter-class and pair-class distances.
@@ -87,8 +94,16 @@ pub fn diagnose(data: &SyntheticVision, samples_per_class: usize, seed: u64) -> 
             }
         }
     }
-    let inter = if inter_count > 0 { inter_total / inter_count as f32 } else { 0.0 };
-    let pair = if pair_count > 0 { pair_total / pair_count as f32 } else { inter };
+    let inter = if inter_count > 0 {
+        inter_total / inter_count as f32
+    } else {
+        0.0
+    };
+    let pair = if pair_count > 0 {
+        pair_total / pair_count as f32
+    } else {
+        inter
+    };
 
     // Environment shift: same class/instance/view, different environment.
     let mut env_total = 0.0f32;
@@ -96,7 +111,13 @@ pub fn diagnose(data: &SyntheticVision, samples_per_class: usize, seed: u64) -> 
     if spec.num_environments > 1 {
         for c in 0..spec.num_classes.min(4) {
             let base = data.render(c, 0, 0, 0.25, &mut Rng::new(seed ^ 1));
-            let other = data.render(c, 0, spec.num_environments - 1, 0.25, &mut Rng::new(seed ^ 1));
+            let other = data.render(
+                c,
+                0,
+                spec.num_environments - 1,
+                0.25,
+                &mut Rng::new(seed ^ 1),
+            );
             let d = &base - &other;
             env_total += d.l2_norm();
             env_count += 1;
@@ -106,7 +127,11 @@ pub fn diagnose(data: &SyntheticVision, samples_per_class: usize, seed: u64) -> 
         intra_class_distance: intra,
         inter_class_distance: inter,
         pair_class_distance: pair,
-        environment_shift: if env_count > 0 { env_total / env_count as f32 } else { 0.0 },
+        environment_shift: if env_count > 0 {
+            env_total / env_count as f32
+        } else {
+            0.0
+        },
     }
 }
 
@@ -123,7 +148,10 @@ pub struct StreamDiagnostics {
 
 /// Measures stream diagnostics from a list of segments.
 pub fn diagnose_stream(segments: &[Segment]) -> StreamDiagnostics {
-    let labels: Vec<usize> = segments.iter().flat_map(|s| s.true_labels.clone()).collect();
+    let labels: Vec<usize> = segments
+        .iter()
+        .flat_map(|s| s.true_labels.clone())
+        .collect();
     let mut seen: Vec<usize> = labels.clone();
     seen.sort_unstable();
     seen.dedup();
@@ -165,7 +193,12 @@ mod tests {
     #[test]
     fn stream_diagnostics_match_configuration() {
         let data = SyntheticVision::new(core50());
-        let cfg = StreamConfig { stc: 20, segment_size: 32, num_segments: 10, seed: 4 };
+        let cfg = StreamConfig {
+            stc: 20,
+            segment_size: 32,
+            num_segments: 10,
+            seed: 4,
+        };
         let segments: Vec<Segment> = Stream::new(&data, cfg).collect();
         let d = diagnose_stream(&segments);
         assert_eq!(d.items, 320);

@@ -105,13 +105,31 @@ impl SyntheticVision {
         rng: &mut Rng,
     ) -> Tensor {
         assert!(class < self.spec.num_classes, "class {class} out of range");
-        assert!(instance < self.spec.instances_per_class, "instance {instance} out of range");
-        assert!(environment < self.spec.num_environments, "environment {environment} out of range");
+        assert!(
+            instance < self.spec.instances_per_class,
+            "instance {instance} out of range"
+        );
+        assert!(
+            environment < self.spec.num_environments,
+            "environment {environment} out of range"
+        );
         let mut out = vec![0.0f32; self.frame_numel()];
-        self.models[class].render_into(&self.spec, class, instance, environment, view, rng, &mut out);
+        self.models[class].render_into(
+            &self.spec,
+            class,
+            instance,
+            environment,
+            view,
+            rng,
+            &mut out,
+        );
         Tensor::from_vec(
             out,
-            [self.spec.channels, self.spec.image_side, self.spec.image_side],
+            [
+                self.spec.channels,
+                self.spec.image_side,
+                self.spec.image_side,
+            ],
         )
     }
 
@@ -140,7 +158,12 @@ impl SyntheticVision {
         LabeledSet {
             images: Tensor::from_vec(
                 data,
-                [n, self.spec.channels, self.spec.image_side, self.spec.image_side],
+                [
+                    n,
+                    self.spec.channels,
+                    self.spec.image_side,
+                    self.spec.image_side,
+                ],
             ),
             labels,
         }

@@ -70,7 +70,9 @@ impl Iterator for DriftStream<'_> {
             let mut view = self.rng.next_f32();
             let step = 1.0 / run as f32;
             for _ in 0..run {
-                let frame = self.dataset.render(class, instance, environment, view, &mut self.rng);
+                let frame = self
+                    .dataset
+                    .render(class, instance, environment, view, &mut self.rng);
                 data.extend_from_slice(frame.data());
                 labels.push(class);
                 view = (view + step).fract();
@@ -99,7 +101,12 @@ mod tests {
     #[test]
     fn drift_stream_emits_segments() {
         let data = dataset();
-        let cfg = StreamConfig { stc: 16, segment_size: 24, num_segments: 4, seed: 1 };
+        let cfg = StreamConfig {
+            stc: 16,
+            segment_size: 24,
+            num_segments: 4,
+            seed: 1,
+        };
         let segs: Vec<Segment> = DriftStream::new(&data, cfg).collect();
         assert_eq!(segs.len(), 4);
         assert_eq!(segs[0].len(), 24);
@@ -108,7 +115,12 @@ mod tests {
     #[test]
     fn drift_stream_is_deterministic() {
         let data = dataset();
-        let cfg = StreamConfig { stc: 16, segment_size: 16, num_segments: 3, seed: 2 };
+        let cfg = StreamConfig {
+            stc: 16,
+            segment_size: 16,
+            num_segments: 3,
+            seed: 2,
+        };
         let a: Vec<Segment> = DriftStream::new(&data, cfg).collect();
         let b: Vec<Segment> = DriftStream::new(&data, cfg).collect();
         assert_eq!(a, b);
@@ -120,7 +132,12 @@ mod tests {
         // statistically different (backgrounds shift); compare mean frames
         // conditioned on one class.
         let data = dataset();
-        let cfg = StreamConfig { stc: 8, segment_size: 64, num_segments: 8, seed: 3 };
+        let cfg = StreamConfig {
+            stc: 8,
+            segment_size: 64,
+            num_segments: 8,
+            seed: 3,
+        };
         let segs: Vec<Segment> = DriftStream::new(&data, cfg).collect();
         let class_mean = |seg: &Segment| -> Option<f32> {
             let idx: Vec<usize> = seg
@@ -141,11 +158,19 @@ mod tests {
     #[test]
     fn environment_at_covers_the_range() {
         let data = dataset();
-        let cfg = StreamConfig { stc: 8, segment_size: 8, num_segments: 2, seed: 4 };
+        let cfg = StreamConfig {
+            stc: 8,
+            segment_size: 8,
+            num_segments: 2,
+            seed: 4,
+        };
         let mut s = DriftStream::new(&data, cfg);
         let lo = s.environment_at(0.0);
         let hi = s.environment_at(1.0);
         assert!(lo <= 1, "start near env 0, got {lo}");
-        assert!(hi >= data.spec().num_environments - 2, "end near last env, got {hi}");
+        assert!(
+            hi >= data.spec().num_environments - 2,
+            "end near last env, got {hi}"
+        );
     }
 }

@@ -44,7 +44,11 @@ impl Blob {
             cx: (self.cx + rng.normal_with(0.0, pos_jitter)).clamp(0.05, 0.95),
             cy: (self.cy + rng.normal_with(0.0, pos_jitter)).clamp(0.05, 0.95),
             sigma: (self.sigma * (1.0 + rng.normal_with(0.0, 0.15))).clamp(0.05, 0.35),
-            amp: self.amp.iter().map(|a| a + rng.normal_with(0.0, amp_jitter)).collect(),
+            amp: self
+                .amp
+                .iter()
+                .map(|a| a + rng.normal_with(0.0, amp_jitter))
+                .collect(),
             orbit: self.orbit,
         }
     }
@@ -93,8 +97,7 @@ impl ClassModel {
     /// The blobs of a specific object instance (deterministic per
     /// `(spec.seed, class, instance)`).
     fn instance_blobs(&self, spec: &DatasetSpec, class: usize, instance: usize) -> Vec<Blob> {
-        let mut rng =
-            Rng::new(spec.seed ^ 0x9999_0000 ^ ((class as u64) << 20) ^ instance as u64);
+        let mut rng = Rng::new(spec.seed ^ 0x9999_0000 ^ ((class as u64) << 20) ^ instance as u64);
         self.blobs
             .iter()
             .map(|b| b.jittered(&mut rng, INSTANCE_POS_JITTER, INSTANCE_AMP_JITTER))
@@ -105,6 +108,7 @@ impl ClassModel {
     ///
     /// `view ∈ [0, 1)` sweeps the object's pose; `noise_rng` supplies the
     /// per-frame pixel noise.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn render_into(
         &self,
         spec: &DatasetSpec,
@@ -124,8 +128,8 @@ impl ClassModel {
         let env: Vec<(f32, f32, f32)> = (0..channels)
             .map(|_| {
                 (
-                    env_rng.uniform(-0.3, 0.3), // gx
-                    env_rng.uniform(-0.3, 0.3), // gy
+                    env_rng.uniform(-0.3, 0.3),   // gx
+                    env_rng.uniform(-0.3, 0.3),   // gy
                     env_rng.uniform(-0.25, 0.25), // offset
                 )
             })
@@ -207,7 +211,11 @@ mod tests {
     }
 
     fn frame_distance(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
     }
 
     #[test]

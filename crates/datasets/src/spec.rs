@@ -49,7 +49,10 @@ impl DatasetSpec {
         assert!(self.channels > 0, "need at least one channel");
         assert!(self.instances_per_class > 0, "need at least one instance");
         assert!(self.num_environments > 0, "need at least one environment");
-        assert!((0.0..1.0).contains(&self.confusability), "confusability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.confusability),
+            "confusability must be in [0,1)"
+        );
         assert!(self.stc > 0, "STC must be positive");
     }
 
@@ -140,7 +143,16 @@ pub fn imagenet10() -> DatasetSpec {
 
 /// Names of the CIFAR-10 classes used by the Fig. 2 confusion analysis.
 pub const CIFAR10_NAMES: [&str; 10] = [
-    "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck",
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
 ];
 
 /// CIFAR-10 analogue with *designed* confusable pairs — cat↔dog,
@@ -195,7 +207,13 @@ mod tests {
 
     #[test]
     fn all_presets_validate() {
-        for spec in [icub1(), core50(), cifar100(), imagenet10(), cifar10_confusable()] {
+        for spec in [
+            icub1(),
+            core50(),
+            cifar100(),
+            imagenet10(),
+            cifar10_confusable(),
+        ] {
             spec.validate();
         }
     }

@@ -108,7 +108,11 @@ impl<'a> Stream<'a> {
     }
 
     /// A config using the dataset's preset STC.
-    pub fn default_config(dataset: &SyntheticVision, num_segments: usize, seed: u64) -> StreamConfig {
+    pub fn default_config(
+        dataset: &SyntheticVision,
+        num_segments: usize,
+        seed: u64,
+    ) -> StreamConfig {
         StreamConfig {
             stc: dataset.spec().stc,
             segment_size: 64,
@@ -148,7 +152,7 @@ impl<'a> Stream<'a> {
     }
 
     fn next_item(&mut self) -> (Tensor, usize) {
-        if self.run.as_ref().map_or(true, |r| r.remaining == 0) {
+        if self.run.as_ref().is_none_or(|r| r.remaining == 0) {
             let run = self.fresh_run();
             self.run = Some(run);
         }
@@ -159,7 +163,9 @@ impl<'a> Stream<'a> {
             run.remaining -= 1;
             out
         };
-        let frame = self.dataset.render(class, instance, environment, view, &mut self.rng);
+        let frame = self
+            .dataset
+            .render(class, instance, environment, view, &mut self.rng);
         (frame, class)
     }
 }
@@ -182,10 +188,7 @@ impl Iterator for Stream<'_> {
             labels.push(label);
         }
         Some(Segment {
-            images: Tensor::from_vec(
-                data,
-                [b, spec.channels, spec.image_side, spec.image_side],
-            ),
+            images: Tensor::from_vec(data, [b, spec.channels, spec.image_side, spec.image_side]),
             true_labels: labels,
         })
     }
@@ -221,14 +224,26 @@ mod tests {
 
     fn stream_labels(stc: usize, segments: usize, seed: u64) -> Vec<usize> {
         let data = SyntheticVision::new(core50());
-        let cfg = StreamConfig { stc, segment_size: 32, num_segments: segments, seed };
-        Stream::new(&data, cfg).flat_map(|s| s.true_labels).collect()
+        let cfg = StreamConfig {
+            stc,
+            segment_size: 32,
+            num_segments: segments,
+            seed,
+        };
+        Stream::new(&data, cfg)
+            .flat_map(|s| s.true_labels)
+            .collect()
     }
 
     #[test]
     fn stream_emits_exact_segment_count() {
         let data = SyntheticVision::new(core50());
-        let cfg = StreamConfig { stc: 10, segment_size: 16, num_segments: 5, seed: 0 };
+        let cfg = StreamConfig {
+            stc: 10,
+            segment_size: 16,
+            num_segments: 5,
+            seed: 0,
+        };
         let stream = Stream::new(&data, cfg);
         assert_eq!(stream.len(), 5);
         assert_eq!(stream.count(), 5);
@@ -237,7 +252,12 @@ mod tests {
     #[test]
     fn segments_have_requested_shape() {
         let data = SyntheticVision::new(core50());
-        let cfg = StreamConfig { stc: 10, segment_size: 8, num_segments: 1, seed: 0 };
+        let cfg = StreamConfig {
+            stc: 10,
+            segment_size: 8,
+            num_segments: 1,
+            seed: 0,
+        };
         let seg = Stream::new(&data, cfg).next().unwrap();
         assert_eq!(seg.len(), 8);
         assert_eq!(seg.images.shape().dims(), &[8, 3, 16, 16]);

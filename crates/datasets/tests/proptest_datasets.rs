@@ -1,8 +1,6 @@
 //! Property-based tests for the dataset generators and stream simulator.
 
-use deco_datasets::{
-    core50, empirical_stc, DatasetSpec, Stream, StreamConfig, SyntheticVision,
-};
+use deco_datasets::{core50, empirical_stc, DatasetSpec, Stream, StreamConfig, SyntheticVision};
 use deco_tensor::Rng;
 use proptest::prelude::*;
 

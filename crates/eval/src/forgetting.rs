@@ -4,8 +4,8 @@
 //! learned classes decay.
 
 use deco::confusion_matrix;
-use deco_nn::ConvNet;
 use deco_datasets::LabeledSet;
+use deco_nn::ConvNet;
 
 /// Per-class accuracies of a model on a labeled set (`NaN`-free: classes
 /// absent from the set get accuracy 0).
@@ -111,7 +111,14 @@ mod tests {
         let mut rng = Rng::new(1);
         let data = SyntheticVision::new(core50());
         let model = ConvNet::new(
-            ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+            ConvNetConfig {
+                in_channels: 3,
+                image_side: 16,
+                width: 8,
+                depth: 3,
+                num_classes: 10,
+                norm: true,
+            },
             &mut rng,
         );
         pretrain(&model, &data.pretrain_set(3), 30, 0.02);

@@ -28,7 +28,7 @@ mod stats;
 
 pub use forgetting::{per_class_accuracy, ForgettingTracker};
 pub use plot::{ascii_plot, Series};
-pub use report::{write_json, Table};
+pub use report::{write_json, write_json_value, ResourceUsage, Table};
 pub use runner::{
     run_cell, run_trial, upper_bound, CellResult, CurvePoint, MethodKind, TrialResult, TrialSpec,
 };

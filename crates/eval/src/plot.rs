@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(name: impl Into<String>, points: Vec<(f32, f32)>) -> Self {
-        Series { name: name.into(), points }
+        Series {
+            name: name.into(),
+            points,
+        }
     }
 }
 
@@ -25,12 +28,19 @@ const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
 /// ranges inferred from the data, followed by a legend. Returns an empty
 /// string if no series has points.
 pub fn ascii_plot(series: &[Series], width: usize, height: usize) -> String {
-    let all: Vec<(f32, f32)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f32, f32)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() || width < 8 || height < 4 {
         return String::new();
     }
-    let (mut x_min, mut x_max, mut y_min, mut y_max) =
-        (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+    let (mut x_min, mut x_max, mut y_min, mut y_max) = (
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+    );
     for &(x, y) in &all {
         x_min = x_min.min(x);
         x_max = x_max.max(x);
@@ -67,9 +77,17 @@ pub fn ascii_plot(series: &[Series], width: usize, height: usize) -> String {
     out.push_str("         └");
     out.push_str(&"─".repeat(width));
     out.push('\n');
-    out.push_str(&format!("          {x_min:<12.0}{: >w$.0}\n", x_max, w = width.saturating_sub(12)));
+    out.push_str(&format!(
+        "          {x_min:<12.0}{: >w$.0}\n",
+        x_max,
+        w = width.saturating_sub(12)
+    ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!("          {} {}\n", MARKERS[si % MARKERS.len()], s.name));
+        out.push_str(&format!(
+            "          {} {}\n",
+            MARKERS[si % MARKERS.len()],
+            s.name
+        ));
     }
     out
 }

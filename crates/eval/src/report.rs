@@ -3,10 +3,11 @@
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serialize;
+use deco_telemetry::impl_to_json;
+use deco_telemetry::json::{Json, ToJson};
 
 /// A rendered experiment table: header row plus data rows.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     /// Table title (e.g. `"Table I — final average accuracy"`).
     pub title: String,
@@ -19,7 +20,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(title: impl Into<String>, header: Vec<String>) -> Self {
-        Table { title: title.into(), header, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -65,19 +70,57 @@ impl std::fmt::Display for Table {
     }
 }
 
+impl_to_json!(Table {
+    title,
+    header,
+    rows
+});
+
+/// Optional telemetry-derived measurements attached to report entries:
+/// peak bytes across all tracked components and wall time of the
+/// measured phase. `None` fields serialize as JSON `null` so report
+/// consumers see a stable schema whether or not `--telemetry` ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceUsage {
+    /// High-water-mark bytes over replay buffer, synthetic dataset,
+    /// model params, optimizer state, and autograd tape.
+    pub peak_memory_bytes: Option<u64>,
+    /// Wall time of the measured phase in milliseconds.
+    pub wall_time_ms: Option<f64>,
+}
+
+impl_to_json!(ResourceUsage {
+    peak_memory_bytes,
+    wall_time_ms
+});
+
 /// Writes any serializable report next to the printed table so results can
 /// be post-processed (`reports/<name>.json`).
 ///
 /// # Errors
 /// Returns any I/O error from creating the directory or writing the file.
-pub fn write_json<T: Serialize>(dir: impl AsRef<Path>, name: &str, value: &T) -> std::io::Result<()> {
+pub fn write_json<T: ToJson + ?Sized>(
+    dir: impl AsRef<Path>,
+    name: &str,
+    value: &T,
+) -> std::io::Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut file = std::fs::File::create(&path)?;
-    let json = serde_json::to_string_pretty(value)?;
+    let mut json = value.to_json().to_string_pretty();
+    json.push('\n');
     file.write_all(json.as_bytes())?;
     Ok(())
+}
+
+/// Writes an already-built [`Json`] report value (convenience over
+/// [`write_json`] for reports assembled field by field).
+///
+/// # Errors
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_json_value(dir: impl AsRef<Path>, name: &str, value: &Json) -> std::io::Result<()> {
+    write_json(dir, name, value)
 }
 
 #[cfg(test)]
@@ -94,7 +137,10 @@ mod tests {
         assert!(s.contains("| DECO"));
         let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
         let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table: {widths:?}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table: {widths:?}"
+        );
     }
 
     #[test]

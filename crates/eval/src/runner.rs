@@ -11,6 +11,7 @@ use deco_condense::{DcCondenser, DcConfig, DmCondenser, DmConfig, DsaCondenser, 
 use deco_datasets::{LabeledSet, Stream, StreamConfig, SyntheticVision};
 use deco_nn::{ConvNet, ConvNetConfig};
 use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
+use deco_telemetry::impl_to_json;
 use deco_tensor::Rng;
 
 use crate::scale::{DatasetId, ScaleParams};
@@ -43,8 +44,12 @@ impl MethodKind {
     ];
 
     /// The four Table II condensation methods, in paper order.
-    pub const TABLE2: [MethodKind; 4] =
-        [MethodKind::Dc, MethodKind::Dsa, MethodKind::Dm, MethodKind::Deco];
+    pub const TABLE2: [MethodKind; 4] = [
+        MethodKind::Dc,
+        MethodKind::Dsa,
+        MethodKind::Dm,
+        MethodKind::Deco,
+    ];
 
     /// Display name.
     pub fn label(self) -> &'static str {
@@ -90,7 +95,13 @@ pub struct TrialSpec {
 
 impl TrialSpec {
     /// A default trial for the given cell.
-    pub fn new(dataset: DatasetId, method: MethodKind, ipc: usize, seed: u64, params: ScaleParams) -> Self {
+    pub fn new(
+        dataset: DatasetId,
+        method: MethodKind,
+        ipc: usize,
+        seed: u64,
+        params: ScaleParams,
+    ) -> Self {
         TrialSpec {
             dataset,
             method,
@@ -105,13 +116,15 @@ impl TrialSpec {
 }
 
 /// A point of a learning curve.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurvePoint {
     /// Stream items processed so far.
     pub items: usize,
     /// Test accuracy at that point.
     pub accuracy: f32,
 }
+
+impl_to_json!(CurvePoint { items, accuracy });
 
 /// The outcome of one trial.
 #[derive(Debug, Clone)]
@@ -127,6 +140,14 @@ pub struct TrialResult {
     /// Wall-clock time spent inside `process_segment` (the condensation /
     /// selection cost Table II reports).
     pub processing_time: Duration,
+    /// Per-segment `process_segment` latency in milliseconds, in stream
+    /// order.
+    pub segment_wall_time_ms: Vec<f64>,
+    /// High-water-mark bytes of the learner's persistent state (replay
+    /// buffer / synthetic dataset / model params / optimizer state);
+    /// the transient autograd-tape peak is tracked separately in the
+    /// telemetry `usage` breakdown. `None` when telemetry is disabled.
+    pub peak_memory_bytes: Option<u64>,
 }
 
 fn convnet_config(dataset: DatasetId, params: &ScaleParams) -> ConvNetConfig {
@@ -194,8 +215,11 @@ fn build_policy(
                     break;
                 }
                 let image = pretrain_set.images.select_rows(&[i]).reshape(frame.clone());
-                let item =
-                    BufferItem { image, label: pretrain_set.labels[i], confidence: 1.0 };
+                let item = BufferItem {
+                    image,
+                    label: pretrain_set.labels[i],
+                    confidence: 1.0,
+                };
                 let mut ctx = SelectionContext { model, rng };
                 strategy.offer(&mut buffer, item, &mut ctx);
             }
@@ -213,7 +237,12 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     let net_cfg = convnet_config(spec.dataset, params);
     let model = ConvNet::new(net_cfg, &mut rng);
     let pretrain_set = data.pretrain_set(params.pretrain_per_class);
-    pretrain(&model, &pretrain_set, params.pretrain_steps, params.pretrain_lr);
+    pretrain(
+        &model,
+        &pretrain_set,
+        params.pretrain_steps,
+        params.pretrain_lr,
+    );
     let scratch = ConvNet::new(net_cfg, &mut rng);
     let test_set = data.test_set(params.test_per_class);
 
@@ -234,10 +263,13 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     };
     let mut curve = Vec::new();
     let mut processing_time = Duration::ZERO;
+    let mut segment_wall_time_ms = Vec::new();
     for (i, segment) in Stream::new(&data, stream_cfg).enumerate() {
         let start = Instant::now();
         learner.process_segment(&segment);
-        processing_time += start.elapsed();
+        let elapsed = start.elapsed();
+        processing_time += elapsed;
+        segment_wall_time_ms.push(elapsed.as_secs_f64() * 1e3);
         if spec.eval_every > 0 && (i + 1) % spec.eval_every == 0 {
             curve.push(CurvePoint {
                 items: learner.items_seen(),
@@ -246,16 +278,23 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         }
     }
     // Final model update if the stream length is not a multiple of β.
-    if params.num_segments % params.beta != 0 {
+    if !params.num_segments.is_multiple_of(params.beta) {
         learner.train_model_now();
     }
     let (retention, pseudo_accuracy) = learner.pseudo_label_stats();
+    // Storage peak only: the paper's Table 2 compares what the device
+    // must keep resident between segments; the transient autograd-tape
+    // peak stays visible in the report's per-component `usage` section.
+    let peak_memory_bytes =
+        deco_telemetry::is_enabled().then(|| learner.memory_tracker().storage_peak());
     TrialResult {
         final_accuracy: learner.evaluate(&test_set),
         curve,
         retention,
         pseudo_accuracy,
         processing_time,
+        segment_wall_time_ms,
+        peak_memory_bytes,
     }
 }
 
@@ -270,19 +309,24 @@ pub struct CellResult {
 
 /// Runs `params.seeds` trials of a cell in parallel (one thread per seed).
 pub fn run_cell(base: &TrialSpec) -> CellResult {
-    let trials: Vec<TrialResult> = crossbeam::thread::scope(|scope| {
+    let trials: Vec<TrialResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..base.params.seeds as u64)
             .map(|seed| {
                 let mut spec = *base;
                 spec.seed = seed;
-                scope.spawn(move |_| run_trial(&spec))
+                scope.spawn(move || run_trial(&spec))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
-    })
-    .expect("trial scope panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial thread panicked"))
+            .collect()
+    });
     let accs: Vec<f32> = trials.iter().map(|t| t.final_accuracy).collect();
-    CellResult { accuracy: MeanStd::of(&accs), trials }
+    CellResult {
+        accuracy: MeanStd::of(&accs),
+        trials,
+    }
 }
 
 /// The paper's "Upper Bound": accuracy achievable with an unlimited buffer
@@ -294,13 +338,23 @@ pub fn upper_bound(dataset: DatasetId, params: &ScaleParams, seed: u64) -> f32 {
     let net_cfg = convnet_config(dataset, params);
     let model = ConvNet::new(net_cfg, &mut rng);
     let pretrain_set = data.pretrain_set(params.pretrain_per_class);
-    pretrain(&model, &pretrain_set, params.pretrain_steps, params.pretrain_lr);
+    pretrain(
+        &model,
+        &pretrain_set,
+        params.pretrain_steps,
+        params.pretrain_lr,
+    );
     // "Unlimited" buffer: a balanced sample of the stream distribution,
     // several times the biggest bounded buffer. Kept CPU-frugal: the upper
     // bound only anchors the table's headroom.
     let per_class = (params.pretrain_per_class * 4).max(12);
     let big = data.balanced_set(per_class, 0xB16_B0F ^ seed);
-    pretrain(&model, &big, params.pretrain_steps, params.pretrain_lr * 0.5);
+    pretrain(
+        &model,
+        &big,
+        params.pretrain_steps,
+        params.pretrain_lr * 0.5,
+    );
     accuracy(&model, &data.test_set(params.test_per_class))
 }
 
@@ -386,7 +440,14 @@ mod tests {
         let labels: Vec<&str> = MethodKind::TABLE1.iter().map(|m| m.label()).collect();
         assert_eq!(
             labels,
-            vec!["Random", "FIFO", "Selective-BP", "K-Center", "GSS-Greedy", "DECO"]
+            vec![
+                "Random",
+                "FIFO",
+                "Selective-BP",
+                "K-Center",
+                "GSS-Greedy",
+                "DECO"
+            ]
         );
         let t2: Vec<&str> = MethodKind::TABLE2.iter().map(|m| m.label()).collect();
         assert_eq!(t2, vec!["DC", "DSA", "DM", "DECO"]);

@@ -25,8 +25,12 @@ pub enum DatasetId {
 
 impl DatasetId {
     /// The four Table I datasets, in paper row order.
-    pub const TABLE1: [DatasetId; 4] =
-        [DatasetId::ICub1, DatasetId::Core50, DatasetId::Cifar100, DatasetId::ImageNet10];
+    pub const TABLE1: [DatasetId; 4] = [
+        DatasetId::ICub1,
+        DatasetId::Core50,
+        DatasetId::Cifar100,
+        DatasetId::ImageNet10,
+    ];
 
     /// The dataset's generator spec.
     pub fn spec(self) -> DatasetSpec {
@@ -207,8 +211,14 @@ mod tests {
 
     #[test]
     fn scale_parse_roundtrip() {
-        assert_eq!(ExperimentScale::parse("smoke"), Some(ExperimentScale::Smoke));
-        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(
+            ExperimentScale::parse("smoke"),
+            Some(ExperimentScale::Smoke)
+        );
+        assert_eq!(
+            ExperimentScale::parse("PAPER"),
+            Some(ExperimentScale::Paper)
+        );
         assert_eq!(ExperimentScale::parse("huge"), None);
     }
 

@@ -1,10 +1,10 @@
 //! Small statistics helpers for aggregating trial results.
 
-use serde::Serialize;
+use deco_telemetry::impl_to_json;
 
 /// Mean ± standard deviation of a set of trial outcomes (the paper reports
 /// every Table I cell this way).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeanStd {
     /// Sample mean.
     pub mean: f32,
@@ -21,8 +21,15 @@ impl MeanStd {
         assert!(!values.is_empty(), "cannot aggregate zero values");
         let n = values.len() as f64;
         let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
-        let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
-        MeanStd { mean: mean as f32, std: var.sqrt() as f32 }
+        let var = values
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        MeanStd {
+            mean: mean as f32,
+            std: var.sqrt() as f32,
+        }
     }
 
     /// Formats as the paper's `12.34±0.56` (values in percent).
@@ -30,6 +37,8 @@ impl MeanStd {
         format!("{:.2}±{:.2}", self.mean * 100.0, self.std * 100.0)
     }
 }
+
+impl_to_json!(MeanStd { mean, std });
 
 impl std::fmt::Display for MeanStd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -51,8 +60,12 @@ pub fn relative_improvement(ours: f32, best_baseline: f32) -> f32 {
 /// `(other_class, share_of_misclassifications)` (Fig. 2).
 pub fn top_confusions(matrix: &[Vec<usize>], class: usize, k: usize) -> Vec<(usize, f32)> {
     let row = &matrix[class];
-    let total_wrong: usize =
-        row.iter().enumerate().filter(|&(j, _)| j != class).map(|(_, &v)| v).sum();
+    let total_wrong: usize = row
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != class)
+        .map(|(_, &v)| v)
+        .sum();
     if total_wrong == 0 {
         return Vec::new();
     }
@@ -90,7 +103,10 @@ mod tests {
 
     #[test]
     fn percent_formatting() {
-        let m = MeanStd { mean: 0.2984, std: 0.0026 };
+        let m = MeanStd {
+            mean: 0.2984,
+            std: 0.0026,
+        };
         assert_eq!(m.as_percent(), "29.84±0.26");
     }
 
@@ -98,7 +114,11 @@ mod tests {
     fn improvement_matches_paper_example() {
         // CORe50 IpC=1: DECO 29.84 over best baseline 19.05 → 56.7 %.
         let imp = relative_improvement(0.2984, 0.1905);
-        assert!((imp * 100.0 - 56.7).abs() < 0.2, "improvement {}", imp * 100.0);
+        assert!(
+            (imp * 100.0 - 56.7).abs() < 0.2,
+            "improvement {}",
+            imp * 100.0
+        );
     }
 
     #[test]

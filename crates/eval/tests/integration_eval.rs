@@ -26,7 +26,11 @@ fn learning_curve_renders_as_ascii_plot() {
     let result = run_trial(&spec);
     let series = vec![Series::new(
         "DM",
-        result.curve.iter().map(|p| (p.items as f32, p.accuracy)).collect(),
+        result
+            .curve
+            .iter()
+            .map(|p| (p.items as f32, p.accuracy))
+            .collect(),
     )];
     let plot = ascii_plot(&series, 40, 8);
     assert!(plot.contains("DM"));
@@ -60,18 +64,32 @@ fn forgetting_tracker_works_on_real_models() {
 
 #[test]
 fn reports_serialize_trial_artifacts() {
-    let spec = TrialSpec::new(DatasetId::Core50, MethodKind::Selection(deco_replay::BaselineKind::Fifo), 1, 0, micro());
+    let spec = TrialSpec::new(
+        DatasetId::Core50,
+        MethodKind::Selection(deco_replay::BaselineKind::Fifo),
+        1,
+        0,
+        micro(),
+    );
     let result = run_trial(&spec);
     let dir = std::env::temp_dir().join("deco-eval-integration");
-    write_json(&dir, "trial", &serde_json::json!({
-        "accuracy": result.final_accuracy,
-        "retention": result.retention,
-    }))
+    use deco_telemetry::json::{Json, ToJson};
+    write_json(
+        &dir,
+        "trial",
+        &Json::obj([
+            ("accuracy", result.final_accuracy.to_json()),
+            ("retention", result.retention.to_json()),
+        ]),
+    )
     .unwrap();
     let text = std::fs::read_to_string(dir.join("trial.json")).unwrap();
     assert!(text.contains("accuracy"));
 
     let mut table = Table::new("integration", vec!["k".into(), "v".into()]);
-    table.push_row(vec!["accuracy".into(), format!("{:.3}", result.final_accuracy)]);
+    table.push_row(vec![
+        "accuracy".into(),
+        format!("{:.3}", result.final_accuracy),
+    ]);
     assert!(table.render().contains("accuracy"));
 }

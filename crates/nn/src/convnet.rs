@@ -51,7 +51,7 @@ impl ConvNetConfig {
     pub fn validate(&self) {
         assert!(self.in_channels > 0 && self.width > 0 && self.depth > 0 && self.num_classes > 0);
         assert!(
-            self.image_side % (1 << self.depth) == 0,
+            self.image_side.is_multiple_of(1 << self.depth),
             "image side {} not divisible by 2^{}",
             self.image_side,
             self.depth
@@ -96,7 +96,11 @@ impl ConvNet {
             c_in = config.width;
         }
         let head = Linear::new(config.feature_dim(), config.num_classes, rng);
-        ConvNet { config, blocks, head }
+        ConvNet {
+            config,
+            blocks,
+            head,
+        }
     }
 
     /// The architecture configuration.
@@ -216,7 +220,14 @@ mod tests {
     use deco_tensor::Reduction;
 
     fn tiny() -> ConvNetConfig {
-        ConvNetConfig { in_channels: 3, image_side: 8, width: 4, depth: 2, num_classes: 5, norm: true }
+        ConvNetConfig {
+            in_channels: 3,
+            image_side: 8,
+            width: 4,
+            depth: 2,
+            num_classes: 5,
+            norm: true,
+        }
     }
 
     #[test]
@@ -224,7 +235,10 @@ mod tests {
         let mut rng = Rng::new(1);
         let net = ConvNet::new(tiny(), &mut rng);
         let x = Var::constant(Tensor::randn([3, 3, 8, 8], &mut rng));
-        assert_eq!(net.features(&x, true).shape().dims(), &[3, tiny().feature_dim()]);
+        assert_eq!(
+            net.features(&x, true).shape().dims(),
+            &[3, tiny().feature_dim()]
+        );
         assert_eq!(net.forward(&x, true).shape().dims(), &[3, 5]);
     }
 
@@ -248,7 +262,10 @@ mod tests {
         let mut rng = Rng::new(2);
         let net = ConvNet::new(tiny(), &mut rng);
         let x = Var::constant(Tensor::randn([2, 3, 8, 8], &mut rng));
-        let loss = net.forward(&x, false).log_softmax().nll(&[0, 1], None, Reduction::Mean);
+        let loss = net
+            .forward(&x, false)
+            .log_softmax()
+            .nll(&[0, 1], None, Reduction::Mean);
         loss.backward();
         for (i, p) in net.params().iter().enumerate() {
             assert!(p.grad().is_some(), "param {i} missing gradient");
@@ -283,8 +300,10 @@ mod tests {
         let mut rng = Rng::new(5);
         let net = ConvNet::new(tiny(), &mut rng);
         let before = net.get_params();
-        let direction: Vec<Tensor> =
-            before.iter().map(|t| Tensor::randn(t.shape().dims().to_vec(), &mut rng)).collect();
+        let direction: Vec<Tensor> = before
+            .iter()
+            .map(|t| Tensor::randn(t.shape().dims().to_vec(), &mut rng))
+            .collect();
         net.perturb(&direction, 0.1);
         net.perturb(&direction, -0.1);
         for (a, b) in net.get_params().iter().zip(&before) {

@@ -16,7 +16,10 @@ impl Dropout {
     /// # Panics
     /// Panics unless `p ∈ [0, 1)`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout { p }
     }
 
@@ -34,8 +37,9 @@ impl Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask_data: Vec<f32> =
-            (0..x.value().numel()).map(|_| if rng.coin(keep) { scale } else { 0.0 }).collect();
+        let mask_data: Vec<f32> = (0..x.value().numel())
+            .map(|_| if rng.coin(keep) { scale } else { 0.0 })
+            .collect();
         let mask = Tensor::from_vec(mask_data, x.shape().dims().to_vec());
         x.mul(&Var::constant(mask))
     }

@@ -33,7 +33,10 @@ impl GradList {
         GradList(
             params
                 .iter()
-                .map(|p| p.grad().unwrap_or_else(|| Tensor::zeros(p.tensor().shape().dims().to_vec())))
+                .map(|p| {
+                    p.grad()
+                        .unwrap_or_else(|| Tensor::zeros(p.tensor().shape().dims().to_vec()))
+                })
                 .collect(),
         )
     }
@@ -161,7 +164,10 @@ mod tests {
     use deco_tensor::Rng;
 
     fn glist(rng: &mut Rng, shapes: &[&[usize]]) -> GradList {
-        shapes.iter().map(|s| Tensor::randn(s.to_vec(), rng)).collect()
+        shapes
+            .iter()
+            .map(|s| Tensor::randn(s.to_vec(), rng))
+            .collect()
     }
 
     #[test]

@@ -45,6 +45,9 @@ mod tests {
     fn different_seeds_give_different_weights() {
         let mut r1 = Rng::new(1);
         let mut r2 = Rng::new(2);
-        assert_ne!(kaiming_conv(2, 2, 3, &mut r1), kaiming_conv(2, 2, 3, &mut r2));
+        assert_ne!(
+            kaiming_conv(2, 2, 3, &mut r1),
+            kaiming_conv(2, 2, 3, &mut r2)
+        );
     }
 }

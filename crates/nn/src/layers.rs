@@ -46,7 +46,12 @@ impl Conv2d {
 
     /// Re-randomizes the weights (bias reset to zero).
     pub fn reinit(&self, rng: &mut Rng) {
-        self.weight.set(init::kaiming_conv(self.c_out, self.c_in, self.spec.kernel, rng));
+        self.weight.set(init::kaiming_conv(
+            self.c_out,
+            self.c_in,
+            self.spec.kernel,
+            rng,
+        ));
         self.bias.set(Tensor::zeros([self.c_out]));
     }
 
@@ -88,7 +93,8 @@ impl Linear {
 
     /// Re-randomizes the weights (bias reset to zero).
     pub fn reinit(&self, rng: &mut Rng) {
-        self.weight.set(init::kaiming_linear(self.fan_in, self.fan_out, rng));
+        self.weight
+            .set(init::kaiming_linear(self.fan_in, self.fan_out, rng));
         self.bias.set(Tensor::zeros([self.fan_out]));
     }
 
@@ -117,7 +123,10 @@ impl GroupNorm {
     /// # Panics
     /// Panics unless `groups` divides `channels`.
     pub fn new(channels: usize, groups: usize) -> Self {
-        assert!(groups > 0 && channels % groups == 0, "groups {groups} must divide channels {channels}");
+        assert!(
+            groups > 0 && channels.is_multiple_of(groups),
+            "groups {groups} must divide channels {channels}"
+        );
         GroupNorm {
             gamma: Param::new(Tensor::ones([1, channels, 1, 1])),
             beta: Param::new(Tensor::zeros([1, channels, 1, 1])),
@@ -144,7 +153,11 @@ impl GroupNorm {
             x.shape().dim(2),
             x.shape().dim(3),
         );
-        assert_eq!(c, self.channels, "channel mismatch: {c} vs {}", self.channels);
+        assert_eq!(
+            c, self.channels,
+            "channel mismatch: {c} vs {}",
+            self.channels
+        );
         let grouped = x.reshape([n, self.groups, (c / self.groups) * h * w]);
         let mean = grouped.mean_axes_keepdim(&[2]);
         let centered = grouped.sub(&mean);

@@ -43,5 +43,5 @@ pub use layers::{Conv2d, GroupNorm, Linear};
 pub use loss::{feature_discrimination_loss, weighted_cross_entropy, DiscriminationSpec};
 pub use mlp::{Mlp, MlpConfig};
 pub use optim::{Adam, Sgd};
-pub use schedule::LrSchedule;
 pub use param::Param;
+pub use schedule::LrSchedule;

@@ -54,7 +54,11 @@ pub fn feature_discrimination_loss(
     assert_eq!(z.shape().rank(), 2, "features must be [n, d]");
     let n = z.shape().dim(0);
     assert_eq!(labels.len(), n, "label count mismatch");
-    assert_eq!(spec.active.len(), spec.negative_class.len(), "spec length mismatch");
+    assert_eq!(
+        spec.active.len(),
+        spec.negative_class.len(),
+        "spec length mismatch"
+    );
     assert!(tau > 0.0, "temperature must be positive");
 
     // Keep only active samples with at least one positive partner.
@@ -62,11 +66,17 @@ pub fn feature_discrimination_loss(
     let mut negs: Vec<usize> = Vec::new();
     for (&i, &neg) in spec.active.iter().zip(&spec.negative_class) {
         assert!(i < n, "active index {i} out of range");
-        assert!(neg != labels[i], "negative class equals own label for sample {i}");
-        let has_positive = labels.iter().enumerate().any(|(j, &y)| j != i && y == labels[i]);
+        assert!(
+            neg != labels[i],
+            "negative class equals own label for sample {i}"
+        );
+        let has_positive = labels
+            .iter()
+            .enumerate()
+            .any(|(j, &y)| j != i && y == labels[i]);
         if has_positive {
             assert!(
-                labels.iter().any(|&y| y == neg),
+                labels.contains(&neg),
                 "negative class {neg} has no samples in the buffer"
             );
             rows.push(i);
@@ -86,7 +96,9 @@ pub fn feature_discrimination_loss(
     // Negative mask: mask[r, j] = 1 for j ∈ N(i_r).
     let mut neg_mask = vec![0.0f32; m * n];
     for (r, (&i, &neg)) in rows.iter().zip(&negs).enumerate() {
-        let positives: Vec<usize> = (0..n).filter(|&j| j != i && labels[j] == labels[i]).collect();
+        let positives: Vec<usize> = (0..n)
+            .filter(|&j| j != i && labels[j] == labels[i])
+            .collect();
         let w = 1.0 / positives.len() as f32;
         for j in positives {
             pos_w[r * n + j] = w;
@@ -152,15 +164,14 @@ mod tests {
         // smaller loss than collapsed features.
         let labels = [0usize, 0, 1, 1];
         let spec = spec_all_active(&labels, |y| 1 - y);
-        let separated = Tensor::from_vec(
-            vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0],
-            [4, 2],
-        );
-        let collapsed = Tensor::from_vec(vec![[0.7f32, 0.7]; 4].concat(), [4, 2]);
-        let l_sep =
-            feature_discrimination_loss(&Var::constant(separated), &labels, &spec, 0.5).value().item();
-        let l_col =
-            feature_discrimination_loss(&Var::constant(collapsed), &labels, &spec, 0.5).value().item();
+        let separated = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0], [4, 2]);
+        let collapsed = Tensor::from_vec([[0.7f32, 0.7]; 4].concat(), [4, 2]);
+        let l_sep = feature_discrimination_loss(&Var::constant(separated), &labels, &spec, 0.5)
+            .value()
+            .item();
+        let l_col = feature_discrimination_loss(&Var::constant(collapsed), &labels, &spec, 0.5)
+            .value()
+            .item();
         assert!(l_sep < l_col, "separated {l_sep} vs collapsed {l_col}");
     }
 
@@ -177,8 +188,9 @@ mod tests {
         // One gradient step must reduce the loss.
         let mut z1 = z0.clone();
         z1.add_scaled(&g, -0.05);
-        let loss1 =
-            feature_discrimination_loss(&Var::constant(z1), &labels, &spec, 0.1).value().item();
+        let loss1 = feature_discrimination_loss(&Var::constant(z1), &labels, &spec, 0.1)
+            .value()
+            .item();
         assert!(loss1 < loss0.value().item());
     }
 
@@ -196,13 +208,18 @@ mod tests {
     #[test]
     fn partial_active_set_only_involves_active_rows() {
         let labels = [0usize, 0, 1, 1];
-        let spec = DiscriminationSpec { active: vec![0, 1], negative_class: vec![1, 1] };
+        let spec = DiscriminationSpec {
+            active: vec![0, 1],
+            negative_class: vec![1, 1],
+        };
         let mut rng = Rng::new(5);
         let z = Var::leaf(Tensor::randn([4, 2], &mut rng), true);
         feature_discrimination_loss(&z, &labels, &spec, 0.07).backward();
         let g = z.grad().unwrap();
         // Rows 0 and 1 (active, as anchors) must receive gradient.
-        let active_norm: f32 = (0..2).map(|i| g.at(&[i, 0]).abs() + g.at(&[i, 1]).abs()).sum();
+        let active_norm: f32 = (0..2)
+            .map(|i| g.at(&[i, 0]).abs() + g.at(&[i, 1]).abs())
+            .sum();
         assert!(active_norm > 0.0);
     }
 
@@ -222,7 +239,10 @@ mod tests {
     #[should_panic(expected = "negative class equals own label")]
     fn rejects_negative_equal_to_own_class() {
         let labels = [0usize, 0];
-        let spec = DiscriminationSpec { active: vec![0], negative_class: vec![0] };
+        let spec = DiscriminationSpec {
+            active: vec![0],
+            negative_class: vec![0],
+        };
         let z = Var::constant(Tensor::ones([2, 2]));
         let _ = feature_discrimination_loss(&z, &labels, &spec, 0.07);
     }

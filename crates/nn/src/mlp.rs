@@ -23,7 +23,11 @@ pub struct MlpConfig {
 impl MlpConfig {
     /// A single-hidden-layer default sized for flattened images.
     pub fn small(input_dim: usize, num_classes: usize) -> Self {
-        MlpConfig { input_dim, hidden: vec![64], num_classes }
+        MlpConfig {
+            input_dim,
+            hidden: vec![64],
+            num_classes,
+        }
     }
 
     /// Validates the configuration.
@@ -33,7 +37,10 @@ impl MlpConfig {
     pub fn validate(&self) {
         assert!(self.input_dim > 0, "input dim must be positive");
         assert!(self.num_classes > 0, "need at least one class");
-        assert!(self.hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            self.hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
     }
 }
 
@@ -64,7 +71,10 @@ impl Mlp {
         let mut dims = vec![config.input_dim];
         dims.extend_from_slice(&config.hidden);
         dims.push(config.num_classes);
-        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
         Mlp { config, layers }
     }
 
@@ -113,7 +123,9 @@ impl Mlp {
 
     /// Top-1 predictions for an image batch.
     pub fn predict_classes(&self, images: &Tensor) -> Vec<usize> {
-        self.forward(&Var::constant(images.clone()), true).value().argmax_rows()
+        self.forward(&Var::constant(images.clone()), true)
+            .value()
+            .argmax_rows()
     }
 }
 
@@ -126,7 +138,14 @@ mod tests {
     #[test]
     fn forward_shape_and_flattening() {
         let mut rng = Rng::new(1);
-        let mlp = Mlp::new(MlpConfig { input_dim: 12, hidden: vec![8, 6], num_classes: 3 }, &mut rng);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 12,
+                hidden: vec![8, 6],
+                num_classes: 3,
+            },
+            &mut rng,
+        );
         let x = Var::constant(Tensor::randn([5, 3, 2, 2], &mut rng));
         assert_eq!(mlp.forward(&x, true).shape().dims(), &[5, 3]);
         assert_eq!(mlp.params().len(), 6); // 3 layers × (w, b)
@@ -135,7 +154,14 @@ mod tests {
     #[test]
     fn no_hidden_layers_is_linear_model() {
         let mut rng = Rng::new(2);
-        let mlp = Mlp::new(MlpConfig { input_dim: 4, hidden: vec![], num_classes: 2 }, &mut rng);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 4,
+                hidden: vec![],
+                num_classes: 2,
+            },
+            &mut rng,
+        );
         assert_eq!(mlp.params().len(), 2);
         let x = Var::constant(Tensor::randn([3, 4], &mut rng));
         assert_eq!(mlp.forward(&x, true).shape().dims(), &[3, 2]);
@@ -144,7 +170,14 @@ mod tests {
     #[test]
     fn mlp_learns_a_separable_problem() {
         let mut rng = Rng::new(3);
-        let mlp = Mlp::new(MlpConfig { input_dim: 8, hidden: vec![16], num_classes: 2 }, &mut rng);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 8,
+                hidden: vec![16],
+                num_classes: 2,
+            },
+            &mut rng,
+        );
         // Class = sign of the first coordinate.
         let mut data = Vec::new();
         let mut labels = Vec::new();
@@ -160,7 +193,10 @@ mod tests {
         let mut opt = Sgd::new(0.1).with_momentum(0.9);
         for _ in 0..60 {
             let logits = mlp.forward(&Var::constant(x.clone()), false);
-            logits.log_softmax().nll(&labels, None, Reduction::Mean).backward();
+            logits
+                .log_softmax()
+                .nll(&labels, None, Reduction::Mean)
+                .backward();
             opt.step(&mlp.params());
         }
         let preds = mlp.predict_classes(&x);

@@ -28,7 +28,12 @@ impl Sgd {
     /// Panics unless `lr > 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds classical momentum.
@@ -92,6 +97,12 @@ impl Sgd {
     pub fn reset(&mut self) {
         self.velocity.clear();
     }
+
+    /// Heap bytes held by the momentum velocity buffers (the optimizer
+    /// state a device must keep resident between updates).
+    pub fn state_bytes(&self) -> u64 {
+        self.velocity.iter().flatten().map(Tensor::heap_bytes).sum()
+    }
 }
 
 /// Adam optimizer (Kingma & Ba) with bias correction.
@@ -113,7 +124,15 @@ impl Adam {
     /// Panics unless `lr > 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// The configured learning rate.
@@ -171,6 +190,16 @@ impl Adam {
         self.v.clear();
         self.t = 0;
     }
+
+    /// Heap bytes held by the first- and second-moment buffers.
+    pub fn state_bytes(&self) -> u64 {
+        self.m
+            .iter()
+            .chain(self.v.iter())
+            .flatten()
+            .map(Tensor::heap_bytes)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +227,12 @@ mod tests {
             plain.step_slot(0, &mut x1, &g);
             mom.step_slot(0, &mut x2, &g);
         }
-        assert!(x2.item() < x1.item(), "momentum {} vs plain {}", x2.item(), x1.item());
+        assert!(
+            x2.item() < x1.item(),
+            "momentum {} vs plain {}",
+            x2.item(),
+            x1.item()
+        );
     }
 
     #[test]

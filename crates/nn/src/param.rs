@@ -23,7 +23,10 @@ pub struct Param {
 impl Param {
     /// Wraps an initial value.
     pub fn new(value: Tensor) -> Self {
-        Param { value: RefCell::new(value), bound: RefCell::new(None) }
+        Param {
+            value: RefCell::new(value),
+            bound: RefCell::new(None),
+        }
     }
 
     /// Binds this parameter into the current graph as a differentiable leaf

@@ -74,11 +74,14 @@ mod tests {
 
     #[test]
     fn cosine_starts_high_ends_at_floor() {
-        let s = LrSchedule::Cosine { total_steps: 100, floor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total_steps: 100,
+            floor: 0.1,
+        };
         assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
         assert!((s.multiplier(100) - 0.1).abs() < 1e-6);
         assert!((s.multiplier(200) - 0.1).abs() < 1e-6); // clamps past total
-        // Monotone decreasing.
+                                                         // Monotone decreasing.
         let mut prev = f32::INFINITY;
         for step in 0..=100 {
             let m = s.multiplier(step);
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn step_decays_in_plateaus() {
-        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.multiplier(0), 1.0);
         assert_eq!(s.multiplier(9), 1.0);
         assert_eq!(s.multiplier(10), 0.5);
@@ -107,7 +113,10 @@ mod tests {
 
     #[test]
     fn lr_at_scales_base() {
-        let s = LrSchedule::Step { every: 1, gamma: 0.1 };
+        let s = LrSchedule::Step {
+            every: 1,
+            gamma: 0.1,
+        };
         assert!((s.lr_at(0.5, 1) - 0.05).abs() < 1e-7);
     }
 }

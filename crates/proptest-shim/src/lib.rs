@@ -1,0 +1,119 @@
+//! A small, offline, deterministic drop-in for the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! real `proptest` cannot be fetched. This shim keeps the property
+//! tests' source unchanged: it provides the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] / [`prop_assert_ne!`] macros,
+//! a [`Strategy`](strategy::Strategy) trait with `prop_map`, numeric
+//! range strategies, and [`collection::vec`]. Unlike upstream proptest
+//! it is fully deterministic (seeded per test name) and does not
+//! shrink failing inputs — on failure it reports the case index, which
+//! reproduces exactly on re-run.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent: glob-import this in tests.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of upstream's `prop` module (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a normal `#[test]` that samples its arguments from the
+/// given strategies for `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property {} failed at deterministic case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property case (early-returns an error) when the
+/// condition is false. Accepts an optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}

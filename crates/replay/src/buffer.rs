@@ -34,7 +34,11 @@ impl ReplayBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
-        ReplayBuffer { capacity, items: Vec::with_capacity(capacity), seen: 0 }
+        ReplayBuffer {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+        }
     }
 
     /// Maximum number of stored items.
@@ -87,7 +91,10 @@ impl ReplayBuffer {
     /// # Panics
     /// Panics if `index` is out of range.
     pub fn replace(&mut self, index: usize, item: BufferItem) -> BufferItem {
-        assert!(index < self.items.len(), "replace index {index} out of range");
+        assert!(
+            index < self.items.len(),
+            "replace index {index} out of range"
+        );
         std::mem::replace(&mut self.items[index], item)
     }
 
@@ -114,6 +121,24 @@ impl ReplayBuffer {
         )
     }
 
+    /// Heap bytes one stored item costs beyond its pixels and its
+    /// inline `BufferItem` slot: the `Arc` control block plus inner
+    /// `Vec` header (40) and the shape's dimension vector (3 × 8) —
+    /// per-image allocations a contiguous condensed stack amortizes
+    /// into one.
+    pub const PER_ITEM_HEAP_OVERHEAD: usize = 64;
+
+    /// Approximate heap bytes held by the buffer: the reserved item
+    /// slots (`capacity × size_of::<BufferItem>()`) plus, per stored
+    /// image, its pixel buffer and allocation overhead. This is the
+    /// raw-replay cost the paper's Table 2 compares against condensed
+    /// buffers.
+    pub fn approx_bytes(&self) -> u64 {
+        let slots = self.capacity.max(self.items.capacity()) * std::mem::size_of::<BufferItem>();
+        let per_item = (self.items.len() * Self::PER_ITEM_HEAP_OVERHEAD) as u64;
+        slots as u64 + per_item + self.items.iter().map(|i| i.image.heap_bytes()).sum::<u64>()
+    }
+
     /// Per-class item counts (length = `num_classes`).
     pub fn class_histogram(&self, num_classes: usize) -> Vec<usize> {
         let mut hist = vec![0usize; num_classes];
@@ -131,7 +156,11 @@ mod tests {
     use super::*;
 
     fn item(label: usize, conf: f32) -> BufferItem {
-        BufferItem { image: Tensor::full([1, 2, 2], label as f32), label, confidence: conf }
+        BufferItem {
+            image: Tensor::full([1, 2, 2], label as f32),
+            label,
+            confidence: conf,
+        }
     }
 
     #[test]
@@ -188,6 +217,19 @@ mod tests {
         assert_eq!(buf.record_seen(), 1);
         assert_eq!(buf.record_seen(), 2);
         assert_eq!(buf.seen(), 2);
+    }
+
+    #[test]
+    fn approx_bytes_is_capacity_slots_plus_pixels() {
+        let mut buf = ReplayBuffer::new(4);
+        let slots = (4 * std::mem::size_of::<BufferItem>()) as u64;
+        assert_eq!(buf.approx_bytes(), slots);
+        buf.push(item(0, 0.5));
+        buf.push(item(1, 0.5));
+        // Each [1, 2, 2] image holds 4 f32 = 16 heap bytes, plus the
+        // per-item allocation overhead.
+        let per_item = 16 + ReplayBuffer::PER_ITEM_HEAP_OVERHEAD as u64;
+        assert_eq!(buf.approx_bytes(), slots + 2 * per_item);
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub trait SelectionStrategy {
 
     /// Offers one candidate. Implementations must keep `buffer.len() <=
     /// buffer.capacity()`.
-    fn offer(&mut self, buffer: &mut ReplayBuffer, candidate: BufferItem, ctx: &mut SelectionContext<'_>);
+    fn offer(
+        &mut self,
+        buffer: &mut ReplayBuffer,
+        candidate: BufferItem,
+        ctx: &mut SelectionContext<'_>,
+    );
 }
 
 /// Identifier for constructing baselines by name (used by the experiment
@@ -119,7 +124,12 @@ impl SelectionStrategy for RandomReservoir {
         "Random"
     }
 
-    fn offer(&mut self, buffer: &mut ReplayBuffer, candidate: BufferItem, ctx: &mut SelectionContext<'_>) {
+    fn offer(
+        &mut self,
+        buffer: &mut ReplayBuffer,
+        candidate: BufferItem,
+        ctx: &mut SelectionContext<'_>,
+    ) {
         let seen = buffer.record_seen();
         if !buffer.is_full() {
             buffer.push(candidate);
@@ -153,7 +163,12 @@ impl SelectionStrategy for Fifo {
         "FIFO"
     }
 
-    fn offer(&mut self, buffer: &mut ReplayBuffer, candidate: BufferItem, _ctx: &mut SelectionContext<'_>) {
+    fn offer(
+        &mut self,
+        buffer: &mut ReplayBuffer,
+        candidate: BufferItem,
+        _ctx: &mut SelectionContext<'_>,
+    ) {
         buffer.record_seen();
         if !buffer.is_full() {
             buffer.push(candidate);
@@ -186,7 +201,12 @@ impl SelectionStrategy for SelectiveBp {
         "Selective-BP"
     }
 
-    fn offer(&mut self, buffer: &mut ReplayBuffer, candidate: BufferItem, _ctx: &mut SelectionContext<'_>) {
+    fn offer(
+        &mut self,
+        buffer: &mut ReplayBuffer,
+        candidate: BufferItem,
+        _ctx: &mut SelectionContext<'_>,
+    ) {
         buffer.record_seen();
         if !buffer.is_full() {
             buffer.push(candidate);
@@ -241,7 +261,12 @@ impl SelectionStrategy for KCenter {
         "K-Center"
     }
 
-    fn offer(&mut self, buffer: &mut ReplayBuffer, candidate: BufferItem, ctx: &mut SelectionContext<'_>) {
+    fn offer(
+        &mut self,
+        buffer: &mut ReplayBuffer,
+        candidate: BufferItem,
+        ctx: &mut SelectionContext<'_>,
+    ) {
         buffer.record_seen();
         if !buffer.is_full() {
             buffer.push(candidate);
@@ -252,8 +277,11 @@ impl SelectionStrategy for KCenter {
             return;
         }
         let cand_feat = Self::feature(ctx.model, &candidate.image);
-        let feats: Vec<Tensor> =
-            buffer.items().iter().map(|it| Self::feature(ctx.model, &it.image)).collect();
+        let feats: Vec<Tensor> = buffer
+            .items()
+            .iter()
+            .map(|it| Self::feature(ctx.model, &it.image))
+            .collect();
         // Candidate's distance to its nearest stored sample.
         let cand_nearest = feats
             .iter()
@@ -308,7 +336,11 @@ impl Default for GssGreedy {
 impl GssGreedy {
     /// Creates the strategy with the default comparison-subset size (10).
     pub fn new() -> Self {
-        GssGreedy { grads: Vec::new(), scores: Vec::new(), subset: 10 }
+        GssGreedy {
+            grads: Vec::new(),
+            scores: Vec::new(),
+            subset: 10,
+        }
     }
 
     /// The gradient of one sample's cross-entropy loss w.r.t. the model
@@ -318,7 +350,10 @@ impl GssGreedy {
         let mut batched = vec![1usize];
         batched.extend_from_slice(&dims);
         let x = Var::constant(item.image.reshape(batched));
-        let loss = model.forward(&x, false).log_softmax().nll(&[item.label], None, Reduction::Mean);
+        let loss = model
+            .forward(&x, false)
+            .log_softmax()
+            .nll(&[item.label], None, Reduction::Mean);
         loss.backward();
         GradList::from_params(&model.params())
     }
@@ -343,7 +378,12 @@ impl SelectionStrategy for GssGreedy {
         "GSS-Greedy"
     }
 
-    fn offer(&mut self, buffer: &mut ReplayBuffer, candidate: BufferItem, ctx: &mut SelectionContext<'_>) {
+    fn offer(
+        &mut self,
+        buffer: &mut ReplayBuffer,
+        candidate: BufferItem,
+        ctx: &mut SelectionContext<'_>,
+    ) {
         buffer.record_seen();
         let grad = Self::sample_gradient(ctx.model, &candidate);
         let sim = self.max_similarity(&grad, ctx.rng);
@@ -391,7 +431,9 @@ pub struct Herding {
 
 impl std::fmt::Debug for Herding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Herding").field("classes", &self.class_means.len()).finish()
+        f.debug_struct("Herding")
+            .field("classes", &self.class_means.len())
+            .finish()
     }
 }
 
@@ -404,7 +446,9 @@ impl Default for Herding {
 impl Herding {
     /// Creates the strategy.
     pub fn new() -> Self {
-        Herding { class_means: std::collections::HashMap::new() }
+        Herding {
+            class_means: std::collections::HashMap::new(),
+        }
     }
 
     fn feature(model: &ConvNet, image: &Tensor) -> Tensor {
@@ -445,7 +489,12 @@ impl SelectionStrategy for Herding {
         "Herding"
     }
 
-    fn offer(&mut self, buffer: &mut ReplayBuffer, candidate: BufferItem, ctx: &mut SelectionContext<'_>) {
+    fn offer(
+        &mut self,
+        buffer: &mut ReplayBuffer,
+        candidate: BufferItem,
+        ctx: &mut SelectionContext<'_>,
+    ) {
         buffer.record_seen();
         let cand_feat = Self::feature(ctx.model, &candidate.image);
         self.update_running_mean(candidate.label, &cand_feat);
@@ -514,13 +563,24 @@ mod tests {
 
     fn tiny_model(rng: &mut Rng) -> ConvNet {
         ConvNet::new(
-            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 4, norm: true },
+            ConvNetConfig {
+                in_channels: 1,
+                image_side: 8,
+                width: 4,
+                depth: 2,
+                num_classes: 4,
+                norm: true,
+            },
             rng,
         )
     }
 
     fn item(label: usize, conf: f32, fill: f32) -> BufferItem {
-        BufferItem { image: Tensor::full([1, 8, 8], fill), label, confidence: conf }
+        BufferItem {
+            image: Tensor::full([1, 8, 8], fill),
+            label,
+            confidence: conf,
+        }
     }
 
     fn run_stream(strategy: &mut dyn SelectionStrategy, n: usize, cap: usize) -> ReplayBuffer {
@@ -528,8 +588,15 @@ mod tests {
         let model = tiny_model(&mut rng);
         let mut buffer = ReplayBuffer::new(cap);
         for i in 0..n {
-            let mut ctx = SelectionContext { model: &model, rng: &mut rng };
-            strategy.offer(&mut buffer, item(i % 4, (i as f32 * 0.37).fract(), i as f32), &mut ctx);
+            let mut ctx = SelectionContext {
+                model: &model,
+                rng: &mut rng,
+            };
+            strategy.offer(
+                &mut buffer,
+                item(i % 4, (i as f32 * 0.37).fract(), i as f32),
+                &mut ctx,
+            );
         }
         buffer
     }
@@ -565,7 +632,10 @@ mod tests {
             let mut strat = RandomReservoir::new();
             let mut buffer = ReplayBuffer::new(10);
             for i in 0..200 {
-                let mut ctx = SelectionContext { model: &model, rng: &mut rng };
+                let mut ctx = SelectionContext {
+                    model: &model,
+                    rng: &mut rng,
+                };
                 strat.offer(&mut buffer, item(0, 0.5, i as f32), &mut ctx);
             }
             for it in buffer.items() {
@@ -588,7 +658,10 @@ mod tests {
         let mut strat = SelectiveBp::new();
         let mut buffer = ReplayBuffer::new(3);
         for (i, conf) in [0.9, 0.8, 0.7, 0.95, 0.1, 0.2].iter().enumerate() {
-            let mut ctx = SelectionContext { model: &model, rng: &mut rng };
+            let mut ctx = SelectionContext {
+                model: &model,
+                rng: &mut rng,
+            };
             strat.offer(&mut buffer, item(0, *conf, i as f32), &mut ctx);
         }
         let mut confs: Vec<f32> = buffer.items().iter().map(|i| i.confidence).collect();
@@ -602,7 +675,14 @@ mod tests {
         // No normalization: instance norm would collapse constant test
         // images to identical features.
         let model = ConvNet::new(
-            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 4, norm: false },
+            ConvNetConfig {
+                in_channels: 1,
+                image_side: 8,
+                width: 4,
+                depth: 2,
+                num_classes: 4,
+                norm: false,
+            },
             &mut rng,
         );
         let mut strat = KCenter::new();
@@ -661,7 +741,14 @@ mod tests {
         // be displaced by a candidate near it.
         let mut rng = Rng::new(8);
         let model = ConvNet::new(
-            ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 4, norm: false },
+            ConvNetConfig {
+                in_channels: 1,
+                image_side: 8,
+                width: 4,
+                depth: 2,
+                num_classes: 4,
+                norm: false,
+            },
             &mut rng,
         );
         let mut strat = Herding::new();
@@ -670,7 +757,10 @@ mod tests {
         // at 30.0, then more at 1.0 — the outlier should eventually leave.
         let fills = [1.0f32, 30.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         for (i, &fill) in fills.iter().enumerate() {
-            let mut ctx = SelectionContext { model: &model, rng: &mut rng };
+            let mut ctx = SelectionContext {
+                model: &model,
+                rng: &mut rng,
+            };
             strat.offer(&mut buffer, item(2, 0.5, fill + 0.001 * i as f32), &mut ctx);
         }
         let max_fill = buffer

@@ -7,7 +7,14 @@ use proptest::prelude::*;
 
 fn model(rng: &mut Rng) -> ConvNet {
     ConvNet::new(
-        ConvNetConfig { in_channels: 1, image_side: 8, width: 4, depth: 2, num_classes: 4, norm: true },
+        ConvNetConfig {
+            in_channels: 1,
+            image_side: 8,
+            width: 4,
+            depth: 2,
+            num_classes: 4,
+            norm: true,
+        },
         rng,
     )
 }

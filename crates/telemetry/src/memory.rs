@@ -1,0 +1,240 @@
+//! Byte-level memory accounting with current + high-water-mark tracking.
+//!
+//! The paper's central claim (Table 2) is that a condensed synthetic
+//! buffer of IPC×C images costs far less memory than a raw replay
+//! buffer at equal accuracy. [`MemoryTracker`] turns that from a formula
+//! into a measured quantity: each subsystem reports allocations and
+//! frees against a [`MemoryComponent`], and the tracker maintains the
+//! current bytes and high-water mark per component plus an overall peak.
+//!
+//! There is one global tracker (used by the gated free functions
+//! [`track_alloc`] / [`track_free`] / [`track_set`]) and learners may
+//! own private trackers for per-trial attribution when trials run on
+//! parallel threads.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::json::Json;
+
+/// A subsystem whose bytes are accounted separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryComponent {
+    /// Raw replay buffer (`deco-replay`): stored items + slot overhead.
+    ReplayBuffer,
+    /// Condensed synthetic dataset (`deco-condense`).
+    SyntheticDataset,
+    /// Model parameter tensors (`deco-nn`).
+    ModelParams,
+    /// Optimizer state, e.g. SGD momentum velocity buffers.
+    OptimizerState,
+    /// Live autograd tape nodes (`deco-tensor`).
+    AutogradTape,
+}
+
+impl MemoryComponent {
+    /// All components, in snapshot order.
+    pub const ALL: [MemoryComponent; 5] = [
+        MemoryComponent::ReplayBuffer,
+        MemoryComponent::SyntheticDataset,
+        MemoryComponent::ModelParams,
+        MemoryComponent::OptimizerState,
+        MemoryComponent::AutogradTape,
+    ];
+
+    /// Stable snake_case name used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryComponent::ReplayBuffer => "replay_buffer",
+            MemoryComponent::SyntheticDataset => "synthetic_dataset",
+            MemoryComponent::ModelParams => "model_params",
+            MemoryComponent::OptimizerState => "optimizer_state",
+            MemoryComponent::AutogradTape => "autograd_tape",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MemoryComponent::ReplayBuffer => 0,
+            MemoryComponent::SyntheticDataset => 1,
+            MemoryComponent::ModelParams => 2,
+            MemoryComponent::OptimizerState => 3,
+            MemoryComponent::AutogradTape => 4,
+        }
+    }
+}
+
+const N: usize = MemoryComponent::ALL.len();
+
+/// Byte accounting for the five [`MemoryComponent`]s: current bytes and
+/// high-water mark per component, plus the peak of the summed total.
+/// All operations are atomic; the struct is safe to share across
+/// threads.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: [AtomicI64; N],
+    peak: [AtomicI64; N],
+    total_current: AtomicI64,
+    total_peak: AtomicI64,
+    // Running count of alloc/free calls, for diagnostics.
+    events: AtomicU64,
+}
+
+impl MemoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> MemoryTracker {
+        MemoryTracker::default()
+    }
+
+    /// Records `bytes` newly allocated for `component`.
+    pub fn alloc(&self, component: MemoryComponent, bytes: u64) {
+        self.apply(component, bytes as i64);
+    }
+
+    /// Records `bytes` released by `component`.
+    pub fn free(&self, component: MemoryComponent, bytes: u64) {
+        self.apply(component, -(bytes as i64));
+    }
+
+    /// Sets `component`'s current bytes to an absolute value (for
+    /// subsystems that re-measure rather than diff, e.g. buffer
+    /// occupancy after an offer).
+    pub fn set(&self, component: MemoryComponent, bytes: u64) {
+        let idx = component.index();
+        let old = self.current[idx].swap(bytes as i64, Ordering::Relaxed);
+        self.peak[idx].fetch_max(bytes as i64, Ordering::Relaxed);
+        let total = self
+            .total_current
+            .fetch_add(bytes as i64 - old, Ordering::Relaxed)
+            + (bytes as i64 - old);
+        self.total_peak.fetch_max(total, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn apply(&self, component: MemoryComponent, delta: i64) {
+        let idx = component.index();
+        let now = self.current[idx].fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak[idx].fetch_max(now, Ordering::Relaxed);
+        let total = self.total_current.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.total_peak.fetch_max(total, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current bytes held by `component` (clamped at zero for display;
+    /// a transiently negative value means frees raced ahead of allocs).
+    pub fn current(&self, component: MemoryComponent) -> u64 {
+        self.current[component.index()]
+            .load(Ordering::Relaxed)
+            .max(0) as u64
+    }
+
+    /// High-water mark of `component`'s bytes.
+    pub fn peak(&self, component: MemoryComponent) -> u64 {
+        self.peak[component.index()].load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Current bytes summed over all components.
+    pub fn total_current(&self) -> u64 {
+        self.total_current.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// High-water mark of the summed total, transient autograd tape
+    /// included.
+    pub fn total_peak(&self) -> u64 {
+        self.total_peak.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// High-water mark of the *persistent* state: the summed component
+    /// peaks of everything that stays resident between segments
+    /// (replay buffer, synthetic dataset, model parameters, optimizer
+    /// state), excluding the transient [`MemoryComponent::AutogradTape`].
+    ///
+    /// This is the per-method `peak_memory_bytes` reported in Table 2
+    /// output — the paper's memory comparison is about what a device
+    /// must store, while the tape peak (visible per-component in
+    /// [`MemoryTracker::to_json`]) is scratch space released after
+    /// every backward pass.
+    pub fn storage_peak(&self) -> u64 {
+        MemoryComponent::ALL
+            .iter()
+            .filter(|&&c| c != MemoryComponent::AutogradTape)
+            .map(|&c| self.peak(c))
+            .sum()
+    }
+
+    /// Number of accounting events recorded.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes all counters in place; handles stay valid.
+    pub fn reset(&self) {
+        for a in &self.current {
+            a.store(0, Ordering::Relaxed);
+        }
+        for a in &self.peak {
+            a.store(0, Ordering::Relaxed);
+        }
+        self.total_current.store(0, Ordering::Relaxed);
+        self.total_peak.store(0, Ordering::Relaxed);
+        self.events.store(0, Ordering::Relaxed);
+    }
+
+    /// Serializes the tracker as a JSON object: per-component
+    /// `{current, peak}` plus `total_current` and `total_peak`.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = MemoryComponent::ALL
+            .iter()
+            .map(|&c| {
+                (
+                    c.name().to_string(),
+                    Json::obj([
+                        ("current_bytes", Json::Num(self.current(c) as f64)),
+                        ("peak_bytes", Json::Num(self.peak(c) as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        pairs.push((
+            "total_current_bytes".into(),
+            Json::Num(self.total_current() as f64),
+        ));
+        pairs.push((
+            "total_peak_bytes".into(),
+            Json::Num(self.total_peak() as f64),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+/// The process-global tracker backing [`track_alloc`] and friends.
+pub fn global_tracker() -> &'static MemoryTracker {
+    static TRACKER: OnceLock<MemoryTracker> = OnceLock::new();
+    TRACKER.get_or_init(MemoryTracker::new)
+}
+
+/// Records an allocation against the global tracker, if telemetry is
+/// enabled.
+#[inline]
+pub fn track_alloc(component: MemoryComponent, bytes: u64) {
+    if crate::is_enabled() {
+        global_tracker().alloc(component, bytes);
+    }
+}
+
+/// Records a free against the global tracker, if telemetry is enabled.
+#[inline]
+pub fn track_free(component: MemoryComponent, bytes: u64) {
+    if crate::is_enabled() {
+        global_tracker().free(component, bytes);
+    }
+}
+
+/// Sets a component's absolute current bytes on the global tracker, if
+/// telemetry is enabled.
+#[inline]
+pub fn track_set(component: MemoryComponent, bytes: u64) {
+    if crate::is_enabled() {
+        global_tracker().set(component, bytes);
+    }
+}

@@ -1,0 +1,74 @@
+//! Point-in-time telemetry snapshots and the JSON exporter.
+//!
+//! A [`TelemetrySnapshot`] gathers the metrics registry, span
+//! aggregates, and global memory tracker into one serializable value.
+//! Bench binaries attach it to their report files under a `"telemetry"`
+//! key; [`write_snapshot`] writes a standalone snapshot file into a
+//! `reports/` directory.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::{Json, ToJson};
+use crate::memory::global_tracker;
+use crate::metrics::metrics_json;
+use crate::span::spans_json;
+
+/// A frozen view of all process-global telemetry.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Whether collection was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Counters / gauges / histograms, as serialized JSON.
+    pub metrics: Json,
+    /// Span aggregates keyed by slash-joined path.
+    pub spans: Json,
+    /// Global memory tracker state.
+    pub memory: Json,
+}
+
+impl TelemetrySnapshot {
+    /// Captures the current global telemetry state.
+    pub fn capture() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            enabled: crate::is_enabled(),
+            metrics: metrics_json(),
+            spans: spans_json(),
+            memory: global_tracker().to_json(),
+        }
+    }
+
+    /// Peak total bytes recorded by the global memory tracker.
+    pub fn total_peak_bytes(&self) -> u64 {
+        self.memory
+            .get("total_peak_bytes")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    }
+}
+
+impl ToJson for TelemetrySnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("metrics", self.metrics.clone()),
+            ("spans", self.spans.clone()),
+            ("memory", self.memory.clone()),
+        ])
+    }
+}
+
+/// Writes the current global telemetry snapshot to
+/// `<dir>/telemetry_<tag>.json`, creating `dir` if needed, and returns
+/// the written path.
+///
+/// # Errors
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_snapshot(dir: &Path, tag: &str) -> io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("telemetry_{tag}.json"));
+    let mut text = TelemetrySnapshot::capture().to_json().to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}

@@ -1,0 +1,81 @@
+//! Property-based invariants of [`MemoryTracker`]: the high-water mark
+//! never falls below the current level, and balanced alloc/free pairs
+//! return every component (and the total) to zero.
+
+use deco_telemetry::{MemoryComponent, MemoryTracker};
+use proptest::prelude::*;
+
+/// A tracker-local strategy: sequences of (component index, byte count)
+/// allocations the test then frees in reverse.
+fn components() -> [MemoryComponent; 5] {
+    MemoryComponent::ALL
+}
+
+proptest! {
+    #[test]
+    fn peak_is_never_below_current(
+        ops in prop::collection::vec((0usize..5, 1u64..1 << 20), 1..64)
+    ) {
+        let tracker = MemoryTracker::new();
+        for &(idx, bytes) in &ops {
+            let component = components()[idx];
+            tracker.alloc(component, bytes);
+            for &c in &components() {
+                prop_assert!(tracker.peak(c) >= tracker.current(c));
+            }
+            prop_assert!(tracker.total_peak() >= tracker.total_current());
+        }
+    }
+
+    #[test]
+    fn balanced_alloc_free_pairs_return_to_zero(
+        ops in prop::collection::vec((0usize..5, 1u64..1 << 20), 1..64)
+    ) {
+        let tracker = MemoryTracker::new();
+        for &(idx, bytes) in &ops {
+            tracker.alloc(components()[idx], bytes);
+        }
+        // Free in reverse order; the tracker must not care about order.
+        for &(idx, bytes) in ops.iter().rev() {
+            tracker.free(components()[idx], bytes);
+        }
+        for &c in &components() {
+            prop_assert_eq!(tracker.current(c), 0);
+        }
+        prop_assert_eq!(tracker.total_current(), 0);
+        // The peak records the past, not the present.
+        let max_bytes: u64 = ops.iter().map(|&(_, b)| b).sum();
+        prop_assert!(tracker.total_peak() <= max_bytes);
+        prop_assert!(tracker.total_peak() >= ops.iter().map(|&(_, b)| b).max().unwrap());
+    }
+
+    #[test]
+    fn set_is_idempotent_and_tracks_peak(
+        levels in prop::collection::vec(0u64..1 << 24, 1..32)
+    ) {
+        let tracker = MemoryTracker::new();
+        let mut seen_max = 0;
+        for &level in &levels {
+            tracker.set(MemoryComponent::ReplayBuffer, level);
+            tracker.set(MemoryComponent::ReplayBuffer, level);
+            seen_max = seen_max.max(level);
+            prop_assert_eq!(tracker.current(MemoryComponent::ReplayBuffer), level);
+            prop_assert_eq!(tracker.peak(MemoryComponent::ReplayBuffer), seen_max);
+            prop_assert_eq!(tracker.total_current(), level);
+        }
+        prop_assert_eq!(tracker.total_peak(), seen_max);
+    }
+
+    #[test]
+    fn storage_peak_excludes_the_tape(
+        persistent in 1u64..1 << 24,
+        tape in 1u64..1 << 24,
+    ) {
+        let tracker = MemoryTracker::new();
+        tracker.set(MemoryComponent::SyntheticDataset, persistent);
+        tracker.alloc(MemoryComponent::AutogradTape, tape);
+        tracker.free(MemoryComponent::AutogradTape, tape);
+        prop_assert_eq!(tracker.storage_peak(), persistent);
+        prop_assert_eq!(tracker.total_peak(), persistent + tape);
+    }
+}

@@ -28,6 +28,12 @@ use crate::tensor::Tensor;
 
 thread_local! {
     static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+    // Live-tape byte accounting. The tape is Rc-based and therefore
+    // confined to one thread, so plain Cells suffice; the global
+    // tracker's AutogradTape component is updated alongside so
+    // process-wide snapshots see the sum over threads.
+    static TAPE_BYTES: Cell<i64> = const { Cell::new(0) };
+    static TAPE_PEAK: Cell<i64> = const { Cell::new(0) };
 }
 
 fn fresh_id() -> u64 {
@@ -36,6 +42,39 @@ fn fresh_id() -> u64 {
         c.set(id + 1);
         id
     })
+}
+
+/// Bytes held by autograd nodes still alive on this thread's tape.
+pub fn tape_current_bytes() -> u64 {
+    TAPE_BYTES.with(|c| c.get()).max(0) as u64
+}
+
+/// High-water mark of this thread's live tape since the last
+/// [`reset_tape_peak`]. Zero unless telemetry was enabled while graphs
+/// were built.
+pub fn tape_peak_bytes() -> u64 {
+    TAPE_PEAK.with(|c| c.get()).max(0) as u64
+}
+
+/// Resets this thread's tape high-water mark to the current level.
+pub fn reset_tape_peak() {
+    TAPE_BYTES.with(|b| TAPE_PEAK.with(|p| p.set(b.get())));
+}
+
+/// Accounts a freshly created node; returns the bytes to remember for
+/// the matching free on drop (0 when telemetry is disabled).
+fn track_node(value: &Tensor) -> u64 {
+    if !deco_telemetry::is_enabled() {
+        return 0;
+    }
+    let bytes = value.heap_bytes() + std::mem::size_of::<Node>() as u64;
+    TAPE_BYTES.with(|b| {
+        let now = b.get() + bytes as i64;
+        b.set(now);
+        TAPE_PEAK.with(|p| p.set(p.get().max(now)));
+    });
+    deco_telemetry::global_tracker().alloc(deco_telemetry::MemoryComponent::AutogradTape, bytes);
+    bytes
 }
 
 /// Reduction mode for loss-style operations.
@@ -59,6 +98,24 @@ struct Node {
     /// Maps the output gradient to one gradient per parent (None for parents
     /// that do not require gradients).
     backward: Option<BackwardFn>,
+    /// Bytes charged to the tape when this node was created; released on
+    /// drop. Zero when telemetry was disabled at creation.
+    tracked_bytes: u64,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        if self.tracked_bytes == 0 {
+            return;
+        }
+        // Release unconditionally (not gated on is_enabled) so charges
+        // balance even if telemetry is toggled while nodes are live.
+        TAPE_BYTES.with(|b| b.set(b.get() - self.tracked_bytes as i64));
+        deco_telemetry::global_tracker().free(
+            deco_telemetry::MemoryComponent::AutogradTape,
+            self.tracked_bytes,
+        );
+    }
 }
 
 /// A node in the autograd graph: a tensor value plus its differentiation
@@ -83,6 +140,7 @@ impl Var {
     /// gradient you want to read after `backward` (parameters, synthetic
     /// images); `false` for plain data.
     pub fn leaf(value: Tensor, requires_grad: bool) -> Var {
+        let tracked_bytes = track_node(&value);
         Var {
             node: Rc::new(Node {
                 id: fresh_id(),
@@ -91,6 +149,7 @@ impl Var {
                 grad: RefCell::new(None),
                 parents: Vec::new(),
                 backward: None,
+                tracked_bytes,
             }),
         }
     }
@@ -102,6 +161,7 @@ impl Var {
 
     fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
         let requires_grad = parents.iter().any(Var::requires_grad);
+        let tracked_bytes = track_node(&value);
         Var {
             node: Rc::new(Node {
                 id: fresh_id(),
@@ -110,6 +170,7 @@ impl Var {
                 grad: RefCell::new(None),
                 parents,
                 backward: if requires_grad { Some(backward) } else { None },
+                tracked_bytes,
             }),
         }
     }
@@ -192,8 +253,15 @@ impl Var {
         // Seed and propagate in reverse topological order.
         accumulate(&self.node.grad, seed);
         for var in order.iter().rev() {
-            let Some(backward) = var.node.backward.as_ref() else { continue };
-            let grad_out = var.node.grad.borrow().clone().expect("node visited without gradient");
+            let Some(backward) = var.node.backward.as_ref() else {
+                continue;
+            };
+            let grad_out = var
+                .node
+                .grad
+                .borrow()
+                .clone()
+                .expect("node visited without gradient");
             let parent_grads = backward(&grad_out);
             assert_eq!(
                 parent_grads.len(),
@@ -249,9 +317,7 @@ impl Var {
         Var::from_op(
             value,
             vec![self.clone(), rhs.clone()],
-            Box::new(move |g| {
-                vec![Some((g * &vb).sum_to(&sa)), Some((g * &va).sum_to(&sb))]
-            }),
+            Box::new(move |g| vec![Some((g * &vb).sum_to(&sa)), Some((g * &va).sum_to(&sb))]),
         )
     }
 
@@ -280,20 +346,32 @@ impl Var {
     /// Adds a scalar.
     pub fn add_scalar(&self, c: f32) -> Var {
         let value = self.value() + c;
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.clone())]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.clone())]),
+        )
     }
 
     /// Multiplies by a scalar.
     pub fn mul_scalar(&self, c: f32) -> Var {
         let value = self.value() * c;
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g * c)]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g * c)]),
+        )
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Var {
         let v = self.value().clone();
         let value = self.value() * self.value();
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(&(g * 2.0) * &v)]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(&(g * 2.0) * &v)]),
+        )
     }
 
     /// Elementwise square root.
@@ -313,14 +391,22 @@ impl Var {
     pub fn exp(&self) -> Var {
         let value = self.value().map(f32::exp);
         let out = value.clone();
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g * &out)]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g * &out)]),
+        )
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var {
         let v = self.value().clone();
         let value = self.value().map(f32::ln);
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g / &v)]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g / &v)]),
+        )
     }
 
     /// Rectified linear unit.
@@ -331,7 +417,9 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                vec![Some(g.zip_broadcast(&v, |gi, xi| if xi > 0.0 { gi } else { 0.0 }))]
+                vec![Some(
+                    g.zip_broadcast(&v, |gi, xi| if xi > 0.0 { gi } else { 0.0 }),
+                )]
             }),
         )
     }
@@ -394,7 +482,13 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                vec![Some(g.zip_broadcast(&v, |gi, xi| if xi > 0.0 { gi } else { slope * gi }))]
+                vec![Some(g.zip_broadcast(&v, |gi, xi| {
+                    if xi > 0.0 {
+                        gi
+                    } else {
+                        slope * gi
+                    }
+                }))]
             }),
         )
     }
@@ -407,7 +501,13 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                vec![Some(g.zip_broadcast(&v, |gi, xi| if xi == 0.0 { 0.0 } else { gi * xi.signum() }))]
+                vec![Some(g.zip_broadcast(&v, |gi, xi| {
+                    if xi == 0.0 {
+                        0.0
+                    } else {
+                        gi * xi.signum()
+                    }
+                }))]
             }),
         )
     }
@@ -477,7 +577,11 @@ impl Var {
     /// Horizontal mirror (NCHW); gradient mirrors back.
     pub fn flip_w(&self) -> Var {
         let value = self.value().flip_w();
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.flip_w())]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.flip_w())]),
+        )
     }
 
     // ---- linear algebra ----
@@ -500,14 +604,20 @@ impl Var {
     /// Rank-2 transpose.
     pub fn t(&self) -> Var {
         let value = self.value().transpose2();
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.transpose2())]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.transpose2())]),
+        )
     }
 
     // ---- convolution ----
 
     /// 2-D convolution; gradients flow to input, weight and bias.
     pub fn conv2d(&self, weight: &Var, bias: Option<&Var>, spec: Conv2dSpec) -> Var {
-        let value = self.value().conv2d(weight.value(), bias.map(Var::value), spec);
+        let value = self
+            .value()
+            .conv2d(weight.value(), bias.map(Var::value), spec);
         let x = self.value().clone();
         let w = weight.value().clone();
         let hw = (self.shape().dim(2), self.shape().dim(3));
@@ -535,7 +645,11 @@ impl Var {
     /// Non-overlapping average pooling.
     pub fn avg_pool2d(&self, k: usize) -> Var {
         let value = self.value().avg_pool2d(k);
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(g.avg_pool2d_grad(k))]))
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| vec![Some(g.avg_pool2d_grad(k))]),
+        )
     }
 
     /// Non-overlapping max pooling; the gradient routes to the winning
@@ -578,7 +692,10 @@ impl Var {
             vec![self.clone()],
             Box::new(move |g| {
                 // Broadcast the reduced gradient back over the summed axes.
-                vec![Some(g.zip_broadcast(&Tensor::zeros(shape.dims().to_vec()), |a, _| a))]
+                vec![Some(g.zip_broadcast(
+                    &Tensor::zeros(shape.dims().to_vec()),
+                    |a, _| a,
+                ))]
             }),
         )
     }
@@ -695,7 +812,10 @@ impl Var {
                 .filter(|(_, &mi)| mi != 0.0)
                 .map(|(&v, _)| v)
                 .fold(f32::NEG_INFINITY, f32::max);
-            assert!(mx.is_finite(), "masked_log_sum_exp_rows: row {i} has an all-zero mask");
+            assert!(
+                mx.is_finite(),
+                "masked_log_sum_exp_rows: row {i} has an all-zero mask"
+            );
             let mut z = 0.0f32;
             for j in 0..c {
                 if mrow[j] != 0.0 {
@@ -852,13 +972,16 @@ mod tests {
         let mut rng = Rng::new(3);
         let logits = Var::leaf(Tensor::randn([3, 5], &mut rng), true);
         let labels = [0usize, 2, 4];
-        logits.log_softmax().nll(&labels, None, Reduction::Sum).backward();
+        logits
+            .log_softmax()
+            .nll(&labels, None, Reduction::Sum)
+            .backward();
         let g = logits.grad().unwrap();
         let lp = logits.log_softmax();
-        for i in 0..3 {
+        for (i, &label) in labels.iter().enumerate() {
             for j in 0..5 {
                 let p = lp.value().at(&[i, j]).exp();
-                let y = if labels[i] == j { 1.0 } else { 0.0 };
+                let y = if label == j { 1.0 } else { 0.0 };
                 assert!((g.at(&[i, j]) - (p - y)).abs() < 1e-5, "({i},{j})");
             }
         }
@@ -871,8 +994,12 @@ mod tests {
         let l1 = Var::leaf(t.clone(), true);
         let l2 = Var::leaf(t, true);
         let labels = [1usize, 2];
-        l1.log_softmax().nll(&labels, Some(&[2.0, 2.0]), Reduction::Sum).backward();
-        l2.log_softmax().nll(&labels, None, Reduction::Sum).backward();
+        l1.log_softmax()
+            .nll(&labels, Some(&[2.0, 2.0]), Reduction::Sum)
+            .backward();
+        l2.log_softmax()
+            .nll(&labels, None, Reduction::Sum)
+            .backward();
         let g1 = l1.grad().unwrap();
         let g2 = l2.grad().unwrap();
         for (a, b) in g1.data().iter().zip(g2.data()) {
@@ -887,9 +1014,19 @@ mod tests {
         let a = Var::leaf(t.clone(), true);
         let b = Var::leaf(t, true);
         let labels = [0usize, 1, 2, 0];
-        a.log_softmax().nll(&labels, None, Reduction::Mean).backward();
-        b.log_softmax().nll(&labels, None, Reduction::Sum).backward();
-        for (x, y) in a.grad().unwrap().data().iter().zip(b.grad().unwrap().data()) {
+        a.log_softmax()
+            .nll(&labels, None, Reduction::Mean)
+            .backward();
+        b.log_softmax()
+            .nll(&labels, None, Reduction::Sum)
+            .backward();
+        for (x, y) in a
+            .grad()
+            .unwrap()
+            .data()
+            .iter()
+            .zip(b.grad().unwrap().data())
+        {
             assert!((4.0 * x - y).abs() < 1e-5);
         }
     }
@@ -947,7 +1084,10 @@ mod tests {
         let x = Var::leaf(Tensor::randn([2, 3, 8, 8], &mut rng), true);
         let w = Var::leaf(Tensor::randn([4, 3, 3, 3], &mut rng), true);
         let b = Var::leaf(Tensor::zeros([4]), true);
-        let y = x.conv2d(&w, Some(&b), Conv2dSpec::default()).relu().avg_pool2d(2);
+        let y = x
+            .conv2d(&w, Some(&b), Conv2dSpec::default())
+            .relu()
+            .avg_pool2d(2);
         y.sum().backward();
         assert_eq!(x.grad().unwrap().shape().dims(), &[2, 3, 8, 8]);
         assert_eq!(w.grad().unwrap().shape().dims(), &[4, 3, 3, 3]);

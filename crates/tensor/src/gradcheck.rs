@@ -26,7 +26,10 @@ pub fn max_grad_deviation(
     out.backward();
     let analytic: Vec<Tensor> = leaves
         .iter()
-        .map(|l| l.grad().unwrap_or_else(|| Tensor::zeros(l.shape().dims().to_vec())))
+        .map(|l| {
+            l.grad()
+                .unwrap_or_else(|| Tensor::zeros(l.shape().dims().to_vec()))
+        })
         .collect();
 
     let eval = |tensors: &[Tensor]| -> f32 {
@@ -103,7 +106,10 @@ mod tests {
         // are inaccurate by construction (ReLU's gradient is checked exactly
         // in the autograd unit tests instead).
         let dev = max_grad_deviation(&[x, w], 1e-2, 3, |v| {
-            v[0].conv2d(&v[1], None, Conv2dSpec::default()).square().avg_pool2d(2).sum()
+            v[0].conv2d(&v[1], None, Conv2dSpec::default())
+                .square()
+                .avg_pool2d(2)
+                .sum()
         });
         assert!(dev < 3e-2, "deviation {dev}");
     }
@@ -114,7 +120,8 @@ mod tests {
         let logits = Tensor::randn([4, 5], &mut rng);
         let labels = [0usize, 1, 2, 3];
         let dev = max_grad_deviation(&[logits], 1e-2, 1, |v| {
-            v[0].log_softmax().nll(&labels, Some(&[1.0, 0.5, 2.0, 0.1]), Reduction::Mean)
+            v[0].log_softmax()
+                .nll(&labels, Some(&[1.0, 0.5, 2.0, 0.1]), Reduction::Mean)
         });
         assert!(dev < 1e-2, "deviation {dev}");
     }
@@ -142,9 +149,7 @@ mod tests {
             vec![1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0],
             [3, 4],
         );
-        let dev = max_grad_deviation(&[x], 1e-2, 1, |v| {
-            v[0].masked_log_sum_exp_rows(&mask).sum()
-        });
+        let dev = max_grad_deviation(&[x], 1e-2, 1, |v| v[0].masked_log_sum_exp_rows(&mask).sum());
         assert!(dev < 1e-2, "deviation {dev}");
     }
 
@@ -152,9 +157,7 @@ mod tests {
     fn gradcheck_exp_ln_sqrt() {
         let mut rng = Rng::new(9);
         let x = &Tensor::rand_uniform([6], 0.5, 2.0, &mut rng) + 0.0;
-        let dev = max_grad_deviation(&[x], 1e-3, 1, |v| {
-            v[0].exp().ln().sqrt().sum()
-        });
+        let dev = max_grad_deviation(&[x], 1e-3, 1, |v| v[0].exp().ln().sqrt().sum());
         assert!(dev < 1e-2, "deviation {dev}");
     }
 }

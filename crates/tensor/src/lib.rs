@@ -42,7 +42,7 @@ mod serialize;
 mod shape;
 mod tensor;
 
-pub use autograd::{Reduction, Var};
+pub use autograd::{reset_tape_peak, tape_current_bytes, tape_peak_bytes, Reduction, Var};
 pub use ops::conv::Conv2dSpec;
 pub use ops::stats::RunningStats;
 pub use rng::Rng;

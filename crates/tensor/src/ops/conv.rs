@@ -17,7 +17,11 @@ pub struct Conv2dSpec {
 impl Conv2dSpec {
     /// Convenience constructor.
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
-        Conv2dSpec { kernel, stride, padding }
+        Conv2dSpec {
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output spatial side for an input side of `n`.
@@ -26,14 +30,23 @@ impl Conv2dSpec {
     /// Panics if the kernel does not fit in the padded input.
     pub fn out_side(&self, n: usize) -> usize {
         let padded = n + 2 * self.padding;
-        assert!(padded >= self.kernel, "kernel {} larger than padded input {}", self.kernel, padded);
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {}",
+            self.kernel,
+            padded
+        );
         (padded - self.kernel) / self.stride + 1
     }
 }
 
 impl Default for Conv2dSpec {
     fn default() -> Self {
-        Conv2dSpec { kernel: 3, stride: 1, padding: 1 }
+        Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
     }
 }
 
@@ -44,17 +57,45 @@ impl Tensor {
     /// # Panics
     /// Panics on rank/shape mismatches.
     pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
-        assert_eq!(self.rank(), 4, "conv2d input must be NCHW, got {}", self.shape());
-        assert_eq!(weight.rank(), 4, "conv2d weight must be [co,ci,k,k], got {}", weight.shape());
+        assert_eq!(
+            self.rank(),
+            4,
+            "conv2d input must be NCHW, got {}",
+            self.shape()
+        );
+        assert_eq!(
+            weight.rank(),
+            4,
+            "conv2d weight must be [co,ci,k,k], got {}",
+            weight.shape()
+        );
         let (n, cin, h, w) = dims4(self);
         let (cout, cin2, kh, kw) = dims4(weight);
-        assert_eq!(cin, cin2, "conv2d channel mismatch: input {cin}, weight {cin2}");
-        assert_eq!(kh, spec.kernel, "weight kernel {kh} vs spec {}", spec.kernel);
-        assert_eq!(kw, spec.kernel, "weight kernel {kw} vs spec {}", spec.kernel);
+        assert_eq!(
+            cin, cin2,
+            "conv2d channel mismatch: input {cin}, weight {cin2}"
+        );
+        assert_eq!(
+            kh, spec.kernel,
+            "weight kernel {kh} vs spec {}",
+            spec.kernel
+        );
+        assert_eq!(
+            kw, spec.kernel,
+            "weight kernel {kw} vs spec {}",
+            spec.kernel
+        );
         if let Some(b) = bias {
-            assert_eq!(b.numel(), cout, "bias length {} vs c_out {}", b.numel(), cout);
+            assert_eq!(
+                b.numel(),
+                cout,
+                "bias length {} vs c_out {}",
+                b.numel(),
+                cout
+            );
         }
         let (oh, ow) = (spec.out_side(h), spec.out_side(w));
+        deco_telemetry::counter!("tensor.ops.conv2d");
         let mut out = vec![0.0f32; n * cout * oh * ow];
         let x = self.data();
         let wt = weight.data();
@@ -105,7 +146,12 @@ impl Tensor {
     /// Gradient of [`Tensor::conv2d`] w.r.t. its input.
     ///
     /// `self` is the output gradient `[n, c_out, oh, ow]`.
-    pub fn conv2d_input_grad(&self, weight: &Tensor, input_hw: (usize, usize), spec: Conv2dSpec) -> Tensor {
+    pub fn conv2d_input_grad(
+        &self,
+        weight: &Tensor,
+        input_hw: (usize, usize),
+        spec: Conv2dSpec,
+    ) -> Tensor {
         let (n, cout, oh, ow) = dims4(self);
         let (cout2, cin, k, _) = dims4(weight);
         assert_eq!(cout, cout2, "conv2d_input_grad c_out mismatch");
@@ -208,7 +254,10 @@ impl Tensor {
     pub fn avg_pool2d(&self, k: usize) -> Tensor {
         assert_eq!(self.rank(), 4, "avg_pool2d input must be NCHW");
         let (n, c, h, w) = dims4(self);
-        assert!(h % k == 0 && w % k == 0, "pool window {k} must divide {h}x{w}");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "pool window {k} must divide {h}x{w}"
+        );
         let (oh, ow) = (h / k, w / k);
         let x = self.data();
         let inv = 1.0 / (k * k) as f32;
@@ -269,7 +318,10 @@ impl Tensor {
     pub fn max_pool2d(&self, k: usize) -> (Tensor, Vec<usize>) {
         assert_eq!(self.rank(), 4, "max_pool2d input must be NCHW");
         let (n, c, h, w) = dims4(self);
-        assert!(h % k == 0 && w % k == 0, "pool window {k} must divide {h}x{w}");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "pool window {k} must divide {h}x{w}"
+        );
         let (oh, ow) = (h / k, w / k);
         let x = self.data();
         let mut out = vec![0.0f32; n * c * oh * ow];
@@ -323,7 +375,12 @@ impl Tensor {
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
     assert_eq!(t.rank(), 4, "expected rank-4 tensor, got {}", t.shape());
-    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2), t.shape().dim(3))
+    (
+        t.shape().dim(0),
+        t.shape().dim(1),
+        t.shape().dim(2),
+        t.shape().dim(3),
+    )
 }
 
 #[cfg(test)]
@@ -406,8 +463,14 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num = (xp.conv2d(&w, None, spec).sum() - xm.conv2d(&w, None, spec).sum()) / (2.0 * eps);
-            assert!((gin.data()[i] - num).abs() < 1e-2, "elem {i}: {} vs {}", gin.data()[i], num);
+            let num =
+                (xp.conv2d(&w, None, spec).sum() - xm.conv2d(&w, None, spec).sum()) / (2.0 * eps);
+            assert!(
+                (gin.data()[i] - num).abs() < 1e-2,
+                "elem {i}: {} vs {}",
+                gin.data()[i],
+                num
+            );
         }
     }
 
@@ -425,8 +488,14 @@ mod tests {
             wp.data_mut()[i] += eps;
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
-            let num = (x.conv2d(&wp, None, spec).sum() - x.conv2d(&wm, None, spec).sum()) / (2.0 * eps);
-            assert!((gw.data()[i] - num).abs() < 2e-2, "elem {i}: {} vs {}", gw.data()[i], num);
+            let num =
+                (x.conv2d(&wp, None, spec).sum() - x.conv2d(&wm, None, spec).sum()) / (2.0 * eps);
+            assert!(
+                (gw.data()[i] - num).abs() < 2e-2,
+                "elem {i}: {} vs {}",
+                gw.data()[i],
+                num
+            );
         }
     }
 

@@ -11,11 +11,29 @@ impl Tensor {
     /// # Panics
     /// Panics unless both tensors are rank 2 with matching inner dimension.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape());
-        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {}", other.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "matmul lhs must be rank 2, got {}",
+            self.shape()
+        );
+        assert_eq!(
+            other.rank(),
+            2,
+            "matmul rhs must be rank 2, got {}",
+            other.shape()
+        );
         let (m, k) = (self.shape().dim(0), self.shape().dim(1));
         let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
-        assert_eq!(k, k2, "matmul inner dims: {} vs {}", self.shape(), other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner dims: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        deco_telemetry::counter!("tensor.ops.matmul");
+        deco_telemetry::counter!("tensor.ops.matmul_flops", (2 * m * k * n) as u64);
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
@@ -40,7 +58,12 @@ impl Tensor {
     /// # Panics
     /// Panics unless the tensor is rank 2.
     pub fn transpose2(&self) -> Tensor {
-        assert_eq!(self.rank(), 2, "transpose2 needs rank 2, got {}", self.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "transpose2 needs rank 2, got {}",
+            self.shape()
+        );
         let (m, n) = (self.shape().dim(0), self.shape().dim(1));
         let src = self.data();
         let mut out = vec![0.0f32; m * n];

@@ -79,7 +79,12 @@ impl Tensor {
     /// # Panics
     /// Panics unless the tensor is rank 2 with at least one column.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        assert_eq!(self.rank(), 2, "argmax_rows needs rank 2, got {}", self.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "argmax_rows needs rank 2, got {}",
+            self.shape()
+        );
         let (n, c) = (self.shape().dim(0), self.shape().dim(1));
         assert!(c > 0, "argmax_rows needs at least one column");
         let data = self.data();
@@ -100,12 +105,22 @@ impl Tensor {
     /// # Panics
     /// Panics unless the tensor is rank 2 with at least one column.
     pub fn max_rows(&self) -> Tensor {
-        assert_eq!(self.rank(), 2, "max_rows needs rank 2, got {}", self.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "max_rows needs rank 2, got {}",
+            self.shape()
+        );
         let (n, c) = (self.shape().dim(0), self.shape().dim(1));
         assert!(c > 0, "max_rows needs at least one column");
         let data = self.data();
         let out: Vec<f32> = (0..n)
-            .map(|i| data[i * c..(i + 1) * c].iter().cloned().fold(f32::NEG_INFINITY, f32::max))
+            .map(|i| {
+                data[i * c..(i + 1) * c]
+                    .iter()
+                    .cloned()
+                    .fold(f32::NEG_INFINITY, f32::max)
+            })
             .collect();
         Tensor::from_vec(out, [n, 1])
     }

@@ -21,7 +21,11 @@ impl Tensor {
     /// (with an epsilon guard for constant tensors).
     pub fn standardized(&self) -> Tensor {
         let mean = self.mean();
-        let var = self.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = self
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / self.numel() as f32;
         let std = (var + 1e-8).sqrt();
         self.map(|x| (x - mean) / std)
@@ -135,7 +139,8 @@ impl Tensor {
     pub fn mean_rows(&self) -> Tensor {
         assert!(self.rank() >= 1, "mean_rows needs rank >= 1");
         let tail: Vec<usize> = self.shape().dims()[1..].to_vec();
-        self.mean_axes(&[0], false).reshape(if tail.is_empty() { vec![] } else { tail })
+        self.mean_axes(&[0], false)
+            .reshape(if tail.is_empty() { vec![] } else { tail })
     }
 }
 

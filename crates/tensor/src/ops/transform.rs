@@ -56,7 +56,11 @@ impl Tensor {
         let tail: Vec<usize> = parts[0].shape().dims()[1..].to_vec();
         let mut total = 0;
         for p in parts {
-            assert_eq!(&p.shape().dims()[1..], tail.as_slice(), "trailing dims mismatch in concat");
+            assert_eq!(
+                &p.shape().dims()[1..],
+                tail.as_slice(),
+                "trailing dims mismatch in concat"
+            );
             total += p.shape().dim(0);
         }
         let mut data = Vec::with_capacity(total * tail.iter().product::<usize>().max(1));
@@ -134,7 +138,10 @@ impl Tensor {
     pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
         let mut data = vec![0.0f32; labels.len() * num_classes];
         for (i, &y) in labels.iter().enumerate() {
-            assert!(y < num_classes, "label {y} out of range ({num_classes} classes)");
+            assert!(
+                y < num_classes,
+                "label {y} out of range ({num_classes} classes)"
+            );
             data[i * num_classes + y] = 1.0;
         }
         Tensor::from_vec(data, [labels.len(), num_classes])

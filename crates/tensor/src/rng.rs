@@ -24,7 +24,10 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
-        Rng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15), spare_normal: None }
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child generator. Children with distinct `salt`

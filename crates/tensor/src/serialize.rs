@@ -1,50 +1,53 @@
-//! Serde support: tensors serialize as `{ dims, data }`, which makes
+//! JSON support: tensors serialize as `{ dims, data }`, which makes
 //! buffers and model snapshots persistable (e.g. checkpointing the
-//! on-device learner's synthetic buffer between sessions).
+//! on-device learner's synthetic buffer between sessions). Conversion
+//! goes through the dependency-free codec in `deco-telemetry`.
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use deco_telemetry::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-impl Serialize for Shape {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.dims().serialize(serializer)
+impl ToJson for Shape {
+    fn to_json(&self) -> Json {
+        self.dims().to_json()
     }
 }
 
-impl<'de> Deserialize<'de> for Shape {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        Ok(Shape::new(Vec::<usize>::deserialize(deserializer)?))
+impl FromJson for Shape {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Shape::new(Vec::<usize>::from_json(json)?))
     }
 }
 
-#[derive(Serialize, Deserialize)]
-struct TensorRepr {
-    dims: Vec<usize>,
-    data: Vec<f32>,
-}
-
-impl Serialize for Tensor {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        TensorRepr { dims: self.shape().dims().to_vec(), data: self.data().to_vec() }
-            .serialize(serializer)
+impl ToJson for Tensor {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dims", self.shape().dims().to_json()),
+            ("data", self.data().to_json()),
+        ])
     }
 }
 
-impl<'de> Deserialize<'de> for Tensor {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = TensorRepr::deserialize(deserializer)?;
-        let expected: usize = repr.dims.iter().product();
-        if repr.data.len() != expected {
-            return Err(D::Error::custom(format!(
+impl FromJson for Tensor {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let dims = Vec::<usize>::from_json(
+            json.get("dims")
+                .ok_or_else(|| JsonError("tensor missing dims".into()))?,
+        )?;
+        let data = Vec::<f32>::from_json(
+            json.get("data")
+                .ok_or_else(|| JsonError("tensor missing data".into()))?,
+        )?;
+        let expected: usize = dims.iter().product();
+        if data.len() != expected {
+            return Err(JsonError(format!(
                 "tensor data length {} does not match dims {:?}",
-                repr.data.len(),
-                repr.dims
+                data.len(),
+                dims
             )));
         }
-        Ok(Tensor::from_vec(repr.data, repr.dims))
+        Ok(Tensor::from_vec(data, dims))
     }
 }
 
@@ -57,23 +60,24 @@ mod tests {
     fn tensor_json_roundtrip() {
         let mut rng = Rng::new(1);
         let t = Tensor::randn([2, 3, 4], &mut rng);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().to_string_pretty();
+        let back = Tensor::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(t, back);
     }
 
     #[test]
     fn shape_json_roundtrip() {
         let s = Shape::new(vec![5, 1, 2]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Shape = serde_json::from_str(&json).unwrap();
+        let json = s.to_json().to_string_compact();
+        let back = Shape::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(s, back);
     }
 
     #[test]
     fn scalar_roundtrip() {
         let t = Tensor::scalar(3.5);
-        let back: Tensor = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        let back =
+            Tensor::from_json(&Json::parse(&t.to_json().to_string_compact()).unwrap()).unwrap();
         assert_eq!(back.item(), 3.5);
         assert_eq!(back.rank(), 0);
     }
@@ -81,7 +85,7 @@ mod tests {
     #[test]
     fn corrupt_payload_is_rejected() {
         let bad = r#"{"dims":[2,2],"data":[1.0,2.0,3.0]}"#;
-        let res: Result<Tensor, _> = serde_json::from_str(bad);
+        let res = Tensor::from_json(&Json::parse(bad).unwrap());
         assert!(res.is_err());
     }
 }

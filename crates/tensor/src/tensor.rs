@@ -24,6 +24,17 @@ pub struct Tensor {
     shape: Shape,
 }
 
+/// Counts a fresh heap buffer of `numel` elements against the telemetry
+/// registry. No-op (one relaxed load) when telemetry is disabled.
+#[inline]
+fn track_buffer(numel: usize) {
+    deco_telemetry::counter!("tensor.alloc.count");
+    deco_telemetry::counter!(
+        "tensor.alloc.bytes",
+        (numel * std::mem::size_of::<f32>()) as u64
+    );
+}
+
 impl Tensor {
     /// Creates a tensor from a flat row-major buffer.
     ///
@@ -39,18 +50,29 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { data: Arc::new(data), shape }
+        track_buffer(data.len());
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: Arc::new(vec![value]), shape: Shape::scalar() }
+        Tensor {
+            data: Arc::new(vec![value]),
+            shape: Shape::scalar(),
+        }
     }
 
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: Arc::new(vec![0.0; shape.numel()]), shape }
+        track_buffer(shape.numel());
+        Tensor {
+            data: Arc::new(vec![0.0; shape.numel()]),
+            shape,
+        }
     }
 
     /// All-one tensor of the given shape.
@@ -61,21 +83,33 @@ impl Tensor {
     /// Constant tensor of the given shape.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Tensor { data: Arc::new(vec![value; shape.numel()]), shape }
+        track_buffer(shape.numel());
+        Tensor {
+            data: Arc::new(vec![value; shape.numel()]),
+            shape,
+        }
     }
 
     /// Tensor of iid standard-normal samples.
     pub fn randn(shape: impl Into<Shape>, rng: &mut Rng) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.normal()).collect();
-        Tensor { data: Arc::new(data), shape }
+        track_buffer(shape.numel());
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// Tensor of iid uniform samples in `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
-        Tensor { data: Arc::new(data), shape }
+        track_buffer(shape.numel());
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// The tensor's shape.
@@ -96,6 +130,13 @@ impl Tensor {
     /// The flat row-major data buffer.
     pub fn data(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Bytes of the heap buffer backing this tensor. Clones share the
+    /// buffer, so summing `heap_bytes` over clones double-counts; callers
+    /// accounting memory should sum over owning collections only.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
     }
 
     /// Mutable access to the data (copy-on-write if shared).
@@ -133,11 +174,15 @@ impl Tensor {
             self.shape,
             shape
         );
-        Tensor { data: Arc::clone(&self.data), shape }
+        Tensor {
+            data: Arc::clone(&self.data),
+            shape,
+        }
     }
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        track_buffer(self.data.len());
         Tensor {
             data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
@@ -150,22 +195,39 @@ impl Tensor {
     /// Panics if the shapes are not broadcast-compatible.
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
-            let data: Vec<f32> =
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-            return Tensor { data: Arc::new(data), shape: self.shape.clone() };
+            let data: Vec<f32> = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            track_buffer(data.len());
+            return Tensor {
+                data: Arc::new(data),
+                shape: self.shape.clone(),
+            };
         }
-        let out_shape = self
-            .shape
-            .broadcast(&other.shape)
-            .unwrap_or_else(|| panic!("shapes {} and {} not broadcastable", self.shape, other.shape));
+        let out_shape = self.shape.broadcast(&other.shape).unwrap_or_else(|| {
+            panic!(
+                "shapes {} and {} not broadcastable",
+                self.shape, other.shape
+            )
+        });
         let mut out = vec![0.0; out_shape.numel()];
+        track_buffer(out.len());
         let a_idx = BroadcastIndexer::new(&self.shape, &out_shape);
         let b_idx = BroadcastIndexer::new(&other.shape, &out_shape);
         for (i, slot) in out.iter_mut().enumerate() {
             let coords = out_shape.unravel(i);
-            *slot = f(self.data[a_idx.index(&coords)], other.data[b_idx.index(&coords)]);
+            *slot = f(
+                self.data[a_idx.index(&coords)],
+                other.data[b_idx.index(&coords)],
+            );
         }
-        Tensor { data: Arc::new(out), shape: out_shape }
+        Tensor {
+            data: Arc::new(out),
+            shape: out_shape,
+        }
     }
 
     /// In-place `self += alpha * other` (same shape required).
@@ -217,7 +279,12 @@ impl Tensor {
 
     /// Euclidean norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
-        (self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+        (self
+            .data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>())
+        .sqrt() as f32
     }
 
     /// Dot product of the flattened tensors.
@@ -260,7 +327,10 @@ impl Tensor {
             let coords = self.shape.unravel(i);
             out[t_idx.index(&coords)] += v;
         }
-        Tensor { data: Arc::new(out), shape: target.clone() }
+        Tensor {
+            data: Arc::new(out),
+            shape: target.clone(),
+        }
     }
 }
 
@@ -282,7 +352,11 @@ impl BroadcastIndexer {
     }
 
     pub(crate) fn index(&self, out_coords: &[usize]) -> usize {
-        out_coords.iter().zip(&self.strides).map(|(c, s)| c * s).sum()
+        out_coords
+            .iter()
+            .zip(&self.strides)
+            .map(|(c, s)| c * s)
+            .sum()
     }
 }
 

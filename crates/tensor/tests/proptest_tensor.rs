@@ -8,16 +8,12 @@ fn small_shape() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..=5, 1..=3)
 }
 
-/// Strategy: a tensor of the given shape with bounded values.
-fn tensor_of(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
-    let n: usize = dims.iter().product();
-    prop::collection::vec(-4.0f32..4.0, n..=n)
-        .prop_map(move |data| Tensor::from_vec(data, dims.clone()))
-}
-
 fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
     a.shape() == b.shape()
-        && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
 }
 
 proptest! {

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = SyntheticVision::new(core50());
     let test = data.test_set(5);
 
-    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let net_cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let model = ConvNet::new(net_cfg, &mut rng);
     let labeled = data.pretrain_set(4);
     pretrain(&model, &labeled, 50, 0.02);
@@ -24,15 +27,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(4))),
         buffer: SyntheticBuffer::from_labeled(&labeled, 1, 10, &mut rng),
     };
-    let config = LearnerConfig { vote_threshold: 0.4, beta: 3, model_lr: 5e-3, model_epochs: 10 };
+    let config = LearnerConfig {
+        vote_threshold: 0.4,
+        beta: 3,
+        model_lr: 5e-3,
+        model_epochs: 10,
+    };
     let mut learner = OnDeviceLearner::new(model, scratch, policy, config, rng.fork(1));
 
     // First half of the stream.
-    let cfg = StreamConfig { stc: 48, segment_size: 32, num_segments: 6, seed: 4 };
+    let cfg = StreamConfig {
+        stc: 48,
+        segment_size: 32,
+        num_segments: 6,
+        seed: 4,
+    };
     for segment in Stream::new(&data, cfg) {
         learner.process_segment(&segment);
     }
-    println!("accuracy mid-stream      : {:.1}%", learner.evaluate(&test) * 100.0);
+    println!(
+        "accuracy mid-stream      : {:.1}%",
+        learner.evaluate(&test) * 100.0
+    );
 
     // Persist the on-device state.
     let path = std::env::temp_dir().join("deco-device-state.json");
@@ -43,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         _ => unreachable!(),
     };
     ckpt.save(&path)?;
-    println!("checkpoint saved to {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    println!(
+        "checkpoint saved to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
 
     // --- simulated restart: rebuild everything from scratch ---
     let mut rng2 = Rng::new(999); // different seed; state comes from disk
@@ -53,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let restored = Checkpoint::load(&path)?;
     restored.restore(&model2, &mut buffer2);
     println!("restored after {} processed items", restored.items_seen);
-    println!("accuracy after restore   : {:.1}%", accuracy(&model2, &test) * 100.0);
+    println!(
+        "accuracy after restore   : {:.1}%",
+        accuracy(&model2, &test) * 100.0
+    );
 
     // Continue learning on the second half.
     let policy2 = BufferPolicy::Condensed {
@@ -61,10 +84,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         buffer: buffer2,
     };
     let mut learner2 = OnDeviceLearner::new(model2, scratch2, policy2, config, rng2.fork(1));
-    let cfg2 = StreamConfig { stc: 48, segment_size: 32, num_segments: 6, seed: 5 };
+    let cfg2 = StreamConfig {
+        stc: 48,
+        segment_size: 32,
+        num_segments: 6,
+        seed: 5,
+    };
     for segment in Stream::new(&data, cfg2) {
         learner2.process_segment(&segment);
     }
-    println!("accuracy after resuming  : {:.1}%", learner2.evaluate(&test) * 100.0);
+    println!(
+        "accuracy after resuming  : {:.1}%",
+        learner2.evaluate(&test) * 100.0
+    );
     Ok(())
 }

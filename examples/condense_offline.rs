@@ -20,7 +20,10 @@ fn main() {
     let data = SyntheticVision::new(core50());
     let test = data.test_set(6);
     let train = data.balanced_set(12, 0x0FF1); // the "large" labeled set
-    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let net_cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
 
     // Reference: train directly on the full labeled set.
     let full_model = ConvNet::new(net_cfg, &mut rng);
@@ -38,16 +41,26 @@ fn main() {
     let mut methods: Vec<(&str, Box<dyn Condenser>)> = vec![
         (
             "DC",
-            Box::new(DcCondenser::new(DcConfig { outer_inits: 3, matching_rounds: 5, ..DcConfig::default() })),
+            Box::new(DcCondenser::new(DcConfig {
+                outer_inits: 3,
+                matching_rounds: 5,
+                ..DcConfig::default()
+            })),
         ),
         (
             "DSA",
-            Box::new(DsaCondenser::new(DcConfig { outer_inits: 3, matching_rounds: 5, ..DcConfig::default() })),
+            Box::new(DsaCondenser::new(DcConfig {
+                outer_inits: 3,
+                matching_rounds: 5,
+                ..DcConfig::default()
+            })),
         ),
         ("DM", Box::new(DmCondenser::new(DmConfig::default()))),
         (
             "DECO (one-step)",
-            Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(10))),
+            Box::new(DecoCondenser::new(
+                DecoConfig::default().with_iterations(10),
+            )),
         ),
     ];
 
@@ -65,7 +78,11 @@ fn main() {
             active_classes: &active,
         };
         let started = Instant::now();
-        let mut ctx = CondenseContext { scratch: &scratch, deployed: &deployed, rng: &mut rng_m };
+        let mut ctx = CondenseContext {
+            scratch: &scratch,
+            deployed: &deployed,
+            rng: &mut rng_m,
+        };
         condenser.condense(&mut buffer, &segment, &mut ctx);
         let elapsed = started.elapsed();
 

@@ -17,16 +17,29 @@ fn run(name: &str, policy_for: impl FnOnce(&SyntheticVision, &mut Rng) -> Buffer
     let data = SyntheticVision::new(core50());
     let test = data.test_set(5);
 
-    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let net_cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let model = ConvNet::new(net_cfg, &mut rng);
     pretrain(&model, &data.pretrain_set(4), 50, 0.02);
     let scratch = ConvNet::new(net_cfg, &mut rng);
 
     let policy = policy_for(&data, &mut rng);
-    let config = LearnerConfig { vote_threshold: 0.3, beta: 3, model_lr: 5e-3, model_epochs: 10 };
+    let config = LearnerConfig {
+        vote_threshold: 0.3,
+        beta: 3,
+        model_lr: 5e-3,
+        model_epochs: 10,
+    };
     let mut learner = OnDeviceLearner::new(model, scratch, policy, config, rng.fork(1));
 
-    let cfg = StreamConfig { stc: 24, segment_size: 32, num_segments: 12, seed: 6 };
+    let cfg = StreamConfig {
+        stc: 24,
+        segment_size: 32,
+        num_segments: 12,
+        seed: 6,
+    };
     let mut tracker = ForgettingTracker::new();
     tracker.record(per_class_accuracy(learner.model(), &test, 10));
     for (i, segment) in DriftStream::new(&data, cfg).enumerate() {

@@ -17,11 +17,17 @@ fn main() {
     let test = data.test_set(6);
 
     // 2. Pre-train on the small labeled set available before deployment.
-    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let net_cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let model = ConvNet::new(net_cfg, &mut rng);
     let labeled = data.pretrain_set(4);
     pretrain(&model, &labeled, 50, 0.02);
-    println!("accuracy after pre-training : {:.1}%", accuracy(&model, &test) * 100.0);
+    println!(
+        "accuracy after pre-training : {:.1}%",
+        accuracy(&model, &test) * 100.0
+    );
 
     // 3. Deploy with a DECO-condensed buffer of ONE synthetic image per
     //    class (the paper's strictest memory budget).
@@ -30,11 +36,21 @@ fn main() {
         condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(5))),
         buffer: SyntheticBuffer::from_labeled(&labeled, 1, 10, &mut rng),
     };
-    let config = LearnerConfig { vote_threshold: 0.4, beta: 4, model_lr: 5e-3, model_epochs: 12 };
+    let config = LearnerConfig {
+        vote_threshold: 0.4,
+        beta: 4,
+        model_lr: 5e-3,
+        model_epochs: 12,
+    };
     let mut learner = OnDeviceLearner::new(model, scratch, policy, config, rng.fork(1));
 
     // 4. Learn from the unlabeled, non-i.i.d. stream.
-    let stream_cfg = StreamConfig { stc: 48, segment_size: 32, num_segments: 12, seed: 0 };
+    let stream_cfg = StreamConfig {
+        stc: 48,
+        segment_size: 32,
+        num_segments: 12,
+        seed: 0,
+    };
     for (i, segment) in Stream::new(&data, stream_cfg).enumerate() {
         let report = learner.process_segment(&segment);
         println!(
@@ -49,7 +65,10 @@ fn main() {
         );
     }
 
-    println!("accuracy after the stream   : {:.1}%", learner.evaluate(&test) * 100.0);
+    println!(
+        "accuracy after the stream   : {:.1}%",
+        learner.evaluate(&test) * 100.0
+    );
     let (retention, pseudo_acc) = learner.pseudo_label_stats();
     println!(
         "majority voting kept {:.0}% of the stream at {:.0}% pseudo-label accuracy",

@@ -13,16 +13,29 @@ fn run_method(name: &str, policy_for: impl FnOnce(&SyntheticVision, &mut Rng) ->
     let data = SyntheticVision::new(core50());
     let test = data.test_set(6);
 
-    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let net_cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let model = ConvNet::new(net_cfg, &mut rng);
     pretrain(&model, &data.pretrain_set(4), 50, 0.02);
     let scratch = ConvNet::new(net_cfg, &mut rng);
 
     let policy = policy_for(&data, &mut rng);
-    let config = LearnerConfig { vote_threshold: 0.4, beta: 4, model_lr: 5e-3, model_epochs: 12 };
+    let config = LearnerConfig {
+        vote_threshold: 0.4,
+        beta: 4,
+        model_lr: 5e-3,
+        model_epochs: 12,
+    };
     let mut learner = OnDeviceLearner::new(model, scratch, policy, config, rng.fork(1));
 
-    let stream_cfg = StreamConfig { stc: 48, segment_size: 32, num_segments: 16, seed: 3 };
+    let stream_cfg = StreamConfig {
+        stc: 48,
+        segment_size: 32,
+        num_segments: 16,
+        seed: 3,
+    };
     print!("{name:12}");
     for (i, segment) in Stream::new(&data, stream_cfg).enumerate() {
         learner.process_segment(&segment);

@@ -17,19 +17,35 @@ fn main() {
 
     // A deployed model of moderate accuracy — exactly the regime where
     // filtering matters.
-    let net_cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let net_cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let model = ConvNet::new(net_cfg, &mut rng);
     pretrain(&model, &data.pretrain_set(3), 40, 0.02);
     let test = data.test_set(6);
-    println!("deployed model accuracy: {:.1}%\n", accuracy(&model, &test) * 100.0);
+    println!(
+        "deployed model accuracy: {:.1}%\n",
+        accuracy(&model, &test) * 100.0
+    );
 
     // One fixed stream, labeled once; vote at each threshold.
-    let stream_cfg = StreamConfig { stc: 48, segment_size: 32, num_segments: 12, seed: 9 };
+    let stream_cfg = StreamConfig {
+        stc: 48,
+        segment_size: 32,
+        num_segments: 12,
+        seed: 9,
+    };
     let segments: Vec<Segment> = Stream::new(&data, stream_cfg).collect();
-    let predictions: Vec<_> =
-        segments.iter().map(|s| assign_pseudo_labels(&model, &s.images)).collect();
+    let predictions: Vec<_> = segments
+        .iter()
+        .map(|s| assign_pseudo_labels(&model, &s.images))
+        .collect();
 
-    println!("{:>5} {:>12} {:>22}", "m", "retained(%)", "pseudo-label acc(%)");
+    println!(
+        "{:>5} {:>12} {:>22}",
+        "m", "retained(%)", "pseudo-label acc(%)"
+    );
     for m in [0.0f32, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
         let mut kept = 0usize;
         let mut total = 0usize;
@@ -44,8 +60,16 @@ fn main() {
                 acc_n += 1;
             }
         }
-        let acc = if acc_n > 0 { acc_sum / acc_n as f32 * 100.0 } else { f32::NAN };
-        println!("{m:>5.1} {:>12.1} {:>22.1}", kept as f32 / total as f32 * 100.0, acc);
+        let acc = if acc_n > 0 {
+            acc_sum / acc_n as f32 * 100.0
+        } else {
+            f32::NAN
+        };
+        println!(
+            "{m:>5.1} {:>12.1} {:>22.1}",
+            kept as f32 / total as f32 * 100.0,
+            acc
+        );
     }
     println!("\nRaising m trades data quantity for label quality (paper Fig. 4a).");
 }

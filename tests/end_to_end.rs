@@ -6,7 +6,14 @@ use deco_repro::condense::SyntheticBuffer;
 use deco_repro::prelude::*;
 
 fn net_cfg() -> ConvNetConfig {
-    ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true }
+    ConvNetConfig {
+        in_channels: 3,
+        image_side: 16,
+        width: 8,
+        depth: 3,
+        num_classes: 10,
+        norm: true,
+    }
 }
 
 fn deployed_model(data: &SyntheticVision, rng: &mut Rng) -> ConvNet {
@@ -22,7 +29,12 @@ fn deco_learner(data: &SyntheticVision, ipc: usize, rng: &mut Rng) -> OnDeviceLe
         condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(2))),
         buffer: SyntheticBuffer::from_labeled(&data.pretrain_set(4), ipc, 10, rng),
     };
-    let config = LearnerConfig { vote_threshold: 0.4, beta: 3, model_lr: 5e-3, model_epochs: 6 };
+    let config = LearnerConfig {
+        vote_threshold: 0.4,
+        beta: 3,
+        model_lr: 5e-3,
+        model_epochs: 6,
+    };
     OnDeviceLearner::new(model, scratch, policy, config, rng.fork(3))
 }
 
@@ -33,13 +45,21 @@ fn full_deco_pipeline_improves_or_holds_accuracy() {
     let test = data.test_set(4);
     let mut learner = deco_learner(&data, 1, &mut rng);
     let before = learner.evaluate(&test);
-    let cfg = StreamConfig { stc: 48, segment_size: 32, num_segments: 9, seed: 2 };
+    let cfg = StreamConfig {
+        stc: 48,
+        segment_size: 32,
+        num_segments: 9,
+        seed: 2,
+    };
     for segment in Stream::new(&data, cfg) {
         learner.process_segment(&segment);
     }
     let after = learner.evaluate(&test);
     // On-device learning must not catastrophically degrade the model.
-    assert!(after >= before - 0.1, "accuracy collapsed: {before} -> {after}");
+    assert!(
+        after >= before - 0.1,
+        "accuracy collapsed: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -47,7 +67,12 @@ fn condensed_buffer_stays_class_balanced_through_the_stream() {
     let mut rng = Rng::new(101);
     let data = SyntheticVision::new(core50());
     let mut learner = deco_learner(&data, 2, &mut rng);
-    let cfg = StreamConfig { stc: 32, segment_size: 24, num_segments: 6, seed: 5 };
+    let cfg = StreamConfig {
+        stc: 32,
+        segment_size: 24,
+        num_segments: 6,
+        seed: 5,
+    };
     for segment in Stream::new(&data, cfg) {
         learner.process_segment(&segment);
         match learner.policy() {
@@ -72,18 +97,35 @@ fn every_baseline_survives_the_same_stream() {
             strategy: kind.build(),
             buffer: ReplayBuffer::new(10),
         };
-        let config =
-            LearnerConfig { vote_threshold: 0.4, beta: 3, model_lr: 5e-3, model_epochs: 4 };
+        let config = LearnerConfig {
+            vote_threshold: 0.4,
+            beta: 3,
+            model_lr: 5e-3,
+            model_epochs: 4,
+        };
         let mut learner = OnDeviceLearner::new(model, scratch, policy, config, rng.fork(3));
-        let cfg = StreamConfig { stc: 32, segment_size: 24, num_segments: 4, seed: 6 };
+        let cfg = StreamConfig {
+            stc: 32,
+            segment_size: 24,
+            num_segments: 4,
+            seed: 6,
+        };
         for segment in Stream::new(&data, cfg) {
             learner.process_segment(&segment);
         }
         let acc = learner.evaluate(&test);
-        assert!((0.0..=1.0).contains(&acc), "{}: bad accuracy {acc}", kind.label());
+        assert!(
+            (0.0..=1.0).contains(&acc),
+            "{}: bad accuracy {acc}",
+            kind.label()
+        );
         match learner.policy() {
             BufferPolicy::Selection { buffer, .. } => {
-                assert!(buffer.len() <= buffer.capacity(), "{} overfilled", kind.label());
+                assert!(
+                    buffer.len() <= buffer.capacity(),
+                    "{} overfilled",
+                    kind.label()
+                );
                 assert!(!buffer.is_empty(), "{} stored nothing", kind.label());
             }
             _ => unreachable!(),
@@ -97,7 +139,12 @@ fn pipeline_is_deterministic_per_seed() {
         let mut rng = Rng::new(103);
         let data = SyntheticVision::new(core50());
         let mut learner = deco_learner(&data, 1, &mut rng);
-        let cfg = StreamConfig { stc: 32, segment_size: 24, num_segments: 4, seed: 7 };
+        let cfg = StreamConfig {
+            stc: 32,
+            segment_size: 24,
+            num_segments: 4,
+            seed: 7,
+        };
         for segment in Stream::new(&data, cfg) {
             learner.process_segment(&segment);
         }
@@ -111,7 +158,12 @@ fn high_stc_streams_yield_few_active_classes() {
     let mut rng = Rng::new(104);
     let data = SyntheticVision::new(core50());
     let mut learner = deco_learner(&data, 1, &mut rng);
-    let cfg = StreamConfig { stc: 100, segment_size: 32, num_segments: 6, seed: 8 };
+    let cfg = StreamConfig {
+        stc: 100,
+        segment_size: 32,
+        num_segments: 6,
+        seed: 8,
+    };
     let mut total_active = 0usize;
     let mut segments = 0usize;
     for segment in Stream::new(&data, cfg) {
@@ -131,7 +183,12 @@ fn model_updates_follow_beta_schedule() {
     let mut rng = Rng::new(105);
     let data = SyntheticVision::new(core50());
     let mut learner = deco_learner(&data, 1, &mut rng); // beta = 3
-    let cfg = StreamConfig { stc: 32, segment_size: 16, num_segments: 7, seed: 9 };
+    let cfg = StreamConfig {
+        stc: 32,
+        segment_size: 16,
+        num_segments: 7,
+        seed: 9,
+    };
     for segment in Stream::new(&data, cfg) {
         learner.process_segment(&segment);
     }

@@ -58,7 +58,14 @@ fn fig2_confusions_favor_designed_pairs() {
     let data = SyntheticVision::new(cifar10_confusable());
     let mut rng = Rng::new(0xF162);
     let net = ConvNet::new(
-        ConvNetConfig { in_channels: 3, image_side: 16, width: 8, depth: 3, num_classes: 10, norm: true },
+        ConvNetConfig {
+            in_channels: 3,
+            image_side: 16,
+            width: 8,
+            depth: 3,
+            num_classes: 10,
+            norm: true,
+        },
         &mut rng,
     );
     pretrain(&net, &data.balanced_set(12, 1), 80, 0.02);
@@ -71,14 +78,14 @@ fn fig2_confusions_favor_designed_pairs() {
     let mut other_cells = 0usize;
     for (a, b) in pairs {
         for (c, p) in [(a, b), (b, a)] {
-            for j in 0..10 {
+            for (j, &count) in matrix[c].iter().enumerate() {
                 if j == c {
                     continue;
                 }
                 if j == p {
-                    partner += matrix[c][j];
+                    partner += count;
                 } else {
-                    other += matrix[c][j];
+                    other += count;
                     other_cells += 1;
                 }
             }
@@ -94,8 +101,13 @@ fn fig2_confusions_favor_designed_pairs() {
 
 #[test]
 fn fig3_learning_curves_are_monotone_in_items() {
-    let mut spec =
-        TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 1, 0, micro(DatasetId::Core50));
+    let mut spec = TrialSpec::new(
+        DatasetId::Core50,
+        MethodKind::Deco,
+        1,
+        0,
+        micro(DatasetId::Core50),
+    );
     spec.eval_every = 1;
     let result = run_trial(&spec);
     assert_eq!(result.curve.len(), 3);
@@ -105,19 +117,39 @@ fn fig3_learning_curves_are_monotone_in_items() {
 #[test]
 fn fig4a_threshold_extremes_behave() {
     // m = 0 keeps everything; very high m keeps (almost) nothing.
-    let mut lo = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 1, 0, micro(DatasetId::Core50));
+    let mut lo = TrialSpec::new(
+        DatasetId::Core50,
+        MethodKind::Deco,
+        1,
+        0,
+        micro(DatasetId::Core50),
+    );
     lo.vote_threshold_override = Some(0.0);
     let mut hi = lo;
     hi.vote_threshold_override = Some(0.9);
     let r_lo = run_trial(&lo);
     let r_hi = run_trial(&hi);
-    assert!(r_lo.retention >= r_hi.retention, "{} < {}", r_lo.retention, r_hi.retention);
-    assert!((r_lo.retention - 1.0).abs() < 1e-6, "m=0 must keep all data");
+    assert!(
+        r_lo.retention >= r_hi.retention,
+        "{} < {}",
+        r_lo.retention,
+        r_hi.retention
+    );
+    assert!(
+        (r_lo.retention - 1.0).abs() < 1e-6,
+        "m=0 must keep all data"
+    );
 }
 
 #[test]
 fn fig4b_alpha_override_reaches_the_condenser() {
-    let mut a = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 2, 0, micro(DatasetId::Core50));
+    let mut a = TrialSpec::new(
+        DatasetId::Core50,
+        MethodKind::Deco,
+        2,
+        0,
+        micro(DatasetId::Core50),
+    );
     a.alpha_override = Some(0.0);
     let mut b = a;
     b.alpha_override = Some(1.0);

@@ -15,7 +15,10 @@ fn training_through_augmentation_still_learns() {
     let mut rng = Rng::new(1);
     let data = SyntheticVision::new(core50());
     let set = data.pretrain_set(4);
-    let cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let net = ConvNet::new(cfg, &mut rng);
     let mut opt = Sgd::new(0.02).with_momentum(0.9);
     let mut first_loss = None;
@@ -23,7 +26,8 @@ fn training_through_augmentation_still_learns() {
     for step in 0..40 {
         let aug = Augmentation::sample(16, &mut rng);
         let x = aug.apply(&Var::constant(set.images.clone()));
-        let loss = weighted_cross_entropy(&net.forward(&x, false), &set.labels, None, Reduction::Mean);
+        let loss =
+            weighted_cross_entropy(&net.forward(&x, false), &set.labels, None, Reduction::Mean);
         loss.backward();
         opt.step(&net.params());
         last_loss = loss.value().item();
@@ -31,7 +35,10 @@ fn training_through_augmentation_still_learns() {
             first_loss = Some(last_loss);
         }
     }
-    assert!(last_loss < first_loss.unwrap(), "loss did not improve under augmentation");
+    assert!(
+        last_loss < first_loss.unwrap(),
+        "loss did not improve under augmentation"
+    );
 }
 
 #[test]
@@ -57,7 +64,11 @@ fn mlp_trains_on_a_condensed_buffer() {
     // And it generalizes above chance on held-out frames.
     let test = data.test_set(4);
     let preds = mlp.predict_classes(&test.images);
-    let acc = preds.iter().zip(&test.labels).filter(|(p, y)| p == y).count() as f32
+    let acc = preds
+        .iter()
+        .zip(&test.labels)
+        .filter(|(p, y)| p == y)
+        .count() as f32
         / test.len() as f32;
     assert!(acc > 0.15, "MLP accuracy {acc} at chance");
 }
@@ -66,7 +77,10 @@ fn mlp_trains_on_a_condensed_buffer() {
 fn checkpoint_roundtrips_through_a_live_learner() {
     let mut rng = Rng::new(3);
     let data = SyntheticVision::new(core50());
-    let cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let model = ConvNet::new(cfg, &mut rng);
     pretrain(&model, &data.pretrain_set(3), 20, 0.02);
     let scratch = ConvNet::new(cfg, &mut rng);
@@ -74,9 +88,19 @@ fn checkpoint_roundtrips_through_a_live_learner() {
         condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(2))),
         buffer: SyntheticBuffer::from_labeled(&data.pretrain_set(3), 1, 10, &mut rng),
     };
-    let lc = LearnerConfig { vote_threshold: 0.4, beta: 2, model_lr: 5e-3, model_epochs: 4 };
+    let lc = LearnerConfig {
+        vote_threshold: 0.4,
+        beta: 2,
+        model_lr: 5e-3,
+        model_epochs: 4,
+    };
     let mut learner = OnDeviceLearner::new(model, scratch, policy, lc, rng.fork(4));
-    let scfg = StreamConfig { stc: 32, segment_size: 16, num_segments: 3, seed: 5 };
+    let scfg = StreamConfig {
+        stc: 32,
+        segment_size: 16,
+        num_segments: 3,
+        seed: 5,
+    };
     for segment in Stream::new(&data, scfg) {
         learner.process_segment(&segment);
     }
@@ -102,7 +126,10 @@ fn checkpoint_roundtrips_through_a_live_learner() {
 fn drift_stream_drives_the_full_learner() {
     let mut rng = Rng::new(6);
     let data = SyntheticVision::new(core50());
-    let cfg = ConvNetConfig { width: 8, ..ConvNetConfig::small(10) };
+    let cfg = ConvNetConfig {
+        width: 8,
+        ..ConvNetConfig::small(10)
+    };
     let model = ConvNet::new(cfg, &mut rng);
     pretrain(&model, &data.pretrain_set(3), 20, 0.02);
     let scratch = ConvNet::new(cfg, &mut rng);
@@ -110,9 +137,19 @@ fn drift_stream_drives_the_full_learner() {
         condenser: Box::new(DecoCondenser::new(DecoConfig::default().with_iterations(2))),
         buffer: SyntheticBuffer::from_labeled(&data.pretrain_set(3), 1, 10, &mut rng),
     };
-    let lc = LearnerConfig { vote_threshold: 0.3, beta: 2, model_lr: 5e-3, model_epochs: 4 };
+    let lc = LearnerConfig {
+        vote_threshold: 0.3,
+        beta: 2,
+        model_lr: 5e-3,
+        model_epochs: 4,
+    };
     let mut learner = OnDeviceLearner::new(model, scratch, policy, lc, rng.fork(7));
-    let scfg = StreamConfig { stc: 16, segment_size: 16, num_segments: 4, seed: 8 };
+    let scfg = StreamConfig {
+        stc: 16,
+        segment_size: 16,
+        num_segments: 4,
+        seed: 8,
+    };
     for segment in DriftStream::new(&data, scfg) {
         let report = learner.process_segment(&segment);
         assert_eq!(report.segment_len, 16);
@@ -145,8 +182,15 @@ fn selection_and_condensed_policies_expose_consistent_training_data() {
             confidence: 0.5,
         });
     }
-    let policy = BufferPolicy::Selection { strategy: BaselineKind::Fifo.build(), buffer: rbuf };
+    let policy = BufferPolicy::Selection {
+        strategy: BaselineKind::Fifo.build(),
+        buffer: rbuf,
+    };
     let (_, labels, weights) = policy.training_data().unwrap();
     assert_eq!(labels.len(), 4);
-    assert_eq!(weights.unwrap(), vec![0.5; 4], "real data carries confidences");
+    assert_eq!(
+        weights.unwrap(),
+        vec![0.5; 4],
+        "real data carries confidences"
+    );
 }
