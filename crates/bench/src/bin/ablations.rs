@@ -14,9 +14,10 @@
 
 use deco_bench::BenchArgs;
 use deco_condense::{numeric_image_grad, one_step_match, MatchBatch, SyntheticBuffer};
-use deco_eval::{run_cell, write_json, DatasetId, MethodKind, Table, TrialSpec};
+use deco_eval::{run_cell, write_json_value, DatasetId, MethodKind, Table, TrialSpec};
 use deco_nn::{ConvNet, ConvNetConfig};
 use deco_telemetry::impl_to_json;
+use deco_telemetry::json::{Json, ToJson};
 use deco_tensor::{Rng, Tensor};
 
 struct AblationRecord {
@@ -42,6 +43,7 @@ fn main() {
     });
     let ipc = 5;
     let mut records = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
     let mut table = Table::new(
         format!("Ablations on CORe50 (IpC={ipc}, scale: {})", args.scale),
         vec!["Ablation".into(), "Setting".into(), "acc(%)".into()],
@@ -52,6 +54,9 @@ fn main() {
         let mut spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, ipc, 0, params);
         adjust(&mut spec);
         let cell = run_cell(&spec);
+        if let Some(summary) = cell.failure_summary() {
+            failures.push(format!("{name} {setting}: {summary}"));
+        }
         table.push_row(vec![
             name.into(),
             setting.into(),
@@ -137,7 +142,11 @@ fn main() {
     let cos = dot / (nf.sqrt() * ns.sqrt() + 1e-12);
     println!("finite-difference vs numeric ∇_X D cosine: {cos:.3}");
 
-    write_json(&args.out_dir, "ablations", &records).expect("write ablations.json");
+    let report = Json::obj([
+        ("records", records.to_json()),
+        ("failures", failures.to_json()),
+    ]);
+    write_json_value(&args.out_dir, "ablations", &report).expect("write ablations.json");
     eprintln!(
         "[ablations] report written to {}/ablations.json",
         args.out_dir.display()

@@ -69,11 +69,15 @@ fn main() {
         ],
     );
     let mut points = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
     for &m in &thresholds {
         eprintln!("[fig4a] m = {m}…");
         let mut spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 5, 0, params);
         spec.vote_threshold_override = Some(m);
         let cell = run_cell(&spec);
+        if let Some(summary) = cell.failure_summary() {
+            failures.push(format!("m={m}: {summary}"));
+        }
         let retention =
             cell.trials.iter().map(|t| t.retention).sum::<f32>() / cell.trials.len() as f32;
         let pseudo =
@@ -139,6 +143,7 @@ fn main() {
     let report = Json::obj([
         ("points", points.to_json()),
         ("usage", usage.to_json()),
+        ("failures", failures.to_json()),
         (
             "telemetry",
             if args.telemetry {

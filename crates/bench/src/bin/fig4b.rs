@@ -63,6 +63,7 @@ fn main() {
         header,
     );
     let mut points = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
     for &alpha in &alphas {
         let mut row = vec![format!("{alpha}")];
         for &ipc in &ipcs {
@@ -70,6 +71,9 @@ fn main() {
             let mut spec = TrialSpec::new(DatasetId::Cifar100, MethodKind::Deco, ipc, 0, params);
             spec.alpha_override = Some(alpha);
             let cell = run_cell(&spec);
+            if let Some(summary) = cell.failure_summary() {
+                failures.push(format!("alpha={alpha} IpC={ipc}: {summary}"));
+            }
             row.push(format!(
                 "{:.2}±{:.2}",
                 cell.accuracy.mean * 100.0,
@@ -115,6 +119,7 @@ fn main() {
     let report = Json::obj([
         ("points", points.to_json()),
         ("usage", usage.to_json()),
+        ("failures", failures.to_json()),
         (
             "telemetry",
             if args.telemetry {

@@ -34,12 +34,14 @@ struct Report {
     scale: String,
     cells: Vec<CellRecord>,
     upper_bounds: Vec<(String, f32)>,
+    failures: Vec<String>,
 }
 
 impl_to_json!(Report {
     scale,
     cells,
-    upper_bounds
+    upper_bounds,
+    failures
 });
 
 fn main() {
@@ -48,6 +50,7 @@ fn main() {
         scale: args.scale.to_string(),
         cells: Vec::new(),
         upper_bounds: Vec::new(),
+        failures: Vec::new(),
     };
 
     let mut header: Vec<String> = vec!["Dataset".into(), "IpC".into()];
@@ -90,6 +93,11 @@ fn main() {
                 eprintln!("[table1] {dataset} IpC={ipc} {method}…");
                 let spec = TrialSpec::new(dataset, method, ipc, 0, params);
                 let cell = run_cell(&spec);
+                if let Some(summary) = cell.failure_summary() {
+                    report
+                        .failures
+                        .push(format!("{dataset} IpC={ipc} {method}: {summary}"));
+                }
                 row.push(cell.accuracy.as_percent());
                 report.cells.push(CellRecord {
                     dataset: dataset.label().into(),

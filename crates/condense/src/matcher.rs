@@ -12,7 +12,9 @@
 //! `g_real`, `g_syn`, the closed-form `∇_{g_syn} D` (cheap), and the two
 //! perturbed input-gradient passes. This module implements exactly that.
 
-use deco_nn::{cosine_distance, cosine_distance_grad, weighted_cross_entropy, ConvNet, GradList};
+use deco_nn::{
+    cosine_distance, cosine_distance_grad, weighted_cross_entropy, ConvNet, ConvNetConfig, GradList,
+};
 use deco_tensor::{Reduction, Tensor, Var};
 
 use crate::augment::Augmentation;
@@ -154,6 +156,64 @@ pub fn one_step_match(
         distance,
         image_grad,
     }
+}
+
+/// One class's matching inputs, packaged for dispatch across the
+/// `deco-runtime` pool. Every field is `Send`: tensors are `Arc`-backed
+/// and the augmentation is a plain value type.
+#[derive(Debug, Clone)]
+pub struct ClassMatchJob {
+    /// Synthetic images of the class `[ipc, c, h, w]`.
+    pub syn_images: Tensor,
+    /// Their fixed labels (all equal to the class).
+    pub syn_labels: Vec<usize>,
+    /// Real images pseudo-labeled with the class.
+    pub real_images: Tensor,
+    /// Their labels.
+    pub real_labels: Vec<usize>,
+    /// Optional per-sample confidence weights for the real loss (Eq. 4).
+    pub real_weights: Option<Vec<f32>>,
+    /// Optional DSA transform — drawn by the *caller* so RNG consumption
+    /// stays in class order regardless of worker scheduling.
+    pub aug: Option<Augmentation>,
+}
+
+/// Runs [`one_step_match`] for every job across the `deco-runtime` pool.
+///
+/// The matching network is shipped as a `(config, params)` snapshot and
+/// rebuilt per job — network internals are `Rc`-based and cannot cross
+/// threads, but the snapshot can. A side effect of the per-job rebuild is
+/// that every class matches against bitwise-identical parameters `θ̃`:
+/// the perturb/restore passes of one class can no longer leak rounding
+/// residue into the next class's gradients, which also makes the result
+/// independent of evaluation order. Results come back in job order at any
+/// thread count, and a panic on a worker is re-raised here.
+///
+/// # Panics
+/// Re-raises worker panics; panics on config/snapshot mismatches.
+pub fn match_classes_parallel(
+    config: ConvNetConfig,
+    params: Vec<Tensor>,
+    jobs: Vec<ClassMatchJob>,
+    epsilon_scale: f32,
+) -> Vec<MatchResult> {
+    let _g = deco_telemetry::span!("condense.matcher.parallel_classes");
+    let params = std::sync::Arc::new(params);
+    deco_runtime::parallel_map(jobs, move |_, job| {
+        let net = ConvNet::from_params(config, &params);
+        one_step_match(
+            &net,
+            &MatchBatch {
+                syn_images: &job.syn_images,
+                syn_labels: &job.syn_labels,
+                real_images: &job.real_images,
+                real_labels: &job.real_labels,
+                real_weights: job.real_weights.as_deref(),
+            },
+            job.aug.as_ref(),
+            epsilon_scale,
+        )
+    })
 }
 
 /// Reference implementation of `∇_X D` by direct central differences on the

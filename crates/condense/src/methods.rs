@@ -8,7 +8,7 @@ use deco_tensor::{Reduction, Rng, Tensor, Var};
 
 use crate::augment::Augmentation;
 use crate::buffer::SyntheticBuffer;
-use crate::matcher::{one_step_match, MatchBatch};
+use crate::matcher::{match_classes_parallel, ClassMatchJob};
 
 /// A labeled, filtered stream segment ready for condensation.
 #[derive(Debug, Clone, Copy)]
@@ -82,36 +82,59 @@ pub fn train_on_buffer(
     last
 }
 
-/// One per-class matching update shared by DC and DSA.
-fn match_class_and_update(
-    buffer: &mut SyntheticBuffer,
+/// Packages the matching inputs of `class` as a pool-dispatchable job, or
+/// `None` when the segment holds no samples of it. The returned `rows` are
+/// the buffer rows the job's image gradient applies to.
+pub(crate) fn class_match_job(
+    buffer: &SyntheticBuffer,
     segment: &SegmentData<'_>,
     class: usize,
-    scratch: &ConvNet,
-    aug: Option<&Augmentation>,
-    image_lr: f32,
-    epsilon_scale: f32,
-) -> Option<f32> {
+    aug: Option<Augmentation>,
+) -> Option<(Vec<usize>, ClassMatchJob)> {
     let idx = segment.indices_of_class(class);
     if idx.is_empty() {
         return None;
     }
-    let real_images = segment.images.select_rows(&idx);
-    let real_labels = vec![class; idx.len()];
-    let real_weights: Vec<f32> = idx.iter().map(|&i| segment.weights[i]).collect();
     let rows: Vec<usize> = buffer.class_rows(class).collect();
-    let syn_images = buffer.images().select_rows(&rows);
-    let syn_labels = vec![class; rows.len()];
-    let batch = MatchBatch {
-        syn_images: &syn_images,
-        syn_labels: &syn_labels,
-        real_images: &real_images,
-        real_labels: &real_labels,
-        real_weights: Some(&real_weights),
+    let job = ClassMatchJob {
+        syn_images: buffer.images().select_rows(&rows),
+        syn_labels: vec![class; rows.len()],
+        real_images: segment.images.select_rows(&idx),
+        real_labels: vec![class; idx.len()],
+        real_weights: Some(idx.iter().map(|&i| segment.weights[i]).collect()),
+        aug,
     };
-    let res = one_step_match(scratch, &batch, aug, epsilon_scale);
-    buffer.add_scaled_rows(&rows, &res.image_grad, -image_lr);
-    Some(res.distance)
+    Some((rows, job))
+}
+
+/// One matching round shared by DC and DSA: evaluates every active class
+/// across the `deco-runtime` pool, then applies the image updates in class
+/// order. Per-class buffer rows are disjoint, so evaluate-then-apply
+/// computes exactly what the old class-by-class loop did.
+fn match_round_and_update(
+    buffer: &mut SyntheticBuffer,
+    segment: &SegmentData<'_>,
+    scratch: &ConvNet,
+    augs: &mut dyn FnMut(&mut Rng) -> Option<Augmentation>,
+    rng: &mut Rng,
+    image_lr: f32,
+    epsilon_scale: f32,
+) {
+    let (rows, jobs): (Vec<_>, Vec<_>) = segment
+        .active_classes
+        .iter()
+        .filter_map(|&class| {
+            // Draw the augmentation before the empty-class check so the
+            // RNG stream matches the historical per-class loop exactly.
+            let aug = augs(rng);
+            class_match_job(buffer, segment, class, aug)
+        })
+        .unzip();
+    let results =
+        match_classes_parallel(*scratch.config(), scratch.get_params(), jobs, epsilon_scale);
+    for (rows, res) in rows.iter().zip(&results) {
+        buffer.add_scaled_rows(rows, &res.image_grad, -image_lr);
+    }
 }
 
 /// Configuration of the vanilla DC condenser.
@@ -178,17 +201,15 @@ impl Condenser for DcCondenser {
             ctx.scratch.reinit(ctx.rng);
             let mut model_opt = Sgd::new(cfg.model_lr).with_momentum(0.5);
             for _ in 0..cfg.matching_rounds {
-                for &class in segment.active_classes {
-                    match_class_and_update(
-                        buffer,
-                        segment,
-                        class,
-                        ctx.scratch,
-                        None,
-                        cfg.image_lr,
-                        cfg.epsilon_scale,
-                    );
-                }
+                match_round_and_update(
+                    buffer,
+                    segment,
+                    ctx.scratch,
+                    &mut |_| None,
+                    ctx.rng,
+                    cfg.image_lr,
+                    cfg.epsilon_scale,
+                );
                 train_on_buffer(
                     ctx.scratch,
                     buffer,
@@ -232,18 +253,15 @@ impl Condenser for DsaCondenser {
             ctx.scratch.reinit(ctx.rng);
             let mut model_opt = Sgd::new(cfg.model_lr).with_momentum(0.5);
             for _ in 0..cfg.matching_rounds {
-                for &class in segment.active_classes {
-                    let aug = Augmentation::sample(side, ctx.rng);
-                    match_class_and_update(
-                        buffer,
-                        segment,
-                        class,
-                        ctx.scratch,
-                        Some(&aug),
-                        cfg.image_lr,
-                        cfg.epsilon_scale,
-                    );
-                }
+                match_round_and_update(
+                    buffer,
+                    segment,
+                    ctx.scratch,
+                    &mut |rng| Some(Augmentation::sample(side, rng)),
+                    ctx.rng,
+                    cfg.image_lr,
+                    cfg.epsilon_scale,
+                );
                 train_on_buffer(
                     ctx.scratch,
                     buffer,
@@ -303,26 +321,43 @@ impl Condenser for DmCondenser {
         let cfg = &self.config;
         for _ in 0..cfg.rounds {
             let _outer = deco_telemetry::span!("condense.dm.outer");
-            let scratch = ctx.scratch;
-            scratch.reinit(ctx.rng);
+            ctx.scratch.reinit(ctx.rng);
+            let config = *ctx.scratch.config();
+            let params = std::sync::Arc::new(ctx.scratch.get_params());
+            // Per-class (real, syn) batches ship to the pool; the buffer
+            // rows they map back to stay on the caller. Embedding nets are
+            // rebuilt per job from the snapshot (not `Send` otherwise),
+            // which reproduces the serial forward passes bitwise.
+            let mut rows_list = Vec::new();
+            let mut inputs = Vec::new();
             for &class in segment.active_classes {
                 let idx = segment.indices_of_class(class);
                 if idx.is_empty() {
                     continue;
                 }
-                let real = segment.images.select_rows(&idx);
+                let rows: Vec<usize> = buffer.class_rows(class).collect();
+                inputs.push((
+                    segment.images.select_rows(&idx),
+                    buffer.images().select_rows(&rows),
+                ));
+                rows_list.push(rows);
+            }
+            let grads = deco_runtime::parallel_map(inputs, move |_, (real, syn)| {
+                let net = ConvNet::from_params(config, &params);
                 // Real mean embedding (no gradient needed).
-                let real_feats = scratch.features(&Var::constant(real), true);
+                let real_feats = net.features(&Var::constant(real), true);
                 let real_mean = Var::constant(real_feats.value().mean_axes(&[0], true));
                 // Synthetic mean embedding, differentiable w.r.t. images.
-                let rows: Vec<usize> = buffer.class_rows(class).collect();
-                let syn_leaf = Var::leaf(buffer.images().select_rows(&rows), true);
-                let syn_feats = scratch.features(&syn_leaf, true);
+                let syn_leaf = Var::leaf(syn, true);
+                let syn_feats = net.features(&syn_leaf, true);
                 let syn_mean = syn_feats.mean_axes_keepdim(&[0]);
                 let loss = syn_mean.sub(&real_mean).square().sum();
                 loss.backward();
-                if let Some(grad) = syn_leaf.grad() {
-                    buffer.add_scaled_rows(&rows, &grad, -cfg.image_lr);
+                syn_leaf.grad()
+            });
+            for (rows, grad) in rows_list.iter().zip(grads) {
+                if let Some(grad) = grad {
+                    buffer.add_scaled_rows(rows, &grad, -cfg.image_lr);
                 }
             }
         }

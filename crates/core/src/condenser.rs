@@ -10,7 +10,7 @@
 //! 4. apply the combined update (Eq. 9): `opt_S(∇_S D + α ∇_S L_disc)`.
 
 use deco_condense::{
-    one_step_match, CondenseContext, Condenser, MatchBatch, SegmentData, SyntheticBuffer,
+    match_classes_parallel, ClassMatchJob, CondenseContext, Condenser, SegmentData, SyntheticBuffer,
 };
 use deco_nn::{feature_discrimination_loss, DiscriminationSpec, Sgd};
 use deco_tensor::{Rng, Tensor, Var};
@@ -122,31 +122,38 @@ impl Condenser for DecoCondenser {
             // Fresh random model for this one-step match.
             ctx.scratch.reinit(ctx.rng);
 
-            // Gradient-matching term, per active class (Eq. 5–7).
+            // Gradient-matching term, per active class (Eq. 5–7), fanned
+            // out across the deco-runtime pool. Results return in class
+            // order, so distances and the gradient scatter are identical
+            // at any thread count.
             let mut total_grad = Tensor::zeros(buffer.images().shape().dims().to_vec());
-            for &class in segment.active_classes {
-                let idx = segment.indices_of_class(class);
-                if idx.is_empty() {
-                    continue;
-                }
-                let real_images = segment.images.select_rows(&idx);
-                let real_labels = vec![class; idx.len()];
-                let real_weights: Vec<f32> = idx.iter().map(|&i| segment.weights[i]).collect();
-                let rows: Vec<usize> = buffer.class_rows(class).collect();
-                let syn_images = buffer.images().select_rows(&rows);
-                let syn_labels = vec![class; rows.len()];
-                let res = one_step_match(
-                    ctx.scratch,
-                    &MatchBatch {
-                        syn_images: &syn_images,
-                        syn_labels: &syn_labels,
-                        real_images: &real_images,
-                        real_labels: &real_labels,
-                        real_weights: Some(&real_weights),
-                    },
-                    None,
-                    self.config.epsilon_scale,
-                );
+            let (rows_list, jobs): (Vec<_>, Vec<_>) = segment
+                .active_classes
+                .iter()
+                .filter_map(|&class| {
+                    let idx = segment.indices_of_class(class);
+                    if idx.is_empty() {
+                        return None;
+                    }
+                    let rows: Vec<usize> = buffer.class_rows(class).collect();
+                    let job = ClassMatchJob {
+                        syn_images: buffer.images().select_rows(&rows),
+                        syn_labels: vec![class; rows.len()],
+                        real_images: segment.images.select_rows(&idx),
+                        real_labels: vec![class; idx.len()],
+                        real_weights: Some(idx.iter().map(|&i| segment.weights[i]).collect()),
+                        aug: None,
+                    };
+                    Some((rows, job))
+                })
+                .unzip();
+            let results = match_classes_parallel(
+                *ctx.scratch.config(),
+                ctx.scratch.get_params(),
+                jobs,
+                self.config.epsilon_scale,
+            );
+            for (rows, res) in rows_list.iter().zip(&results) {
                 self.last_distances.push(res.distance);
                 // Scatter the class gradient into the full-buffer gradient.
                 let dst = total_grad.data_mut();

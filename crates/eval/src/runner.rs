@@ -298,34 +298,114 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     }
 }
 
+/// A trial that panicked, recorded instead of aborting the whole cell.
+#[derive(Debug, Clone)]
+pub struct TrialFailure {
+    /// The seed whose trial panicked.
+    pub seed: u64,
+    /// The panic payload, stringified when possible.
+    pub message: String,
+}
+
+impl_to_json!(TrialFailure { seed, message });
+
+impl std::fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed {} panicked: {}", self.seed, self.message)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Aggregated trials of one (dataset, method, IpC) cell.
 #[derive(Debug, Clone)]
 pub struct CellResult {
-    /// Final-accuracy statistics over seeds.
+    /// Final-accuracy statistics over the seeds that completed.
     pub accuracy: MeanStd,
-    /// Per-seed results.
+    /// Per-seed results of the completed trials, in seed order.
     pub trials: Vec<TrialResult>,
+    /// Trials that panicked (empty in a healthy run). These are excluded
+    /// from `accuracy` and surfaced in the report instead of killing the
+    /// whole sweep.
+    pub failures: Vec<TrialFailure>,
 }
 
-/// Runs `params.seeds` trials of a cell in parallel (one thread per seed).
+impl CellResult {
+    /// One-line summary of the cell's failed seeds, if any — for report
+    /// footers and stderr warnings.
+    pub fn failure_summary(&self) -> Option<String> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        let parts: Vec<String> = self.failures.iter().map(TrialFailure::to_string).collect();
+        Some(format!(
+            "{}/{} trials failed ({})",
+            self.failures.len(),
+            self.failures.len() + self.trials.len(),
+            parts.join("; ")
+        ))
+    }
+}
+
+/// Runs `params.seeds` trials of a cell across the `deco-runtime` pool.
+///
+/// A panicking trial no longer tears down the whole cell: the panic is
+/// caught on the worker, recorded as a [`TrialFailure`] with its seed, and
+/// the remaining trials still run. Results come back in seed order at any
+/// `DECO_THREADS` setting.
+///
+/// # Panics
+/// Panics only when *every* trial of the cell panicked — there is nothing
+/// left to aggregate.
 pub fn run_cell(base: &TrialSpec) -> CellResult {
-    let trials: Vec<TrialResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..base.params.seeds as u64)
-            .map(|seed| {
-                let mut spec = *base;
-                spec.seed = seed;
-                scope.spawn(move || run_trial(&spec))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial thread panicked"))
-            .collect()
+    let specs: Vec<TrialSpec> = (0..base.params.seeds as u64)
+        .map(|seed| {
+            let mut spec = *base;
+            spec.seed = seed;
+            spec
+        })
+        .collect();
+    let outcomes = deco_runtime::parallel_map(specs, |_, spec| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_trial(&spec))).map_err(
+            |payload| TrialFailure {
+                seed: spec.seed,
+                message: panic_message(payload.as_ref()),
+            },
+        )
     });
+    let mut trials = Vec::new();
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(trial) => trials.push(trial),
+            Err(failure) => {
+                eprintln!("warning: trial {failure}");
+                failures.push(failure);
+            }
+        }
+    }
+    assert!(
+        !trials.is_empty(),
+        "every trial of the cell panicked: {}",
+        failures
+            .iter()
+            .map(TrialFailure::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
     let accs: Vec<f32> = trials.iter().map(|t| t.final_accuracy).collect();
     CellResult {
         accuracy: MeanStd::of(&accs),
         trials,
+        failures,
     }
 }
 
@@ -427,6 +507,24 @@ mod tests {
         let cell = run_cell(&spec);
         assert_eq!(cell.trials.len(), 2);
         assert!(cell.accuracy.std >= 0.0);
+        assert!(cell.failures.is_empty());
+        assert!(cell.failure_summary().is_none());
+    }
+
+    #[test]
+    fn failure_summary_names_the_seed() {
+        let cell = CellResult {
+            accuracy: MeanStd::of(&[0.5]),
+            trials: Vec::new(),
+            failures: vec![TrialFailure {
+                seed: 3,
+                message: "index out of bounds".into(),
+            }],
+        };
+        let summary = cell.failure_summary().unwrap();
+        assert!(summary.contains("seed 3"), "{summary}");
+        assert!(summary.contains("index out of bounds"), "{summary}");
+        assert!(summary.contains("1/1"), "{summary}");
     }
 
     #[test]

@@ -179,6 +179,20 @@ impl ConvNet {
         self.params().iter().map(|p| p.tensor()).collect()
     }
 
+    /// Builds a network directly from a parameter snapshot (as returned
+    /// by [`ConvNet::get_params`]). Used by the parallel condensation
+    /// path to reconstruct a matching network on a worker thread —
+    /// network internals are `Rc`-based and cannot be sent across
+    /// threads, but a `(config, params)` pair can.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a mismatched snapshot.
+    pub fn from_params(config: ConvNetConfig, params: &[Tensor]) -> Self {
+        let net = ConvNet::new(config, &mut Rng::new(0));
+        net.set_params(params);
+        net
+    }
+
     /// Restores parameters from a snapshot.
     ///
     /// # Panics

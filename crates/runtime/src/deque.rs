@@ -1,0 +1,118 @@
+//! The per-worker work-stealing deque.
+//!
+//! This is the std-only rendition of the Chase–Lev deque: the owning
+//! worker pushes and pops at the *back* (LIFO, which keeps a worker on
+//! the task tree it just expanded and its caches warm), while thieves
+//! take from the *front* (FIFO, which steals the oldest — typically
+//! largest — pending task). The build environment has no crates.io
+//! access, so instead of the lock-free atomic ring buffer the ends are
+//! serialized through one short-critical-section `Mutex`; the access
+//! *pattern* (owner-back / thief-front) is what the scheduler relies
+//! on, not the lock freedom.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A double-ended task queue owned by one worker and stolen from by the
+/// rest of the pool.
+#[derive(Debug)]
+pub struct StealDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for StealDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> StealDeque<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        StealDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner end: enqueues a task at the back.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    /// Owner end: dequeues the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_back()
+    }
+
+    /// Thief end: dequeues the oldest task (FIFO).
+    pub fn steal(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Number of queued tasks (snapshot; may be stale immediately).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the deque is empty (snapshot; may be stale immediately).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_end_is_lifo() {
+        let d = StealDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn thief_end_is_fifo() {
+        let d = StealDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.steal(), Some(2));
+        assert_eq!(d.steal(), Some(3));
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn both_ends_drain_everything() {
+        let d = StealDeque::new();
+        for i in 0..10 {
+            d.push(i);
+        }
+        let mut seen = Vec::new();
+        // Alternate ends, like a worker racing a thief.
+        while let Some(v) = d.pop() {
+            seen.push(v);
+            if let Some(v) = d.steal() {
+                seen.push(v);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! The work-stealing thread pool.
+//!
+//! A [`Pool`] with `threads` participants spawns `threads − 1` worker OS
+//! threads; the thread that submits a batch is always the final
+//! participant, so `threads == 1` means **no worker threads at all** and
+//! every parallel entry point degenerates to the exact serial code path.
+//!
+//! Each worker owns a [`StealDeque`]; submitted tasks are distributed
+//! round-robin across the deques, and an idle worker first drains its
+//! own deque (LIFO) and then steals from its peers (FIFO), counting
+//! every steal. Workers park on a condition variable keyed by a
+//! generation counter, so submissions never suffer lost wakeups.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::deque::StealDeque;
+
+/// A unit of queued work.
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+pub(crate) struct Shared {
+    /// One deque per worker thread.
+    deques: Vec<StealDeque<Task>>,
+    /// Total participants (workers + the submitting thread).
+    threads: usize,
+    /// Submission generation counter; bumped on every submit.
+    signal: Mutex<u64>,
+    /// Parking spot for idle workers.
+    cv: Condvar,
+    /// Set once on drop; workers exit at the next wakeup.
+    shutdown: AtomicBool,
+    /// Round-robin cursor for task placement.
+    next_deque: AtomicUsize,
+    /// Workers currently executing a task (drives the occupancy gauge).
+    active: AtomicI64,
+}
+
+impl Shared {
+    /// Next queued task for worker `idx`: own deque first, then steal
+    /// round-robin from peers.
+    fn find_task(&self, idx: usize) -> Option<Task> {
+        if let Some(t) = self.deques[idx].pop() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (idx + off) % n;
+            if let Some(t) = self.deques[victim].steal() {
+                deco_telemetry::counter!("runtime.steals");
+                if deco_telemetry::is_enabled() {
+                    deco_telemetry::metrics::counter(&format!("runtime.worker{idx}.steals")).inc();
+                }
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, idx: usize) {
+    // Nested parallel calls issued from inside a task must run on this
+    // worker's own pool, not the global one.
+    crate::set_current_shared(Arc::clone(&shared));
+    let tasks_counter = deco_telemetry::metrics::counter(&format!("runtime.worker{idx}.tasks"));
+    loop {
+        // Snapshot the generation before scanning, so a submission that
+        // races with an empty scan is seen by the wait loop below.
+        let seen = *shared.signal.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(task) = shared.find_task(idx) {
+            let active = shared.active.fetch_add(1, Ordering::Relaxed) + 1;
+            deco_telemetry::gauge_set!("runtime.pool.occupancy", active);
+            deco_telemetry::counter!("runtime.tasks");
+            tasks_counter.inc();
+            // Batch stubs catch panics from user closures themselves;
+            // this backstop keeps a buggy stub from killing the worker.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            let active = shared.active.fetch_sub(1, Ordering::Relaxed) - 1;
+            deco_telemetry::gauge_set!("runtime.pool.occupancy", active);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut g = shared.signal.lock().unwrap_or_else(|e| e.into_inner());
+        while *g == seen && !shared.shutdown.load(Ordering::Acquire) {
+            g = shared.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A work-stealing thread pool. See the [module docs](self) for the
+/// architecture; most code uses the process-wide pool implicitly via
+/// [`parallel_for_chunks`](crate::parallel_for_chunks) and friends
+/// rather than holding a `Pool` directly.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.shared.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Builds a pool with `threads` total participants (clamped to at
+    /// least 1), spawning `threads − 1` workers.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let n_workers = threads - 1;
+        let shared = Arc::new(Shared {
+            deques: (0..n_workers).map(|_| StealDeque::new()).collect(),
+            threads,
+            signal: Mutex::new(0),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_deque: AtomicUsize::new(0),
+            active: AtomicI64::new(0),
+        });
+        let workers = (0..n_workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("deco-runtime-{idx}"))
+                    .spawn(move || worker_main(shared, idx))
+                    .expect("failed to spawn runtime worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Total participants, counting the submitting thread.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Number of spawned worker threads (`threads() − 1`).
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Runs `f` with this pool installed as the calling thread's current
+    /// pool, so every `parallel_*` call inside `f` executes here instead
+    /// of on the process-wide pool. Scoped and re-entrant.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        crate::push_current_shared(Arc::clone(&self.shared));
+        let guard = PopOnDrop;
+        let out = f();
+        drop(guard);
+        out
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+struct PopOnDrop;
+
+impl Drop for PopOnDrop {
+    fn drop(&mut self) {
+        crate::pop_current_shared();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut g = self.shared.signal.lock().unwrap_or_else(|e| e.into_inner());
+            *g = g.wrapping_add(1);
+        }
+        self.shared.cv.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in workers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Pool-facing view used by the batch engine: either a real pool or the
+/// serial fallback.
+pub(crate) struct PoolRef {
+    pub(crate) shared: Option<Arc<Shared>>,
+}
+
+impl PoolRef {
+    /// Total participants (1 for the serial fallback).
+    pub(crate) fn threads(&self) -> usize {
+        self.shared.as_ref().map_or(1, |s| s.threads)
+    }
+
+    /// Worker count.
+    pub(crate) fn workers(&self) -> usize {
+        self.shared.as_ref().map_or(0, |s| s.deques.len())
+    }
+
+    /// Queues a task (panics on the serial fallback; callers check
+    /// `threads() > 1` first).
+    pub(crate) fn submit(&self, task: Task) {
+        let shared = self
+            .shared
+            .as_ref()
+            .expect("cannot submit to the serial fallback pool");
+        let n = shared.deques.len();
+        let slot = shared.next_deque.fetch_add(1, Ordering::Relaxed) % n;
+        shared.deques[slot].push(task);
+        let mut g = shared.signal.lock().unwrap_or_else(|e| e.into_inner());
+        *g = g.wrapping_add(1);
+        shared.cv.notify_all();
+    }
+}

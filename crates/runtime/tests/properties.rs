@@ -1,0 +1,129 @@
+//! Property and stress tests for `deco-runtime`: `parallel_reduce`
+//! against a serial fold over arbitrary inputs, and a multi-thread
+//! hammer on the steal deque.
+
+use std::sync::Arc;
+use std::thread;
+
+use deco_runtime::deque::StealDeque;
+use proptest::prelude::*;
+
+proptest! {
+    /// `parallel_reduce` over arbitrary lengths and chunk sizes equals
+    /// the plain serial left fold — including non-associative f32 sums —
+    /// at both 1 and 4 threads.
+    #[test]
+    fn reduce_equals_serial_fold(
+        values in prop::collection::vec(-10.0f32..10.0, 0..200),
+        chunk in 1usize..32,
+    ) {
+        let serial = {
+            let chunks: Vec<f32> = values
+                .chunks(chunk)
+                .map(|c| c.iter().fold(0.0f32, |a, &b| a + b))
+                .collect();
+            chunks.into_iter().reduce(|a, b| a + b)
+        };
+        for threads in [1usize, 4] {
+            let data = values.clone();
+            let par = deco_runtime::with_thread_count(threads, move || {
+                deco_runtime::parallel_reduce(
+                    data.len(),
+                    chunk,
+                    move |r| r.map(|i| data[i]).fold(0.0f32, |a, b| a + b),
+                    |a, b| a + b,
+                )
+            });
+            prop_assert_eq!(
+                par.map(f32::to_bits),
+                serial.map(f32::to_bits),
+                "threads={} n={} chunk={}",
+                threads,
+                values.len(),
+                chunk
+            );
+        }
+    }
+
+    /// `parallel_map` keeps index order for arbitrary input lengths.
+    #[test]
+    fn map_is_index_ordered(n in 0usize..150) {
+        let out = deco_runtime::with_thread_count(4, move || {
+            deco_runtime::parallel_map((0..n).collect(), |i, x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            })
+        });
+        prop_assert_eq!(out, (0..n).map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+}
+
+/// Eight threads hammer one deque — the owner pushing and popping its
+/// own end while seven thieves steal the front — and every pushed value
+/// must come out exactly once.
+#[test]
+fn deque_survives_eight_thread_hammer() {
+    const ITEMS: usize = 10_000;
+    const THIEVES: usize = 7;
+    let deque: Arc<StealDeque<usize>> = Arc::new(StealDeque::new());
+    let taken: Arc<std::sync::Mutex<Vec<usize>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for _ in 0..THIEVES {
+        let deque = Arc::clone(&deque);
+        let taken = Arc::clone(&taken);
+        let done = Arc::clone(&done);
+        handles.push(thread::spawn(move || {
+            let mut local = Vec::new();
+            loop {
+                match deque.steal() {
+                    Some(v) => local.push(v),
+                    None => {
+                        if done.load(std::sync::atomic::Ordering::Acquire) && deque.is_empty() {
+                            break;
+                        }
+                        thread::yield_now();
+                    }
+                }
+            }
+            taken.lock().unwrap().extend(local);
+        }));
+    }
+
+    // Owner: push everything, popping its own back end now and then the
+    // way a worker interleaves producing and consuming tasks.
+    let mut owner_taken = Vec::new();
+    for i in 0..ITEMS {
+        deque.push(i);
+        if i % 3 == 0 {
+            if let Some(v) = deque.pop() {
+                owner_taken.push(v);
+            }
+        }
+    }
+    done.store(true, std::sync::atomic::Ordering::Release);
+    for h in handles {
+        h.join().expect("thief thread panicked");
+    }
+
+    let mut all = taken.lock().unwrap().clone();
+    all.extend(owner_taken);
+    all.sort_unstable();
+    assert_eq!(all.len(), ITEMS, "items lost or duplicated");
+    assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    assert!(deque.is_empty());
+}
+
+/// The pool drains large bursts submitted from multiple installed
+/// scopes without losing results (stress for the claim-index engine).
+#[test]
+fn pool_handles_large_batches() {
+    let out = deco_runtime::with_thread_count(8, || {
+        deco_runtime::parallel_map((0..5_000usize).collect(), |_, x| x ^ 0x5a5a)
+    });
+    assert_eq!(out.len(), 5_000);
+    for (i, v) in out.into_iter().enumerate() {
+        assert_eq!(v, i ^ 0x5a5a);
+    }
+}

@@ -1,7 +1,44 @@
 //! 2-D convolution and average pooling (NCHW layout), with explicit
 //! gradient kernels used by the autograd layer.
+//!
+//! The three expensive kernels — forward, input gradient, and weight
+//! gradient — are written as *block kernels* over a flat block range
+//! (`(batch, out-channel)` blocks for the forward pass, `(batch,
+//! in-channel)` for the input gradient, out-channel blocks for the
+//! weight gradient). Serial execution runs one kernel call over the
+//! full range; large problems fan the same kernel out across the
+//! `deco-runtime` pool with shape-derived chunk boundaries, so the two
+//! paths are bitwise identical at any `DECO_THREADS`.
+
+use std::ops::Range;
 
 use crate::tensor::Tensor;
+
+/// Minimum multiply-accumulate count before a conv kernel fans out.
+const PAR_MIN_OPS: usize = 1 << 17;
+/// Target multiply-accumulates per parallel chunk (shape-derived only).
+const PAR_CHUNK_OPS: usize = 1 << 16;
+
+/// Runs `kernel` over `total` blocks of `block_cost` multiply-
+/// accumulates each, in parallel when the problem is big enough, and
+/// returns the concatenated per-block outputs. The chunk boundaries
+/// depend only on the shape-derived arguments, never the thread count.
+fn run_blocks<K>(total: usize, block_cost: usize, kernel: K) -> Vec<f32>
+where
+    K: Fn(Range<usize>) -> Vec<f32> + Send + Sync + 'static,
+{
+    if deco_runtime::threads() > 1 && total > 1 && total * block_cost >= PAR_MIN_OPS {
+        let blocks_per_chunk = (PAR_CHUNK_OPS / block_cost.max(1)).clamp(1, total);
+        let chunks = deco_runtime::parallel_for_chunks(total, blocks_per_chunk, kernel);
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend_from_slice(&chunk);
+        }
+        out
+    } else {
+        kernel(0..total)
+    }
+}
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,50 +133,24 @@ impl Tensor {
         }
         let (oh, ow) = (spec.out_side(h), spec.out_side(w));
         deco_telemetry::counter!("tensor.ops.conv2d");
-        let mut out = vec![0.0f32; n * cout * oh * ow];
-        let x = self.data();
-        let wt = weight.data();
-        let (s, p, k) = (spec.stride, spec.padding as isize, spec.kernel);
-        for ni in 0..n {
-            for co in 0..cout {
-                let o_base = (ni * cout + co) * oh * ow;
-                for ci in 0..cin {
-                    let x_base = (ni * cin + ci) * h * w;
-                    let w_base = (co * cin + ci) * k * k;
-                    for khi in 0..k {
-                        for kwi in 0..k {
-                            let wv = wt[w_base + khi * k + kwi];
-                            if wv == 0.0 {
-                                continue;
-                            }
-                            for ohi in 0..oh {
-                                let ih = (ohi * s) as isize + khi as isize - p;
-                                if ih < 0 || ih >= h as isize {
-                                    continue;
-                                }
-                                let x_row = x_base + (ih as usize) * w;
-                                let o_row = o_base + ohi * ow;
-                                for owi in 0..ow {
-                                    let iw = (owi * s) as isize + kwi as isize - p;
-                                    if iw < 0 || iw >= w as isize {
-                                        continue;
-                                    }
-                                    out[o_row + owi] += wv * x[x_row + iw as usize];
-                                }
-                            }
-                        }
-                    }
-                }
-                if let Some(b) = bias {
-                    let bv = b.data()[co];
-                    if bv != 0.0 {
-                        for o in &mut out[o_base..o_base + oh * ow] {
-                            *o += bv;
-                        }
-                    }
-                }
-            }
-        }
+        let x = self.clone();
+        let wt = weight.clone();
+        let b = bias.cloned();
+        let out = run_blocks(
+            n * cout,
+            cin * spec.kernel * spec.kernel * oh * ow,
+            move |blocks| {
+                conv2d_blocks(
+                    x.data(),
+                    wt.data(),
+                    b.as_ref().map(|t| t.data()),
+                    (cin, h, w),
+                    (cout, oh, ow),
+                    spec,
+                    blocks,
+                )
+            },
+        );
         Tensor::from_vec(out, [n, cout, oh, ow])
     }
 
@@ -156,42 +167,19 @@ impl Tensor {
         let (cout2, cin, k, _) = dims4(weight);
         assert_eq!(cout, cout2, "conv2d_input_grad c_out mismatch");
         let (h, w) = input_hw;
-        let mut gin = vec![0.0f32; n * cin * h * w];
-        let g = self.data();
-        let wt = weight.data();
-        let (s, p) = (spec.stride, spec.padding as isize);
-        for ni in 0..n {
-            for co in 0..cout {
-                let g_base = (ni * cout + co) * oh * ow;
-                for ci in 0..cin {
-                    let gi_base = (ni * cin + ci) * h * w;
-                    let w_base = (co * cin + ci) * k * k;
-                    for khi in 0..k {
-                        for kwi in 0..k {
-                            let wv = wt[w_base + khi * k + kwi];
-                            if wv == 0.0 {
-                                continue;
-                            }
-                            for ohi in 0..oh {
-                                let ih = (ohi * s) as isize + khi as isize - p;
-                                if ih < 0 || ih >= h as isize {
-                                    continue;
-                                }
-                                let gi_row = gi_base + (ih as usize) * w;
-                                let g_row = g_base + ohi * ow;
-                                for owi in 0..ow {
-                                    let iw = (owi * s) as isize + kwi as isize - p;
-                                    if iw < 0 || iw >= w as isize {
-                                        continue;
-                                    }
-                                    gin[gi_row + iw as usize] += wv * g[g_row + owi];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let g = self.clone();
+        let wt = weight.clone();
+        let gin = run_blocks(n * cin, cout * k * k * oh * ow, move |blocks| {
+            conv2d_input_grad_blocks(
+                g.data(),
+                wt.data(),
+                (cin, h, w),
+                (cout, oh, ow),
+                k,
+                spec,
+                blocks,
+            )
+        });
         Tensor::from_vec(gin, [n, cin, h, w])
     }
 
@@ -203,40 +191,19 @@ impl Tensor {
         let (n2, cin, h, w) = dims4(input);
         assert_eq!(n, n2, "conv2d_weight_grad batch mismatch");
         let k = kernel;
-        let mut gw = vec![0.0f32; cout * cin * k * k];
-        let g = self.data();
-        let x = input.data();
-        let (s, p) = (spec.stride, spec.padding as isize);
-        for ni in 0..n {
-            for co in 0..cout {
-                let g_base = (ni * cout + co) * oh * ow;
-                for ci in 0..cin {
-                    let x_base = (ni * cin + ci) * h * w;
-                    let w_base = (co * cin + ci) * k * k;
-                    for khi in 0..k {
-                        for kwi in 0..k {
-                            let mut acc = 0.0f32;
-                            for ohi in 0..oh {
-                                let ih = (ohi * s) as isize + khi as isize - p;
-                                if ih < 0 || ih >= h as isize {
-                                    continue;
-                                }
-                                let x_row = x_base + (ih as usize) * w;
-                                let g_row = g_base + ohi * ow;
-                                for owi in 0..ow {
-                                    let iw = (owi * s) as isize + kwi as isize - p;
-                                    if iw < 0 || iw >= w as isize {
-                                        continue;
-                                    }
-                                    acc += g[g_row + owi] * x[x_row + iw as usize];
-                                }
-                            }
-                            gw[w_base + khi * k + kwi] += acc;
-                        }
-                    }
-                }
-            }
-        }
+        let g = self.clone();
+        let x = input.clone();
+        let gw = run_blocks(cout, n * cin * k * k * oh * ow, move |blocks| {
+            conv2d_weight_grad_blocks(
+                g.data(),
+                x.data(),
+                (n, cin, h, w),
+                (cout, oh, ow),
+                k,
+                spec,
+                blocks,
+            )
+        });
         Tensor::from_vec(gw, [cout, cin, k, k])
     }
 
@@ -371,6 +338,163 @@ impl Tensor {
         }
         Tensor::from_vec(gin, [n, c, oh * k, ow * k])
     }
+}
+
+/// Forward kernel over flat `(batch, out-channel)` blocks: block
+/// `flat = ni·c_out + co` produces the contiguous `oh·ow` output tile
+/// for that image/channel pair. Accumulation order within a tile
+/// matches the full serial loop (`ci → kh → kw → spatial`) exactly.
+fn conv2d_blocks(
+    x: &[f32],
+    wt: &[f32],
+    bias: Option<&[f32]>,
+    (cin, h, w): (usize, usize, usize),
+    (cout, oh, ow): (usize, usize, usize),
+    spec: Conv2dSpec,
+    blocks: Range<usize>,
+) -> Vec<f32> {
+    let (s, p, k) = (spec.stride, spec.padding as isize, spec.kernel);
+    let mut out = vec![0.0f32; blocks.len() * oh * ow];
+    for (bi, flat) in blocks.enumerate() {
+        let (ni, co) = (flat / cout, flat % cout);
+        let o_base = bi * oh * ow;
+        for ci in 0..cin {
+            let x_base = (ni * cin + ci) * h * w;
+            let w_base = (co * cin + ci) * k * k;
+            for khi in 0..k {
+                for kwi in 0..k {
+                    let wv = wt[w_base + khi * k + kwi];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    for ohi in 0..oh {
+                        let ih = (ohi * s) as isize + khi as isize - p;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let x_row = x_base + (ih as usize) * w;
+                        let o_row = o_base + ohi * ow;
+                        for owi in 0..ow {
+                            let iw = (owi * s) as isize + kwi as isize - p;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            out[o_row + owi] += wv * x[x_row + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(b) = bias {
+            let bv = b[co];
+            if bv != 0.0 {
+                for o in &mut out[o_base..o_base + oh * ow] {
+                    *o += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Input-gradient kernel over flat `(batch, in-channel)` blocks: block
+/// `flat = ni·c_in + ci` produces the contiguous `h·w` input-gradient
+/// tile for that image/channel pair. For a fixed tile, contributions
+/// arrive in `(co, kh, kw)` lexicographic order — the same sequence as
+/// the original `ni → co → ci → kh → kw` serial loop — so the result is
+/// bitwise identical to it.
+fn conv2d_input_grad_blocks(
+    g: &[f32],
+    wt: &[f32],
+    (cin, h, w): (usize, usize, usize),
+    (cout, oh, ow): (usize, usize, usize),
+    k: usize,
+    spec: Conv2dSpec,
+    blocks: Range<usize>,
+) -> Vec<f32> {
+    let (s, p) = (spec.stride, spec.padding as isize);
+    let mut gin = vec![0.0f32; blocks.len() * h * w];
+    for (bi, flat) in blocks.enumerate() {
+        let (ni, ci) = (flat / cin, flat % cin);
+        let gi_base = bi * h * w;
+        for co in 0..cout {
+            let g_base = (ni * cout + co) * oh * ow;
+            let w_base = (co * cin + ci) * k * k;
+            for khi in 0..k {
+                for kwi in 0..k {
+                    let wv = wt[w_base + khi * k + kwi];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    for ohi in 0..oh {
+                        let ih = (ohi * s) as isize + khi as isize - p;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let gi_row = gi_base + (ih as usize) * w;
+                        let g_row = g_base + ohi * ow;
+                        for owi in 0..ow {
+                            let iw = (owi * s) as isize + kwi as isize - p;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            gin[gi_row + iw as usize] += wv * g[g_row + owi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gin
+}
+
+/// Weight-gradient kernel over out-channel blocks: block `co` produces
+/// the contiguous `c_in·k·k` weight-gradient slab for that output
+/// channel. For a fixed weight element, per-image contributions arrive
+/// in batch order — the same sequence as the original `ni → co`
+/// serial loop — so the result is bitwise identical to it.
+fn conv2d_weight_grad_blocks(
+    g: &[f32],
+    x: &[f32],
+    (n, cin, h, w): (usize, usize, usize, usize),
+    (cout, oh, ow): (usize, usize, usize),
+    k: usize,
+    spec: Conv2dSpec,
+    blocks: Range<usize>,
+) -> Vec<f32> {
+    let (s, p) = (spec.stride, spec.padding as isize);
+    let mut gw = vec![0.0f32; blocks.len() * cin * k * k];
+    for (bi, co) in blocks.enumerate() {
+        for ni in 0..n {
+            let g_base = (ni * cout + co) * oh * ow;
+            for ci in 0..cin {
+                let x_base = (ni * cin + ci) * h * w;
+                let w_base = (bi * cin + ci) * k * k;
+                for khi in 0..k {
+                    for kwi in 0..k {
+                        let mut acc = 0.0f32;
+                        for ohi in 0..oh {
+                            let ih = (ohi * s) as isize + khi as isize - p;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            let x_row = x_base + (ih as usize) * w;
+                            let g_row = g_base + ohi * ow;
+                            for owi in 0..ow {
+                                let iw = (owi * s) as isize + kwi as isize - p;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                acc += g[g_row + owi] * x[x_row + iw as usize];
+                            }
+                        }
+                        gw[w_base + khi * k + kwi] += acc;
+                    }
+                }
+            }
+        }
+    }
+    gw
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
@@ -548,6 +672,32 @@ mod tests {
         for (m, a) in mx.data().iter().zip(av.data()) {
             assert!(m >= a);
         }
+    }
+
+    #[test]
+    fn parallel_conv_kernels_match_serial_bitwise() {
+        // Shapes large enough to cross PAR_MIN_OPS so the 4-thread run
+        // actually exercises the pool path.
+        let mut rng = crate::Rng::new(99);
+        let x = Tensor::randn([4, 3, 16, 16], &mut rng);
+        let wt = Tensor::randn([16, 3, 3, 3], &mut rng);
+        let b = Tensor::randn([16], &mut rng);
+        let g = Tensor::randn([4, 16, 16, 16], &mut rng);
+        let spec = Conv2dSpec::default();
+        let run = |threads: usize| {
+            deco_runtime::with_thread_count(threads, || {
+                (
+                    x.conv2d(&wt, Some(&b), spec),
+                    g.conv2d_input_grad(&wt, (16, 16), spec),
+                    g.conv2d_weight_grad(&x, 3, spec),
+                )
+            })
+        };
+        let (f1, i1, w1) = run(1);
+        let (f4, i4, w4) = run(4);
+        assert_eq!(f1.data(), f4.data());
+        assert_eq!(i1.data(), i4.data());
+        assert_eq!(w1.data(), w4.data());
     }
 
     #[test]

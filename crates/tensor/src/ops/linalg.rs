@@ -1,12 +1,46 @@
 //! Matrix operations: matmul and 2-D transpose.
 
+use std::ops::Range;
+
 use crate::tensor::Tensor;
+
+/// Minimum `2·m·k·n` flop count before a matmul fans out to the pool.
+const PAR_MIN_FLOPS: usize = 1 << 18;
+/// Target flops per parallel chunk. Chunk boundaries are a function of
+/// the operand shapes only — never the thread count — so the output is
+/// bitwise identical at any `DECO_THREADS`.
+const PAR_CHUNK_FLOPS: usize = 1 << 17;
+
+/// Computes output rows `rows` of `[m, k] × [k, n]`: the ikj kernel of
+/// [`Tensor::matmul`] restricted to a row range. Each output row is
+/// accumulated entirely within one call, in the same order as the full
+/// serial loop, so chunked and serial execution agree bitwise.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, rows: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (oi, i) in rows.enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[oi * n..(oi + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+    out
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
     /// Uses an ikj loop order with a flat output buffer, which keeps the
-    /// inner loop contiguous and lets the compiler vectorize it.
+    /// inner loop contiguous and lets the compiler vectorize it. Large
+    /// products are chunked by output row across the `deco-runtime`
+    /// pool; chunk boundaries depend only on the shapes, so the result
+    /// is bitwise identical to serial execution at any thread count.
     ///
     /// # Panics
     /// Panics unless both tensors are rank 2 with matching inner dimension.
@@ -34,22 +68,22 @@ impl Tensor {
         );
         deco_telemetry::counter!("tensor.ops.matmul");
         deco_telemetry::counter!("tensor.ops.matmul_flops", (2 * m * k * n) as u64);
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b_pj;
-                }
+        let flops = 2 * m * k * n;
+        let out = if deco_runtime::threads() > 1 && flops >= PAR_MIN_FLOPS && m > 1 {
+            let a = self.clone();
+            let b = other.clone();
+            let rows_per_chunk = (PAR_CHUNK_FLOPS / (2 * k * n).max(1)).clamp(1, m);
+            let chunks = deco_runtime::parallel_for_chunks(m, rows_per_chunk, move |rows| {
+                matmul_rows(a.data(), b.data(), k, n, rows)
+            });
+            let mut out = Vec::with_capacity(m * n);
+            for chunk in chunks {
+                out.extend_from_slice(&chunk);
             }
-        }
+            out
+        } else {
+            matmul_rows(self.data(), other.data(), k, n, 0..m)
+        };
         Tensor::from_vec(out, [m, n])
     }
 
@@ -112,6 +146,19 @@ mod tests {
         assert_eq!(t.shape().dims(), &[3, 2]);
         assert_eq!(t.at(&[2, 1]), 6.0);
         assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_bitwise() {
+        // 2·64·64·64 flops crosses PAR_MIN_FLOPS, so 4 threads take the
+        // pool path while 1 thread takes the exact serial path.
+        let mut rng = crate::Rng::new(7);
+        let a = Tensor::randn([64, 64], &mut rng);
+        let b = Tensor::randn([64, 64], &mut rng);
+        let serial = deco_runtime::with_thread_count(1, || a.matmul(&b));
+        let parallel = deco_runtime::with_thread_count(4, || a.matmul(&b));
+        assert_eq!(serial.data(), parallel.data());
+        assert_eq!(serial.shape(), parallel.shape());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`condense`] | `deco-condense` | DC / DSA / DM + one-step matching |
 //! | [`core`] | `deco` | DECO itself + the on-device learning loop |
 //! | [`eval`] | `deco-eval` | experiment runner, tables, reports |
+//! | [`runtime`] | `deco-runtime` | work-stealing pool, deterministic reductions |
 //!
 //! ```no_run
 //! use deco_repro::prelude::*;
@@ -34,6 +35,7 @@ pub use deco_datasets as datasets;
 pub use deco_eval as eval;
 pub use deco_nn as nn;
 pub use deco_replay as replay;
+pub use deco_runtime as runtime;
 pub use deco_tensor as tensor;
 
 /// The most commonly used items, importable in one line.

@@ -1,0 +1,99 @@
+//! Thread-count determinism, end to end: condensing a segment and then
+//! training a ConvNet on the result must be **bitwise identical** under
+//! `DECO_THREADS=1` (strict serial path) and a 4-thread pool. This is
+//! the runtime subsystem's core guarantee — chunk boundaries and
+//! reduction order depend only on operand shapes, never on scheduling.
+
+use deco_repro::condense::{
+    train_on_buffer, CondenseContext, Condenser, DcConfig, DsaCondenser, SegmentData,
+    SyntheticBuffer,
+};
+use deco_repro::core::{DecoCondenser, DecoConfig};
+use deco_repro::nn::{ConvNet, ConvNetConfig, Sgd};
+use deco_repro::tensor::{Rng, Tensor};
+
+fn net_cfg() -> ConvNetConfig {
+    ConvNetConfig {
+        in_channels: 1,
+        image_side: 8,
+        width: 4,
+        depth: 2,
+        num_classes: 3,
+        norm: true,
+    }
+}
+
+fn class_structured_segment(rng: &mut Rng) -> (Tensor, Vec<usize>, Vec<f32>) {
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..3usize {
+        for _ in 0..5 {
+            for p in 0..64usize {
+                let base = (((class * 29 + p * 7) % 11) as f32) / 5.0 - 1.0;
+                data.push(base + 0.2 * rng.normal());
+            }
+            labels.push(class);
+        }
+    }
+    let weights = vec![1.0; labels.len()];
+    (Tensor::from_vec(data, [15, 1, 8, 8]), labels, weights)
+}
+
+/// Runs a full condense-then-train pipeline and returns the bit patterns
+/// of the synthetic buffer and the final training loss.
+fn condense_and_train(condenser: &mut dyn Condenser) -> (Vec<u32>, u32) {
+    let mut rng = Rng::new(0x5EED);
+    let scratch = ConvNet::new(net_cfg(), &mut rng);
+    let deployed = ConvNet::new(net_cfg(), &mut rng);
+    let (images, labels, weights) = class_structured_segment(&mut rng);
+    let mut buffer = SyntheticBuffer::new_random(2, 3, [1, 8, 8], &mut rng);
+    let seg = SegmentData {
+        images: &images,
+        labels: &labels,
+        weights: &weights,
+        active_classes: &[0, 1, 2],
+    };
+    let mut ctx = CondenseContext {
+        scratch: &scratch,
+        deployed: &deployed,
+        rng: &mut rng,
+    };
+    condenser.condense(&mut buffer, &seg, &mut ctx);
+
+    let trainee = ConvNet::new(net_cfg(), &mut Rng::new(7));
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    let loss = train_on_buffer(&trainee, &buffer, 10, &mut opt);
+
+    let bits = buffer.images().data().iter().map(|v| v.to_bits()).collect();
+    (bits, loss.to_bits())
+}
+
+#[test]
+fn deco_condense_and_train_bitwise_identical_across_thread_counts() {
+    let make = || DecoCondenser::new(DecoConfig::default().with_iterations(3));
+    let (serial_buf, serial_loss) =
+        deco_repro::runtime::with_thread_count(1, || condense_and_train(&mut make()));
+    let (parallel_buf, parallel_loss) =
+        deco_repro::runtime::with_thread_count(4, || condense_and_train(&mut make()));
+    assert_eq!(serial_buf, parallel_buf, "synthetic tensors diverged");
+    assert_eq!(serial_loss, parallel_loss, "final training loss diverged");
+}
+
+#[test]
+fn dsa_condense_and_train_bitwise_identical_across_thread_counts() {
+    // DSA additionally checks that augmentation sampling (caller-side
+    // RNG draws, in class order) is scheduling-independent.
+    let make = || {
+        DsaCondenser::new(DcConfig {
+            outer_inits: 1,
+            matching_rounds: 2,
+            ..DcConfig::default()
+        })
+    };
+    let (serial_buf, serial_loss) =
+        deco_repro::runtime::with_thread_count(1, || condense_and_train(&mut make()));
+    let (parallel_buf, parallel_loss) =
+        deco_repro::runtime::with_thread_count(4, || condense_and_train(&mut make()));
+    assert_eq!(serial_buf, parallel_buf, "synthetic tensors diverged");
+    assert_eq!(serial_loss, parallel_loss, "final training loss diverged");
+}
