@@ -1,0 +1,155 @@
+//! Conformance driver: runs the differential fuzzer, the gradient audit,
+//! and the golden-trace check, and writes a JSON deviation report for CI.
+//!
+//! ```text
+//! conformance differential [--cases N] [--seed S] [--report PATH]
+//! conformance audit        [--report PATH]
+//! conformance golden       [--bless] [--report PATH]
+//! conformance all          [--cases N] [--report PATH]
+//! ```
+//!
+//! Exits nonzero on any failure; the report is written either way so CI
+//! can upload it as an artifact.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use deco_conformance::{audit, fuzz, golden};
+use deco_telemetry::Json;
+
+struct Opts {
+    command: String,
+    cases: usize,
+    seed: u64,
+    bless: bool,
+    report: PathBuf,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut opts = Opts {
+        command,
+        cases: fuzz::DEFAULT_CASES,
+        seed: 0xDEC0,
+        bless: false,
+        report: PathBuf::from("target/conformance-report.json"),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                let v = args.next().ok_or("--cases needs a value")?;
+                opts.cases = v.parse().map_err(|e| format!("bad --cases {v}: {e}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|e| format!("bad --seed {v}: {e}"))?;
+            }
+            "--bless" => opts.bless = true,
+            "--report" => {
+                opts.report = PathBuf::from(args.next().ok_or("--report needs a value")?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    match opts.command.as_str() {
+        "differential" | "audit" | "golden" | "all" => Ok(opts),
+        other => Err(format!(
+            "unknown command {other}; expected differential|audit|golden|all"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut sections: Vec<(&str, Json)> = Vec::new();
+    let mut ok = true;
+
+    if matches!(opts.command.as_str(), "differential" | "all") {
+        println!(
+            "== differential fuzzer ({} cases/kernel, seed {:#x}) ==",
+            opts.cases, opts.seed
+        );
+        let report = fuzz::run_differential(opts.cases, opts.seed);
+        print!("{}", report.render());
+        ok &= report.passed();
+        sections.push(("differential", report.to_json()));
+    }
+
+    if matches!(opts.command.as_str(), "audit" | "all") {
+        println!("== gradient audit ==");
+        let report = audit::run_audit();
+        print!("{}", report.render());
+        ok &= report.passed();
+        sections.push(("audit", report.to_json()));
+    }
+
+    if matches!(opts.command.as_str(), "golden" | "all") {
+        let dir = golden::default_fixture_dir();
+        if opts.bless {
+            println!("== golden traces: blessing fixtures ==");
+            match golden::bless(&dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("wrote {p}");
+                    }
+                    sections.push(("golden", Json::obj([("blessed", Json::Bool(true))])));
+                }
+                Err(e) => {
+                    eprintln!("bless failed: {e}");
+                    ok = false;
+                }
+            }
+        } else {
+            println!("== golden traces ==");
+            match golden::check(&dir) {
+                Ok(()) => {
+                    println!("all golden traces match");
+                    sections.push(("golden", Json::obj([("passed", Json::Bool(true))])));
+                }
+                Err(diffs) => {
+                    for d in &diffs {
+                        eprintln!("GOLDEN DRIFT {d}");
+                    }
+                    ok = false;
+                    sections.push((
+                        "golden",
+                        Json::obj([
+                            ("passed", Json::Bool(false)),
+                            (
+                                "diffs",
+                                Json::Arr(diffs.iter().map(|d| Json::Str(d.to_string())).collect()),
+                            ),
+                        ]),
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(&str, Json)> = vec![("passed", Json::Bool(ok))];
+    pairs.extend(sections);
+    let report = Json::obj(pairs);
+    if let Some(parent) = opts.report.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&opts.report, report.to_string_pretty() + "\n") {
+        Ok(()) => println!("report written to {}", opts.report.display()),
+        Err(e) => eprintln!("could not write report {}: {e}", opts.report.display()),
+    }
+
+    if ok {
+        println!("conformance: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("conformance: FAIL");
+        ExitCode::FAILURE
+    }
+}

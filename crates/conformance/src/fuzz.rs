@@ -1,0 +1,519 @@
+//! Seeded differential fuzzer: optimized `f32` kernels vs the naive `f64`
+//! references in [`crate::reference`].
+//!
+//! Every case runs the optimized path twice — under `DECO_THREADS = 1` and
+//! `DECO_THREADS = 4` via [`deco_runtime::with_thread_count`] — and demands
+//! the two results agree **bitwise** (the runtime's determinism contract)
+//! before comparing either against the `f64` reference within
+//! [`DEVIATION_TOLERANCE`]. Shapes are randomized from a fixed seed and the
+//! first cases of each kernel are degenerate by construction: 1×1 images,
+//! single channels, batch 1, and stride/kernel edge geometries.
+
+use deco_nn::{cosine_distance, cosine_distance_grad, GradList, GroupNorm};
+use deco_telemetry::Json;
+use deco_tensor::{Conv2dSpec, Reduction, Rng, Tensor, Var};
+
+use crate::reference;
+
+/// Maximum allowed `|f32 − f64| / max(1, |f64|)` deviation per element.
+pub const DEVIATION_TOLERANCE: f64 = 1e-4;
+
+/// Default number of randomized cases per kernel.
+pub const DEFAULT_CASES: usize = 200;
+
+/// The two thread counts every case is executed under.
+pub const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Per-kernel fuzzing outcome.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name (e.g. `"conv2d_forward"`).
+    pub kernel: &'static str,
+    /// Number of cases executed.
+    pub cases: usize,
+    /// Worst per-element relative deviation against the `f64` reference.
+    pub max_deviation: f64,
+    /// Cases where the 1-thread and 4-thread results differed bitwise.
+    pub bitwise_mismatches: usize,
+    /// Shape description of the worst-deviating case.
+    pub worst_case: String,
+}
+
+impl KernelReport {
+    /// Whether this kernel stayed within tolerance and thread-invariant.
+    pub fn passed(&self) -> bool {
+        self.max_deviation < DEVIATION_TOLERANCE && self.bitwise_mismatches == 0
+    }
+}
+
+/// Aggregate result of a differential fuzzing run.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Cases requested per kernel.
+    pub cases_per_kernel: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// One entry per fuzzed kernel.
+    pub kernels: Vec<KernelReport>,
+}
+
+impl DiffReport {
+    /// Whether every kernel passed.
+    pub fn passed(&self) -> bool {
+        self.kernels.iter().all(KernelReport::passed)
+    }
+
+    /// Worst deviation across all kernels.
+    pub fn max_deviation(&self) -> f64 {
+        self.kernels
+            .iter()
+            .map(|k| k.max_deviation)
+            .fold(0.0, f64::max)
+    }
+
+    /// Human-readable summary, one line per kernel.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{:<24} {:>4} cases  max dev {:.3e}  bitwise mismatches {}  {}  worst: {}\n",
+                k.kernel,
+                k.cases,
+                k.max_deviation,
+                k.bitwise_mismatches,
+                if k.passed() { "ok" } else { "FAIL" },
+                k.worst_case,
+            ));
+        }
+        out
+    }
+
+    /// JSON form for the CI deviation-report artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cases_per_kernel", Json::Num(self.cases_per_kernel as f64)),
+            ("seed", Json::Num(self.seed as f64)),
+            ("tolerance", Json::Num(DEVIATION_TOLERANCE)),
+            ("passed", Json::Bool(self.passed())),
+            (
+                "kernels",
+                Json::Arr(
+                    self.kernels
+                        .iter()
+                        .map(|k| {
+                            Json::obj([
+                                ("kernel", Json::Str(k.kernel.to_string())),
+                                ("cases", Json::Num(k.cases as f64)),
+                                ("max_deviation", Json::Num(k.max_deviation)),
+                                ("bitwise_mismatches", Json::Num(k.bitwise_mismatches as f64)),
+                                ("passed", Json::Bool(k.passed())),
+                                ("worst_case", Json::Str(k.worst_case.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs the full differential suite: every kernel, `cases` randomized
+/// shapes each, at both [`THREAD_COUNTS`].
+pub fn run_differential(cases: usize, seed: u64) -> DiffReport {
+    DiffReport {
+        cases_per_kernel: cases,
+        seed,
+        kernels: vec![
+            fuzz_matmul(cases, seed ^ 0x01),
+            fuzz_conv_forward(cases, seed ^ 0x02),
+            fuzz_conv_input_grad(cases, seed ^ 0x03),
+            fuzz_conv_weight_grad(cases, seed ^ 0x04),
+            fuzz_group_norm(cases, seed ^ 0x05),
+            fuzz_avg_pool(cases, seed ^ 0x06),
+            fuzz_softmax_ce(cases, seed ^ 0x07),
+            fuzz_cosine_distance(cases, seed ^ 0x08),
+        ],
+    }
+}
+
+/// Accumulates per-case outcomes into a [`KernelReport`].
+struct Tracker {
+    kernel: &'static str,
+    cases: usize,
+    max_deviation: f64,
+    bitwise_mismatches: usize,
+    worst_case: String,
+}
+
+impl Tracker {
+    fn new(kernel: &'static str) -> Self {
+        Tracker {
+            kernel,
+            cases: 0,
+            max_deviation: 0.0,
+            bitwise_mismatches: 0,
+            worst_case: String::from("-"),
+        }
+    }
+
+    fn record(&mut self, deviation: f64, bitwise_ok: bool, label: &str) {
+        self.cases += 1;
+        if !bitwise_ok {
+            self.bitwise_mismatches += 1;
+        }
+        if deviation >= self.max_deviation {
+            self.max_deviation = deviation;
+            self.worst_case = label.to_string();
+        }
+    }
+
+    fn finish(self) -> KernelReport {
+        KernelReport {
+            kernel: self.kernel,
+            cases: self.cases,
+            max_deviation: self.max_deviation,
+            bitwise_mismatches: self.bitwise_mismatches,
+            worst_case: self.worst_case,
+        }
+    }
+}
+
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs `f` under both thread counts, returning the 1-thread result and
+/// whether the two agreed bitwise.
+fn run_both<R>(f: impl Fn() -> R, data: impl Fn(&R) -> Vec<f32>) -> (R, bool) {
+    let one = deco_runtime::with_thread_count(1, &f);
+    let four = deco_runtime::with_thread_count(4, &f);
+    let ok = bits_equal(&data(&one), &data(&four));
+    (one, ok)
+}
+
+fn randn_vec(n: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..n).map(|_| rng.normal()).collect()
+}
+
+fn fuzz_matmul(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("matmul");
+    // Degenerate shapes first, then random; every 37th case is large
+    // enough (2·m·k·n ≥ 2^18) to take the parallel row-chunked path.
+    let degenerate = [(1, 1, 1), (1, 7, 1), (5, 1, 3), (1, 1, 9), (2, 32, 2)];
+    for i in 0..cases {
+        let (m, k, n) = if i < degenerate.len() {
+            degenerate[i]
+        } else if i % 37 == 0 {
+            (64, 64, 32)
+        } else {
+            (rng.below(16) + 1, rng.below(32) + 1, rng.below(16) + 1)
+        };
+        let mut a = randn_vec(m * k, &mut rng);
+        // Exercise the zero-skip fast path on a fraction of entries.
+        if rng.coin(0.3) {
+            for v in a.iter_mut() {
+                if rng.coin(0.25) {
+                    *v = 0.0;
+                }
+            }
+        }
+        let b = randn_vec(k * n, &mut rng);
+        let at = Tensor::from_vec(a.clone(), [m, k]);
+        let bt = Tensor::from_vec(b.clone(), [k, n]);
+        let (out, ok) = run_both(|| at.matmul(&bt), |t| t.data().to_vec());
+        let r = reference::matmul(&a, &b, m, k, n);
+        let dev = reference::max_rel_deviation(out.data(), &r);
+        tr.record(dev, ok, &format!("[{m}x{k}]x[{k}x{n}]"));
+    }
+    tr.finish()
+}
+
+/// Random conv geometry. Degenerate indices hit 1×1 images, single
+/// channels, batch 1, and stride-edge kernels (unused trailing columns).
+fn conv_case(i: usize, rng: &mut Rng) -> (usize, usize, usize, usize, Conv2dSpec) {
+    // (n, cin, cout, side, spec)
+    match i {
+        0 => (1, 1, 1, 1, Conv2dSpec::new(1, 1, 0)),
+        1 => (1, 1, 2, 1, Conv2dSpec::new(3, 1, 1)),
+        2 => (1, 1, 1, 5, Conv2dSpec::new(2, 2, 0)), // stride-edge: col 4 unused
+        3 => (3, 1, 2, 4, Conv2dSpec::new(3, 2, 1)),
+        4 => (1, 3, 1, 2, Conv2dSpec::new(2, 1, 0)),
+        5 => (1, 1, 1, 3, Conv2dSpec::new(3, 1, 0)), // kernel == input
+        _ if i.is_multiple_of(41) => (2, 4, 8, 16, Conv2dSpec::new(3, 1, 1)), // parallel path
+        _ => {
+            let side = rng.below(7) + 1;
+            let padding = rng.below(2);
+            let max_k = (side + 2 * padding).min(3);
+            let kernel = rng.below(max_k) + 1;
+            let stride = rng.below(2) + 1;
+            (
+                rng.below(2) + 1,
+                rng.below(3) + 1,
+                rng.below(3) + 1,
+                side,
+                Conv2dSpec::new(kernel, stride, padding),
+            )
+        }
+    }
+}
+
+fn fuzz_conv_forward(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("conv2d_forward");
+    for i in 0..cases {
+        let (n, cin, cout, side, spec) = conv_case(i, &mut rng);
+        let x = randn_vec(n * cin * side * side, &mut rng);
+        let w = randn_vec(cout * cin * spec.kernel * spec.kernel, &mut rng);
+        let bias: Option<Vec<f32>> = if i % 2 == 0 {
+            Some(randn_vec(cout, &mut rng))
+        } else {
+            None
+        };
+        let xt = Tensor::from_vec(x.clone(), [n, cin, side, side]);
+        let wt = Tensor::from_vec(w.clone(), [cout, cin, spec.kernel, spec.kernel]);
+        let bt = bias.clone().map(|b| Tensor::from_vec(b, [cout]));
+        let (out, ok) = run_both(|| xt.conv2d(&wt, bt.as_ref(), spec), |t| t.data().to_vec());
+        let r = reference::conv2d(&x, (n, cin, side, side), &w, cout, bias.as_deref(), spec);
+        let dev = reference::max_rel_deviation(out.data(), &r);
+        tr.record(dev, ok, &conv_label(n, cin, cout, side, spec));
+    }
+    tr.finish()
+}
+
+fn fuzz_conv_input_grad(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("conv2d_input_grad");
+    for i in 0..cases {
+        let (n, cin, cout, side, spec) = conv_case(i, &mut rng);
+        let (oh, ow) = (spec.out_side(side), spec.out_side(side));
+        let g = randn_vec(n * cout * oh * ow, &mut rng);
+        let w = randn_vec(cout * cin * spec.kernel * spec.kernel, &mut rng);
+        let gt = Tensor::from_vec(g.clone(), [n, cout, oh, ow]);
+        let wt = Tensor::from_vec(w.clone(), [cout, cin, spec.kernel, spec.kernel]);
+        let (out, ok) = run_both(
+            || gt.conv2d_input_grad(&wt, (side, side), spec),
+            |t| t.data().to_vec(),
+        );
+        let r = reference::conv2d_input_grad(&g, (n, cout, oh, ow), &w, cin, (side, side), spec);
+        let dev = reference::max_rel_deviation(out.data(), &r);
+        tr.record(dev, ok, &conv_label(n, cin, cout, side, spec));
+    }
+    tr.finish()
+}
+
+fn fuzz_conv_weight_grad(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("conv2d_weight_grad");
+    for i in 0..cases {
+        let (n, cin, cout, side, spec) = conv_case(i, &mut rng);
+        let (oh, ow) = (spec.out_side(side), spec.out_side(side));
+        let g = randn_vec(n * cout * oh * ow, &mut rng);
+        let x = randn_vec(n * cin * side * side, &mut rng);
+        let gt = Tensor::from_vec(g.clone(), [n, cout, oh, ow]);
+        let xt = Tensor::from_vec(x.clone(), [n, cin, side, side]);
+        let (out, ok) = run_both(
+            || gt.conv2d_weight_grad(&xt, spec.kernel, spec),
+            |t| t.data().to_vec(),
+        );
+        let r = reference::conv2d_weight_grad(&g, (n, cout, oh, ow), &x, (cin, side, side), spec);
+        let dev = reference::max_rel_deviation(out.data(), &r);
+        tr.record(dev, ok, &conv_label(n, cin, cout, side, spec));
+    }
+    tr.finish()
+}
+
+fn conv_label(n: usize, cin: usize, cout: usize, side: usize, spec: Conv2dSpec) -> String {
+    format!(
+        "n{n} ci{cin} co{cout} {side}x{side} k{} s{} p{}",
+        spec.kernel, spec.stride, spec.padding
+    )
+}
+
+fn fuzz_group_norm(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("group_norm");
+    for i in 0..cases {
+        let (n, groups, group_c, side) = match i {
+            0 => (1, 1, 1, 1), // single pixel, single channel
+            1 => (1, 4, 1, 3), // instance norm
+            2 => (3, 2, 2, 1), // 1x1 spatial
+            _ => (
+                rng.below(3) + 1,
+                rng.below(4) + 1,
+                rng.below(3) + 1,
+                rng.below(6) + 1,
+            ),
+        };
+        let c = groups * group_c;
+        let x = randn_vec(n * c * side * side, &mut rng);
+        let gamma = randn_vec(c, &mut rng);
+        let beta = randn_vec(c, &mut rng);
+        let gn = GroupNorm::new(c, groups);
+        gn.params()[0].set(Tensor::from_vec(gamma.clone(), [1, c, 1, 1]));
+        gn.params()[1].set(Tensor::from_vec(beta.clone(), [1, c, 1, 1]));
+        let xt = Tensor::from_vec(x.clone(), [n, c, side, side]);
+        let (out, ok) = run_both(
+            || gn.forward(&Var::constant(xt.clone()), true).value().clone(),
+            |t| t.data().to_vec(),
+        );
+        let r = reference::group_norm(&x, (n, c, side, side), groups, &gamma, &beta, 1e-5);
+        let dev = reference::max_rel_deviation(out.data(), &r);
+        tr.record(dev, ok, &format!("n{n} c{c} g{groups} {side}x{side}"));
+    }
+    tr.finish()
+}
+
+fn fuzz_avg_pool(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("avg_pool2d");
+    for i in 0..cases {
+        let (n, c, k, tiles) = match i {
+            0 => (1, 1, 1, 1), // 1x1 image, 1x1 window
+            1 => (1, 1, 3, 1), // window == image
+            2 => (4, 1, 2, 1),
+            _ => (
+                rng.below(3) + 1,
+                rng.below(3) + 1,
+                rng.below(3) + 1,
+                rng.below(3) + 1,
+            ),
+        };
+        let (h, w) = (k * tiles, k * tiles);
+        let x = randn_vec(n * c * h * w, &mut rng);
+        let xt = Tensor::from_vec(x.clone(), [n, c, h, w]);
+        let (out, ok) = run_both(|| xt.avg_pool2d(k), |t| t.data().to_vec());
+        let r = reference::avg_pool2d(&x, (n, c, h, w), k);
+        let dev_fwd = reference::max_rel_deviation(out.data(), &r);
+
+        let (oh, ow) = (h / k, w / k);
+        let g = randn_vec(n * c * oh * ow, &mut rng);
+        let gt = Tensor::from_vec(g.clone(), [n, c, oh, ow]);
+        let (gin, ok2) = run_both(|| gt.avg_pool2d_grad(k), |t| t.data().to_vec());
+        let rg = reference::avg_pool2d_grad(&g, (n, c, oh, ow), k);
+        let dev = dev_fwd.max(reference::max_rel_deviation(gin.data(), &rg));
+        tr.record(dev, ok && ok2, &format!("n{n} c{c} {h}x{w} k{k}"));
+    }
+    tr.finish()
+}
+
+fn fuzz_softmax_ce(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("softmax_cross_entropy");
+    for i in 0..cases {
+        let (n, c) = match i {
+            0 => (1, 1), // single row, single class
+            1 => (1, 6),
+            2 => (8, 2),
+            _ => (rng.below(8) + 1, rng.below(6) + 1),
+        };
+        let logits = randn_vec(n * c, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(c)).collect();
+        let weights: Option<Vec<f32>> = if i % 2 == 0 {
+            Some((0..n).map(|_| rng.uniform(0.1, 2.0)).collect())
+        } else {
+            None
+        };
+        let mean = i % 3 != 0;
+        let reduction = if mean {
+            Reduction::Mean
+        } else {
+            Reduction::Sum
+        };
+        let lt = Tensor::from_vec(logits.clone(), [n, c]);
+        let run = || {
+            let leaf = Var::leaf(lt.clone(), true);
+            let loss = leaf
+                .log_softmax()
+                .nll(&labels, weights.as_deref(), reduction);
+            loss.backward();
+            (loss.value().item(), leaf.grad().expect("logit grad"))
+        };
+        let (one_loss, one_grad) = deco_runtime::with_thread_count(1, run);
+        let (four_loss, four_grad) = deco_runtime::with_thread_count(4, run);
+        let ok = one_loss.to_bits() == four_loss.to_bits()
+            && bits_equal(one_grad.data(), four_grad.data());
+        let (r_loss, r_grad) =
+            reference::softmax_cross_entropy(&logits, (n, c), &labels, weights.as_deref(), mean);
+        let dev = reference::rel_deviation(one_loss, r_loss)
+            .max(reference::max_rel_deviation(one_grad.data(), &r_grad));
+        tr.record(dev, ok, &format!("[{n}x{c}] {reduction:?}"));
+    }
+    tr.finish()
+}
+
+fn fuzz_cosine_distance(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("cosine_grad_distance");
+    for i in 0..cases {
+        let blocks = rng.below(4) + 1;
+        let mut g: Vec<Vec<f32>> = Vec::new();
+        let mut r: Vec<Vec<f32>> = Vec::new();
+        for b in 0..blocks {
+            let len = rng.below(12) + 1;
+            let mut gb = randn_vec(len, &mut rng);
+            let rb = randn_vec(len, &mut rng);
+            // Degenerate: first case all-zero block; occasionally a block
+            // far below NORM_EPS (both must take the skip path).
+            if (i == 0 && b == 0) || rng.coin(0.1) {
+                for v in gb.iter_mut() {
+                    *v = if i == 0 { 0.0 } else { *v * 1e-12 };
+                }
+            }
+            g.push(gb);
+            r.push(rb);
+        }
+        let gl: GradList = g
+            .iter()
+            .map(|b| Tensor::from_vec(b.clone(), [b.len()]))
+            .collect();
+        let rl: GradList = r
+            .iter()
+            .map(|b| Tensor::from_vec(b.clone(), [b.len()]))
+            .collect();
+        let run = || {
+            let d = cosine_distance(&gl, &rl);
+            let grad = cosine_distance_grad(&gl, &rl);
+            let flat: Vec<f32> = grad
+                .tensors()
+                .iter()
+                .flat_map(|t| t.data().to_vec())
+                .collect();
+            (d, flat)
+        };
+        let (d1, fl1) = deco_runtime::with_thread_count(1, run);
+        let (d4, fl4) = deco_runtime::with_thread_count(4, run);
+        let ok = d1.to_bits() == d4.to_bits() && bits_equal(&fl1, &fl4);
+        let rd = reference::cosine_distance(&g, &r);
+        let rgrad: Vec<f64> = reference::cosine_distance_grad(&g, &r)
+            .into_iter()
+            .flatten()
+            .collect();
+        let dev = reference::rel_deviation(d1, rd).max(reference::max_rel_deviation(&fl1, &rgrad));
+        tr.record(dev, ok, &format!("{blocks} blocks"));
+    }
+    tr.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_passes_and_is_deterministic() {
+        let a = run_differential(8, 0xD1FF);
+        let b = run_differential(8, 0xD1FF);
+        assert!(a.passed(), "\n{}", a.render());
+        assert_eq!(a.max_deviation(), b.max_deviation());
+        assert_eq!(a.kernels.len(), 8);
+    }
+
+    #[test]
+    fn report_json_names_every_kernel() {
+        let r = run_differential(3, 1);
+        let json = r.to_json().to_string_pretty();
+        for k in &r.kernels {
+            assert!(json.contains(k.kernel), "missing {}", k.kernel);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Golden-trace regression fixtures.
+//!
+//! One micro condense→train pipeline per condensation method (DC, DSA,
+//! DM, DECO) plus two replay baselines (Random, K-Center), each reduced
+//! to a few seconds of work. For every pipeline we record the **bit
+//! patterns** of the training-loss curve and an FNV-1a checksum of the
+//! resulting image batch, and check them against JSON fixtures under
+//! `crates/conformance/fixtures/golden/`.
+//!
+//! Any numeric drift in any kernel on the path — matmul, conv, GroupNorm,
+//! softmax, the matcher, the optimizer — changes at least one bit and
+//! turns the check red. Regenerate intentionally with
+//! `cargo run -p deco-conformance --bin conformance -- golden --bless`.
+//!
+//! The fixtures are blessed on the CI architecture; exact bit equality is
+//! only guaranteed for identical `f32` code paths (see `docs/testing.md`
+//! for the cross-architecture caveat).
+
+use std::path::{Path, PathBuf};
+
+use deco::{DecoCondenser, DecoConfig};
+use deco_condense::{
+    train_on_buffer, CondenseContext, Condenser, DcCondenser, DcConfig, DmCondenser, DmConfig,
+    DsaCondenser, SegmentData, SyntheticBuffer,
+};
+use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
+use deco_telemetry::Json;
+use deco_tensor::{Reduction, Rng, Tensor, Var};
+
+use deco_nn::{weighted_cross_entropy, ConvNet, ConvNetConfig, Sgd};
+
+/// Number of recorded training steps per pipeline.
+pub const CURVE_STEPS: usize = 8;
+
+/// One pipeline's recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenTrace {
+    /// Method label; also the fixture file stem (`dc`, `dsa`, ...).
+    pub method: String,
+    /// FNV-1a 64 checksum over the final image batch's `f32` bit
+    /// patterns, as a hex string.
+    pub image_checksum: String,
+    /// Training-loss curve, one entry per step (for humans reading
+    /// diffs; the bits are authoritative).
+    pub loss_curve: Vec<f32>,
+    /// Bit patterns of `loss_curve` — compared exactly.
+    pub loss_curve_bits: Vec<u32>,
+}
+
+impl GoldenTrace {
+    fn new(method: &str, images: &Tensor, losses: Vec<f32>) -> GoldenTrace {
+        GoldenTrace {
+            method: method.to_string(),
+            image_checksum: format!("{:016x}", fnv1a64(images.data())),
+            loss_curve_bits: losses.iter().map(|l| l.to_bits()).collect(),
+            loss_curve: losses,
+        }
+    }
+
+    /// JSON form written to the fixture file.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("method", Json::Str(self.method.clone())),
+            ("image_checksum", Json::Str(self.image_checksum.clone())),
+            (
+                "loss_curve",
+                Json::Arr(
+                    self.loss_curve
+                        .iter()
+                        .map(|&l| Json::Num(f64::from(l)))
+                        .collect(),
+                ),
+            ),
+            (
+                "loss_curve_bits",
+                Json::Arr(
+                    self.loss_curve_bits
+                        .iter()
+                        .map(|&b| Json::Num(f64::from(b)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a fixture file's JSON.
+    pub fn from_json(json: &Json) -> Result<GoldenTrace, String> {
+        let method = json
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or("missing method")?
+            .to_string();
+        let image_checksum = json
+            .get("image_checksum")
+            .and_then(Json::as_str)
+            .ok_or("missing image_checksum")?
+            .to_string();
+        let loss_curve = json
+            .get("loss_curve")
+            .and_then(Json::as_array)
+            .ok_or("missing loss_curve")?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as f32).ok_or("non-numeric loss"))
+            .collect::<Result<Vec<f32>, _>>()?;
+        let loss_curve_bits = json
+            .get("loss_curve_bits")
+            .and_then(Json::as_array)
+            .ok_or("missing loss_curve_bits")?
+            .iter()
+            .map(|v| v.as_u64().map(|b| b as u32).ok_or("non-integer bits"))
+            .collect::<Result<Vec<u32>, _>>()?;
+        Ok(GoldenTrace {
+            method,
+            image_checksum,
+            loss_curve,
+            loss_curve_bits,
+        })
+    }
+}
+
+/// FNV-1a 64 over the bit patterns of an `f32` slice.
+pub fn fnv1a64(data: &[f32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &v in data {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// The checked-in fixture directory.
+pub fn default_fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("golden")
+}
+
+// ------------------------------------------------------------- pipelines
+
+fn net_cfg() -> ConvNetConfig {
+    ConvNetConfig {
+        in_channels: 1,
+        image_side: 8,
+        width: 4,
+        depth: 2,
+        num_classes: 3,
+        norm: true,
+    }
+}
+
+fn class_structured_segment(rng: &mut Rng) -> (Tensor, Vec<usize>, Vec<f32>) {
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..3usize {
+        for _ in 0..5 {
+            for p in 0..64usize {
+                let base = (((class * 29 + p * 7) % 11) as f32) / 5.0 - 1.0;
+                data.push(base + 0.2 * rng.normal());
+            }
+            labels.push(class);
+        }
+    }
+    let weights = vec![1.0; labels.len()];
+    (Tensor::from_vec(data, [15, 1, 8, 8]), labels, weights)
+}
+
+/// Condense with the given method, then train a fresh net on the result
+/// one SGD step at a time, recording every step's loss.
+fn condense_pipeline(method: &str, condenser: &mut dyn Condenser) -> GoldenTrace {
+    let mut rng = Rng::new(0x5EED);
+    let scratch = ConvNet::new(net_cfg(), &mut rng);
+    let deployed = ConvNet::new(net_cfg(), &mut rng);
+    let (images, labels, weights) = class_structured_segment(&mut rng);
+    let mut buffer = SyntheticBuffer::new_random(2, 3, [1, 8, 8], &mut rng);
+    let seg = SegmentData {
+        images: &images,
+        labels: &labels,
+        weights: &weights,
+        active_classes: &[0, 1, 2],
+    };
+    let mut ctx = CondenseContext {
+        scratch: &scratch,
+        deployed: &deployed,
+        rng: &mut rng,
+    };
+    condenser.condense(&mut buffer, &seg, &mut ctx);
+
+    let trainee = ConvNet::new(net_cfg(), &mut Rng::new(7));
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    let losses: Vec<f32> = (0..CURVE_STEPS)
+        .map(|_| train_on_buffer(&trainee, &buffer, 1, &mut opt))
+        .collect();
+    GoldenTrace::new(method, buffer.images(), losses)
+}
+
+/// Stream 20 structured samples through a selection baseline into a
+/// capacity-6 buffer, then train on the surviving batch.
+fn replay_pipeline(method: &str, kind: BaselineKind) -> GoldenTrace {
+    let mut rng = Rng::new(0x5EED);
+    let model = ConvNet::new(net_cfg(), &mut rng);
+    let mut buffer = ReplayBuffer::new(6);
+    let mut strategy = kind.build();
+    for i in 0..20usize {
+        let class = i % 3;
+        let mut pixels = Vec::with_capacity(64);
+        for p in 0..64usize {
+            let base = (((class * 29 + p * 7) % 11) as f32) / 5.0 - 1.0;
+            pixels.push(base + 0.2 * rng.normal());
+        }
+        let item = BufferItem {
+            image: Tensor::from_vec(pixels, [1, 8, 8]),
+            label: class,
+            confidence: rng.uniform(0.2, 0.95),
+        };
+        let mut ctx = SelectionContext {
+            model: &model,
+            rng: &mut rng,
+        };
+        strategy.offer(&mut buffer, item, &mut ctx);
+    }
+
+    let (images, labels, weights) = buffer.as_training_batch();
+    let trainee = ConvNet::new(net_cfg(), &mut Rng::new(7));
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    let losses: Vec<f32> = (0..CURVE_STEPS)
+        .map(|_| {
+            let logits = trainee.forward(&Var::constant(images.clone()), false);
+            let loss = weighted_cross_entropy(&logits, &labels, Some(&weights), Reduction::Mean);
+            loss.backward();
+            opt.step(&trainee.params());
+            loss.value().item()
+        })
+        .collect();
+    GoldenTrace::new(method, &images, losses)
+}
+
+/// Regenerates every trace. Deterministic: two calls in the same build
+/// produce identical traces.
+pub fn generate_traces() -> Vec<GoldenTrace> {
+    vec![
+        condense_pipeline(
+            "dc",
+            &mut DcCondenser::new(DcConfig {
+                outer_inits: 1,
+                matching_rounds: 2,
+                ..DcConfig::default()
+            }),
+        ),
+        condense_pipeline(
+            "dsa",
+            &mut DsaCondenser::new(DcConfig {
+                outer_inits: 1,
+                matching_rounds: 2,
+                ..DcConfig::default()
+            }),
+        ),
+        condense_pipeline(
+            "dm",
+            &mut DmCondenser::new(DmConfig {
+                rounds: 3,
+                ..DmConfig::default()
+            }),
+        ),
+        condense_pipeline(
+            "deco",
+            &mut DecoCondenser::new(DecoConfig::default().with_iterations(3)),
+        ),
+        replay_pipeline("random", BaselineKind::Random),
+        replay_pipeline("kcenter", BaselineKind::KCenter),
+    ]
+}
+
+// ------------------------------------------------------------ bless/check
+
+/// One fixture mismatch, rendered for humans.
+#[derive(Debug, Clone)]
+pub struct GoldenDiff {
+    /// Method whose fixture disagreed.
+    pub method: String,
+    /// What differed and how.
+    pub detail: String,
+}
+
+impl std::fmt::Display for GoldenDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.method, self.detail)
+    }
+}
+
+/// Writes every trace to `dir` as `<method>.json`.
+pub fn bless(dir: &Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for trace in generate_traces() {
+        let path = dir.join(format!("{}.json", trace.method));
+        std::fs::write(&path, trace.to_json().to_string_pretty() + "\n")?;
+        written.push(path.display().to_string());
+    }
+    Ok(written)
+}
+
+/// Regenerates every trace and compares it bit-for-bit against the
+/// fixtures in `dir`. `Err` lists every divergence, loudly.
+pub fn check(dir: &Path) -> Result<(), Vec<GoldenDiff>> {
+    let mut diffs = Vec::new();
+    for fresh in generate_traces() {
+        let path = dir.join(format!("{}.json", fresh.method));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                diffs.push(GoldenDiff {
+                    method: fresh.method.clone(),
+                    detail: format!(
+                        "fixture {} unreadable ({e}); run `conformance golden --bless`",
+                        path.display()
+                    ),
+                });
+                continue;
+            }
+        };
+        let blessed = match Json::parse(&text)
+            .map_err(|e| format!("{e:?}"))
+            .and_then(|j| GoldenTrace::from_json(&j))
+        {
+            Ok(t) => t,
+            Err(e) => {
+                diffs.push(GoldenDiff {
+                    method: fresh.method.clone(),
+                    detail: format!("fixture {} corrupt: {e}", path.display()),
+                });
+                continue;
+            }
+        };
+        if blessed.image_checksum != fresh.image_checksum {
+            diffs.push(GoldenDiff {
+                method: fresh.method.clone(),
+                detail: format!(
+                    "image checksum drifted: blessed {} vs current {}",
+                    blessed.image_checksum, fresh.image_checksum
+                ),
+            });
+        }
+        if blessed.loss_curve_bits != fresh.loss_curve_bits {
+            let step = blessed
+                .loss_curve_bits
+                .iter()
+                .zip(&fresh.loss_curve_bits)
+                .position(|(a, b)| a != b)
+                .unwrap_or(
+                    blessed
+                        .loss_curve_bits
+                        .len()
+                        .min(fresh.loss_curve_bits.len()),
+                );
+            let blessed_at = blessed.loss_curve.get(step).copied().unwrap_or(f32::NAN);
+            let fresh_at = fresh.loss_curve.get(step).copied().unwrap_or(f32::NAN);
+            diffs.push(GoldenDiff {
+                method: fresh.method.clone(),
+                detail: format!(
+                    "loss curve drifted first at step {step}: blessed {blessed_at} \
+                     (bits {:#010x?}) vs current {fresh_at} (bits {:#010x?})",
+                    blessed.loss_curve_bits.get(step),
+                    fresh.loss_curve_bits.get(step),
+                ),
+            });
+        }
+    }
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(diffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a 64 of the empty input is the offset basis.
+        assert_eq!(fnv1a64(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn trace_json_roundtrip() {
+        let t = GoldenTrace::new(
+            "demo",
+            &Tensor::from_vec(vec![1.0, -2.5], [2]),
+            vec![0.5, 0.25],
+        );
+        let parsed =
+            GoldenTrace::from_json(&Json::parse(&t.to_json().to_string_pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, t);
+    }
+}

@@ -1,0 +1,454 @@
+//! Naive `f64` reference kernels.
+//!
+//! Every function here is written for obviousness, not speed: direct nested
+//! loops, no zero-skipping, no chunking, all accumulation in `f64`. The
+//! differential fuzzer ([`crate::fuzz`]) compares these against the
+//! optimized `f32` paths in `deco-tensor`/`deco-nn`; agreement within the
+//! fuzzer's tolerance is evidence the fast kernels implement the same
+//! mathematical function.
+
+use deco_tensor::Conv2dSpec;
+
+/// Norm floor mirrored from `deco-nn`'s cosine distance: gradient blocks
+/// with an `f64` norm below this are excluded from the distance and get a
+/// zero gradient.
+pub const NORM_EPS: f64 = 1e-6;
+
+/// Relative deviation of an optimized `f32` result against the `f64`
+/// reference: `|y32 − y64| / max(1, |y64|)` — absolute for small values,
+/// relative for large ones.
+pub fn rel_deviation(y32: f32, y64: f64) -> f64 {
+    (f64::from(y32) - y64).abs() / y64.abs().max(1.0)
+}
+
+/// Largest [`rel_deviation`] over paired slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn max_rel_deviation(y32: &[f32], y64: &[f64]) -> f64 {
+    assert_eq!(y32.len(), y64.len(), "reference length mismatch");
+    y32.iter()
+        .zip(y64)
+        .map(|(&a, &b)| rel_deviation(a, b))
+        .fold(0.0, f64::max)
+}
+
+/// `[m, k] × [k, n] → [m, n]` matrix product, accumulated in `f64`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += f64::from(a[i * k + p]) * f64::from(b[p * n + j]);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// NCHW 2-D cross-correlation with an `[co, ci, k, k]` weight and optional
+/// `[co]` bias, matching [`deco_tensor::Tensor::conv2d`] geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    x: &[f32],
+    (n, cin, h, w): (usize, usize, usize, usize),
+    wgt: &[f32],
+    cout: usize,
+    bias: Option<&[f32]>,
+    spec: Conv2dSpec,
+) -> Vec<f64> {
+    let (oh, ow) = (spec.out_side(h), spec.out_side(w));
+    let (k, s, p) = (spec.kernel, spec.stride, spec.padding as isize);
+    let mut out = vec![0.0f64; n * cout * oh * ow];
+    for ni in 0..n {
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map_or(0.0, |b| f64::from(b[co]));
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let iy = (oy * s) as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s) as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xv = x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
+                                let wv = wgt[((co * cin + ci) * k + ky) * k + kx];
+                                acc += f64::from(xv) * f64::from(wv);
+                            }
+                        }
+                    }
+                    out[((ni * cout + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`conv2d`] w.r.t. its input: scatter each output-gradient
+/// element back through the weights.
+pub fn conv2d_input_grad(
+    g: &[f32],
+    (n, cout, oh, ow): (usize, usize, usize, usize),
+    wgt: &[f32],
+    cin: usize,
+    (h, w): (usize, usize),
+    spec: Conv2dSpec,
+) -> Vec<f64> {
+    let (k, s, p) = (spec.kernel, spec.stride, spec.padding as isize);
+    let mut gin = vec![0.0f64; n * cin * h * w];
+    for ni in 0..n {
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = f64::from(g[((ni * cout + co) * oh + oy) * ow + ox]);
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let iy = (oy * s) as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s) as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let wv = wgt[((co * cin + ci) * k + ky) * k + kx];
+                                gin[((ni * cin + ci) * h + iy as usize) * w + ix as usize] +=
+                                    gv * f64::from(wv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gin
+}
+
+/// Gradient of [`conv2d`] w.r.t. its weight.
+pub fn conv2d_weight_grad(
+    g: &[f32],
+    (n, cout, oh, ow): (usize, usize, usize, usize),
+    x: &[f32],
+    (cin, h, w): (usize, usize, usize),
+    spec: Conv2dSpec,
+) -> Vec<f64> {
+    let (k, s, p) = (spec.kernel, spec.stride, spec.padding as isize);
+    let mut gw = vec![0.0f64; cout * cin * k * k];
+    for ni in 0..n {
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = f64::from(g[((ni * cout + co) * oh + oy) * ow + ox]);
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let iy = (oy * s) as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s) as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xv = x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
+                                gw[((co * cin + ci) * k + ky) * k + kx] += gv * f64::from(xv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gw
+}
+
+/// Non-overlapping `k × k` average pooling of an NCHW batch.
+///
+/// # Panics
+/// Panics unless `k` divides both spatial sides.
+pub fn avg_pool2d(x: &[f32], (n, c, h, w): (usize, usize, usize, usize), k: usize) -> Vec<f64> {
+    assert!(h % k == 0 && w % k == 0, "pool window must divide input");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = vec![0.0f64; n * c * oh * ow];
+    for nc in 0..n * c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f64;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        acc += f64::from(x[(nc * h + oy * k + dy) * w + ox * k + dx]);
+                    }
+                }
+                out[(nc * oh + oy) * ow + ox] = acc / (k * k) as f64;
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`avg_pool2d`]: each output gradient spreads uniformly over
+/// its window.
+pub fn avg_pool2d_grad(
+    g: &[f32],
+    (n, c, oh, ow): (usize, usize, usize, usize),
+    k: usize,
+) -> Vec<f64> {
+    let (h, w) = (oh * k, ow * k);
+    let mut gin = vec![0.0f64; n * c * h * w];
+    for nc in 0..n * c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let gv = f64::from(g[(nc * oh + oy) * ow + ox]) / (k * k) as f64;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        gin[(nc * h + oy * k + dy) * w + ox * k + dx] += gv;
+                    }
+                }
+            }
+        }
+    }
+    gin
+}
+
+/// Group normalization over an NCHW batch with per-channel affine
+/// parameters, mirroring `deco_nn::GroupNorm::forward` (`eps = 1e-5`).
+///
+/// # Panics
+/// Panics unless `groups` divides `c`.
+#[allow(clippy::too_many_arguments)]
+pub fn group_norm(
+    x: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    groups: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f64,
+) -> Vec<f64> {
+    assert!(groups > 0 && c % groups == 0, "groups must divide channels");
+    let group_c = c / groups;
+    let group_len = group_c * h * w;
+    let mut out = vec![0.0f64; n * c * h * w];
+    for ni in 0..n {
+        for gi in 0..groups {
+            let base = (ni * c + gi * group_c) * h * w;
+            let vals = &x[base..base + group_len];
+            let mean = vals.iter().map(|&v| f64::from(v)).sum::<f64>() / group_len as f64;
+            let var = vals
+                .iter()
+                .map(|&v| (f64::from(v) - mean).powi(2))
+                .sum::<f64>()
+                / group_len as f64;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for (off, &v) in vals.iter().enumerate() {
+                let ci = gi * group_c + off / (h * w);
+                out[base + off] =
+                    f64::from(gamma[ci]) * (f64::from(v) - mean) * inv_std + f64::from(beta[ci]);
+            }
+        }
+    }
+    out
+}
+
+/// Weighted softmax cross-entropy over `[n, c]` logits: returns the loss
+/// and its gradient w.r.t. the logits.
+///
+/// With `mean = true` the loss is divided by `n` (matching
+/// `Reduction::Mean`); otherwise it is the plain weighted sum. Per-row
+/// weights default to 1.
+pub fn softmax_cross_entropy(
+    logits: &[f32],
+    (n, c): (usize, usize),
+    labels: &[usize],
+    weights: Option<&[f32]>,
+    mean: bool,
+) -> (f64, Vec<f64>) {
+    assert_eq!(logits.len(), n * c, "logit length");
+    assert_eq!(labels.len(), n, "label length");
+    let scale = if mean { 1.0 / n as f64 } else { 1.0 };
+    let mut loss = 0.0f64;
+    let mut grad = vec![0.0f64; n * c];
+    for i in 0..n {
+        let row = &logits[i * c..(i + 1) * c];
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = f64::from(m)
+            + row
+                .iter()
+                .map(|&v| (f64::from(v) - f64::from(m)).exp())
+                .sum::<f64>()
+                .ln();
+        let wi = weights.map_or(1.0, |w| f64::from(w[i]));
+        loss -= wi * (f64::from(row[labels[i]]) - lse);
+        for j in 0..c {
+            let p = (f64::from(row[j]) - lse).exp();
+            let delta = if j == labels[i] { 1.0 } else { 0.0 };
+            grad[i * c + j] = scale * wi * (p - delta);
+        }
+    }
+    (loss * scale, grad)
+}
+
+/// The gradient-matching distance `D = Σ_b (1 − cos(g_b, r_b))` over
+/// parameter blocks, with the same [`NORM_EPS`] zero-block rule as
+/// `deco_nn::cosine_distance`.
+pub fn cosine_distance(g_syn: &[Vec<f32>], g_real: &[Vec<f32>]) -> f64 {
+    assert_eq!(g_syn.len(), g_real.len(), "block count mismatch");
+    let mut total = 0.0f64;
+    for (g, r) in g_syn.iter().zip(g_real) {
+        let (ng, nr) = (norm64(g), norm64(r));
+        if ng < NORM_EPS || nr < NORM_EPS {
+            continue;
+        }
+        total += 1.0 - dot64(g, r) / (ng * nr);
+    }
+    total
+}
+
+/// Closed-form gradient of [`cosine_distance`] w.r.t. `g_syn`:
+/// `−r/(‖g‖‖r‖) + (g·r)·g/(‖g‖³‖r‖)` per block, zeros for skipped blocks.
+pub fn cosine_distance_grad(g_syn: &[Vec<f32>], g_real: &[Vec<f32>]) -> Vec<Vec<f64>> {
+    assert_eq!(g_syn.len(), g_real.len(), "block count mismatch");
+    let mut out = Vec::with_capacity(g_syn.len());
+    for (g, r) in g_syn.iter().zip(g_real) {
+        let (ng, nr) = (norm64(g), norm64(r));
+        if ng < NORM_EPS || nr < NORM_EPS {
+            out.push(vec![0.0f64; g.len()]);
+            continue;
+        }
+        let dotgr = dot64(g, r);
+        let c1 = -1.0 / (ng * nr);
+        let c2 = dotgr / (ng * ng * ng * nr);
+        out.push(
+            g.iter()
+                .zip(r)
+                .map(|(&gv, &rv)| f64::from(rv) * c1 + f64::from(gv) * c2)
+                .collect(),
+        );
+    }
+    out
+}
+
+fn dot64(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| f64::from(x) * f64::from(y))
+        .sum()
+}
+
+fn norm64(a: &[f32]) -> f64 {
+    a.iter()
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_case() {
+        // [[1,2,3],[4,5,6]] × [[7,8],[9,10],[11,12]]
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        assert_eq!(matmul(&a, &b, 2, 3, 2), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_preserves_input() {
+        let x: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let w = [1.0f32]; // 1x1 kernel, stride 1, no padding
+        let y = conv2d(&x, (1, 1, 3, 3), &w, 1, None, Conv2dSpec::new(1, 1, 0));
+        assert_eq!(y, x.iter().map(|&v| f64::from(v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn conv_bias_only() {
+        let x = [0.0f32; 4];
+        let w = [0.0f32];
+        let y = conv2d(
+            &x,
+            (1, 1, 2, 2),
+            &w,
+            1,
+            Some(&[2.5]),
+            Conv2dSpec::new(1, 1, 0),
+        );
+        assert!(y.iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn conv_adjoint_identities() {
+        // <conv(x, w), g> == <x, input_grad(g, w)> == <w, weight_grad(g, x)>
+        // (bias-free conv is linear in both x and w).
+        let mut rng = deco_tensor::Rng::new(42);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let (n, cin, cout, h, w) = (2, 2, 3, 5, 5);
+        let x: Vec<f32> = (0..n * cin * h * w).map(|_| rng.normal()).collect();
+        let wgt: Vec<f32> = (0..cout * cin * 9).map(|_| rng.normal()).collect();
+        let (oh, ow) = (spec.out_side(h), spec.out_side(w));
+        let g: Vec<f32> = (0..n * cout * oh * ow).map(|_| rng.normal()).collect();
+
+        let y = conv2d(&x, (n, cin, h, w), &wgt, cout, None, spec);
+        let lhs: f64 = y.iter().zip(&g).map(|(&yv, &gv)| yv * f64::from(gv)).sum();
+        let gin = conv2d_input_grad(&g, (n, cout, oh, ow), &wgt, cin, (h, w), spec);
+        let rhs_x: f64 = gin.iter().zip(&x).map(|(&a, &b)| a * f64::from(b)).sum();
+        let gw = conv2d_weight_grad(&g, (n, cout, oh, ow), &x, (cin, h, w), spec);
+        let rhs_w: f64 = gw.iter().zip(&wgt).map(|(&a, &b)| a * f64::from(b)).sum();
+        assert!((lhs - rhs_x).abs() < 1e-9, "{lhs} vs {rhs_x}");
+        assert!((lhs - rhs_w).abs() < 1e-9, "{lhs} vs {rhs_w}");
+    }
+
+    #[test]
+    fn avg_pool_mean_and_adjoint() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let y = avg_pool2d(&x, (1, 1, 2, 2), 2);
+        assert_eq!(y, vec![2.5]);
+        let gin = avg_pool2d_grad(&[1.0], (1, 1, 1, 1), 2);
+        assert_eq!(gin, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn group_norm_normalizes() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let y = group_norm(&x, (1, 1, 2, 2), 1, &[1.0], &[0.0], 1e-5);
+        let mean: f64 = y.iter().sum::<f64>() / 4.0;
+        let var: f64 = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits() {
+        // Uniform logits: loss = ln(c), grad rows sum to zero.
+        let logits = [0.0f32; 6];
+        let (loss, grad) = softmax_cross_entropy(&logits, (2, 3), &[0, 2], None, true);
+        assert!((loss - (3.0f64).ln()).abs() < 1e-12);
+        for i in 0..2 {
+            let row_sum: f64 = grad[i * 3..(i + 1) * 3].iter().sum();
+            assert!(row_sum.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cosine_distance_identical_and_opposite() {
+        let g = vec![vec![1.0f32, 2.0, 3.0]];
+        assert!(cosine_distance(&g, &g).abs() < 1e-12);
+        let opp = vec![vec![-1.0f32, -2.0, -3.0]];
+        assert!((cosine_distance(&g, &opp) - 2.0).abs() < 1e-12);
+        // Zero block skipped, gradient zero.
+        let z = vec![vec![0.0f32; 3]];
+        assert_eq!(cosine_distance(&z, &g), 0.0);
+        assert_eq!(cosine_distance_grad(&z, &g), vec![vec![0.0f64; 3]]);
+    }
+}

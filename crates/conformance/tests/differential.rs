@@ -1,0 +1,39 @@
+//! Acceptance gate for the differential fuzzer: 200 randomized shape
+//! cases per kernel, max `f32`-vs-`f64` deviation under 1e-4, bitwise
+//! identical at 1 and 4 threads.
+
+use deco_conformance::fuzz::{run_differential, DEFAULT_CASES, DEVIATION_TOLERANCE};
+
+#[test]
+fn two_hundred_cases_per_kernel_within_tolerance() {
+    const {
+        assert!(DEFAULT_CASES >= 200, "acceptance floor is 200 cases");
+    }
+    let report = run_differential(DEFAULT_CASES, 0xDEC0);
+    for kernel in &report.kernels {
+        assert_eq!(kernel.cases, DEFAULT_CASES, "{} ran short", kernel.kernel);
+        assert!(
+            kernel.max_deviation < DEVIATION_TOLERANCE,
+            "{} deviates {:.3e} (worst case: {})",
+            kernel.kernel,
+            kernel.max_deviation,
+            kernel.worst_case
+        );
+        assert_eq!(
+            kernel.bitwise_mismatches, 0,
+            "{} not thread-invariant (worst case: {})",
+            kernel.kernel, kernel.worst_case
+        );
+    }
+    assert!(report.passed());
+}
+
+#[test]
+fn fuzzer_is_seed_deterministic() {
+    let a = run_differential(16, 42);
+    let b = run_differential(16, 42);
+    assert_eq!(a.max_deviation().to_bits(), b.max_deviation().to_bits());
+    let c = run_differential(16, 43);
+    // Different seed explores different shapes; reports need not match.
+    assert_eq!(c.kernels.len(), a.kernels.len());
+}

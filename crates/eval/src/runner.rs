@@ -11,7 +11,7 @@ use deco_condense::{DcCondenser, DcConfig, DmCondenser, DmConfig, DsaCondenser, 
 use deco_datasets::{LabeledSet, Stream, StreamConfig, SyntheticVision};
 use deco_nn::{ConvNet, ConvNetConfig};
 use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
-use deco_telemetry::impl_to_json;
+use deco_telemetry::{impl_to_json, Json, ToJson};
 use deco_tensor::Rng;
 
 use crate::scale::{DatasetId, ScaleParams};
@@ -148,6 +148,35 @@ pub struct TrialResult {
     /// the transient autograd-tape peak is tracked separately in the
     /// telemetry `usage` breakdown. `None` when telemetry is disabled.
     pub peak_memory_bytes: Option<u64>,
+}
+
+impl TrialResult {
+    /// The trial's outcome restricted to its *deterministic* fields —
+    /// accuracies, retention, pseudo-label quality, and the learning
+    /// curve — with every `f32` also emitted as its exact bit pattern.
+    /// Wall-clock and memory measurements are deliberately excluded, so
+    /// this view is suitable for golden-trace fixtures that must be
+    /// byte-identical across runs and thread counts.
+    pub fn deterministic_json(&self) -> Json {
+        Json::obj([
+            ("final_accuracy", self.final_accuracy.to_json()),
+            (
+                "final_accuracy_bits",
+                Json::Num(f64::from(self.final_accuracy.to_bits())),
+            ),
+            ("retention", self.retention.to_json()),
+            (
+                "retention_bits",
+                Json::Num(f64::from(self.retention.to_bits())),
+            ),
+            ("pseudo_accuracy", self.pseudo_accuracy.to_json()),
+            (
+                "pseudo_accuracy_bits",
+                Json::Num(f64::from(self.pseudo_accuracy.to_bits())),
+            ),
+            ("curve", self.curve.to_json()),
+        ])
+    }
 }
 
 fn convnet_config(dataset: DatasetId, params: &ScaleParams) -> ConvNetConfig {

@@ -1,0 +1,195 @@
+//! Certificate-style properties for the selection strategies:
+//!
+//! - **K-Center** emits a verifiable coverage certificate: the covering
+//!   radius computed from the final buffer really does cover every point
+//!   the stream ever offered, the stored centers are genuine stream
+//!   members, and on brute-forceable streams the radius is within 2× of
+//!   the optimal k-center radius (the classic greedy guarantee).
+//! - **GSS-Greedy** can never exceed the byte budget implied by its
+//!   buffer capacity, measured with [`ReplayBuffer::approx_bytes`] after
+//!   every single offer.
+
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
+use deco_tensor::{Rng, Tensor, Var};
+use proptest::prelude::*;
+
+fn model(rng: &mut Rng) -> ConvNet {
+    ConvNet::new(
+        ConvNetConfig {
+            in_channels: 1,
+            image_side: 8,
+            width: 4,
+            depth: 2,
+            num_classes: 4,
+            norm: true,
+        },
+        rng,
+    )
+}
+
+fn item(rng: &mut Rng, label: usize) -> BufferItem {
+    BufferItem {
+        image: Tensor::randn([1, 8, 8], rng),
+        label,
+        confidence: rng.next_f32(),
+    }
+}
+
+/// The same feature embedding K-Center uses internally.
+fn feature(net: &ConvNet, image: &Tensor) -> Tensor {
+    let dims = image.shape().dims().to_vec();
+    let mut batched = vec![1usize];
+    batched.extend_from_slice(&dims);
+    net.features(&Var::constant(image.reshape(batched)), true)
+        .value()
+        .clone()
+}
+
+fn dist2(a: &Tensor, b: &Tensor) -> f32 {
+    let d = a - b;
+    d.dot(&d)
+}
+
+/// Covering radius (squared) of `centers` over `points`.
+fn covering_radius2(points: &[Tensor], centers: &[Tensor]) -> f32 {
+    points
+        .iter()
+        .map(|p| {
+            centers
+                .iter()
+                .map(|c| dist2(p, c))
+                .fold(f32::INFINITY, f32::min)
+        })
+        .fold(0.0f32, f32::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// K-Center coverage certificate: report the max-min feature distance
+    /// from the final buffer, then independently verify that **every**
+    /// offered point lies within that radius of some kept center, and
+    /// that every kept center is bit-identical to some offered image.
+    #[test]
+    fn kcenter_coverage_certificate_holds(
+        capacity in 2usize..6,
+        offers in 6usize..24,
+        seed in 0u64..50,
+    ) {
+        let mut rng = Rng::new(seed);
+        let net = model(&mut rng);
+        let mut strategy = BaselineKind::KCenter.build();
+        let mut buffer = ReplayBuffer::new(capacity);
+        let mut stream: Vec<BufferItem> = Vec::new();
+        for k in 0..offers {
+            let it = item(&mut rng, k % 4);
+            stream.push(it.clone());
+            let mut ctx = SelectionContext { model: &net, rng: &mut rng };
+            strategy.offer(&mut buffer, it, &mut ctx);
+            prop_assert!(buffer.len() <= capacity);
+        }
+
+        // Kept centers must be genuine stream members (bitwise).
+        for kept in buffer.items() {
+            prop_assert!(
+                stream.iter().any(|s| s.image == kept.image),
+                "buffer holds an image the stream never offered"
+            );
+        }
+
+        // Report the radius, then re-verify the certificate pointwise.
+        let point_feats: Vec<Tensor> =
+            stream.iter().map(|s| feature(&net, &s.image)).collect();
+        let center_feats: Vec<Tensor> =
+            buffer.items().iter().map(|s| feature(&net, &s.image)).collect();
+        let reported_radius2 = covering_radius2(&point_feats, &center_feats);
+        for (k, p) in point_feats.iter().enumerate() {
+            let nearest = center_feats
+                .iter()
+                .map(|c| dist2(p, c))
+                .fold(f32::INFINITY, f32::min);
+            prop_assert!(
+                nearest <= reported_radius2,
+                "offered point {k} lies outside the reported covering \
+                 radius ({nearest} > {reported_radius2})"
+            );
+        }
+    }
+
+    /// On streams small enough to brute-force, the kept centers achieve a
+    /// covering radius within 2× of the optimal k-center radius (the
+    /// classic 2-approximation bound; radii compared unsquared).
+    #[test]
+    fn kcenter_within_twice_optimal_on_small_streams(
+        offers in 5usize..11,
+        seed in 0u64..30,
+    ) {
+        let capacity = 2usize;
+        let mut rng = Rng::new(seed.wrapping_mul(31).wrapping_add(7));
+        let net = model(&mut rng);
+        let mut strategy = BaselineKind::KCenter.build();
+        let mut buffer = ReplayBuffer::new(capacity);
+        let mut stream = Vec::new();
+        for k in 0..offers {
+            let it = item(&mut rng, k % 4);
+            stream.push(it.clone());
+            let mut ctx = SelectionContext { model: &net, rng: &mut rng };
+            strategy.offer(&mut buffer, it, &mut ctx);
+        }
+        let point_feats: Vec<Tensor> =
+            stream.iter().map(|s| feature(&net, &s.image)).collect();
+        let center_feats: Vec<Tensor> =
+            buffer.items().iter().map(|s| feature(&net, &s.image)).collect();
+        let achieved = covering_radius2(&point_feats, &center_feats).sqrt();
+
+        // Brute-force the optimal 2-center radius over stream subsets.
+        let mut optimal = f32::INFINITY;
+        for i in 0..point_feats.len() {
+            for j in (i + 1)..point_feats.len() {
+                let centers = [point_feats[i].clone(), point_feats[j].clone()];
+                optimal =
+                    optimal.min(covering_radius2(&point_feats, &centers).sqrt());
+            }
+        }
+        prop_assert!(
+            achieved <= 2.0 * optimal + 1e-5,
+            "covering radius {achieved} exceeds twice the optimal {optimal}"
+        );
+    }
+
+    /// GSS-Greedy never exceeds the byte budget implied by its capacity:
+    /// after **every** offer, `approx_bytes` stays within the cost of a
+    /// deliberately filled buffer of the same capacity and image shape.
+    #[test]
+    fn gss_greedy_respects_byte_budget(
+        capacity in 1usize..7,
+        offers in 1usize..30,
+        seed in 0u64..50,
+    ) {
+        // The budget: a buffer of `capacity` full-size items.
+        let mut budget_rng = Rng::new(0xB0D6E7);
+        let mut full = ReplayBuffer::new(capacity);
+        for k in 0..capacity {
+            full.push(item(&mut budget_rng, k % 4));
+        }
+        let budget_bytes = full.approx_bytes();
+
+        let mut rng = Rng::new(seed);
+        let net = model(&mut rng);
+        let mut strategy = BaselineKind::GssGreedy.build();
+        let mut buffer = ReplayBuffer::new(capacity);
+        for k in 0..offers {
+            let it = item(&mut rng, k % 4);
+            let mut ctx = SelectionContext { model: &net, rng: &mut rng };
+            strategy.offer(&mut buffer, it, &mut ctx);
+            prop_assert!(
+                buffer.approx_bytes() <= budget_bytes,
+                "after offer {k}: {} bytes exceeds the {budget_bytes}-byte \
+                 budget of a capacity-{capacity} buffer",
+                buffer.approx_bytes()
+            );
+            prop_assert!(buffer.len() <= capacity);
+        }
+    }
+}

@@ -58,6 +58,77 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The fold runs strictly left-to-right over chunk partials, so even
+    /// a **non-commutative** fold (string concatenation) must come out in
+    /// chunk order at any thread count. This pins down the documented
+    /// "fold runs on the caller in chunk order" contract — a scheduler
+    /// that folded partials in completion order would scramble the string.
+    #[test]
+    fn non_commutative_string_fold_is_chunk_ordered(
+        n in 0usize..120,
+        chunk in 1usize..16,
+    ) {
+        let expected: String = (0..n).map(|i| format!("[{i}]")).collect();
+        for threads in [1usize, 4] {
+            let got = deco_runtime::with_thread_count(threads, move || {
+                deco_runtime::parallel_reduce(
+                    n,
+                    chunk,
+                    |r| r.map(|i| format!("[{i}]")).collect::<String>(),
+                    |mut a, b| {
+                        a.push_str(&b);
+                        a
+                    },
+                )
+            })
+            .unwrap_or_default();
+            prop_assert_eq!(&got, &expected, "threads={} n={} chunk={}", threads, n, chunk);
+        }
+    }
+
+    /// Same contract through a non-commutative *algebra*: 2×2 integer
+    /// matrix products (mod a prime so values stay bounded). Matrix
+    /// multiplication is associative but not commutative, so any
+    /// out-of-order pairing of chunk partials changes the product.
+    #[test]
+    fn non_commutative_matrix_fold_matches_serial(
+        seeds in prop::collection::vec(0u64..1000, 1..60),
+        chunk in 1usize..8,
+    ) {
+        const P: u64 = 1_000_003;
+        type M = [u64; 4];
+        fn elem(seed: u64) -> M {
+            // Invertible-ish small matrices; exact values are irrelevant,
+            // only that distinct seeds give non-commuting factors.
+            [seed % 7 + 1, seed % 5, seed % 3, seed % 11 + 2]
+        }
+        fn mul(a: M, b: M) -> M {
+            [
+                (a[0] * b[0] + a[1] * b[2]) % P,
+                (a[0] * b[1] + a[1] * b[3]) % P,
+                (a[2] * b[0] + a[3] * b[2]) % P,
+                (a[2] * b[1] + a[3] * b[3]) % P,
+            ]
+        }
+        const ID: M = [1, 0, 0, 1];
+        let serial = seeds.iter().fold(ID, |acc, &s| mul(acc, elem(s)));
+        for threads in [1usize, 4] {
+            let seeds = seeds.clone();
+            let got = deco_runtime::with_thread_count(threads, move || {
+                deco_runtime::parallel_reduce(
+                    seeds.len(),
+                    chunk,
+                    move |r| r.map(|i| elem(seeds[i])).fold(ID, mul),
+                    mul,
+                )
+            })
+            .unwrap();
+            prop_assert_eq!(got, serial, "threads={} chunk={}", threads, chunk);
+        }
+    }
+}
+
 /// Eight threads hammer one deque — the owner pushing and popping its
 /// own end while seven thieves steal the front — and every pushed value
 /// must come out exactly once.

@@ -3,23 +3,96 @@
 use crate::autograd::Var;
 use crate::tensor::Tensor;
 
+/// The single worst-deviating probe found by [`grad_report`]: which
+/// input tensor, which flat element, and both gradient estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstDeviation {
+    /// Index into the `inputs` slice.
+    pub input: usize,
+    /// Flat element index within that input.
+    pub element: usize,
+    /// Reverse-mode gradient at that element.
+    pub analytic: f32,
+    /// Central-finite-difference gradient at that element.
+    pub numeric: f32,
+    /// `|analytic - numeric|`.
+    pub abs_deviation: f32,
+    /// `abs_deviation / max(1, |analytic|, |numeric|)`.
+    pub rel_deviation: f32,
+}
+
+impl std::fmt::Display for WorstDeviation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "input {} element {}: analytic {:.6e} vs numeric {:.6e} (abs {:.3e}, rel {:.3e})",
+            self.input,
+            self.element,
+            self.analytic,
+            self.numeric,
+            self.abs_deviation,
+            self.rel_deviation
+        )
+    }
+}
+
+/// Full result of a finite-difference gradient check.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GradReport {
+    /// Largest `|analytic - numeric|` over all probed elements.
+    pub max_abs_deviation: f32,
+    /// Largest `|analytic - numeric| / max(1, |analytic|, |numeric|)`.
+    ///
+    /// The hybrid denominator behaves like an absolute tolerance for
+    /// small gradients and a relative one for large gradients, which is
+    /// the right scale for both regimes (an absolute threshold alone is
+    /// meaningless when gradients are in the hundreds).
+    pub max_rel_deviation: f32,
+    /// Number of elements probed.
+    pub probes: usize,
+    /// The probe with the largest relative deviation, if any were made.
+    pub worst: Option<WorstDeviation>,
+}
+
 /// Compares reverse-mode gradients against central finite differences for a
 /// scalar-valued function of several tensors.
 ///
 /// `f` must build a fresh graph from leaf `Var`s and return a scalar `Var`.
-/// Returns the maximum absolute deviation over all checked elements.
+/// Returns the maximum absolute deviation over all checked elements; use
+/// [`grad_report`] for relative deviations and the worst offending element.
 ///
 /// With `stride > 1` only every `stride`-th element of each input is probed
 /// (cheaper for large tensors).
 ///
 /// # Panics
-/// Panics if `f` returns a non-scalar.
+/// Panics if `f` returns a non-scalar, or if `stride == 0` (a zero stride
+/// would silently probe every element, hiding the caller's mistake).
 pub fn max_grad_deviation(
     inputs: &[Tensor],
     eps: f32,
     stride: usize,
     f: impl Fn(&[Var]) -> Var,
 ) -> f32 {
+    grad_report(inputs, eps, stride, f).max_abs_deviation
+}
+
+/// Like [`max_grad_deviation`], but returns the full [`GradReport`]:
+/// absolute and relative worst-case deviations plus which input/element
+/// deviated most.
+///
+/// # Panics
+/// Panics if `f` returns a non-scalar, or if `stride == 0`.
+pub fn grad_report(
+    inputs: &[Tensor],
+    eps: f32,
+    stride: usize,
+    f: impl Fn(&[Var]) -> Var,
+) -> GradReport {
+    assert!(
+        stride != 0,
+        "gradcheck stride must be >= 1 (stride == 0 would be treated as \
+         probe-every-element; pass 1 explicitly if that is what you want)"
+    );
     let leaves: Vec<Var> = inputs.iter().map(|t| Var::leaf(t.clone(), true)).collect();
     let out = f(&leaves);
     assert_eq!(out.value().numel(), 1, "gradcheck requires a scalar output");
@@ -37,21 +110,33 @@ pub fn max_grad_deviation(
         f(&vars).value().item()
     };
 
-    let mut worst = 0.0f32;
+    let mut report = GradReport::default();
     for (ti, t) in inputs.iter().enumerate() {
-        for ei in (0..t.numel()).step_by(stride.max(1)) {
+        for ei in (0..t.numel()).step_by(stride) {
             let mut plus = inputs.to_vec();
             plus[ti].data_mut()[ei] += eps;
             let mut minus = inputs.to_vec();
             minus[ti].data_mut()[ei] -= eps;
             let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
-            let dev = (analytic[ti].data()[ei] - numeric).abs();
-            if dev > worst {
-                worst = dev;
+            let a = analytic[ti].data()[ei];
+            let abs_dev = (a - numeric).abs();
+            let rel_dev = abs_dev / a.abs().max(numeric.abs()).max(1.0);
+            report.probes += 1;
+            report.max_abs_deviation = report.max_abs_deviation.max(abs_dev);
+            if rel_dev >= report.max_rel_deviation {
+                report.max_rel_deviation = rel_dev;
+                report.worst = Some(WorstDeviation {
+                    input: ti,
+                    element: ei,
+                    analytic: a,
+                    numeric,
+                    abs_deviation: abs_dev,
+                    rel_deviation: rel_dev,
+                });
             }
         }
     }
-    worst
+    report
 }
 
 #[cfg(test)]
@@ -151,6 +236,50 @@ mod tests {
         );
         let dev = max_grad_deviation(&[x], 1e-2, 1, |v| v[0].masked_log_sum_exp_rows(&mask).sum());
         assert!(dev < 1e-2, "deviation {dev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be >= 1")]
+    fn gradcheck_rejects_zero_stride() {
+        let x = Tensor::ones([3]);
+        let _ = max_grad_deviation(&[x], 1e-2, 0, |v| v[0].sum());
+    }
+
+    #[test]
+    fn grad_report_identifies_worst_element() {
+        // d/dx_i of sum(1000 * x^2) = 2000 * x_i: a large-magnitude
+        // gradient whose absolute finite-difference error is sizable but
+        // whose relative error is tiny. The report must localize its
+        // worst probe and keep the relative deviation small.
+        let x = Tensor::from_vec(vec![0.5, -1.5, 2.0], [3]);
+        let report = grad_report(std::slice::from_ref(&x), 1e-2, 1, |v| {
+            v[0].square().sum().mul_scalar(1000.0)
+        });
+        assert_eq!(report.probes, 3);
+        let worst = report.worst.expect("probes were made");
+        assert_eq!(worst.input, 0);
+        assert!(worst.element < 3);
+        let expected = 2000.0 * x.data()[worst.element];
+        assert!(
+            (worst.analytic - expected).abs() < 1.0,
+            "analytic {} vs expected {expected}",
+            worst.analytic
+        );
+        assert!(report.max_rel_deviation < 1e-2, "{report:?}");
+        assert!(report.max_rel_deviation <= report.max_abs_deviation);
+        // Display formatting names the input and element.
+        assert!(format!("{worst}").contains("input 0 element"));
+    }
+
+    #[test]
+    fn grad_report_relative_beats_absolute_for_large_grads() {
+        // With gradients of magnitude ~2e3 the absolute deviation of a
+        // central difference is O(1) — useless as a pass/fail signal —
+        // while the relative deviation stays far below any sane bound.
+        let mut rng = Rng::new(11);
+        let x = Tensor::rand_uniform([4], 1.0, 2.0, &mut rng);
+        let report = grad_report(&[x], 1e-2, 1, |v| v[0].square().sum().mul_scalar(500.0));
+        assert!(report.max_rel_deviation < 1e-2, "{report:?}");
     }
 
     #[test]

@@ -41,6 +41,8 @@ mod rng;
 mod serialize;
 mod shape;
 mod tensor;
+#[doc(hidden)]
+pub mod testhook;
 
 pub use autograd::{reset_tape_peak, tape_current_bytes, tape_peak_bytes, Reduction, Var};
 pub use ops::conv::Conv2dSpec;

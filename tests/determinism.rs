@@ -5,8 +5,8 @@
 //! reduction order depend only on operand shapes, never on scheduling.
 
 use deco_repro::condense::{
-    train_on_buffer, CondenseContext, Condenser, DcConfig, DsaCondenser, SegmentData,
-    SyntheticBuffer,
+    train_on_buffer, CondenseContext, Condenser, DcCondenser, DcConfig, DmCondenser, DmConfig,
+    DsaCondenser, SegmentData, SyntheticBuffer,
 };
 use deco_repro::core::{DecoCondenser, DecoConfig};
 use deco_repro::nn::{ConvNet, ConvNetConfig, Sgd};
@@ -71,6 +71,44 @@ fn condense_and_train(condenser: &mut dyn Condenser) -> (Vec<u32>, u32) {
 #[test]
 fn deco_condense_and_train_bitwise_identical_across_thread_counts() {
     let make = || DecoCondenser::new(DecoConfig::default().with_iterations(3));
+    let (serial_buf, serial_loss) =
+        deco_repro::runtime::with_thread_count(1, || condense_and_train(&mut make()));
+    let (parallel_buf, parallel_loss) =
+        deco_repro::runtime::with_thread_count(4, || condense_and_train(&mut make()));
+    assert_eq!(serial_buf, parallel_buf, "synthetic tensors diverged");
+    assert_eq!(serial_loss, parallel_loss, "final training loss diverged");
+}
+
+#[test]
+fn dc_condense_and_train_bitwise_identical_across_thread_counts() {
+    // DC exercises the plain gradient-matching path: per-class model
+    // gradients and the cosine-distance reduction over parameter blocks.
+    let make = || {
+        DcCondenser::new(DcConfig {
+            outer_inits: 1,
+            matching_rounds: 2,
+            ..DcConfig::default()
+        })
+    };
+    let (serial_buf, serial_loss) =
+        deco_repro::runtime::with_thread_count(1, || condense_and_train(&mut make()));
+    let (parallel_buf, parallel_loss) =
+        deco_repro::runtime::with_thread_count(4, || condense_and_train(&mut make()));
+    assert_eq!(serial_buf, parallel_buf, "synthetic tensors diverged");
+    assert_eq!(serial_loss, parallel_loss, "final training loss diverged");
+}
+
+#[test]
+fn dm_condense_and_train_bitwise_identical_across_thread_counts() {
+    // DM matches feature-space means through randomly re-initialised
+    // embedding nets — a different reduction shape (per-class feature
+    // averages) than the gradient-matching methods above.
+    let make = || {
+        DmCondenser::new(DmConfig {
+            rounds: 2,
+            ..DmConfig::default()
+        })
+    };
     let (serial_buf, serial_loss) =
         deco_repro::runtime::with_thread_count(1, || condense_and_train(&mut make()));
     let (parallel_buf, parallel_loss) =
