@@ -132,6 +132,8 @@ pub fn run_differential(cases: usize, seed: u64) -> DiffReport {
             fuzz_avg_pool(cases, seed ^ 0x06),
             fuzz_softmax_ce(cases, seed ^ 0x07),
             fuzz_cosine_distance(cases, seed ^ 0x08),
+            fuzz_im2col_vs_direct(cases, seed ^ 0x09),
+            fuzz_gemm_blocked_vs_naive(cases, seed ^ 0x0A),
         ],
     }
 }
@@ -230,28 +232,36 @@ fn fuzz_matmul(cases: usize, seed: u64) -> KernelReport {
 }
 
 /// Random conv geometry. Degenerate indices hit 1×1 images, single
-/// channels, batch 1, and stride-edge kernels (unused trailing columns).
-fn conv_case(i: usize, rng: &mut Rng) -> (usize, usize, usize, usize, Conv2dSpec) {
-    // (n, cin, cout, side, spec)
+/// channels, batch 1, stride-edge kernels (unused trailing columns),
+/// rectangular H ≠ W inputs, and stride-2-with-padding combinations.
+fn conv_case(i: usize, rng: &mut Rng) -> (usize, usize, usize, usize, usize, Conv2dSpec) {
+    // (n, cin, cout, h, w, spec)
     match i {
-        0 => (1, 1, 1, 1, Conv2dSpec::new(1, 1, 0)),
-        1 => (1, 1, 2, 1, Conv2dSpec::new(3, 1, 1)),
-        2 => (1, 1, 1, 5, Conv2dSpec::new(2, 2, 0)), // stride-edge: col 4 unused
-        3 => (3, 1, 2, 4, Conv2dSpec::new(3, 2, 1)),
-        4 => (1, 3, 1, 2, Conv2dSpec::new(2, 1, 0)),
-        5 => (1, 1, 1, 3, Conv2dSpec::new(3, 1, 0)), // kernel == input
-        _ if i.is_multiple_of(41) => (2, 4, 8, 16, Conv2dSpec::new(3, 1, 1)), // parallel path
+        0 => (1, 1, 1, 1, 1, Conv2dSpec::new(1, 1, 0)),
+        1 => (1, 1, 2, 1, 1, Conv2dSpec::new(3, 1, 1)),
+        2 => (1, 1, 1, 5, 5, Conv2dSpec::new(2, 2, 0)), // stride-edge: col 4 unused
+        3 => (3, 1, 2, 4, 4, Conv2dSpec::new(3, 2, 1)),
+        4 => (1, 3, 1, 2, 2, Conv2dSpec::new(2, 1, 0)),
+        5 => (1, 1, 1, 3, 3, Conv2dSpec::new(3, 1, 0)), // kernel == input
+        6 => (1, 2, 2, 7, 3, Conv2dSpec::new(3, 2, 1)), // tall, stride 2 + pad
+        7 => (2, 1, 3, 3, 8, Conv2dSpec::new(2, 2, 0)), // wide, stride-edge
+        8 => (1, 2, 2, 9, 5, Conv2dSpec::new(3, 2, 1)), // tall, odd sides
+        9 => (1, 1, 2, 1, 6, Conv2dSpec::new(3, 2, 1)), // single-row image
+        _ if i.is_multiple_of(41) => (2, 4, 8, 16, 16, Conv2dSpec::new(3, 1, 1)), // parallel path
+        _ if i.is_multiple_of(29) => (2, 3, 5, 12, 7, Conv2dSpec::new(3, 2, 1)), // big rect, strided
         _ => {
-            let side = rng.below(7) + 1;
+            let h = rng.below(7) + 1;
+            let w = rng.below(7) + 1;
             let padding = rng.below(2);
-            let max_k = (side + 2 * padding).min(3);
+            let max_k = (h.min(w) + 2 * padding).min(3);
             let kernel = rng.below(max_k) + 1;
             let stride = rng.below(2) + 1;
             (
                 rng.below(2) + 1,
                 rng.below(3) + 1,
                 rng.below(3) + 1,
-                side,
+                h,
+                w,
                 Conv2dSpec::new(kernel, stride, padding),
             )
         }
@@ -262,21 +272,21 @@ fn fuzz_conv_forward(cases: usize, seed: u64) -> KernelReport {
     let mut rng = Rng::new(seed);
     let mut tr = Tracker::new("conv2d_forward");
     for i in 0..cases {
-        let (n, cin, cout, side, spec) = conv_case(i, &mut rng);
-        let x = randn_vec(n * cin * side * side, &mut rng);
-        let w = randn_vec(cout * cin * spec.kernel * spec.kernel, &mut rng);
+        let (n, cin, cout, h, w, spec) = conv_case(i, &mut rng);
+        let x = randn_vec(n * cin * h * w, &mut rng);
+        let wgt = randn_vec(cout * cin * spec.kernel * spec.kernel, &mut rng);
         let bias: Option<Vec<f32>> = if i % 2 == 0 {
             Some(randn_vec(cout, &mut rng))
         } else {
             None
         };
-        let xt = Tensor::from_vec(x.clone(), [n, cin, side, side]);
-        let wt = Tensor::from_vec(w.clone(), [cout, cin, spec.kernel, spec.kernel]);
+        let xt = Tensor::from_vec(x.clone(), [n, cin, h, w]);
+        let wt = Tensor::from_vec(wgt.clone(), [cout, cin, spec.kernel, spec.kernel]);
         let bt = bias.clone().map(|b| Tensor::from_vec(b, [cout]));
         let (out, ok) = run_both(|| xt.conv2d(&wt, bt.as_ref(), spec), |t| t.data().to_vec());
-        let r = reference::conv2d(&x, (n, cin, side, side), &w, cout, bias.as_deref(), spec);
+        let r = reference::conv2d(&x, (n, cin, h, w), &wgt, cout, bias.as_deref(), spec);
         let dev = reference::max_rel_deviation(out.data(), &r);
-        tr.record(dev, ok, &conv_label(n, cin, cout, side, spec));
+        tr.record(dev, ok, &conv_label(n, cin, cout, h, w, spec));
     }
     tr.finish()
 }
@@ -285,19 +295,19 @@ fn fuzz_conv_input_grad(cases: usize, seed: u64) -> KernelReport {
     let mut rng = Rng::new(seed);
     let mut tr = Tracker::new("conv2d_input_grad");
     for i in 0..cases {
-        let (n, cin, cout, side, spec) = conv_case(i, &mut rng);
-        let (oh, ow) = (spec.out_side(side), spec.out_side(side));
+        let (n, cin, cout, h, w, spec) = conv_case(i, &mut rng);
+        let (oh, ow) = (spec.out_side(h), spec.out_side(w));
         let g = randn_vec(n * cout * oh * ow, &mut rng);
-        let w = randn_vec(cout * cin * spec.kernel * spec.kernel, &mut rng);
+        let wgt = randn_vec(cout * cin * spec.kernel * spec.kernel, &mut rng);
         let gt = Tensor::from_vec(g.clone(), [n, cout, oh, ow]);
-        let wt = Tensor::from_vec(w.clone(), [cout, cin, spec.kernel, spec.kernel]);
+        let wt = Tensor::from_vec(wgt.clone(), [cout, cin, spec.kernel, spec.kernel]);
         let (out, ok) = run_both(
-            || gt.conv2d_input_grad(&wt, (side, side), spec),
+            || gt.conv2d_input_grad(&wt, (h, w), spec),
             |t| t.data().to_vec(),
         );
-        let r = reference::conv2d_input_grad(&g, (n, cout, oh, ow), &w, cin, (side, side), spec);
+        let r = reference::conv2d_input_grad(&g, (n, cout, oh, ow), &wgt, cin, (h, w), spec);
         let dev = reference::max_rel_deviation(out.data(), &r);
-        tr.record(dev, ok, &conv_label(n, cin, cout, side, spec));
+        tr.record(dev, ok, &conv_label(n, cin, cout, h, w, spec));
     }
     tr.finish()
 }
@@ -306,26 +316,112 @@ fn fuzz_conv_weight_grad(cases: usize, seed: u64) -> KernelReport {
     let mut rng = Rng::new(seed);
     let mut tr = Tracker::new("conv2d_weight_grad");
     for i in 0..cases {
-        let (n, cin, cout, side, spec) = conv_case(i, &mut rng);
-        let (oh, ow) = (spec.out_side(side), spec.out_side(side));
+        let (n, cin, cout, h, w, spec) = conv_case(i, &mut rng);
+        let (oh, ow) = (spec.out_side(h), spec.out_side(w));
         let g = randn_vec(n * cout * oh * ow, &mut rng);
-        let x = randn_vec(n * cin * side * side, &mut rng);
+        let x = randn_vec(n * cin * h * w, &mut rng);
         let gt = Tensor::from_vec(g.clone(), [n, cout, oh, ow]);
-        let xt = Tensor::from_vec(x.clone(), [n, cin, side, side]);
+        let xt = Tensor::from_vec(x.clone(), [n, cin, h, w]);
         let (out, ok) = run_both(
             || gt.conv2d_weight_grad(&xt, spec.kernel, spec),
             |t| t.data().to_vec(),
         );
-        let r = reference::conv2d_weight_grad(&g, (n, cout, oh, ow), &x, (cin, side, side), spec);
+        let r = reference::conv2d_weight_grad(&g, (n, cout, oh, ow), &x, (cin, h, w), spec);
         let dev = reference::max_rel_deviation(out.data(), &r);
-        tr.record(dev, ok, &conv_label(n, cin, cout, side, spec));
+        tr.record(dev, ok, &conv_label(n, cin, cout, h, w, spec));
     }
     tr.finish()
 }
 
-fn conv_label(n: usize, cin: usize, cout: usize, side: usize, spec: Conv2dSpec) -> String {
+/// Differential case for the conv lowering choice itself: the im2col/GEMM
+/// path and the direct kernels are forced in turn (via the `testhook`
+/// wrappers — no heuristic involved) on the same problem, and **both** are
+/// held to the `f64` reference. The bitwise channel reports whether each
+/// forced path is thread-invariant.
+fn fuzz_im2col_vs_direct(cases: usize, seed: u64) -> KernelReport {
+    use deco_tensor::testhook::{
+        conv2d_forced, conv2d_input_grad_forced, conv2d_weight_grad_forced,
+    };
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("conv2d_im2col_vs_direct");
+    for i in 0..cases {
+        let (n, cin, cout, h, w, spec) = conv_case(i, &mut rng);
+        let (oh, ow) = (spec.out_side(h), spec.out_side(w));
+        let x = randn_vec(n * cin * h * w, &mut rng);
+        let wgt = randn_vec(cout * cin * spec.kernel * spec.kernel, &mut rng);
+        let g = randn_vec(n * cout * oh * ow, &mut rng);
+        let xt = Tensor::from_vec(x.clone(), [n, cin, h, w]);
+        let wt = Tensor::from_vec(wgt.clone(), [cout, cin, spec.kernel, spec.kernel]);
+        let gt = Tensor::from_vec(g.clone(), [n, cout, oh, ow]);
+        let r_fwd = reference::conv2d(&x, (n, cin, h, w), &wgt, cout, None, spec);
+        let r_gin = reference::conv2d_input_grad(&g, (n, cout, oh, ow), &wgt, cin, (h, w), spec);
+        let r_gw = reference::conv2d_weight_grad(&g, (n, cout, oh, ow), &x, (cin, h, w), spec);
+        let mut dev = 0.0f64;
+        let mut ok = true;
+        for im2col in [true, false] {
+            let (fwd, ok1) = run_both(
+                || conv2d_forced(&xt, &wt, None, spec, im2col),
+                |t| t.data().to_vec(),
+            );
+            let (gin, ok2) = run_both(
+                || conv2d_input_grad_forced(&gt, &wt, (h, w), spec, im2col),
+                |t| t.data().to_vec(),
+            );
+            let (gw, ok3) = run_both(
+                || conv2d_weight_grad_forced(&gt, &xt, spec.kernel, spec, im2col),
+                |t| t.data().to_vec(),
+            );
+            ok = ok && ok1 && ok2 && ok3;
+            dev = dev
+                .max(reference::max_rel_deviation(fwd.data(), &r_fwd))
+                .max(reference::max_rel_deviation(gin.data(), &r_gin))
+                .max(reference::max_rel_deviation(gw.data(), &r_gw));
+        }
+        tr.record(dev, ok, &conv_label(n, cin, cout, h, w, spec));
+    }
+    tr.finish()
+}
+
+/// Differential case for the GEMM core's blocking: shapes chosen to take
+/// the packed cache-blocked kernel (never the naive fallback) compared
+/// against the naive `f64` reference product.
+fn fuzz_gemm_blocked_vs_naive(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("gemm_blocked_vs_naive");
+    for i in 0..cases {
+        // All shapes cross the packed-path gate (2·m·k·n ≥ 2^13, m ≥ 2,
+        // n ≥ 4, k ≥ 4); the interesting ones straddle the MR/NR/MC/KC
+        // block edges.
+        let (m, k, n) = match i {
+            0 => (8, 8, 64),   // exactly one microkernel row-panel
+            1 => (9, 8, 64),   // one row of remainder
+            2 => (64, 256, 8), // exactly one MC×KC slab
+            3 => (65, 257, 9), // one past every block edge
+            4 => (2, 512, 4),  // minimum m and n over the gate
+            _ => {
+                // Random draws with k floored so 2·m·k·n always clears
+                // the packed gate.
+                let m = rng.below(96) + 2;
+                let n = rng.below(48) + 4;
+                let k_min = (1usize << 13).div_ceil(2 * m * n).max(4);
+                (m, rng.below(300) + k_min, n)
+            }
+        };
+        let a = randn_vec(m * k, &mut rng);
+        let b = randn_vec(k * n, &mut rng);
+        let at = Tensor::from_vec(a.clone(), [m, k]);
+        let bt = Tensor::from_vec(b.clone(), [k, n]);
+        let (out, ok) = run_both(|| at.matmul(&bt), |t| t.data().to_vec());
+        let r = reference::matmul(&a, &b, m, k, n);
+        let dev = reference::max_rel_deviation(out.data(), &r);
+        tr.record(dev, ok, &format!("[{m}x{k}]x[{k}x{n}]"));
+    }
+    tr.finish()
+}
+
+fn conv_label(n: usize, cin: usize, cout: usize, h: usize, w: usize, spec: Conv2dSpec) -> String {
     format!(
-        "n{n} ci{cin} co{cout} {side}x{side} k{} s{} p{}",
+        "n{n} ci{cin} co{cout} {h}x{w} k{} s{} p{}",
         spec.kernel, spec.stride, spec.padding
     )
 }
@@ -505,7 +601,7 @@ mod tests {
         let b = run_differential(8, 0xD1FF);
         assert!(a.passed(), "\n{}", a.render());
         assert_eq!(a.max_deviation(), b.max_deviation());
-        assert_eq!(a.kernels.len(), 8);
+        assert_eq!(a.kernels.len(), 10);
     }
 
     #[test]

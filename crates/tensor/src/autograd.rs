@@ -282,6 +282,11 @@ impl Var {
                     }
                 }
             }
+            // This non-leaf node's gradient has been fully consumed;
+            // release it eagerly so its buffer returns to the pool
+            // instead of living until the graph drops. Leaves (no
+            // backward fn) keep theirs — they are what callers read.
+            *var.node.grad.borrow_mut() = None;
         }
     }
 

@@ -2,16 +2,31 @@
 //! gradient kernels used by the autograd layer.
 //!
 //! The three expensive kernels — forward, input gradient, and weight
-//! gradient — are written as *block kernels* over a flat block range
-//! (`(batch, out-channel)` blocks for the forward pass, `(batch,
-//! in-channel)` for the input gradient, out-channel blocks for the
-//! weight gradient). Serial execution runs one kernel call over the
-//! full range; large problems fan the same kernel out across the
-//! `deco-runtime` pool with shape-derived chunk boundaries, so the two
-//! paths are bitwise identical at any `DECO_THREADS`.
+//! gradient — each have two lowerings, chosen by a pure function of the
+//! problem shape (see [`use_im2col`]):
+//!
+//! * **im2col/GEMM** (the fast path): each image is unrolled into a
+//!   `[c_in·k·k, oh·ow]` column matrix in pooled scratch and the
+//!   convolution becomes a product on the cache-blocked GEMM core in
+//!   [`super::gemm`] — `out = W × cols` forward, `colsᵍ = Wᵀ × g` then
+//!   a col2im scatter-add for the input gradient, and
+//!   `gw += g × colsᵀ` for the weight gradient (transposed operands are
+//!   views; nothing is materialized);
+//! * **direct** (tiny problems): the original 7-loop kernels, kept as
+//!   block kernels over flat block ranges.
+//!
+//! Serial execution runs one kernel call over the full range; large
+//! problems fan the same kernel out across the `deco-runtime` pool with
+//! shape-derived chunk boundaries. Per-image results are independent
+//! (the weight gradient folds shape-derived per-chunk partials in chunk
+//! order, serial and parallel alike), so results are bitwise identical
+//! at any `DECO_THREADS`. All outputs and scratch come from the
+//! thread-local [`crate::pool`].
 
 use std::ops::Range;
 
+use super::gemm::{self, MatRef};
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Minimum multiply-accumulate count before a conv kernel fans out.
@@ -19,24 +34,126 @@ const PAR_MIN_OPS: usize = 1 << 17;
 /// Target multiply-accumulates per parallel chunk (shape-derived only).
 const PAR_CHUNK_OPS: usize = 1 << 16;
 
-/// Runs `kernel` over `total` blocks of `block_cost` multiply-
-/// accumulates each, in parallel when the problem is big enough, and
-/// returns the concatenated per-block outputs. The chunk boundaries
-/// depend only on the shape-derived arguments, never the thread count.
-fn run_blocks<K>(total: usize, block_cost: usize, kernel: K) -> Vec<f32>
+/// Minimum total multiply-accumulates before the im2col path's scratch
+/// traffic pays for itself; below it the direct kernels win.
+const IM2COL_MIN_MACS: usize = 1 << 12;
+
+/// Shape-only heuristic choosing the im2col/GEMM lowering over the
+/// direct kernels. `force` is a test-only override threaded in from
+/// `testhook` so the conformance differential suite can run both
+/// lowerings on the same problem without any global state.
+fn use_im2col(total_macs: usize, ohw: usize, ckk: usize, force: Option<bool>) -> bool {
+    force.unwrap_or(total_macs >= IM2COL_MIN_MACS && ohw >= 4 && ckk >= 4)
+}
+
+/// Runs `kernel` over `total` blocks of `block_len` output floats and
+/// `block_cost` multiply-accumulates each, writing into `out`
+/// (`total · block_len` floats, pre-zeroed by the caller). Serial
+/// execution passes `out` straight through; parallel chunks write into
+/// pooled scratch that is copied into place and recycled. The chunk
+/// boundaries depend only on the shape-derived arguments, never the
+/// thread count.
+fn run_blocks<K>(total: usize, block_cost: usize, block_len: usize, out: &mut [f32], kernel: K)
 where
-    K: Fn(Range<usize>) -> Vec<f32> + Send + Sync + 'static,
+    K: Fn(Range<usize>, &mut [f32]) + Send + Sync + 'static,
 {
+    debug_assert_eq!(out.len(), total * block_len);
     if deco_runtime::threads() > 1 && total > 1 && total * block_cost >= PAR_MIN_OPS {
         let blocks_per_chunk = (PAR_CHUNK_OPS / block_cost.max(1)).clamp(1, total);
-        let chunks = deco_runtime::parallel_for_chunks(total, blocks_per_chunk, kernel);
-        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        let chunks = deco_runtime::parallel_for_chunks(total, blocks_per_chunk, move |blocks| {
+            let mut buf = pool::take(blocks.len() * block_len);
+            kernel(blocks, &mut buf);
+            buf
+        });
+        let mut cursor = 0usize;
         for chunk in chunks {
-            out.extend_from_slice(&chunk);
+            out[cursor..cursor + chunk.len()].copy_from_slice(&chunk);
+            cursor += chunk.len();
+            pool::give(chunk);
         }
-        out
     } else {
-        kernel(0..total)
+        kernel(0..total, out);
+    }
+}
+
+/// Unrolls one NCHW image into its `[c_in·k·k, oh·ow]` column matrix:
+/// row `ci·k² + khi·k + kwi` holds the input value under kernel tap
+/// `(khi, kwi)` of channel `ci` for every output position (zero where
+/// the tap falls in padding). Writes every element of `cols`.
+fn im2col(
+    cols: &mut [f32],
+    x_img: &[f32],
+    (cin, h, w): (usize, usize, usize),
+    (oh, ow): (usize, usize),
+    spec: Conv2dSpec,
+) {
+    let (s, p, k) = (spec.stride, spec.padding as isize, spec.kernel);
+    let ohw = oh * ow;
+    debug_assert_eq!(cols.len(), cin * k * k * ohw);
+    let mut row = 0usize;
+    for ci in 0..cin {
+        let x_base = ci * h * w;
+        for khi in 0..k {
+            for kwi in 0..k {
+                let dst = &mut cols[row * ohw..(row + 1) * ohw];
+                row += 1;
+                for ohi in 0..oh {
+                    let ih = (ohi * s) as isize + khi as isize - p;
+                    let drow = &mut dst[ohi * ow..(ohi + 1) * ow];
+                    if ih < 0 || ih >= h as isize {
+                        drow.fill(0.0);
+                        continue;
+                    }
+                    let x_row = x_base + (ih as usize) * w;
+                    for (owi, d) in drow.iter_mut().enumerate() {
+                        let iw = (owi * s) as isize + kwi as isize - p;
+                        *d = if iw < 0 || iw >= w as isize {
+                            0.0
+                        } else {
+                            x_img[x_row + iw as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a `[c_in·k·k, oh·ow]` column
+/// matrix back into one NCHW image gradient (which the caller has
+/// zeroed). Contributions to each input cell arrive in fixed row-major
+/// column order — a pure function of the shapes.
+fn col2im_add(
+    gin_img: &mut [f32],
+    cols: &[f32],
+    (cin, h, w): (usize, usize, usize),
+    (oh, ow): (usize, usize),
+    spec: Conv2dSpec,
+) {
+    let (s, p, k) = (spec.stride, spec.padding as isize, spec.kernel);
+    let ohw = oh * ow;
+    let mut row = 0usize;
+    for ci in 0..cin {
+        let gi_base = ci * h * w;
+        for khi in 0..k {
+            for kwi in 0..k {
+                let src = &cols[row * ohw..(row + 1) * ohw];
+                row += 1;
+                for ohi in 0..oh {
+                    let ih = (ohi * s) as isize + khi as isize - p;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let gi_row = gi_base + (ih as usize) * w;
+                    for (owi, &v) in src[ohi * ow..(ohi + 1) * ow].iter().enumerate() {
+                        let iw = (owi * s) as isize + kwi as isize - p;
+                        if iw >= 0 && iw < w as isize {
+                            gin_img[gi_row + iw as usize] += v;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -94,66 +211,105 @@ impl Tensor {
     /// # Panics
     /// Panics on rank/shape mismatches.
     pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
-        assert_eq!(
-            self.rank(),
-            4,
-            "conv2d input must be NCHW, got {}",
-            self.shape()
-        );
-        assert_eq!(
-            weight.rank(),
-            4,
-            "conv2d weight must be [co,ci,k,k], got {}",
-            weight.shape()
-        );
-        let (n, cin, h, w) = dims4(self);
-        let (cout, cin2, kh, kw) = dims4(weight);
-        assert_eq!(
-            cin, cin2,
-            "conv2d channel mismatch: input {cin}, weight {cin2}"
-        );
-        assert_eq!(
-            kh, spec.kernel,
-            "weight kernel {kh} vs spec {}",
-            spec.kernel
-        );
-        assert_eq!(
-            kw, spec.kernel,
-            "weight kernel {kw} vs spec {}",
-            spec.kernel
-        );
-        if let Some(b) = bias {
-            assert_eq!(
-                b.numel(),
-                cout,
-                "bias length {} vs c_out {}",
-                b.numel(),
-                cout
-            );
-        }
-        let (oh, ow) = (spec.out_side(h), spec.out_side(w));
-        deco_telemetry::counter!("tensor.ops.conv2d");
-        let x = self.clone();
-        let wt = weight.clone();
-        let b = bias.cloned();
-        let out = run_blocks(
-            n * cout,
-            cin * spec.kernel * spec.kernel * oh * ow,
-            move |blocks| {
-                conv2d_blocks(
-                    x.data(),
-                    wt.data(),
-                    b.as_ref().map(|t| t.data()),
-                    (cin, h, w),
-                    (cout, oh, ow),
-                    spec,
-                    blocks,
-                )
-            },
-        );
-        Tensor::from_vec(out, [n, cout, oh, ow])
+        conv2d_impl(self, weight, bias, spec, None)
     }
+}
 
+/// Implementation of [`Tensor::conv2d`]; `force` overrides the lowering
+/// heuristic (threaded in from `testhook`, tests only).
+pub(crate) fn conv2d_impl(
+    x_t: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    force: Option<bool>,
+) -> Tensor {
+    assert_eq!(
+        x_t.rank(),
+        4,
+        "conv2d input must be NCHW, got {}",
+        x_t.shape()
+    );
+    assert_eq!(
+        weight.rank(),
+        4,
+        "conv2d weight must be [co,ci,k,k], got {}",
+        weight.shape()
+    );
+    let (n, cin, h, w) = dims4(x_t);
+    let (cout, cin2, kh, kw) = dims4(weight);
+    assert_eq!(
+        cin, cin2,
+        "conv2d channel mismatch: input {cin}, weight {cin2}"
+    );
+    assert_eq!(
+        kh, spec.kernel,
+        "weight kernel {kh} vs spec {}",
+        spec.kernel
+    );
+    assert_eq!(
+        kw, spec.kernel,
+        "weight kernel {kw} vs spec {}",
+        spec.kernel
+    );
+    if let Some(b) = bias {
+        assert_eq!(
+            b.numel(),
+            cout,
+            "bias length {} vs c_out {}",
+            b.numel(),
+            cout
+        );
+    }
+    let (oh, ow) = (spec.out_side(h), spec.out_side(w));
+    deco_telemetry::counter!("tensor.ops.conv2d");
+    let ohw = oh * ow;
+    let ckk = cin * spec.kernel * spec.kernel;
+    let macs_per_image = cout * ckk * ohw;
+    let x = x_t.clone();
+    let wt = weight.clone();
+    let b = bias.cloned();
+    let mut out = pool::take(n * cout * ohw);
+    if use_im2col(n * macs_per_image, ohw, ckk, force) {
+        let _span = deco_telemetry::span!("tensor.gemm");
+        run_blocks(n, macs_per_image, cout * ohw, &mut out, move |imgs, dst| {
+            let wv = MatRef::new(wt.data(), cout, ckk);
+            let mut cols = pool::take(ckk * ohw);
+            for (bi, ni) in imgs.enumerate() {
+                let x_img = &x.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
+                im2col(&mut cols, x_img, (cin, h, w), (oh, ow), spec);
+                let dst_img = &mut dst[bi * cout * ohw..(bi + 1) * cout * ohw];
+                gemm::gemm_into(dst_img, &wv, &MatRef::new(&cols, ckk, ohw));
+                if let Some(b) = &b {
+                    for (co, &bv) in b.data().iter().enumerate() {
+                        if bv != 0.0 {
+                            for o in &mut dst_img[co * ohw..(co + 1) * ohw] {
+                                *o += bv;
+                            }
+                        }
+                    }
+                }
+            }
+            pool::give(cols);
+        });
+    } else {
+        run_blocks(n * cout, ckk * ohw, ohw, &mut out, move |blocks, dst| {
+            conv2d_blocks(
+                x.data(),
+                wt.data(),
+                b.as_ref().map(|t| t.data()),
+                (cin, h, w),
+                (cout, oh, ow),
+                spec,
+                blocks,
+                dst,
+            )
+        });
+    }
+    Tensor::from_pool_buf(out, [n, cout, oh, ow])
+}
+
+impl Tensor {
     /// Gradient of [`Tensor::conv2d`] w.r.t. its input.
     ///
     /// `self` is the output gradient `[n, c_out, oh, ow]`.
@@ -163,50 +319,171 @@ impl Tensor {
         input_hw: (usize, usize),
         spec: Conv2dSpec,
     ) -> Tensor {
-        let (n, cout, oh, ow) = dims4(self);
-        let (cout2, cin, k, _) = dims4(weight);
-        assert_eq!(cout, cout2, "conv2d_input_grad c_out mismatch");
-        let (h, w) = input_hw;
-        let g = self.clone();
-        let wt = weight.clone();
-        let gin = run_blocks(n * cin, cout * k * k * oh * ow, move |blocks| {
-            conv2d_input_grad_blocks(
-                g.data(),
-                wt.data(),
-                (cin, h, w),
-                (cout, oh, ow),
-                k,
-                spec,
-                blocks,
-            )
-        });
-        Tensor::from_vec(gin, [n, cin, h, w])
+        conv2d_input_grad_impl(self, weight, input_hw, spec, None)
     }
 
     /// Gradient of [`Tensor::conv2d`] w.r.t. its weight.
     ///
     /// `self` is the output gradient; `input` the forward input.
     pub fn conv2d_weight_grad(&self, input: &Tensor, kernel: usize, spec: Conv2dSpec) -> Tensor {
-        let (n, cout, oh, ow) = dims4(self);
-        let (n2, cin, h, w) = dims4(input);
-        assert_eq!(n, n2, "conv2d_weight_grad batch mismatch");
-        let k = kernel;
-        let g = self.clone();
-        let x = input.clone();
-        let gw = run_blocks(cout, n * cin * k * k * oh * ow, move |blocks| {
-            conv2d_weight_grad_blocks(
-                g.data(),
-                x.data(),
-                (n, cin, h, w),
-                (cout, oh, ow),
-                k,
-                spec,
-                blocks,
-            )
-        });
-        Tensor::from_vec(gw, [cout, cin, k, k])
+        conv2d_weight_grad_impl(self, input, kernel, spec, None)
     }
+}
 
+/// Implementation of [`Tensor::conv2d_input_grad`]; `force` overrides
+/// the lowering heuristic (tests only).
+pub(crate) fn conv2d_input_grad_impl(
+    g_t: &Tensor,
+    weight: &Tensor,
+    input_hw: (usize, usize),
+    spec: Conv2dSpec,
+    force: Option<bool>,
+) -> Tensor {
+    let (n, cout, oh, ow) = dims4(g_t);
+    let (cout2, cin, k, _) = dims4(weight);
+    assert_eq!(cout, cout2, "conv2d_input_grad c_out mismatch");
+    let (h, w) = input_hw;
+    let ohw = oh * ow;
+    let ckk = cin * k * k;
+    let macs_per_image = cout * ckk * ohw;
+    let g = g_t.clone();
+    let wt = weight.clone();
+    let mut gin = pool::take(n * cin * h * w);
+    if use_im2col(n * macs_per_image, ohw, ckk, force) {
+        let _span = deco_telemetry::span!("tensor.gemm");
+        run_blocks(
+            n,
+            macs_per_image,
+            cin * h * w,
+            &mut gin,
+            move |imgs, dst| {
+                // Wᵀ as a view: logical [c_in·k·k, c_out].
+                let wt_t = MatRef::transposed(wt.data(), cout, ckk);
+                let mut cols_g = pool::take(ckk * ohw);
+                for (bi, ni) in imgs.enumerate() {
+                    cols_g.fill(0.0);
+                    let g_img = &g.data()[ni * cout * ohw..(ni + 1) * cout * ohw];
+                    gemm::gemm_into(&mut cols_g, &wt_t, &MatRef::new(g_img, cout, ohw));
+                    let dst_img = &mut dst[bi * cin * h * w..(bi + 1) * cin * h * w];
+                    col2im_add(dst_img, &cols_g, (cin, h, w), (oh, ow), spec);
+                }
+                pool::give(cols_g);
+            },
+        );
+    } else {
+        run_blocks(
+            n * cin,
+            cout * k * k * ohw,
+            h * w,
+            &mut gin,
+            move |blocks, dst| {
+                conv2d_input_grad_blocks(
+                    g.data(),
+                    wt.data(),
+                    (cin, h, w),
+                    (cout, oh, ow),
+                    k,
+                    spec,
+                    blocks,
+                    dst,
+                )
+            },
+        );
+    }
+    Tensor::from_pool_buf(gin, [n, cin, h, w])
+}
+
+/// Implementation of [`Tensor::conv2d_weight_grad`]; `force` overrides
+/// the lowering heuristic (tests only).
+pub(crate) fn conv2d_weight_grad_impl(
+    g_t: &Tensor,
+    input: &Tensor,
+    kernel: usize,
+    spec: Conv2dSpec,
+    force: Option<bool>,
+) -> Tensor {
+    let (n, cout, oh, ow) = dims4(g_t);
+    let (n2, cin, h, w) = dims4(input);
+    assert_eq!(n, n2, "conv2d_weight_grad batch mismatch");
+    let k = kernel;
+    let ohw = oh * ow;
+    let ckk = cin * k * k;
+    let macs_per_image = cout * ckk * ohw;
+    let g = g_t.clone();
+    let x = input.clone();
+    let mut gw = pool::take(cout * ckk);
+    if use_im2col(n * macs_per_image, ohw, ckk, force) {
+        let _span = deco_telemetry::span!("tensor.gemm");
+        // Accumulates `g_i × cols_iᵀ` over an image range into `dst`
+        // (image order within the range).
+        let kernel_fn = move |imgs: Range<usize>, dst: &mut [f32]| {
+            let mut cols = pool::take(ckk * ohw);
+            for ni in imgs {
+                let x_img = &x.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
+                im2col(&mut cols, x_img, (cin, h, w), (oh, ow), spec);
+                let g_img = &g.data()[ni * cout * ohw..(ni + 1) * cout * ohw];
+                gemm::gemm_into(
+                    dst,
+                    &MatRef::new(g_img, cout, ohw),
+                    &MatRef::transposed(&cols, ckk, ohw),
+                );
+            }
+            pool::give(cols);
+        };
+        // The batch sum is not per-image independent, so serial and
+        // parallel execution share one reduction structure: shape-
+        // derived image chunks, each accumulated into a zeroed
+        // partial, folded into `gw` in chunk order.
+        let ipc = (PAR_CHUNK_OPS / macs_per_image.max(1)).clamp(1, n);
+        let mut fold = |partial: Vec<f32>| {
+            for (d, s) in gw.iter_mut().zip(&partial) {
+                *d += s;
+            }
+            pool::give(partial);
+        };
+        if deco_runtime::threads() > 1 && n > 1 && n * macs_per_image >= PAR_MIN_OPS {
+            let partials = deco_runtime::parallel_for_chunks(n, ipc, move |imgs| {
+                let mut p = pool::take(cout * ckk);
+                kernel_fn(imgs, &mut p);
+                p
+            });
+            for p in partials {
+                fold(p);
+            }
+        } else {
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + ipc).min(n);
+                let mut p = pool::take(cout * ckk);
+                kernel_fn(start..end, &mut p);
+                fold(p);
+                start = end;
+            }
+        }
+    } else {
+        run_blocks(
+            cout,
+            n * cin * k * k * ohw,
+            cin * k * k,
+            &mut gw,
+            move |blocks, dst| {
+                conv2d_weight_grad_blocks(
+                    g.data(),
+                    x.data(),
+                    (n, cin, h, w),
+                    (cout, oh, ow),
+                    k,
+                    spec,
+                    blocks,
+                    dst,
+                )
+            },
+        );
+    }
+    Tensor::from_pool_buf(gw, [cout, cin, k, k])
+}
+
+impl Tensor {
     /// Gradient of [`Tensor::conv2d`] w.r.t. its bias: sum over batch and
     /// spatial axes of the output gradient.
     pub fn conv2d_bias_grad(&self) -> Tensor {
@@ -342,8 +619,10 @@ impl Tensor {
 
 /// Forward kernel over flat `(batch, out-channel)` blocks: block
 /// `flat = ni·c_out + co` produces the contiguous `oh·ow` output tile
-/// for that image/channel pair. Accumulation order within a tile
-/// matches the full serial loop (`ci → kh → kw → spatial`) exactly.
+/// for that image/channel pair, written into the pre-zeroed `out`
+/// (blocks-relative). Accumulation order within a tile matches the full
+/// serial loop (`ci → kh → kw → spatial`) exactly.
+#[allow(clippy::too_many_arguments)]
 fn conv2d_blocks(
     x: &[f32],
     wt: &[f32],
@@ -352,9 +631,10 @@ fn conv2d_blocks(
     (cout, oh, ow): (usize, usize, usize),
     spec: Conv2dSpec,
     blocks: Range<usize>,
-) -> Vec<f32> {
+    out: &mut [f32],
+) {
     let (s, p, k) = (spec.stride, spec.padding as isize, spec.kernel);
-    let mut out = vec![0.0f32; blocks.len() * oh * ow];
+    debug_assert_eq!(out.len(), blocks.len() * oh * ow);
     for (bi, flat) in blocks.enumerate() {
         let (ni, co) = (flat / cout, flat % cout);
         let o_base = bi * oh * ow;
@@ -394,7 +674,6 @@ fn conv2d_blocks(
             }
         }
     }
-    out
 }
 
 /// Input-gradient kernel over flat `(batch, in-channel)` blocks: block
@@ -403,6 +682,7 @@ fn conv2d_blocks(
 /// arrive in `(co, kh, kw)` lexicographic order — the same sequence as
 /// the original `ni → co → ci → kh → kw` serial loop — so the result is
 /// bitwise identical to it.
+#[allow(clippy::too_many_arguments)]
 fn conv2d_input_grad_blocks(
     g: &[f32],
     wt: &[f32],
@@ -411,9 +691,10 @@ fn conv2d_input_grad_blocks(
     k: usize,
     spec: Conv2dSpec,
     blocks: Range<usize>,
-) -> Vec<f32> {
+    gin: &mut [f32],
+) {
     let (s, p) = (spec.stride, spec.padding as isize);
-    let mut gin = vec![0.0f32; blocks.len() * h * w];
+    debug_assert_eq!(gin.len(), blocks.len() * h * w);
     for (bi, flat) in blocks.enumerate() {
         let (ni, ci) = (flat / cin, flat % cin);
         let gi_base = bi * h * w;
@@ -445,7 +726,6 @@ fn conv2d_input_grad_blocks(
             }
         }
     }
-    gin
 }
 
 /// Weight-gradient kernel over out-channel blocks: block `co` produces
@@ -453,6 +733,7 @@ fn conv2d_input_grad_blocks(
 /// channel. For a fixed weight element, per-image contributions arrive
 /// in batch order — the same sequence as the original `ni → co`
 /// serial loop — so the result is bitwise identical to it.
+#[allow(clippy::too_many_arguments)]
 fn conv2d_weight_grad_blocks(
     g: &[f32],
     x: &[f32],
@@ -461,9 +742,10 @@ fn conv2d_weight_grad_blocks(
     k: usize,
     spec: Conv2dSpec,
     blocks: Range<usize>,
-) -> Vec<f32> {
+    gw: &mut [f32],
+) {
     let (s, p) = (spec.stride, spec.padding as isize);
-    let mut gw = vec![0.0f32; blocks.len() * cin * k * k];
+    debug_assert_eq!(gw.len(), blocks.len() * cin * k * k);
     for (bi, co) in blocks.enumerate() {
         for ni in 0..n {
             let g_base = (ni * cout + co) * oh * ow;
@@ -494,7 +776,6 @@ fn conv2d_weight_grad_blocks(
             }
         }
     }
-    gw
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
@@ -698,6 +979,72 @@ mod tests {
         assert_eq!(f1.data(), f4.data());
         assert_eq!(i1.data(), i4.data());
         assert_eq!(w1.data(), w4.data());
+    }
+
+    #[test]
+    fn rectangular_and_strided_shapes_work() {
+        // H ≠ W with stride 2 + padding: exercises both lowerings'
+        // geometry handling (the heuristic sends big shapes to im2col).
+        let mut rng = crate::Rng::new(41);
+        let x = Tensor::randn([2, 3, 9, 5], &mut rng);
+        let wt = Tensor::randn([4, 3, 3, 3], &mut rng);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let y = x.conv2d(&wt, None, spec);
+        assert_eq!(y.shape().dims(), &[2, 4, 5, 3]);
+        let gin = y.conv2d_input_grad(&wt, (9, 5), spec);
+        assert_eq!(gin.shape().dims(), &[2, 3, 9, 5]);
+        let gw = y.conv2d_weight_grad(&x, 3, spec);
+        assert_eq!(gw.shape().dims(), &[4, 3, 3, 3]);
+        // Adjoint identity <conv(x), g> == <x, conv_input_grad(g)> holds
+        // for any geometry; use y itself as the output gradient.
+        let lhs = y.dot(&y);
+        let rhs = x.dot(&gin);
+        assert!(
+            (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn im2col_agrees_with_direct_within_tolerance() {
+        // Accumulation orders differ, so compare with a small relative
+        // tolerance rather than bitwise.
+        let mut rng = crate::Rng::new(42);
+        for &(n, cin, cout, h, w, kk, s, p) in &[
+            (
+                2usize, 3usize, 4usize, 8usize, 8usize, 3usize, 1usize, 1usize,
+            ),
+            (1, 2, 3, 7, 5, 3, 2, 1),
+            (2, 1, 2, 6, 9, 2, 2, 0),
+        ] {
+            let spec = Conv2dSpec::new(kk, s, p);
+            let x = Tensor::randn([n, cin, h, w], &mut rng);
+            let wt = Tensor::randn([cout, cin, kk, kk], &mut rng);
+            let b = Tensor::randn([cout], &mut rng);
+            let (oh, ow) = (spec.out_side(h), spec.out_side(w));
+            let g = Tensor::randn([n, cout, oh, ow], &mut rng);
+            use crate::testhook::{
+                conv2d_forced, conv2d_input_grad_forced, conv2d_weight_grad_forced,
+            };
+            let fwd_i = conv2d_forced(&x, &wt, Some(&b), spec, true);
+            let gin_i = conv2d_input_grad_forced(&g, &wt, (h, w), spec, true);
+            let gw_i = conv2d_weight_grad_forced(&g, &x, kk, spec, true);
+            let fwd_d = conv2d_forced(&x, &wt, Some(&b), spec, false);
+            let gin_d = conv2d_input_grad_forced(&g, &wt, (h, w), spec, false);
+            let gw_d = conv2d_weight_grad_forced(&g, &x, kk, spec, false);
+            for (which, a, b) in [
+                ("fwd", &fwd_i, &fwd_d),
+                ("gin", &gin_i, &gin_d),
+                ("gw", &gw_i, &gw_d),
+            ] {
+                for (i, (&xi, &yi)) in a.data().iter().zip(b.data()).enumerate() {
+                    assert!(
+                        (xi - yi).abs() <= 1e-3 * yi.abs().max(1.0),
+                        "{which} elem {i}: {xi} vs {yi}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

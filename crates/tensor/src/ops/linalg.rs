@@ -1,7 +1,9 @@
 //! Matrix operations: matmul and 2-D transpose.
 
-use std::ops::Range;
+use std::sync::Arc;
 
+use super::gemm::{self, MatRef, PackedB, MC};
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Minimum `2·m·k·n` flop count before a matmul fans out to the pool.
@@ -11,36 +13,25 @@ const PAR_MIN_FLOPS: usize = 1 << 18;
 /// bitwise identical at any `DECO_THREADS`.
 const PAR_CHUNK_FLOPS: usize = 1 << 17;
 
-/// Computes output rows `rows` of `[m, k] × [k, n]`: the ikj kernel of
-/// [`Tensor::matmul`] restricted to a row range. Each output row is
-/// accumulated entirely within one call, in the same order as the full
-/// serial loop, so chunked and serial execution agree bitwise.
-fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, rows: Range<usize>) -> Vec<f32> {
-    let mut out = vec![0.0f32; rows.len() * n];
-    for (oi, i) in rows.enumerate() {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o_row = &mut out[oi * n..(oi + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &b_pj) in o_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
-    out
+/// Rows per parallel chunk: the flop target rounded up to a whole
+/// number of `MC` row-panels, so every chunk hands the packed kernel
+/// full cache blocks. Depends only on the shapes.
+fn rows_per_chunk(m: usize, k: usize, n: usize) -> usize {
+    let rows = (PAR_CHUNK_FLOPS / (2 * k * n).max(1)).clamp(1, m);
+    (rows.div_ceil(MC) * MC).min(m)
 }
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Uses an ikj loop order with a flat output buffer, which keeps the
-    /// inner loop contiguous and lets the compiler vectorize it. Large
-    /// products are chunked by output row across the `deco-runtime`
-    /// pool; chunk boundaries depend only on the shapes, so the result
-    /// is bitwise identical to serial execution at any thread count.
+    /// Lowered onto the cache-blocked, panel-packed GEMM core in
+    /// [`crate::ops::gemm`] (tiny products fall back to a naive ikj
+    /// loop — the choice is a pure function of the shapes). Large
+    /// products pack `B` once and fan row-panel ranges out across the
+    /// `deco-runtime` pool; every output element is accumulated in a
+    /// shape-derived order either way, so the result is bitwise
+    /// identical to serial execution at any thread count. Output and
+    /// packing buffers come from the thread-local [`crate::pool`].
     ///
     /// # Panics
     /// Panics unless both tensors are rank 2 with matching inner dimension.
@@ -69,28 +60,41 @@ impl Tensor {
         deco_telemetry::counter!("tensor.ops.matmul");
         deco_telemetry::counter!("tensor.ops.matmul_flops", (2 * m * k * n) as u64);
         let flops = 2 * m * k * n;
-        let out = if deco_runtime::threads() > 1 && flops >= PAR_MIN_FLOPS && m > 1 {
+        let mut out = pool::take(m * n);
+        if deco_runtime::threads() > 1 && flops >= PAR_MIN_FLOPS && gemm::use_packed(m, k, n) {
+            let _span = deco_telemetry::span!("tensor.gemm");
             let a = self.clone();
-            let b = other.clone();
-            let rows_per_chunk = (PAR_CHUNK_FLOPS / (2 * k * n).max(1)).clamp(1, m);
-            let chunks = deco_runtime::parallel_for_chunks(m, rows_per_chunk, move |rows| {
-                matmul_rows(a.data(), b.data(), k, n, rows)
-            });
-            let mut out = Vec::with_capacity(m * n);
+            let bp = Arc::new(PackedB::pack(&MatRef::new(other.data(), k, n)));
+            let bp_worker = Arc::clone(&bp);
+            let chunks =
+                deco_runtime::parallel_for_chunks(m, rows_per_chunk(m, k, n), move |rows| {
+                    let av = MatRef::new(a.data(), m, k);
+                    let mut buf = pool::take(rows.len() * n);
+                    gemm::gemm_rows_packed(&mut buf, &av, &bp_worker, rows);
+                    buf
+                });
+            let mut cursor = 0usize;
             for chunk in chunks {
-                out.extend_from_slice(&chunk);
+                out[cursor..cursor + chunk.len()].copy_from_slice(&chunk);
+                cursor += chunk.len();
+                pool::give(chunk);
             }
-            out
+            if let Ok(bp) = Arc::try_unwrap(bp) {
+                bp.recycle();
+            }
         } else {
-            matmul_rows(self.data(), other.data(), k, n, 0..m)
-        };
-        let mut out = out;
+            gemm::gemm_into(
+                &mut out,
+                &MatRef::new(self.data(), m, k),
+                &MatRef::new(other.data(), k, n),
+            );
+        }
         if crate::testhook::matmul_ulp_perturbation() {
             if let Some(first) = out.first_mut() {
                 *first = crate::testhook::one_ulp_up(*first);
             }
         }
-        Tensor::from_vec(out, [m, n])
+        Tensor::from_pool_buf(out, [m, n])
     }
 
     /// Transpose of a rank-2 tensor.
@@ -106,13 +110,13 @@ impl Tensor {
         );
         let (m, n) = (self.shape().dim(0), self.shape().dim(1));
         let src = self.data();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = src[i * n + j];
             }
         }
-        Tensor::from_vec(out, [n, m])
+        Tensor::from_pool_buf(out, [n, m])
     }
 }
 

@@ -1,7 +1,7 @@
 //! The dense `f32` tensor type.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::rng::Rng;
 use crate::shape::Shape;
@@ -35,6 +35,32 @@ fn track_buffer(numel: usize) {
     );
 }
 
+/// Shared empty buffer swapped into a tensor being dropped so its real
+/// buffer can be extracted without allocating a replacement.
+fn hollow_buf() -> Arc<Vec<f32>> {
+    static HOLLOW: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
+    Arc::clone(HOLLOW.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// Recycles pool-compatible buffers when the last owner drops: a
+/// uniquely-owned backing buffer is offered back to the thread-local
+/// [`crate::pool`] (which accepts exactly the power-of-two capacities it
+/// hands out), closing the allocate/reuse loop for kernel outputs and
+/// gradients without any manual recycle calls. Shared buffers and
+/// exact-size vectors from ordinary constructors pass through to the
+/// normal deallocation path.
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        if Arc::strong_count(&self.data) != 1 || self.data.capacity() == 0 {
+            return;
+        }
+        let data = std::mem::replace(&mut self.data, hollow_buf());
+        if let Ok(buf) = Arc::try_unwrap(data) {
+            crate::pool::give(buf);
+        }
+    }
+}
+
 impl Tensor {
     /// Creates a tensor from a flat row-major buffer.
     ///
@@ -51,6 +77,18 @@ impl Tensor {
             shape.numel()
         );
         track_buffer(data.len());
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
+    }
+
+    /// Wraps a buffer obtained from [`crate::pool::take`] without
+    /// counting a fresh allocation (the pool's own hit/miss counters
+    /// already account for it).
+    pub(crate) fn from_pool_buf(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        debug_assert_eq!(data.len(), shape.numel());
         Tensor {
             data: Arc::new(data),
             shape,

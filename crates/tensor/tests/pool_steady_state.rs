@@ -1,0 +1,57 @@
+//! Steady-state allocation contract of the kernel hot path.
+//!
+//! After a warm-up pass has populated the thread-local buffer pool,
+//! repeated matmul / conv2d / gradient-kernel calls must be served
+//! entirely from the pool's free lists: zero `take` misses, every
+//! output and scratch buffer recycled. The pool's always-on counters
+//! ([`deco_tensor::pool::stats`]) are the observation mechanism.
+//!
+//! Runs serially (one runtime thread) so all pool traffic lands on this
+//! test thread's free lists.
+
+use deco_tensor::{pool, Conv2dSpec, Rng, Tensor};
+
+#[test]
+fn kernels_allocate_nothing_after_warm_up() {
+    deco_runtime::with_thread_count(1, || {
+        let mut rng = Rng::new(7);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        // Paper ConvNet-ish shapes: large enough that every kernel takes
+        // the im2col / packed-GEMM fast path.
+        let x = Tensor::randn([4, 3, 16, 16], &mut rng);
+        let w = Tensor::randn([16, 3, 3, 3], &mut rng);
+        let b = Tensor::randn([16], &mut rng);
+        let g = Tensor::randn([4, 16, 16, 16], &mut rng);
+        let a = Tensor::randn([64, 96], &mut rng);
+        let c = Tensor::randn([96, 48], &mut rng);
+
+        let step = || {
+            let fwd = x.conv2d(&w, Some(&b), spec);
+            let gin = g.conv2d_input_grad(&w, (16, 16), spec);
+            let gw = g.conv2d_weight_grad(&x, 3, spec);
+            let mm = a.matmul(&c);
+            // Consume so the optimizer can't drop the calls; all four
+            // temporaries recycle into the pool at end of scope.
+            fwd.sum() + gin.sum() + gw.sum() + mm.sum()
+        };
+
+        // Warm-up: first iterations miss while the free lists fill.
+        let warm = (0..3).map(|_| step()).collect::<Vec<_>>();
+        pool::reset_stats();
+
+        let steady = (0..5).map(|_| step()).collect::<Vec<_>>();
+        let stats = pool::stats();
+        assert_eq!(
+            stats.misses, 0,
+            "steady-state kernels hit the heap: {stats:?}"
+        );
+        assert!(stats.hits > 0, "pool saw no traffic: {stats:?}");
+        assert!(stats.reused_bytes > 0, "no bytes reused: {stats:?}");
+
+        // Determinism sanity: the same inputs give bitwise-identical
+        // results whether buffers came from the heap or the pool.
+        for (a, b) in warm.iter().zip(&steady) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    });
+}
