@@ -1,14 +1,70 @@
-//! Criterion micro-benchmarks for one condensation step of each method —
-//! the per-step costs whose ratios drive Table II.
+//! `condense_step`: single-thread wall time and allocation behaviour of
+//! one condensation step — the matcher's five-pass Eq. 7 step and a full
+//! DM round — with the forward-plan cache on and off. This is the
+//! headline bench for the condense-step fast path: the cache-off column
+//! is exactly `DECO_PLAN_CACHE=0` (forced per-thread, so the run needs
+//! no env juggling), and the ratio is the realized speedup.
+//!
+//! Writes `BENCH_condense.json` at the repository root (linked from
+//! EXPERIMENTS.md), following the `BENCH_kernels.json` schema
+//! conventions. A counting `#[global_allocator]` measures heap
+//! allocations per step.
+//!
+//! ```bash
+//! cargo bench -p deco-bench --bench condense_step            # full run
+//! DECO_BENCH_ITERS=5 cargo bench -p deco-bench --bench condense_step -- --check
+//! ```
+//!
+//! `--check` reads the committed `BENCH_condense.json` *before*
+//! overwriting it and fails (exit 1) if `one_step_match_cache_on` got
+//! slower than [`CHECK_FACTOR`] × the committed mean — a generous
+//! threshold meant to catch order-of-magnitude regressions on shared CI
+//! runners, not micro-noise.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use deco::{DecoCondenser, DecoConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
 use deco_condense::{
     one_step_match, CondenseContext, Condenser, DmCondenser, DmConfig, MatchBatch, SegmentData,
     SyntheticBuffer,
 };
-use deco_nn::{feature_discrimination_loss, ConvNet, ConvNetConfig, DiscriminationSpec};
-use deco_tensor::{Rng, Tensor, Var};
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_telemetry::json::Json;
+use deco_tensor::{plancache, Rng, Tensor};
+
+/// System allocator wrapped with an allocation counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed
+// atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Regression gate for `--check`: fail if the tracked op's mean exceeds
+/// this multiple of the committed baseline.
+const CHECK_FACTOR: f64 = 2.5;
+/// Op the `--check` gate tracks.
+const CHECK_OP: &str = "one_step_match_cache_on";
+
+fn iters() -> usize {
+    std::env::var("DECO_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(30)
+}
 
 fn net(rng: &mut Rng) -> ConvNet {
     ConvNet::new(
@@ -24,109 +80,171 @@ fn net(rng: &mut Rng) -> ConvNet {
     )
 }
 
-fn bench_one_step_match(c: &mut Criterion) {
+struct OpResult {
+    name: &'static str,
+    mean_ms: f64,
+    allocs_per_op: f64,
+}
+
+/// Times `f` single-threaded with the plan cache forced on or off for
+/// the whole region: one warm-up call, then `iters` timed calls with
+/// the allocation counter read around the timed region.
+fn time_op(name: &'static str, iters: usize, cache_on: bool, mut f: impl FnMut()) -> OpResult {
+    deco_runtime::with_thread_count(1, move || {
+        plancache::set_thread_override(Some(cache_on));
+        f();
+        let allocs_before = ALLOCS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let secs = start.elapsed().as_secs_f64() / iters as f64;
+        let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+        plancache::set_thread_override(None);
+        OpResult {
+            name,
+            mean_ms: secs * 1e3,
+            allocs_per_op: allocs as f64 / iters as f64,
+        }
+    })
+}
+
+fn bench_ops(iters: usize) -> Vec<OpResult> {
     let mut rng = Rng::new(1);
     let model = net(&mut rng);
     let syn = Tensor::randn([5, 3, 16, 16], &mut rng);
     let syn_labels = vec![0usize; 5];
     let real = Tensor::randn([32, 3, 16, 16], &mut rng);
     let real_labels = vec![0usize; 32];
-    c.bench_function("one_step_match_ipc5_batch32", |bench| {
-        bench.iter(|| {
-            let batch = MatchBatch {
-                syn_images: &syn,
-                syn_labels: &syn_labels,
-                real_images: &real,
-                real_labels: &real_labels,
-                real_weights: None,
-            };
-            std::hint::black_box(one_step_match(&model, &batch, None, 0.01))
-        })
-    });
-}
+    let step = |_: ()| {
+        let batch = MatchBatch {
+            syn_images: &syn,
+            syn_labels: &syn_labels,
+            real_images: &real,
+            real_labels: &real_labels,
+            real_weights: None,
+        };
+        std::hint::black_box(one_step_match(&model, &batch, None, 0.01));
+    };
 
-fn bench_deco_segment(c: &mut Criterion) {
-    let mut rng = Rng::new(2);
-    let scratch = net(&mut rng);
-    let deployed = net(&mut rng);
-    let images = Tensor::randn([32, 3, 16, 16], &mut rng);
+    let mut dm_rng = Rng::new(3);
+    let scratch = net(&mut dm_rng);
+    let deployed = net(&mut dm_rng);
+    let images = Tensor::randn([32, 3, 16, 16], &mut dm_rng);
     let labels = vec![3usize; 32];
     let weights = vec![1.0f32; 32];
-    let mut buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut rng);
-    let mut deco = DecoCondenser::new(DecoConfig::default().with_iterations(5));
-    c.bench_function("deco_condense_segment_l5", |bench| {
-        bench.iter(|| {
-            let seg = SegmentData {
-                images: &images,
-                labels: &labels,
-                weights: &weights,
-                active_classes: &[3],
-            };
-            let mut ctx = CondenseContext {
-                scratch: &scratch,
-                deployed: &deployed,
-                rng: &mut rng,
-            };
-            deco.condense(&mut buffer, &seg, &mut ctx);
-        })
-    });
-}
-
-fn bench_dm_segment(c: &mut Criterion) {
-    let mut rng = Rng::new(3);
-    let scratch = net(&mut rng);
-    let deployed = net(&mut rng);
-    let images = Tensor::randn([32, 3, 16, 16], &mut rng);
-    let labels = vec![3usize; 32];
-    let weights = vec![1.0f32; 32];
-    let mut buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut rng);
+    let mut buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut dm_rng);
     let mut dm = DmCondenser::new(DmConfig::default());
-    c.bench_function("dm_condense_segment", |bench| {
-        bench.iter(|| {
-            let seg = SegmentData {
-                images: &images,
-                labels: &labels,
-                weights: &weights,
-                active_classes: &[3],
-            };
-            let mut ctx = CondenseContext {
-                scratch: &scratch,
-                deployed: &deployed,
-                rng: &mut rng,
-            };
-            dm.condense(&mut buffer, &seg, &mut ctx);
+    let mut dm_round = move |round_rng: &mut Rng| {
+        let seg = SegmentData {
+            images: &images,
+            labels: &labels,
+            weights: &weights,
+            active_classes: &[3],
+        };
+        let mut ctx = CondenseContext {
+            scratch: &scratch,
+            deployed: &deployed,
+            rng: round_rng,
+        };
+        dm.condense(&mut buffer, &seg, &mut ctx);
+    };
+
+    let mut round_rng = Rng::new(7);
+    vec![
+        time_op(CHECK_OP, iters, true, || step(())),
+        time_op("one_step_match_cache_off", iters, false, || step(())),
+        time_op("dm_round_cache_on", iters, true, || {
+            dm_round(&mut round_rng)
+        }),
+        time_op("dm_round_cache_off", iters, false, || {
+            dm_round(&mut round_rng)
+        }),
+    ]
+}
+
+fn baseline_mean_ms(path: &str, op: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text).ok()?;
+    json.get("ops")?
+        .as_array()?
+        .iter()
+        .find(|o| o.get("op").and_then(Json::as_str) == Some(op))?
+        .get("mean_ms")?
+        .as_f64()
+}
+
+fn speedup(results: &[OpResult], on: &str, off: &str) -> Option<f64> {
+    let on_ms = results.iter().find(|r| r.name == on)?.mean_ms;
+    let off_ms = results.iter().find(|r| r.name == off)?.mean_ms;
+    Some(off_ms / on_ms)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let iters = iters();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_condense.json");
+    let baseline = baseline_mean_ms(path, CHECK_OP);
+
+    eprintln!("[condense_step] {iters} iters/op, single thread");
+    let results = bench_ops(iters);
+
+    println!("\n## condense_step — plan cache on vs off, single thread\n");
+    println!("| op | 1T mean (ms) | allocs/op |");
+    println!("|---|---|---|");
+    for r in &results {
+        println!("| {} | {:.4} | {:.1} |", r.name, r.mean_ms, r.allocs_per_op);
+    }
+    let step_speedup = speedup(&results, CHECK_OP, "one_step_match_cache_off").unwrap_or(0.0);
+    let dm_speedup = speedup(&results, "dm_round_cache_on", "dm_round_cache_off").unwrap_or(0.0);
+    println!("\nspeedup: one_step_match {step_speedup:.2}x, dm_round {dm_speedup:.2}x");
+
+    let ops: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("op", Json::Str(r.name.to_string())),
+                ("mean_ms", Json::Num(r.mean_ms)),
+                ("allocs_per_op", Json::Num(r.allocs_per_op)),
+            ])
         })
-    });
-}
+        .collect();
+    let report = Json::obj([
+        ("bench", Json::Str("condense_step".to_string())),
+        ("iters_per_point", Json::Num(iters as f64)),
+        ("threads", Json::Num(1.0)),
+        ("speedup_one_step_match", Json::Num(step_speedup)),
+        ("speedup_dm_round", Json::Num(dm_speedup)),
+        ("ops", Json::Arr(ops)),
+    ]);
+    let mut text = report.to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).expect("write BENCH_condense.json");
+    eprintln!("[condense_step] wrote {path}");
 
-fn bench_feature_discrimination(c: &mut Criterion) {
-    let mut rng = Rng::new(4);
-    let deployed = net(&mut rng);
-    let buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut rng);
-    let active: Vec<usize> = (0..5).collect();
-    let negs: Vec<usize> = active.iter().map(|_| 7).collect();
-    c.bench_function("feature_discrimination_loss_50imgs", |bench| {
-        bench.iter(|| {
-            let leaf = Var::leaf(buffer.images().clone(), true);
-            let z = deployed.features(&leaf, true);
-            let spec = DiscriminationSpec {
-                active: active.clone(),
-                negative_class: negs.clone(),
-            };
-            let loss = feature_discrimination_loss(&z, buffer.labels(), &spec, 0.07);
-            loss.backward();
-            std::hint::black_box(leaf.grad())
-        })
-    });
+    if check {
+        let current = results
+            .iter()
+            .find(|r| r.name == CHECK_OP)
+            .expect("tracked op missing")
+            .mean_ms;
+        match baseline {
+            Some(base) if current > base * CHECK_FACTOR => {
+                eprintln!(
+                    "[condense_step] REGRESSION: {CHECK_OP} {current:.4} ms > \
+                     {CHECK_FACTOR} x committed {base:.4} ms"
+                );
+                std::process::exit(1);
+            }
+            Some(base) => {
+                eprintln!(
+                    "[condense_step] check ok: {CHECK_OP} {current:.4} ms vs \
+                     committed {base:.4} ms (limit {CHECK_FACTOR}x)"
+                );
+            }
+            None => {
+                eprintln!("[condense_step] check skipped: no committed baseline for {CHECK_OP}");
+            }
+        }
+    }
 }
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_one_step_match, bench_deco_segment, bench_dm_segment, bench_feature_discrimination
-}
-criterion_main!(benches);

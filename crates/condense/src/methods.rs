@@ -343,17 +343,24 @@ impl Condenser for DmCondenser {
                 rows_list.push(rows);
             }
             let grads = deco_runtime::parallel_map(inputs, move |_, (real, syn)| {
-                let net = ConvNet::from_params(config, &params);
-                // Real mean embedding (no gradient needed).
-                let real_feats = net.features(&Var::constant(real), true);
-                let real_mean = Var::constant(real_feats.value().mean_axes(&[0], true));
-                // Synthetic mean embedding, differentiable w.r.t. images.
-                let syn_leaf = Var::leaf(syn, true);
-                let syn_feats = net.features(&syn_leaf, true);
-                let syn_mean = syn_feats.mean_axes_keepdim(&[0]);
-                let loss = syn_mean.sub(&real_mean).square().sum();
-                loss.backward();
-                syn_leaf.grad()
+                // Per-job plan-cache scope + tape arena: the two feature
+                // passes share im2col/pack entries and recycle tape
+                // nodes; the guard drops cached entries when the job
+                // ends (each worker owns its thread-local cache).
+                let _cache_scope = crate::matcher::PlanCacheJobScope;
+                deco_tensor::plancache::with_tape_arena(|| {
+                    let net = ConvNet::from_params(config, &params);
+                    // Real mean embedding (no gradient needed).
+                    let real_feats = net.features(&Var::constant(real), true);
+                    let real_mean = Var::constant(real_feats.value().mean_axes(&[0], true));
+                    // Synthetic mean embedding, differentiable w.r.t. images.
+                    let syn_leaf = Var::leaf(syn, true);
+                    let syn_feats = net.features(&syn_leaf, true);
+                    let syn_mean = syn_feats.mean_axes_keepdim(&[0]);
+                    let loss = syn_mean.sub(&real_mean).square().sum();
+                    loss.backward();
+                    syn_leaf.grad()
+                })
             });
             for (rows, grad) in rows_list.iter().zip(grads) {
                 if let Some(grad) = grad {

@@ -7,10 +7,11 @@
 //! naive recomputation), or exempted with an explicit reason (constructors
 //! and pure-geometry helpers).
 //!
-//! Coverage is *enforced*, not aspirational: [`parsed_op_surface`] and
-//! [`parsed_layer_surface`] extract the real public surface from the
-//! source files at test time, and the audit tests assert two-way agreement
-//! with [`entries`] — a new public op without an audit entry fails CI.
+//! Coverage is *enforced*, not aspirational: [`parsed_op_surface`],
+//! [`parsed_layer_surface`] and [`parsed_plancache_surface`] extract the
+//! real public surface from the source files at test time, and the audit
+//! tests assert two-way agreement with [`entries`] — a new public op
+//! without an audit entry fails CI.
 //!
 //! The module also verifies the paper's Eq. 7 finite-difference HVP two
 //! ways: against a closed-form baseline that is *exact* for quadratic
@@ -153,7 +154,8 @@ pub fn run_audit() -> AuditReport {
 }
 
 /// The explicit coverage list: every public tensor op, every `nn` layer,
-/// the matcher's closed-form `∇_g D`, and the Eq. 7 HVP checks.
+/// the plan-cache / tape-arena surface, the matcher's closed-form
+/// `∇_g D`, and the Eq. 7 HVP checks.
 pub fn entries() -> Vec<AuditEntry> {
     macro_rules! entry {
         ($name:expr, $kind:expr, $tol:expr, $f:expr) => {
@@ -269,6 +271,48 @@ pub fn entries() -> Vec<AuditEntry> {
         entry!("layers::Linear", Gradcheck, 3e-2, check_layer_linear),
         entry!("layers::GroupNorm", Gradcheck, 5e-2, check_layer_group_norm),
         entry!("dropout::Dropout", Algebraic, 0.0, check_dropout_eval),
+        // --- crates/tensor/src/plancache.rs + the tape arena ---
+        entry!(
+            "plancache::enabled",
+            Algebraic,
+            0.0,
+            check_plancache_override
+        ),
+        entry!(
+            "plancache::set_thread_override",
+            Algebraic,
+            0.0,
+            check_plancache_override
+        ),
+        entry!("plancache::stats", Algebraic, 0.0, check_plancache_stats),
+        entry!(
+            "plancache::reset_stats",
+            Algebraic,
+            0.0,
+            check_plancache_stats
+        ),
+        entry!("plancache::hits", Algebraic, 0.0, check_plancache_stats),
+        entry!("plancache::misses", Algebraic, 0.0, check_plancache_stats),
+        entry!("plancache::clear", Algebraic, 0.0, check_plancache_clear),
+        entry!(
+            "plancache::with_tape_arena",
+            Algebraic,
+            0.0,
+            check_tape_arena_transparent
+        ),
+        entry!(
+            "plancache::arena_node_high_water",
+            Algebraic,
+            0.0,
+            check_arena_high_water
+        ),
+        entry!("tensor::buffer_id", Algebraic, 0.0, check_buffer_identity),
+        entry!(
+            "tensor::buffer_version",
+            Algebraic,
+            0.0,
+            check_buffer_identity
+        ),
         // --- condense matcher: ∇_g D and the Eq. 7 HVP ---
         entry!(
             "matcher::cosine_distance_grad",
@@ -359,6 +403,20 @@ pub fn parsed_layer_surface() -> Vec<String> {
             out.push(format!("{module}::{s}"));
         }
     }
+    out.sort();
+    out
+}
+
+/// `plancache::fn` names for the plan-cache / tape-arena public surface
+/// in `crates/tensor/src/plancache.rs` (includes `PlanCacheStats`
+/// methods — the parser does not distinguish free functions from
+/// methods, and both are public API).
+pub fn parsed_plancache_surface() -> Vec<String> {
+    let path = repo_crates_dir().join("tensor/src/plancache.rs");
+    let mut out: Vec<String> = parse_pub_fns(&path)
+        .into_iter()
+        .map(|f| format!("plancache::{f}"))
+        .collect();
     out.sort();
     out
 }
@@ -1085,6 +1143,147 @@ fn check_eq7_matcher() -> f32 {
     (1.0 - cos).max(0.0)
 }
 
+fn check_plancache_override() -> f32 {
+    use deco_tensor::plancache;
+    // The thread override must win over the env default in both
+    // directions, and clearing it must restore the default.
+    plancache::set_thread_override(Some(false));
+    let off = plancache::enabled();
+    plancache::set_thread_override(Some(true));
+    let on = plancache::enabled();
+    plancache::set_thread_override(None);
+    if on && !off {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_plancache_stats() -> f32 {
+    use deco_tensor::plancache;
+    plancache::set_thread_override(Some(true));
+    plancache::clear();
+    plancache::reset_stats();
+    let mut rng = Rng::new(140);
+    // 2·16·64·16 = 32768 crosses the packed-GEMM gate, so the matmul
+    // consults the pack cache: first call misses, second call hits, and
+    // the cached product must be identical.
+    let a = Tensor::randn([16, 64], &mut rng);
+    let b = Tensor::randn([64, 16], &mut rng);
+    let first = a.matmul(&b);
+    let after_miss = plancache::stats();
+    let second = a.matmul(&b);
+    let after_hit = plancache::stats();
+    plancache::clear();
+    plancache::set_thread_override(None);
+    let sums_consistent = after_hit.hits()
+        == after_hit.im2col_hits + after_hit.pack_hits + after_hit.bcast_hits
+        && after_hit.misses()
+            == after_hit.im2col_misses + after_hit.pack_misses + after_hit.bcast_misses;
+    let ok =
+        after_miss.misses() >= 1 && after_hit.hits() >= 1 && sums_consistent && first == second;
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_plancache_clear() -> f32 {
+    use deco_tensor::plancache;
+    plancache::set_thread_override(Some(true));
+    plancache::clear();
+    plancache::reset_stats();
+    let mut rng = Rng::new(141);
+    let a = Tensor::randn([16, 64], &mut rng);
+    let b = Tensor::randn([64, 16], &mut rng);
+    let _ = a.matmul(&b);
+    let warm = plancache::stats();
+    plancache::clear();
+    let cleared = plancache::stats();
+    plancache::set_thread_override(None);
+    let ok = warm.held_bytes > 0 && cleared.held_bytes == 0 && cleared.evictions > warm.evictions;
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_tape_arena_transparent() -> f32 {
+    use deco_tensor::plancache;
+    // Recycling tape nodes must not change any value or gradient: the
+    // same backward pass inside and outside an arena scope is bitwise
+    // identical.
+    let mut rng = Rng::new(142);
+    let x = Tensor::randn([4, 5], &mut rng);
+    let w = Tensor::randn([5, 3], &mut rng);
+    let run = || {
+        let leaf = Var::leaf(x.clone(), true);
+        let loss = leaf.matmul(&Var::constant(w.clone())).square().sum();
+        loss.backward();
+        (loss.value().item(), leaf.grad().expect("leaf grad"))
+    };
+    plancache::set_thread_override(Some(true));
+    let (la, ga) = plancache::with_tape_arena(run);
+    plancache::clear();
+    plancache::set_thread_override(Some(false));
+    let (lb, gb) = run();
+    plancache::set_thread_override(None);
+    if la.to_bits() == lb.to_bits() && ga == gb {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_arena_high_water() -> f32 {
+    use deco_tensor::plancache;
+    plancache::set_thread_override(Some(true));
+    let before = plancache::arena_node_high_water();
+    let mut rng = Rng::new(143);
+    let x = Tensor::randn([3, 3], &mut rng);
+    plancache::with_tape_arena(|| {
+        let leaf = Var::leaf(x.clone(), true);
+        leaf.square().sum().backward();
+    });
+    let after = plancache::arena_node_high_water();
+    plancache::set_thread_override(None);
+    // The scope built at least one recyclable node, so the gauge is
+    // positive and monotone.
+    if after >= before && after > 0 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_buffer_identity() -> f32 {
+    // Clones share the storage id; independent allocations do not.
+    let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+    let b = a.clone();
+    let c = Tensor::from_vec(vec![1.0, 2.0], [2]);
+    let shared = a.buffer_id() == b.buffer_id() && a.buffer_id() != c.buffer_id();
+    // Mutating a shared buffer copies-on-write under a fresh id (or a
+    // bumped version), and the original stays untouched.
+    let v0 = a.buffer_version();
+    let mut d = a.clone();
+    d.data_mut()[0] = 5.0;
+    let diverged =
+        a.data()[0] == 1.0 && (d.buffer_id() != a.buffer_id() || d.buffer_version() > v0);
+    // Mutating an unshared buffer bumps the version in place, which is
+    // exactly what invalidates stale plan-cache entries.
+    let mut e = Tensor::from_vec(vec![3.0], [1]);
+    let (eid, ev) = (e.buffer_id(), e.buffer_version());
+    e.data_mut()[0] = 4.0;
+    let bumped = e.buffer_id() == eid && e.buffer_version() > ev;
+    if shared && diverged && bumped {
+        0.0
+    } else {
+        1.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1100,6 +1299,12 @@ mod tests {
             "{layers:?}"
         );
         assert!(layers.contains(&"dropout::Dropout".to_string()));
+        let plan = parsed_plancache_surface();
+        assert!(
+            plan.contains(&"plancache::with_tape_arena".to_string()),
+            "{plan:?}"
+        );
+        assert!(plan.contains(&"plancache::clear".to_string()));
     }
 
     #[test]

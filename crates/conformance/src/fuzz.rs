@@ -134,6 +134,7 @@ pub fn run_differential(cases: usize, seed: u64) -> DiffReport {
             fuzz_cosine_distance(cases, seed ^ 0x08),
             fuzz_im2col_vs_direct(cases, seed ^ 0x09),
             fuzz_gemm_blocked_vs_naive(cases, seed ^ 0x0A),
+            fuzz_matcher_plan_cache(cases, seed ^ 0x0B),
         ],
     }
 }
@@ -419,6 +420,110 @@ fn fuzz_gemm_blocked_vs_naive(cases: usize, seed: u64) -> KernelReport {
     tr.finish()
 }
 
+/// Differential case for the condense-step plan cache: `one_step_match`
+/// with the plan cache enabled vs disabled (the `DECO_PLAN_CACHE=0` path,
+/// forced per-thread via [`deco_tensor::plancache::set_thread_override`])
+/// over randomized network geometries, batch shapes and augmentations.
+/// Cached im2col slabs and weight packs are value-preserving lowerings,
+/// so the two runs are held to **bitwise** equality; the deviation
+/// channel reports any numeric gap between them directly (expected 0).
+/// The cache-on case additionally runs under both thread counts.
+///
+/// The step perturbs and restores `θ` in floating point, which is not
+/// bit-exact, so every run rebuilds the net from the same parameter
+/// snapshot instead of reusing one net across runs.
+fn fuzz_matcher_plan_cache(cases: usize, seed: u64) -> KernelReport {
+    use deco_condense::{one_step_match, Augmentation, MatchBatch};
+    use deco_nn::{ConvNet, ConvNetConfig};
+    use deco_tensor::plancache;
+
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("matcher_plan_cache");
+    for i in 0..cases {
+        // (side, depth, width, cin): degenerate nets first (direct conv
+        // path, below the im2col gate), then geometries that cross it.
+        let (side, depth, width, cin) = match i {
+            0 => (4, 1, 1, 1),
+            1 => (8, 2, 4, 1), // crosses the im2col gate
+            2 => (8, 1, 4, 3), // RGB-ish, wide single block
+            _ => {
+                let depth = rng.below(2) + 1;
+                let side = (rng.below(2) + 1) << depth; // divisible by 2^depth
+                (side, depth, rng.below(4) + 1, rng.below(2) + 1)
+            }
+        };
+        let classes = rng.below(3) + 2;
+        let config = ConvNetConfig {
+            in_channels: cin,
+            image_side: side,
+            width,
+            depth,
+            num_classes: classes,
+            norm: rng.coin(0.5),
+        };
+        let params = ConvNet::new(config, &mut rng).get_params();
+        let n_syn = rng.below(3) + 1;
+        let n_real = rng.below(4) + 1;
+        let syn = Tensor::from_vec(
+            randn_vec(n_syn * cin * side * side, &mut rng),
+            [n_syn, cin, side, side],
+        );
+        let real = Tensor::from_vec(
+            randn_vec(n_real * cin * side * side, &mut rng),
+            [n_real, cin, side, side],
+        );
+        let syn_labels: Vec<usize> = (0..n_syn).map(|_| rng.below(classes)).collect();
+        let real_labels: Vec<usize> = (0..n_real).map(|_| rng.below(classes)).collect();
+        let weights: Option<Vec<f32>> = if rng.coin(0.5) {
+            Some((0..n_real).map(|_| rng.uniform(0.1, 1.0)).collect())
+        } else {
+            None
+        };
+        let aug = if rng.coin(0.5) {
+            Some(Augmentation::sample(side, &mut rng))
+        } else {
+            None
+        };
+        let batch = MatchBatch {
+            syn_images: &syn,
+            syn_labels: &syn_labels,
+            real_images: &real,
+            real_labels: &real_labels,
+            real_weights: weights.as_deref(),
+        };
+        let run = |cache_on: bool| {
+            plancache::set_thread_override(Some(cache_on));
+            let net = ConvNet::from_params(config, &params);
+            let r = one_step_match(&net, &batch, aug.as_ref(), 0.01);
+            plancache::set_thread_override(None);
+            (r.distance, r.image_grad.data().to_vec())
+        };
+        let (d_on, g_on) = deco_runtime::with_thread_count(1, || run(true));
+        let (d_on4, g_on4) = deco_runtime::with_thread_count(4, || run(true));
+        let (d_off, g_off) = deco_runtime::with_thread_count(1, || run(false));
+        let ok = d_on.to_bits() == d_off.to_bits()
+            && d_on.to_bits() == d_on4.to_bits()
+            && bits_equal(&g_on, &g_off)
+            && bits_equal(&g_on, &g_on4);
+        let g_off64: Vec<f64> = g_off.iter().map(|&v| v as f64).collect();
+        let dev = reference::rel_deviation(d_on, d_off as f64)
+            .max(reference::max_rel_deviation(&g_on, &g_off64));
+        let aug_tag = match &aug {
+            None => "none",
+            Some(Augmentation::Identity) => "id",
+            Some(Augmentation::Flip) => "flip",
+            Some(Augmentation::Shift { .. }) => "shift",
+            Some(Augmentation::Cutout { .. }) => "cutout",
+        };
+        tr.record(
+            dev,
+            ok,
+            &format!("n{n_syn}/{n_real} c{cin} {side}px w{width} d{depth} aug:{aug_tag}"),
+        );
+    }
+    tr.finish()
+}
+
 fn conv_label(n: usize, cin: usize, cout: usize, h: usize, w: usize, spec: Conv2dSpec) -> String {
     format!(
         "n{n} ci{cin} co{cout} {h}x{w} k{} s{} p{}",
@@ -601,7 +706,7 @@ mod tests {
         let b = run_differential(8, 0xD1FF);
         assert!(a.passed(), "\n{}", a.render());
         assert_eq!(a.max_deviation(), b.max_deviation());
-        assert_eq!(a.kernels.len(), 10);
+        assert_eq!(a.kernels.len(), 11);
     }
 
     #[test]

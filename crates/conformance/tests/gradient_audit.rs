@@ -6,7 +6,9 @@
 
 use std::collections::BTreeSet;
 
-use deco_conformance::audit::{entries, parsed_layer_surface, parsed_op_surface, run_audit};
+use deco_conformance::audit::{
+    entries, parsed_layer_surface, parsed_op_surface, parsed_plancache_surface, run_audit,
+};
 
 #[test]
 fn every_audit_entry_passes() {
@@ -25,6 +27,7 @@ fn every_public_op_and_layer_is_audited() {
     for name in parsed_op_surface()
         .into_iter()
         .chain(parsed_layer_surface())
+        .chain(parsed_plancache_surface())
     {
         if !audited.contains(&name) {
             missing.push(name);
@@ -40,12 +43,13 @@ fn every_public_op_and_layer_is_audited() {
 
 #[test]
 fn no_stale_audit_entries() {
-    // Entries in the op/layer namespaces must correspond to real public
-    // functions; matcher::/eq7-style entries audit other crates and are
-    // allowed extra.
+    // Entries in the op/layer/plancache namespaces must correspond to
+    // real public functions; matcher::/tensor::-style entries audit
+    // surfaces without a parsed namespace and are allowed extra.
     let surface: BTreeSet<String> = parsed_op_surface()
         .into_iter()
         .chain(parsed_layer_surface())
+        .chain(parsed_plancache_surface())
         .collect();
     let op_namespaces = [
         "conv",
@@ -55,6 +59,7 @@ fn no_stale_audit_entries() {
         "transform",
         "layers",
         "dropout",
+        "plancache",
     ];
     let mut stale = Vec::new();
     for entry in entries() {

@@ -350,4 +350,51 @@ mod tests {
             assert_eq!(a, b);
         }
     }
+
+    #[test]
+    fn perturb_invalidates_cached_weight_packs() {
+        use deco_tensor::plancache;
+        // Batch 64 pushes the head matmul ([64,16] × [16,5]) over the
+        // packed-GEMM gate, so the forward consults the pack cache for
+        // the weight panel. In-place perturbation bumps the weight
+        // buffers' versions, so the stale pack must miss — and the
+        // perturbed forward must not reproduce the unperturbed logits.
+        plancache::set_thread_override(Some(true));
+        plancache::clear();
+        plancache::reset_stats();
+        let mut rng = Rng::new(8);
+        let net = ConvNet::new(tiny(), &mut rng);
+        let x = Tensor::randn([64, 3, 8, 8], &mut rng);
+        let logits = |net: &ConvNet| {
+            net.forward(&Var::constant(x.clone()), true)
+                .value()
+                .data()
+                .to_vec()
+        };
+        let before = logits(&net);
+        let cold = plancache::stats();
+        assert!(cold.pack_misses >= 1, "head matmul should pack: {cold:?}");
+        let repeat = logits(&net);
+        let warm = plancache::stats();
+        assert!(
+            warm.pack_hits > cold.pack_hits,
+            "unchanged weights should hit"
+        );
+        assert_eq!(before, repeat, "cached pack must reproduce bits");
+        let direction: Vec<Tensor> = net
+            .get_params()
+            .iter()
+            .map(|t| Tensor::randn(t.shape().dims().to_vec(), &mut rng))
+            .collect();
+        net.perturb(&direction, 0.1);
+        let perturbed = logits(&net);
+        let after = plancache::stats();
+        assert!(
+            after.pack_misses > warm.pack_misses,
+            "perturbed weights must re-pack, not serve a stale pack: {after:?}"
+        );
+        assert_ne!(before, perturbed, "perturbation must change the logits");
+        plancache::clear();
+        plancache::set_thread_override(None);
+    }
 }

@@ -34,6 +34,133 @@ thread_local! {
     // process-wide snapshots see the sum over threads.
     static TAPE_BYTES: Cell<i64> = const { Cell::new(0) };
     static TAPE_PEAK: Cell<i64> = const { Cell::new(0) };
+    static ARENA: RefCell<ArenaState> = RefCell::new(ArenaState::new());
+}
+
+/// Upper bound on recycled `Rc<Node>` allocations parked between arena
+/// scopes (a hollow node is ~100 bytes, so the cap is ~1 MiB/thread).
+const NODE_FREE_CAP: usize = 8192;
+/// Upper bound on recycled (empty) parent vectors.
+const PARENT_FREE_CAP: usize = 8192;
+
+/// Per-thread tape arena. While a scope opened by [`with_arena_scope`]
+/// is active, every node built on this thread is also registered here;
+/// when the scope ends, registered nodes whose last external handle has
+/// dropped are *reset* (value hollowed, grad cleared, parents detached,
+/// closure freed — each returning its heap to the buffer pool) and the
+/// `Rc<Node>` allocation plus the parent `Vec` are parked on free lists
+/// for the next tape instead of round-tripping the global allocator.
+///
+/// Nodes still referenced at scope end — `Param`-bound leaves, returned
+/// gradients — are skipped and drop normally later, so the arena never
+/// changes what a caller can observe. Reused nodes are stamped with a
+/// fresh id ([`fresh_id`]), which `backward_with`'s visited-set relies
+/// on.
+struct ArenaState {
+    /// Registry length at entry of each active (possibly nested) scope.
+    scope_starts: Vec<usize>,
+    /// Every node created while a scope was active, in creation order.
+    registry: Vec<Var>,
+    node_free: Vec<Rc<Node>>,
+    parent_free: Vec<Vec<Var>>,
+    /// Peak number of simultaneously registered nodes (proxy for the
+    /// largest single tape built on this thread).
+    high_water: u64,
+}
+
+impl ArenaState {
+    fn new() -> Self {
+        ArenaState {
+            scope_starts: Vec::new(),
+            registry: Vec::new(),
+            node_free: Vec::new(),
+            parent_free: Vec::new(),
+            high_water: 0,
+        }
+    }
+}
+
+/// Runs `f` with the node arena active on this thread. See
+/// [`crate::plancache::with_tape_arena`] for the public entry point
+/// (which also applies the `DECO_PLAN_CACHE` kill switch).
+pub(crate) fn with_arena_scope<R>(f: impl FnOnce() -> R) -> R {
+    // Scope end must run even if `f` panics, or the registry would pin
+    // nodes (and their tensors) for the life of the thread.
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            arena_end_scope();
+        }
+    }
+    let _ = ARENA.try_with(|a| {
+        let mut a = a.borrow_mut();
+        let len = a.registry.len();
+        a.scope_starts.push(len);
+    });
+    let _guard = Guard;
+    f()
+}
+
+/// Peak registered-node count across all arena scopes on this thread.
+pub(crate) fn arena_node_high_water() -> u64 {
+    ARENA.try_with(|a| a.borrow().high_water).unwrap_or(0)
+}
+
+fn arena_end_scope() {
+    let _ = ARENA.try_with(|a| {
+        let mut a = a.borrow_mut();
+        let Some(start) = a.scope_starts.pop() else {
+            return;
+        };
+        let live = a.registry.len() as u64;
+        if live > a.high_water {
+            a.high_water = live;
+        }
+        // Mirrored unconditionally, not just on a new record: a
+        // telemetry reset clears the gauge registry, and an
+        // already-reached high water would otherwise never re-register.
+        deco_telemetry::gauge_set!(
+            "tensor.tape.arena_node_high_water",
+            a.high_water.min(i64::MAX as u64) as i64
+        );
+        // Reverse creation order: children release their parent handles
+        // first, so by the time a parent is popped it is usually
+        // uniquely owned and can be reset in place (this also turns the
+        // recursive drop of deep graphs into an iterative sweep).
+        while a.registry.len() > start {
+            let var = a.registry.pop().expect("registry length checked");
+            let Var { node } = var;
+            let mut rc = node;
+            let Some(node) = Rc::get_mut(&mut rc) else {
+                // Still referenced outside the scope (Param-bound leaf,
+                // returned output); it drops normally later.
+                continue;
+            };
+            // Release the byte charge now and zero it so the eventual
+            // Node::drop of the recycled allocation stays balanced.
+            if node.tracked_bytes != 0 {
+                TAPE_BYTES.with(|b| b.set(b.get() - node.tracked_bytes as i64));
+                deco_telemetry::global_tracker().free(
+                    deco_telemetry::MemoryComponent::AutogradTape,
+                    node.tracked_bytes,
+                );
+                node.tracked_bytes = 0;
+            }
+            node.value = Tensor::hollow();
+            *node.grad.borrow_mut() = None;
+            let mut parents = std::mem::take(&mut node.parents);
+            parents.clear();
+            if a.parent_free.len() < PARENT_FREE_CAP {
+                a.parent_free.push(parents);
+            }
+            // The boxed closure itself is freed, not recycled: its size
+            // varies per op, so a free list could not reuse it anyway.
+            node.backward = None;
+            if a.node_free.len() < NODE_FREE_CAP {
+                a.node_free.push(rc);
+            }
+        }
+    });
 }
 
 fn fresh_id() -> u64 {
@@ -140,18 +267,7 @@ impl Var {
     /// gradient you want to read after `backward` (parameters, synthetic
     /// images); `false` for plain data.
     pub fn leaf(value: Tensor, requires_grad: bool) -> Var {
-        let tracked_bytes = track_node(&value);
-        Var {
-            node: Rc::new(Node {
-                id: fresh_id(),
-                value,
-                requires_grad,
-                grad: RefCell::new(None),
-                parents: Vec::new(),
-                backward: None,
-                tracked_bytes,
-            }),
-        }
+        Var::alloc_node(value, requires_grad, &[], None)
     }
 
     /// A leaf that never receives gradients (e.g. labels, masks).
@@ -159,20 +275,68 @@ impl Var {
         Var::leaf(value, false)
     }
 
-    fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
-        let requires_grad = parents.iter().any(Var::requires_grad);
+    fn from_op(value: Tensor, parents: &[&Var], backward: BackwardFn) -> Var {
+        let requires_grad = parents.iter().any(|p| p.requires_grad());
+        let backward = if requires_grad { Some(backward) } else { None };
+        Var::alloc_node(value, requires_grad, parents, backward)
+    }
+
+    /// Builds a node, reusing a recycled allocation and parent vector
+    /// from the thread's arena when a scope is active (see
+    /// [`ArenaState`]). Recycled nodes get a fresh id — `backward`'s
+    /// visited set keys on ids, so reuse must never repeat one.
+    fn alloc_node(
+        value: Tensor,
+        requires_grad: bool,
+        parents: &[&Var],
+        backward: Option<BackwardFn>,
+    ) -> Var {
         let tracked_bytes = track_node(&value);
-        Var {
-            node: Rc::new(Node {
-                id: fresh_id(),
-                value,
-                requires_grad,
-                grad: RefCell::new(None),
-                parents,
-                backward: if requires_grad { Some(backward) } else { None },
-                tracked_bytes,
-            }),
+        let (slot, mut parent_vec) = ARENA
+            .try_with(|a| {
+                let mut a = a.borrow_mut();
+                if a.scope_starts.is_empty() {
+                    (None, Vec::new())
+                } else {
+                    (a.node_free.pop(), a.parent_free.pop().unwrap_or_default())
+                }
+            })
+            .unwrap_or((None, Vec::new()));
+        parent_vec.reserve(parents.len());
+        for p in parents {
+            parent_vec.push((*p).clone());
         }
+        let var = match slot {
+            Some(mut rc) => {
+                let node = Rc::get_mut(&mut rc).expect("arena freelist node is uniquely owned");
+                node.id = fresh_id();
+                node.value = value;
+                node.requires_grad = requires_grad;
+                node.parents = parent_vec;
+                node.backward = backward;
+                node.tracked_bytes = tracked_bytes;
+                debug_assert!(node.grad.borrow().is_none(), "recycled node kept a grad");
+                Var { node: rc }
+            }
+            None => Var {
+                node: Rc::new(Node {
+                    id: fresh_id(),
+                    value,
+                    requires_grad,
+                    grad: RefCell::new(None),
+                    parents: parent_vec,
+                    backward,
+                    tracked_bytes,
+                }),
+            },
+        };
+        let _ = ARENA.try_with(|a| {
+            let mut a = a.borrow_mut();
+            if !a.scope_starts.is_empty() {
+                a.registry.push(var.clone());
+            }
+        });
+        var
     }
 
     /// The forward value.
@@ -298,7 +462,7 @@ impl Var {
         let (sa, sb) = (self.shape().clone(), rhs.shape().clone());
         Var::from_op(
             value,
-            vec![self.clone(), rhs.clone()],
+            &[self, rhs],
             Box::new(move |g| vec![Some(g.sum_to(&sa)), Some(g.sum_to(&sb))]),
         )
     }
@@ -309,7 +473,7 @@ impl Var {
         let (sa, sb) = (self.shape().clone(), rhs.shape().clone());
         Var::from_op(
             value,
-            vec![self.clone(), rhs.clone()],
+            &[self, rhs],
             Box::new(move |g| vec![Some(g.sum_to(&sa)), Some((-g).sum_to(&sb))]),
         )
     }
@@ -321,7 +485,7 @@ impl Var {
         let (va, vb) = (self.value().clone(), rhs.value().clone());
         Var::from_op(
             value,
-            vec![self.clone(), rhs.clone()],
+            &[self, rhs],
             Box::new(move |g| vec![Some((g * &vb).sum_to(&sa)), Some((g * &va).sum_to(&sb))]),
         )
     }
@@ -333,7 +497,7 @@ impl Var {
         let (va, vb) = (self.value().clone(), rhs.value().clone());
         Var::from_op(
             value,
-            vec![self.clone(), rhs.clone()],
+            &[self, rhs],
             Box::new(move |g| {
                 let ga = (g / &vb).sum_to(&sa);
                 let gb = (&(&(-g) * &va) / &(&vb * &vb)).sum_to(&sb);
@@ -345,27 +509,19 @@ impl Var {
     /// Negation.
     pub fn neg(&self) -> Var {
         let value = -self.value();
-        Var::from_op(value, vec![self.clone()], Box::new(move |g| vec![Some(-g)]))
+        Var::from_op(value, &[self], Box::new(move |g| vec![Some(-g)]))
     }
 
     /// Adds a scalar.
     pub fn add_scalar(&self, c: f32) -> Var {
         let value = self.value() + c;
-        Var::from_op(
-            value,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g.clone())]),
-        )
+        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g.clone())]))
     }
 
     /// Multiplies by a scalar.
     pub fn mul_scalar(&self, c: f32) -> Var {
         let value = self.value() * c;
-        Var::from_op(
-            value,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g * c)]),
-        )
+        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g * c)]))
     }
 
     /// Elementwise square.
@@ -374,7 +530,7 @@ impl Var {
         let value = self.value() * self.value();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(&(g * 2.0) * &v)]),
         )
     }
@@ -387,7 +543,7 @@ impl Var {
         let out = value.clone();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g * &out.map(|y| 0.5 / y))]),
         )
     }
@@ -396,22 +552,14 @@ impl Var {
     pub fn exp(&self) -> Var {
         let value = self.value().map(f32::exp);
         let out = value.clone();
-        Var::from_op(
-            value,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g * &out)]),
-        )
+        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g * &out)]))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var {
         let v = self.value().clone();
         let value = self.value().map(f32::ln);
-        Var::from_op(
-            value,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g / &v)]),
-        )
+        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g / &v)]))
     }
 
     /// Rectified linear unit.
@@ -420,7 +568,7 @@ impl Var {
         let value = self.value().map(|x| x.max(0.0));
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| {
                 vec![Some(
                     g.zip_broadcast(&v, |gi, xi| if xi > 0.0 { gi } else { 0.0 }),
@@ -463,7 +611,7 @@ impl Var {
         let out = value.clone();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g * &out.map(|y| 1.0 - y * y))]),
         )
     }
@@ -474,7 +622,7 @@ impl Var {
         let out = value.clone();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g * &out.map(|y| y * (1.0 - y)))]),
         )
     }
@@ -485,7 +633,7 @@ impl Var {
         let value = self.value().map(|x| if x > 0.0 { x } else { slope * x });
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| {
                 vec![Some(g.zip_broadcast(&v, |gi, xi| {
                     if xi > 0.0 {
@@ -504,7 +652,7 @@ impl Var {
         let value = self.value().map(f32::abs);
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| {
                 vec![Some(g.zip_broadcast(&v, |gi, xi| {
                     if xi == 0.0 {
@@ -526,7 +674,7 @@ impl Var {
         let orig = self.shape().clone();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g.reshape(orig.dims().to_vec()))]),
         )
     }
@@ -539,7 +687,7 @@ impl Var {
         let n = self.shape().dim(0);
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g.scatter_rows_add(&idx, n))]),
         )
     }
@@ -553,9 +701,10 @@ impl Var {
         let tensors: Vec<&Tensor> = parts.iter().map(Var::value).collect();
         let value = Tensor::concat_rows(&tensors);
         let row_counts: Vec<usize> = parts.iter().map(|p| p.shape().dim(0)).collect();
+        let parent_refs: Vec<&Var> = parts.iter().collect();
         Var::from_op(
             value,
-            parts.to_vec(),
+            &parent_refs,
             Box::new(move |g| {
                 let mut grads = Vec::with_capacity(row_counts.len());
                 let mut start = 0usize;
@@ -574,7 +723,7 @@ impl Var {
         let value = self.value().shift2d(dy, dx);
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g.shift2d(-dy, -dx))]),
         )
     }
@@ -582,11 +731,7 @@ impl Var {
     /// Horizontal mirror (NCHW); gradient mirrors back.
     pub fn flip_w(&self) -> Var {
         let value = self.value().flip_w();
-        Var::from_op(
-            value,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g.flip_w())]),
-        )
+        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g.flip_w())]))
     }
 
     // ---- linear algebra ----
@@ -597,7 +742,7 @@ impl Var {
         let (a, b) = (self.value().clone(), rhs.value().clone());
         Var::from_op(
             value,
-            vec![self.clone(), rhs.clone()],
+            &[self, rhs],
             Box::new(move |g| {
                 let ga = g.matmul(&b.transpose2());
                 let gb = a.transpose2().matmul(g);
@@ -611,7 +756,7 @@ impl Var {
         let value = self.value().transpose2();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g.transpose2())]),
         )
     }
@@ -627,14 +772,14 @@ impl Var {
         let w = weight.value().clone();
         let hw = (self.shape().dim(2), self.shape().dim(3));
         let kernel = spec.kernel;
-        let mut parents = vec![self.clone(), weight.clone()];
+        let mut parents: Vec<&Var> = vec![self, weight];
         let has_bias = bias.is_some();
         if let Some(b) = bias {
-            parents.push(b.clone());
+            parents.push(b);
         }
         Var::from_op(
             value,
-            parents,
+            &parents,
             Box::new(move |g| {
                 let gx = g.conv2d_input_grad(&w, hw, spec);
                 let gw = g.conv2d_weight_grad(&x, kernel, spec);
@@ -652,7 +797,7 @@ impl Var {
         let value = self.value().avg_pool2d(k);
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g.avg_pool2d_grad(k))]),
         )
     }
@@ -664,7 +809,7 @@ impl Var {
         let input_numel = self.value().numel();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(g.max_pool2d_grad(&indices, input_numel))]),
         )
     }
@@ -677,7 +822,7 @@ impl Var {
         let shape = self.shape().clone();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| vec![Some(Tensor::full(shape.dims().to_vec(), g.item()))]),
         )
     }
@@ -694,7 +839,7 @@ impl Var {
         let shape = self.shape().clone();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| {
                 // Broadcast the reduced gradient back over the summed axes.
                 vec![Some(g.zip_broadcast(
@@ -734,7 +879,7 @@ impl Var {
         let logp = value.clone();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| {
                 // dx = g - softmax * rowsum(g)
                 let gd = g.data();
@@ -782,7 +927,7 @@ impl Var {
         let labels = labels.to_vec();
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| {
                 let gv = g.item() * scale;
                 let mut gx = vec![0.0f32; n * c];
@@ -838,7 +983,7 @@ impl Var {
         let soft = Tensor::from_vec(soft, [n, c]);
         Var::from_op(
             value,
-            vec![self.clone()],
+            &[self],
             Box::new(move |g| {
                 let gd = g.data();
                 let s = soft.data();
@@ -1186,6 +1331,70 @@ mod tests {
         assert_eq!(y.value().item(), 2.0);
         y.backward();
         assert_eq!(x.grad().unwrap().item(), 0.5);
+    }
+
+    #[test]
+    fn arena_scope_recycles_and_preserves_results() {
+        let reference = {
+            let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0], [2]), true);
+            x.mul(&x).sum().backward();
+            x.grad().unwrap()
+        };
+        for _ in 0..3 {
+            let g = with_arena_scope(|| {
+                let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0], [2]), true);
+                x.mul(&x).sum().backward();
+                x.grad().unwrap()
+            });
+            assert_eq!(g.data(), reference.data());
+        }
+        let parked = ARENA.with(|a| a.borrow().node_free.len());
+        assert!(
+            parked > 0,
+            "arena should park recycled nodes between scopes"
+        );
+        assert!(arena_node_high_water() > 0);
+    }
+
+    #[test]
+    fn var_held_across_scope_end_stays_valid() {
+        // Externally held nodes (e.g. Param-bound leaves) must survive
+        // the end-of-scope reset untouched.
+        let x = with_arena_scope(|| Var::leaf(Tensor::from_vec(vec![7.0], [1]), true));
+        assert_eq!(x.value().data(), &[7.0]);
+    }
+
+    #[test]
+    fn recycled_nodes_get_fresh_ids() {
+        // backward's visited set keys on node ids; a recycled node that
+        // kept its old id would corrupt topological traversal.
+        let ids = |()| {
+            with_arena_scope(|| {
+                let x = Var::leaf(Tensor::scalar(1.0), true);
+                let y = x.add_scalar(1.0);
+                (x.node.id, y.node.id)
+            })
+        };
+        let (x1, y1) = ids(());
+        let (x2, y2) = ids(());
+        assert!(x1 != x2 && y1 != y2 && x2 != y2);
+    }
+
+    #[test]
+    fn nested_arena_scopes_balance() {
+        let g = with_arena_scope(|| {
+            let inner = with_arena_scope(|| {
+                let x = Var::leaf(Tensor::scalar(3.0), true);
+                x.square().backward();
+                x.grad().unwrap()
+            });
+            let x = Var::leaf(Tensor::scalar(3.0), true);
+            x.square().backward();
+            assert_eq!(inner.data(), x.grad().unwrap().data());
+            x.grad().unwrap()
+        });
+        assert_eq!(g.data(), &[6.0]);
+        ARENA.with(|a| assert!(a.borrow().scope_starts.is_empty()));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 mod autograd;
 pub mod gradcheck;
 pub mod ops;
+pub mod plancache;
 pub mod pool;
 mod rng;
 mod serialize;

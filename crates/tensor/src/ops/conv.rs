@@ -26,6 +26,7 @@
 use std::ops::Range;
 
 use super::gemm::{self, MatRef};
+use crate::plancache;
 use crate::pool;
 use crate::tensor::Tensor;
 
@@ -158,7 +159,7 @@ fn col2im_add(
 }
 
 /// Geometry of a 2-D convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dSpec {
     /// Square kernel side.
     pub kernel: usize,
@@ -272,14 +273,42 @@ pub(crate) fn conv2d_impl(
     let mut out = pool::take(n * cout * ohw);
     if use_im2col(n * macs_per_image, ohw, ckk, force) {
         let _span = deco_telemetry::span!("tensor.gemm");
+        // Full-batch column slab via the plan cache: a hit skips the
+        // im2col lowering entirely. The slab holds exactly what the
+        // per-image path writes, and the consuming GEMMs see the same
+        // bytes either way, so results are bitwise identical. A miss is
+        // built here on the calling thread before fan-out.
+        let slab = plancache::im2col_slab(x_t, spec, (cin, h, w), n * ckk * ohw, |s| {
+            for ni in 0..n {
+                let x_img = &x_t.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
+                im2col(
+                    &mut s[ni * ckk * ohw..(ni + 1) * ckk * ohw],
+                    x_img,
+                    (cin, h, w),
+                    (oh, ow),
+                    spec,
+                );
+            }
+        });
         run_blocks(n, macs_per_image, cout * ohw, &mut out, move |imgs, dst| {
             let wv = MatRef::new(wt.data(), cout, ckk);
-            let mut cols = pool::take(ckk * ohw);
+            let mut scratch = if slab.is_none() {
+                Some(pool::take(ckk * ohw))
+            } else {
+                None
+            };
             for (bi, ni) in imgs.enumerate() {
-                let x_img = &x.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
-                im2col(&mut cols, x_img, (cin, h, w), (oh, ow), spec);
+                let cols: &[f32] = match (&slab, &mut scratch) {
+                    (Some(s), _) => &s[ni * ckk * ohw..(ni + 1) * ckk * ohw],
+                    (None, Some(c)) => {
+                        let x_img = &x.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
+                        im2col(c, x_img, (cin, h, w), (oh, ow), spec);
+                        c
+                    }
+                    _ => unreachable!(),
+                };
                 let dst_img = &mut dst[bi * cout * ohw..(bi + 1) * cout * ohw];
-                gemm::gemm_into(dst_img, &wv, &MatRef::new(&cols, ckk, ohw));
+                gemm::gemm_into(dst_img, &wv, &MatRef::new(cols, ckk, ohw));
                 if let Some(b) = &b {
                     for (co, &bv) in b.data().iter().enumerate() {
                         if bv != 0.0 {
@@ -290,7 +319,9 @@ pub(crate) fn conv2d_impl(
                     }
                 }
             }
-            pool::give(cols);
+            if let Some(c) = scratch {
+                pool::give(c);
+            }
         });
     } else {
         run_blocks(n * cout, ckk * ohw, ohw, &mut out, move |blocks, dst| {
@@ -414,21 +445,48 @@ pub(crate) fn conv2d_weight_grad_impl(
     let mut gw = pool::take(cout * ckk);
     if use_im2col(n * macs_per_image, ohw, ckk, force) {
         let _span = deco_telemetry::span!("tensor.gemm");
+        // Same cache key as the forward pass over this input, so the
+        // slab a forward built is reused here without re-lowering.
+        let slab = plancache::im2col_slab(input, spec, (cin, h, w), n * ckk * ohw, |s| {
+            for ni in 0..n {
+                let x_img = &input.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
+                im2col(
+                    &mut s[ni * ckk * ohw..(ni + 1) * ckk * ohw],
+                    x_img,
+                    (cin, h, w),
+                    (oh, ow),
+                    spec,
+                );
+            }
+        });
         // Accumulates `g_i × cols_iᵀ` over an image range into `dst`
         // (image order within the range).
         let kernel_fn = move |imgs: Range<usize>, dst: &mut [f32]| {
-            let mut cols = pool::take(ckk * ohw);
+            let mut scratch = if slab.is_none() {
+                Some(pool::take(ckk * ohw))
+            } else {
+                None
+            };
             for ni in imgs {
-                let x_img = &x.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
-                im2col(&mut cols, x_img, (cin, h, w), (oh, ow), spec);
+                let cols: &[f32] = match (&slab, &mut scratch) {
+                    (Some(s), _) => &s[ni * ckk * ohw..(ni + 1) * ckk * ohw],
+                    (None, Some(c)) => {
+                        let x_img = &x.data()[ni * cin * h * w..(ni + 1) * cin * h * w];
+                        im2col(c, x_img, (cin, h, w), (oh, ow), spec);
+                        c
+                    }
+                    _ => unreachable!(),
+                };
                 let g_img = &g.data()[ni * cout * ohw..(ni + 1) * cout * ohw];
                 gemm::gemm_into(
                     dst,
                     &MatRef::new(g_img, cout, ohw),
-                    &MatRef::transposed(&cols, ckk, ohw),
+                    &MatRef::transposed(cols, ckk, ohw),
                 );
             }
-            pool::give(cols);
+            if let Some(c) = scratch {
+                pool::give(c);
+            }
         };
         // The batch sum is not per-image independent, so serial and
         // parallel execution share one reduction structure: shape-

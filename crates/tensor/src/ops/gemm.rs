@@ -220,6 +220,11 @@ impl PackedB {
         panels_n * NR * KC * s
     }
 
+    /// Bytes held by the packed slab (plan-cache accounting).
+    pub(crate) fn bytes(&self) -> u64 {
+        (self.buf.len() * std::mem::size_of::<f32>()) as u64
+    }
+
     /// Returns the scratch buffer to the pool.
     pub(crate) fn recycle(self) {
         pool::give(self.buf);

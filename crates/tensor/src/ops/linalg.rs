@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use super::gemm::{self, MatRef, PackedB, MC};
+use crate::plancache;
 use crate::pool;
 use crate::tensor::Tensor;
 
@@ -64,7 +65,16 @@ impl Tensor {
         if deco_runtime::threads() > 1 && flops >= PAR_MIN_FLOPS && gemm::use_packed(m, k, n) {
             let _span = deco_telemetry::span!("tensor.gemm");
             let a = self.clone();
-            let bp = Arc::new(PackedB::pack(&MatRef::new(other.data(), k, n)));
+            // Reuse a cached pack of B when the plan cache has one for
+            // this exact buffer version; packing is value-preserving, so
+            // the product is bitwise identical either way.
+            let (bp, from_cache) = match plancache::packed_b(other, k, n) {
+                Some(bp) => (bp, true),
+                None => (
+                    Arc::new(PackedB::pack(&MatRef::new(other.data(), k, n))),
+                    false,
+                ),
+            };
             let bp_worker = Arc::clone(&bp);
             let chunks =
                 deco_runtime::parallel_for_chunks(m, rows_per_chunk(m, k, n), move |rows| {
@@ -79,8 +89,27 @@ impl Tensor {
                 cursor += chunk.len();
                 pool::give(chunk);
             }
-            if let Ok(bp) = Arc::try_unwrap(bp) {
-                bp.recycle();
+            if !from_cache {
+                if let Ok(bp) = Arc::try_unwrap(bp) {
+                    bp.recycle();
+                }
+            }
+        } else if gemm::use_packed(m, k, n) {
+            // Serial packed path: identical accumulation to gemm_into's
+            // packed branch (a full-range row split is the unsplit run).
+            let _span = deco_telemetry::span!("tensor.gemm");
+            let (bp, from_cache) = match plancache::packed_b(other, k, n) {
+                Some(bp) => (bp, true),
+                None => (
+                    Arc::new(PackedB::pack(&MatRef::new(other.data(), k, n))),
+                    false,
+                ),
+            };
+            gemm::gemm_rows_packed(&mut out, &MatRef::new(self.data(), m, k), &bp, 0..m);
+            if !from_cache {
+                if let Ok(bp) = Arc::try_unwrap(bp) {
+                    bp.recycle();
+                }
             }
         } else {
             gemm::gemm_into(

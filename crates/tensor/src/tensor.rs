@@ -1,6 +1,8 @@
 //! The dense `f32` tensor type.
 
 use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::rng::Rng;
@@ -12,6 +14,10 @@ use crate::shape::Shape;
 /// copy-on-write semantics. All numeric code in the reproduction — network
 /// weights, images, gradients — is built on this type.
 ///
+/// Every backing buffer carries a process-unique identity and a monotonic
+/// version counter (see [`Tensor::buffer_id`] / [`Tensor::buffer_version`]);
+/// together they key the forward-plan cache in [`crate::plancache`].
+///
 /// ```
 /// use deco_tensor::Tensor;
 /// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
@@ -20,8 +26,50 @@ use crate::shape::Shape;
 /// ```
 #[derive(Clone)]
 pub struct Tensor {
-    data: Arc<Vec<f32>>,
+    data: Arc<Storage>,
     shape: Shape,
+}
+
+/// Next storage id; 0 is reserved for the shared hollow storage, so real
+/// buffers start at 1. Ids are never reused, which rules out ABA collisions
+/// in caches keyed on `(id, version)`.
+static NEXT_STORAGE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A tensor's backing buffer plus the identity/version pair that makes the
+/// buffer's *contents* addressable: the id is process-unique and never
+/// reused, and the version is bumped on every mutable access. A cache entry
+/// keyed on `(id, version)` is therefore valid exactly as long as the bytes
+/// it was derived from are unchanged.
+pub(crate) struct Storage {
+    buf: Vec<f32>,
+    id: u64,
+    version: u64,
+}
+
+impl Storage {
+    fn fresh(buf: Vec<f32>) -> Self {
+        Storage {
+            buf,
+            id: NEXT_STORAGE_ID.fetch_add(1, Ordering::Relaxed),
+            version: 0,
+        }
+    }
+}
+
+/// Copy-on-write duplication (via `Arc::make_mut`) must mint a *fresh* id:
+/// if the copy inherited the original's id, the original could later reach
+/// the copy's `(id, version)` pair again and alias a stale cache entry.
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        Storage::fresh(self.buf.clone())
+    }
+}
+
+impl Deref for Storage {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
 }
 
 /// Counts a fresh heap buffer of `numel` elements against the telemetry
@@ -35,11 +83,17 @@ fn track_buffer(numel: usize) {
     );
 }
 
-/// Shared empty buffer swapped into a tensor being dropped so its real
-/// buffer can be extracted without allocating a replacement.
-fn hollow_buf() -> Arc<Vec<f32>> {
-    static HOLLOW: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
-    Arc::clone(HOLLOW.get_or_init(|| Arc::new(Vec::new())))
+/// Shared empty storage (id 0) swapped into a tensor being dropped so its
+/// real buffer can be extracted without allocating a replacement.
+fn hollow_storage() -> Arc<Storage> {
+    static HOLLOW: OnceLock<Arc<Storage>> = OnceLock::new();
+    Arc::clone(HOLLOW.get_or_init(|| {
+        Arc::new(Storage {
+            buf: Vec::new(),
+            id: 0,
+            version: 0,
+        })
+    }))
 }
 
 /// Recycles pool-compatible buffers when the last owner drops: a
@@ -51,12 +105,12 @@ fn hollow_buf() -> Arc<Vec<f32>> {
 /// normal deallocation path.
 impl Drop for Tensor {
     fn drop(&mut self) {
-        if Arc::strong_count(&self.data) != 1 || self.data.capacity() == 0 {
+        if Arc::strong_count(&self.data) != 1 || self.data.buf.capacity() == 0 {
             return;
         }
-        let data = std::mem::replace(&mut self.data, hollow_buf());
-        if let Ok(buf) = Arc::try_unwrap(data) {
-            crate::pool::give(buf);
+        let data = std::mem::replace(&mut self.data, hollow_storage());
+        if let Ok(storage) = Arc::try_unwrap(data) {
+            crate::pool::give(storage.buf);
         }
     }
 }
@@ -78,7 +132,7 @@ impl Tensor {
         );
         track_buffer(data.len());
         Tensor {
-            data: Arc::new(data),
+            data: Arc::new(Storage::fresh(data)),
             shape,
         }
     }
@@ -90,15 +144,25 @@ impl Tensor {
         let shape = shape.into();
         debug_assert_eq!(data.len(), shape.numel());
         Tensor {
-            data: Arc::new(data),
+            data: Arc::new(Storage::fresh(data)),
             shape,
+        }
+    }
+
+    /// A dormant placeholder tensor backed by the shared hollow storage.
+    /// Used by the autograd node arena to vacate a recycled node's value
+    /// slot without allocating; never observed by numeric code.
+    pub(crate) fn hollow() -> Self {
+        Tensor {
+            data: hollow_storage(),
+            shape: Shape::scalar(),
         }
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
         Tensor {
-            data: Arc::new(vec![value]),
+            data: Arc::new(Storage::fresh(vec![value])),
             shape: Shape::scalar(),
         }
     }
@@ -108,7 +172,7 @@ impl Tensor {
         let shape = shape.into();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(vec![0.0; shape.numel()]),
+            data: Arc::new(Storage::fresh(vec![0.0; shape.numel()])),
             shape,
         }
     }
@@ -123,7 +187,7 @@ impl Tensor {
         let shape = shape.into();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(vec![value; shape.numel()]),
+            data: Arc::new(Storage::fresh(vec![value; shape.numel()])),
             shape,
         }
     }
@@ -134,7 +198,7 @@ impl Tensor {
         let data = (0..shape.numel()).map(|_| rng.normal()).collect();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(data),
+            data: Arc::new(Storage::fresh(data)),
             shape,
         }
     }
@@ -145,7 +209,7 @@ impl Tensor {
         let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(data),
+            data: Arc::new(Storage::fresh(data)),
             shape,
         }
     }
@@ -178,8 +242,28 @@ impl Tensor {
     }
 
     /// Mutable access to the data (copy-on-write if shared).
+    ///
+    /// Bumps the storage's version counter, which invalidates any
+    /// [`crate::plancache`] entry derived from the previous contents —
+    /// this is how `ConvNet::perturb` naturally evicts stale weight packs.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        let storage = Arc::make_mut(&mut self.data);
+        storage.version += 1;
+        &mut storage.buf
+    }
+
+    /// Process-unique identity of the backing buffer. Clones share the id;
+    /// copy-on-write mutation moves the writer to a fresh id. Ids are never
+    /// reused. Id 0 is reserved and never returned for live data.
+    pub fn buffer_id(&self) -> u64 {
+        self.data.id
+    }
+
+    /// Monotonic version of the backing buffer's contents, bumped on every
+    /// mutable access. `(buffer_id, buffer_version)` pins an exact byte
+    /// state and is the plan-cache key material.
+    pub fn buffer_version(&self) -> u64 {
+        self.data.version
     }
 
     /// The element at the given coordinates.
@@ -222,7 +306,7 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         track_buffer(self.data.len());
         Tensor {
-            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+            data: Arc::new(Storage::fresh(self.data.iter().map(|&x| f(x)).collect())),
             shape: self.shape.clone(),
         }
     }
@@ -241,7 +325,7 @@ impl Tensor {
                 .collect();
             track_buffer(data.len());
             return Tensor {
-                data: Arc::new(data),
+                data: Arc::new(Storage::fresh(data)),
                 shape: self.shape.clone(),
             };
         }
@@ -253,17 +337,33 @@ impl Tensor {
         });
         let mut out = vec![0.0; out_shape.numel()];
         track_buffer(out.len());
-        let a_idx = BroadcastIndexer::new(&self.shape, &out_shape);
-        let b_idx = BroadcastIndexer::new(&other.shape, &out_shape);
-        for (i, slot) in out.iter_mut().enumerate() {
-            let coords = out_shape.unravel(i);
-            *slot = f(
-                self.data[a_idx.index(&coords)],
-                other.data[b_idx.index(&coords)],
-            );
+        // Plan-cached path: one precomputed source-index table per
+        // operand replaces the per-element coordinate walk below. The
+        // tables enumerate exactly the indices the fallback computes,
+        // so both paths are bitwise identical.
+        let a_plan = crate::plancache::broadcast_index_plan(&self.shape, &out_shape, || {
+            build_broadcast_indices(&self.shape, &out_shape)
+        });
+        let b_plan = crate::plancache::broadcast_index_plan(&other.shape, &out_shape, || {
+            build_broadcast_indices(&other.shape, &out_shape)
+        });
+        if let (Some(ia), Some(ib)) = (a_plan, b_plan) {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(self.data[ia[i] as usize], other.data[ib[i] as usize]);
+            }
+        } else {
+            let a_idx = BroadcastIndexer::new(&self.shape, &out_shape);
+            let b_idx = BroadcastIndexer::new(&other.shape, &out_shape);
+            for (i, slot) in out.iter_mut().enumerate() {
+                let coords = out_shape.unravel(i);
+                *slot = f(
+                    self.data[a_idx.index(&coords)],
+                    other.data[b_idx.index(&coords)],
+                );
+            }
         }
         Tensor {
-            data: Arc::new(out),
+            data: Arc::new(Storage::fresh(out)),
             shape: out_shape,
         }
     }
@@ -360,13 +460,25 @@ impl Tensor {
             target
         );
         let mut out = vec![0.0f32; target.numel()];
-        let t_idx = BroadcastIndexer::new(target, &self.shape);
-        for (i, &v) in self.data.iter().enumerate() {
-            let coords = self.shape.unravel(i);
-            out[t_idx.index(&coords)] += v;
+        // Same plan as the forward broadcast, used as a scatter table:
+        // entry i is the target slot accumulating source element i. The
+        // accumulation order matches the fallback exactly.
+        let plan = crate::plancache::broadcast_index_plan(target, &self.shape, || {
+            build_broadcast_indices(target, &self.shape)
+        });
+        if let Some(idx) = plan {
+            for (i, &v) in self.data.iter().enumerate() {
+                out[idx[i] as usize] += v;
+            }
+        } else {
+            let t_idx = BroadcastIndexer::new(target, &self.shape);
+            for (i, &v) in self.data.iter().enumerate() {
+                let coords = self.shape.unravel(i);
+                out[t_idx.index(&coords)] += v;
+            }
         }
         Tensor {
-            data: Arc::new(out),
+            data: Arc::new(Storage::fresh(out)),
             shape: target.clone(),
         }
     }
@@ -398,6 +510,33 @@ impl BroadcastIndexer {
     }
 }
 
+/// Builds the flat source-index table of a broadcast: entry `i` is the
+/// index into `src` feeding output element `i` — the same value
+/// `BroadcastIndexer::index(&out.unravel(i))` computes, produced by an
+/// incremental odometer walk instead of one coordinate vector per
+/// element. Cached per `(src, out)` pair by the plan cache.
+pub(crate) fn build_broadcast_indices(src: &Shape, out: &Shape) -> Vec<u32> {
+    let indexer = BroadcastIndexer::new(src, out);
+    let rank = out.rank();
+    let numel = out.numel();
+    let mut table = Vec::with_capacity(numel);
+    let mut coords = vec![0usize; rank];
+    let mut cur = 0usize;
+    for _ in 0..numel {
+        table.push(cur as u32);
+        for ax in (0..rank).rev() {
+            coords[ax] += 1;
+            cur += indexer.strides[ax];
+            if coords[ax] < out.dim(ax) {
+                break;
+            }
+            cur -= indexer.strides[ax] * out.dim(ax);
+            coords[ax] = 0;
+        }
+    }
+    table
+}
+
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let preview: Vec<f32> = self.data.iter().take(8).cloned().collect();
@@ -408,7 +547,7 @@ impl fmt::Debug for Tensor {
 
 impl PartialEq for Tensor {
     fn eq(&self, other: &Self) -> bool {
-        self.shape == other.shape && self.data == other.data
+        self.shape == other.shape && self.data.buf == other.data.buf
     }
 }
 
@@ -588,5 +727,44 @@ mod tests {
         assert!(t.is_finite());
         t.data_mut()[1] = f32::NAN;
         assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn buffer_ids_are_unique_and_nonzero() {
+        let a = Tensor::ones([2]);
+        let b = Tensor::ones([2]);
+        assert_ne!(a.buffer_id(), 0);
+        assert_ne!(a.buffer_id(), b.buffer_id());
+    }
+
+    #[test]
+    fn clones_share_identity_until_mutated() {
+        let a = Tensor::ones([2]);
+        let mut b = a.clone();
+        assert_eq!(a.buffer_id(), b.buffer_id());
+        assert_eq!(a.buffer_version(), b.buffer_version());
+        // CoW write: the writer moves to a fresh id; the original's
+        // (id, version) pair — and any cache entry keyed on it — survives.
+        b.data_mut()[0] = 2.0;
+        assert_ne!(a.buffer_id(), b.buffer_id());
+        assert_eq!(a.buffer_version(), 0);
+    }
+
+    #[test]
+    fn unique_mutation_bumps_version_in_place() {
+        let mut t = Tensor::ones([2]);
+        let id = t.buffer_id();
+        let v0 = t.buffer_version();
+        t.data_mut()[0] = 5.0;
+        assert_eq!(t.buffer_id(), id, "unique owner keeps its id");
+        assert!(t.buffer_version() > v0, "mutation must advance the version");
+    }
+
+    #[test]
+    fn reshape_preserves_identity() {
+        let t = Tensor::ones([2, 2]);
+        let r = t.reshape([4]);
+        assert_eq!(t.buffer_id(), r.buffer_id());
+        assert_eq!(t.buffer_version(), r.buffer_version());
     }
 }

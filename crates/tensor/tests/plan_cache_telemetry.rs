@@ -1,0 +1,85 @@
+//! The plan cache's always-on statistics must be mirrored into the
+//! telemetry registry, so any `--telemetry` JSON export (bench report
+//! `"telemetry"` keys, `write_snapshot` files) carries the
+//! `tensor.plan_cache.*` series and the tape arena's high-water gauge
+//! without extra plumbing.
+//!
+//! Runs serially (one runtime thread) so all cache traffic lands on
+//! this test thread's cache, and is a process-isolated integration test
+//! because it toggles the global telemetry switch.
+
+use deco_telemetry::json::ToJson;
+use deco_telemetry::TelemetrySnapshot;
+use deco_tensor::{plancache, Rng, Tensor, Var};
+
+#[test]
+fn plan_cache_counters_reach_the_telemetry_export() {
+    deco_runtime::with_thread_count(1, || {
+        deco_telemetry::set_enabled(true);
+        deco_telemetry::reset();
+        plancache::set_thread_override(Some(true));
+        plancache::clear();
+        plancache::reset_stats();
+
+        let mut rng = Rng::new(11);
+        // 2·16·64·16 = 32768 crosses the packed-GEMM gate → pack-cache
+        // traffic; run twice for a hit alongside the miss.
+        let a = Tensor::randn([16, 64], &mut rng);
+        let b = Tensor::randn([64, 16], &mut rng);
+        let _ = a.matmul(&b);
+        let _ = a.matmul(&b);
+        // A job-scope clear mirrors the eviction count; the re-warming
+        // matmul below leaves held bytes nonzero for the snapshot
+        // (zero-valued gauges are filtered from the export).
+        plancache::clear();
+        let _ = a.matmul(&b);
+        // A broadcast op exercises the index-plan kind, and a backward
+        // pass under the arena records the high-water gauge when the
+        // scope ends.
+        plancache::with_tape_arena(|| {
+            let x = Var::leaf(Tensor::randn([4, 8], &mut rng), true);
+            let bias = Var::leaf(Tensor::randn([1, 8], &mut rng), true);
+            let loss = x.add(&bias).square().sum();
+            loss.backward();
+        });
+
+        let snapshot = TelemetrySnapshot::capture();
+        plancache::clear();
+        plancache::set_thread_override(None);
+        deco_telemetry::set_enabled(false);
+
+        let text = snapshot.to_json().to_string_pretty();
+        for series in [
+            "tensor.plan_cache.hits",
+            "tensor.plan_cache.misses",
+            "tensor.plan_cache.evictions",
+            "tensor.plan_cache.bytes",
+            "tensor.tape.arena_node_high_water",
+        ] {
+            assert!(
+                text.contains(series),
+                "telemetry export is missing the {series} series:\n{text}"
+            );
+        }
+
+        // Bench binaries reset telemetry between cells; an arena scope
+        // ending after the reset must re-register the high-water gauge
+        // even when the thread's high water was reached before it
+        // (table2 hit exactly this).
+        deco_telemetry::set_enabled(true);
+        deco_telemetry::reset();
+        plancache::set_thread_override(Some(true));
+        plancache::with_tape_arena(|| {
+            let x = Var::leaf(Tensor::randn([2, 4], &mut rng), true);
+            x.square().sum().backward();
+        });
+        let after_reset = TelemetrySnapshot::capture().to_json().to_string_pretty();
+        plancache::clear();
+        plancache::set_thread_override(None);
+        deco_telemetry::set_enabled(false);
+        assert!(
+            after_reset.contains("tensor.tape.arena_node_high_water"),
+            "high-water gauge lost after a telemetry reset:\n{after_reset}"
+        );
+    });
+}
