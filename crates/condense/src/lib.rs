@@ -49,8 +49,8 @@ mod methods;
 pub use augment::Augmentation;
 pub use buffer::SyntheticBuffer;
 pub use matcher::{
-    gradient_distance, match_classes_parallel, model_gradient, numeric_image_grad, one_step_match,
-    ClassMatchJob, MatchBatch, MatchResult,
+    gradient_distance, match_classes_parallel, match_jobs_parallel, model_gradient,
+    numeric_image_grad, one_step_match, BatchMatchJob, ClassMatchJob, MatchBatch, MatchResult,
 };
 pub use methods::{
     train_on_buffer, CondenseContext, Condenser, DcCondenser, DcConfig, DmCondenser, DmConfig,

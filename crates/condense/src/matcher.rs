@@ -217,6 +217,55 @@ pub struct ClassMatchJob {
     pub aug: Option<Augmentation>,
 }
 
+/// A [`ClassMatchJob`] bundled with its *own* matching network snapshot
+/// and step size, so jobs from different models — e.g. different tenants
+/// of a serving host — can share one pool dispatch. Jobs that share a
+/// network share the `Arc`, so batching is free for the single-model case
+/// too.
+#[derive(Debug, Clone)]
+pub struct BatchMatchJob {
+    /// Architecture of the matching network.
+    pub config: ConvNetConfig,
+    /// Parameter snapshot the network is rebuilt from on the worker.
+    pub params: std::sync::Arc<Vec<Tensor>>,
+    /// The class-matching inputs.
+    pub job: ClassMatchJob,
+    /// Finite-difference scale for this job (paper's `0.01`).
+    pub epsilon_scale: f32,
+}
+
+/// Runs [`one_step_match`] for every job across the `deco-runtime` pool,
+/// where each job carries its own network snapshot.
+///
+/// Every job is fully independent — own parameters, own inputs, own
+/// epsilon — so the result of a job does not depend on which other jobs
+/// ride in the same dispatch. That independence is what makes cross-tenant
+/// batching bitwise-neutral: a tenant's match results are identical
+/// whether its jobs are dispatched alone or merged into a batch with any
+/// number of other tenants' jobs, at any thread count. Results come back
+/// in job order, and a panic on a worker is re-raised here.
+///
+/// # Panics
+/// Re-raises worker panics; panics on config/snapshot mismatches.
+pub fn match_jobs_parallel(jobs: Vec<BatchMatchJob>) -> Vec<MatchResult> {
+    let _g = deco_telemetry::span!("condense.matcher.parallel_classes");
+    deco_runtime::parallel_map(jobs, move |_, batch| {
+        let net = ConvNet::from_params(batch.config, &batch.params);
+        one_step_match(
+            &net,
+            &MatchBatch {
+                syn_images: &batch.job.syn_images,
+                syn_labels: &batch.job.syn_labels,
+                real_images: &batch.job.real_images,
+                real_labels: &batch.job.real_labels,
+                real_weights: batch.job.real_weights.as_deref(),
+            },
+            batch.job.aug.as_ref(),
+            batch.epsilon_scale,
+        )
+    })
+}
+
 /// Runs [`one_step_match`] for every job across the `deco-runtime` pool.
 ///
 /// The matching network is shipped as a `(config, params)` snapshot and
@@ -228,6 +277,9 @@ pub struct ClassMatchJob {
 /// independent of evaluation order. Results come back in job order at any
 /// thread count, and a panic on a worker is re-raised here.
 ///
+/// This is the single-model convenience wrapper over
+/// [`match_jobs_parallel`]; both paths execute the identical per-job code.
+///
 /// # Panics
 /// Re-raises worker panics; panics on config/snapshot mismatches.
 pub fn match_classes_parallel(
@@ -236,23 +288,17 @@ pub fn match_classes_parallel(
     jobs: Vec<ClassMatchJob>,
     epsilon_scale: f32,
 ) -> Vec<MatchResult> {
-    let _g = deco_telemetry::span!("condense.matcher.parallel_classes");
     let params = std::sync::Arc::new(params);
-    deco_runtime::parallel_map(jobs, move |_, job| {
-        let net = ConvNet::from_params(config, &params);
-        one_step_match(
-            &net,
-            &MatchBatch {
-                syn_images: &job.syn_images,
-                syn_labels: &job.syn_labels,
-                real_images: &job.real_images,
-                real_labels: &job.real_labels,
-                real_weights: job.real_weights.as_deref(),
-            },
-            job.aug.as_ref(),
-            epsilon_scale,
-        )
-    })
+    match_jobs_parallel(
+        jobs.into_iter()
+            .map(|job| BatchMatchJob {
+                config,
+                params: std::sync::Arc::clone(&params),
+                job,
+                epsilon_scale,
+            })
+            .collect(),
+    )
 }
 
 /// Reference implementation of `∇_X D` by direct central differences on the

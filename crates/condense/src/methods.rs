@@ -60,6 +60,18 @@ pub trait Condenser {
         segment: &SegmentData<'_>,
         ctx: &mut CondenseContext<'_>,
     );
+
+    /// Downcast hook for condensers with method-specific extensions (the
+    /// phased DECO API used by the serving scheduler, persistence of
+    /// optimizer state). Baselines keep the default `None`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
+    /// Shared-reference counterpart of [`Condenser::as_any_mut`].
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Trains `net` on the buffer for `steps` SGD steps (the inner loop of the

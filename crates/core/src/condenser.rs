@@ -10,7 +10,8 @@
 //! 4. apply the combined update (Eq. 9): `opt_S(∇_S D + α ∇_S L_disc)`.
 
 use deco_condense::{
-    match_classes_parallel, ClassMatchJob, CondenseContext, Condenser, SegmentData, SyntheticBuffer,
+    match_classes_parallel, ClassMatchJob, CondenseContext, Condenser, MatchResult, SegmentData,
+    SyntheticBuffer,
 };
 use deco_nn::{feature_discrimination_loss, DiscriminationSpec, Sgd};
 use deco_tensor::{Rng, Tensor, Var};
@@ -52,6 +53,111 @@ impl DecoCondenser {
     /// The configuration in use.
     pub fn config(&self) -> &DecoConfig {
         &self.config
+    }
+
+    /// Snapshot of the synthetic-image optimizer's momentum state, for
+    /// session persistence. `opt_S` carries velocity across segments, so a
+    /// bit-exact resume must round-trip it.
+    pub fn opt_state(&self) -> Vec<Option<Tensor>> {
+        self.opt_s.velocity_snapshot()
+    }
+
+    /// Restores a previously captured [`DecoCondenser::opt_state`].
+    pub fn restore_opt_state(&mut self, velocity: Vec<Option<Tensor>>) {
+        self.opt_s.set_velocity(velocity);
+    }
+
+    /// Begins a condensation pass over one segment: clears the distance
+    /// diagnostics and resolves the buffer rows the pass may touch.
+    /// Returns `None` when there is nothing to condense (no active rows),
+    /// in which case the pass is over — exactly the early return of
+    /// [`Condenser::condense`]. Consumes no RNG.
+    pub fn begin_segment(
+        &mut self,
+        buffer: &SyntheticBuffer,
+        active_classes: &[usize],
+    ) -> Option<Vec<usize>> {
+        self.last_distances.clear();
+        let active_rows = buffer.rows_for_classes(active_classes);
+        if active_rows.is_empty() {
+            None
+        } else {
+            Some(active_rows)
+        }
+    }
+
+    /// Builds one iteration's matching jobs: re-randomizes the scratch
+    /// model (consuming RNG exactly as the monolithic loop does) and
+    /// packages one [`ClassMatchJob`] per active class with data. Returns
+    /// the per-job buffer rows alongside the jobs; feed the match results
+    /// to [`DecoCondenser::apply_iteration`] in the same order.
+    pub fn build_iteration(
+        &self,
+        buffer: &SyntheticBuffer,
+        segment: &SegmentData<'_>,
+        ctx: &mut CondenseContext<'_>,
+    ) -> (Vec<Vec<usize>>, Vec<ClassMatchJob>) {
+        // Fresh random model for this one-step match.
+        ctx.scratch.reinit(ctx.rng);
+        segment
+            .active_classes
+            .iter()
+            .filter_map(|&class| {
+                let idx = segment.indices_of_class(class);
+                if idx.is_empty() {
+                    return None;
+                }
+                let rows: Vec<usize> = buffer.class_rows(class).collect();
+                let job = ClassMatchJob {
+                    syn_images: buffer.images().select_rows(&rows),
+                    syn_labels: vec![class; rows.len()],
+                    real_images: segment.images.select_rows(&idx),
+                    real_labels: vec![class; idx.len()],
+                    real_weights: Some(idx.iter().map(|&i| segment.weights[i]).collect()),
+                    aug: None,
+                };
+                Some((rows, job))
+            })
+            .unzip()
+    }
+
+    /// Applies one iteration's match results: scatters the per-class image
+    /// gradients, records distances, adds the feature-discrimination term
+    /// (consuming RNG in the same order as the monolithic loop), and takes
+    /// the `opt_S` step (Eq. 9).
+    ///
+    /// # Panics
+    /// Panics if `results` and `rows_list` lengths differ.
+    pub fn apply_iteration(
+        &mut self,
+        buffer: &mut SyntheticBuffer,
+        active_rows: &[usize],
+        rows_list: &[Vec<usize>],
+        results: &[MatchResult],
+        ctx: &mut CondenseContext<'_>,
+    ) {
+        assert_eq!(rows_list.len(), results.len(), "result/row count mismatch");
+        let frame_numel = buffer.images().numel() / buffer.len();
+        let mut total_grad = Tensor::zeros(buffer.images().shape().dims().to_vec());
+        for (rows, res) in rows_list.iter().zip(results) {
+            self.last_distances.push(res.distance);
+            // Scatter the class gradient into the full-buffer gradient.
+            let dst = total_grad.data_mut();
+            for (r, &row) in rows.iter().enumerate() {
+                let src = &res.image_grad.data()[r * frame_numel..(r + 1) * frame_numel];
+                dst[row * frame_numel..(row + 1) * frame_numel].copy_from_slice(src);
+            }
+        }
+
+        // Feature-discrimination term (Eq. 8), weighted by α (Eq. 9).
+        if let Some(disc) = self.discrimination_grad(buffer, active_rows, ctx) {
+            total_grad.add_scaled(&disc, self.config.alpha);
+        }
+
+        // opt_S update (Eq. 9).
+        let mut images = buffer.images().clone();
+        self.opt_s.step_slot(0, &mut images, &total_grad);
+        buffer.set_images(images);
     }
 
     /// The matching distances observed on the last condensed segment (one
@@ -111,68 +217,32 @@ impl Condenser for DecoCondenser {
         segment: &SegmentData<'_>,
         ctx: &mut CondenseContext<'_>,
     ) {
-        self.last_distances.clear();
-        let active_rows = buffer.rows_for_classes(segment.active_classes);
-        if active_rows.is_empty() {
+        let Some(active_rows) = self.begin_segment(buffer, segment.active_classes) else {
             return;
-        }
-        let frame_numel = buffer.images().numel() / buffer.len();
+        };
         for _ in 0..self.config.iterations {
             let _outer = deco_telemetry::span!("condense.deco.outer");
-            // Fresh random model for this one-step match.
-            ctx.scratch.reinit(ctx.rng);
-
             // Gradient-matching term, per active class (Eq. 5–7), fanned
             // out across the deco-runtime pool. Results return in class
             // order, so distances and the gradient scatter are identical
             // at any thread count.
-            let mut total_grad = Tensor::zeros(buffer.images().shape().dims().to_vec());
-            let (rows_list, jobs): (Vec<_>, Vec<_>) = segment
-                .active_classes
-                .iter()
-                .filter_map(|&class| {
-                    let idx = segment.indices_of_class(class);
-                    if idx.is_empty() {
-                        return None;
-                    }
-                    let rows: Vec<usize> = buffer.class_rows(class).collect();
-                    let job = ClassMatchJob {
-                        syn_images: buffer.images().select_rows(&rows),
-                        syn_labels: vec![class; rows.len()],
-                        real_images: segment.images.select_rows(&idx),
-                        real_labels: vec![class; idx.len()],
-                        real_weights: Some(idx.iter().map(|&i| segment.weights[i]).collect()),
-                        aug: None,
-                    };
-                    Some((rows, job))
-                })
-                .unzip();
+            let (rows_list, jobs) = self.build_iteration(buffer, segment, ctx);
             let results = match_classes_parallel(
                 *ctx.scratch.config(),
                 ctx.scratch.get_params(),
                 jobs,
                 self.config.epsilon_scale,
             );
-            for (rows, res) in rows_list.iter().zip(&results) {
-                self.last_distances.push(res.distance);
-                // Scatter the class gradient into the full-buffer gradient.
-                let dst = total_grad.data_mut();
-                for (r, &row) in rows.iter().enumerate() {
-                    let src = &res.image_grad.data()[r * frame_numel..(r + 1) * frame_numel];
-                    dst[row * frame_numel..(row + 1) * frame_numel].copy_from_slice(src);
-                }
-            }
-
-            // Feature-discrimination term (Eq. 8), weighted by α (Eq. 9).
-            if let Some(disc) = self.discrimination_grad(buffer, &active_rows, ctx) {
-                total_grad.add_scaled(&disc, self.config.alpha);
-            }
-
-            // opt_S update (Eq. 9).
-            let mut images = buffer.images().clone();
-            self.opt_s.step_slot(0, &mut images, &total_grad);
-            buffer.set_images(images);
+            self.apply_iteration(buffer, &active_rows, &rows_list, &results, ctx);
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

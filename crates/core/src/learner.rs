@@ -8,13 +8,16 @@
 //! segments the model is retrained on the buffer. Using one driver for
 //! every method keeps the comparison apples-to-apples, as in the paper.
 
-use deco_condense::{CondenseContext, Condenser, SegmentData, SyntheticBuffer};
+use deco_condense::{
+    ClassMatchJob, CondenseContext, Condenser, MatchResult, SegmentData, SyntheticBuffer,
+};
 use deco_datasets::{LabeledSet, Segment};
-use deco_nn::{ConvNet, Sgd};
+use deco_nn::{ConvNet, ConvNetConfig, Sgd};
 use deco_replay::{BufferItem, ReplayBuffer, SelectionContext, SelectionStrategy};
 use deco_telemetry::{MemoryComponent, MemoryTracker};
 use deco_tensor::{Rng, Tensor};
 
+use crate::condenser::DecoCondenser;
 use crate::train::{train_classifier, WEIGHT_DECAY};
 use crate::voting::{assign_pseudo_labels, kept_label_accuracy, majority_vote};
 
@@ -124,6 +127,97 @@ pub struct SegmentReport {
     pub active_classes: Vec<usize>,
     /// Whether the model was retrained after this segment.
     pub model_updated: bool,
+}
+
+/// A segment after the pseudo-labeling / majority-voting phase: the kept
+/// items and everything [`OnDeviceLearner::complete_segment`] needs to
+/// finish the bookkeeping. Produced by
+/// [`OnDeviceLearner::prepare_segment`]; the buffer-update phase between
+/// the two is either [`OnDeviceLearner::condense_prepared`] (monolithic)
+/// or the batched `deco_*` phase methods.
+#[derive(Debug, Clone)]
+pub struct PreparedSegment {
+    segment_len: usize,
+    kept: usize,
+    kept_images: Option<Tensor>,
+    kept_labels: Vec<usize>,
+    kept_weights: Vec<f32>,
+    active_classes: Vec<usize>,
+    pseudo_label_accuracy: Option<f32>,
+}
+
+impl PreparedSegment {
+    /// Items kept after majority voting.
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// The active classes of the segment.
+    pub fn active_classes(&self) -> &[usize] {
+        &self.active_classes
+    }
+}
+
+/// An in-progress batched DECO condensation pass over one prepared
+/// segment (see [`OnDeviceLearner::deco_begin_segment`]).
+#[derive(Debug)]
+pub struct DecoPhase {
+    /// Condensation iterations the pass runs
+    /// ([`crate::DecoConfig::iterations`]).
+    pub iterations: usize,
+    active_rows: Vec<usize>,
+}
+
+/// One iteration's matching work, exported for external dispatch: rebuild
+/// a net from `(config, params)` per job and run one-step matching with
+/// `epsilon_scale`, then hand the results (in job order) back to
+/// [`OnDeviceLearner::deco_apply_iteration`] together with `rows_list`.
+#[derive(Debug)]
+pub struct DecoIterationJobs {
+    /// Scratch-network architecture.
+    pub config: ConvNetConfig,
+    /// This iteration's freshly re-randomized scratch parameters.
+    pub params: Vec<Tensor>,
+    /// Finite-difference scale (paper's `0.01`).
+    pub epsilon_scale: f32,
+    /// Buffer rows each job's image gradient applies to.
+    pub rows_list: Vec<Vec<usize>>,
+    /// One matching job per active class with data.
+    pub jobs: Vec<ClassMatchJob>,
+}
+
+/// Persistable learner state: everything needed to continue the on-device
+/// loop bit-for-bit after a restart or an evict/rehydrate cycle.
+///
+/// Deliberately excluded — and why that is safe:
+/// * **scratch-model weights**: every condenser re-randomizes the scratch
+///   net from the learner RNG before using it, so its contents between
+///   segments are dead state;
+/// * **per-segment reports and memory-tracker peaks**: diagnostics that
+///   never feed back into the computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnerSnapshot {
+    /// Deployed-model parameters, in `ConvNet::params` order.
+    pub model_params: Vec<Tensor>,
+    /// Momentum state of the model optimizer `opt_θ`.
+    pub opt_model_velocity: Vec<Option<Tensor>>,
+    /// Momentum state of the DECO image optimizer `opt_S` (empty for the
+    /// stateless DC/DSA/DM baselines).
+    pub condenser_velocity: Vec<Option<Tensor>>,
+    /// The synthetic-buffer image stack.
+    pub buffer_images: Tensor,
+    /// Buffer images-per-class.
+    pub buffer_ipc: usize,
+    /// Buffer class count.
+    pub buffer_classes: usize,
+    /// Learner RNG state (`Rng::state_parts`).
+    pub rng_state: u64,
+    /// Cached Box–Muller spare of the learner RNG.
+    pub rng_spare: Option<f32>,
+    /// Segments processed so far.
+    pub segments_seen: usize,
+    /// Stream items processed so far.
+    pub items_seen: usize,
 }
 
 /// The complete on-device learning state: deployed model, buffer policy,
@@ -274,57 +368,89 @@ impl OnDeviceLearner {
     /// and retrain the model every `β` segments.
     pub fn process_segment(&mut self, segment: &Segment) -> SegmentReport {
         let _seg = deco_telemetry::span!("core.process_segment");
+        let prepared = self.prepare_segment(segment);
+        self.condense_prepared(&prepared);
+        self.complete_segment(prepared)
+    }
+
+    /// Phase 1 of segment processing: pseudo-label the segment with the
+    /// deployed model and apply majority voting. Consumes no learner RNG.
+    pub fn prepare_segment(&self, segment: &Segment) -> PreparedSegment {
         let num_classes = self.model.config().num_classes;
         let predictions = assign_pseudo_labels(&self.model, &segment.images);
         let outcome = majority_vote(&predictions, num_classes, self.config.vote_threshold);
         let pseudo_label_accuracy =
             kept_label_accuracy(&predictions, &outcome, &segment.true_labels);
+        let (kept_images, kept_labels, kept_weights) = if outcome.kept.is_empty() {
+            (None, Vec::new(), Vec::new())
+        } else {
+            (
+                Some(segment.images.select_rows(&outcome.kept)),
+                outcome.kept.iter().map(|&i| predictions[i].class).collect(),
+                outcome
+                    .kept
+                    .iter()
+                    .map(|&i| predictions[i].confidence)
+                    .collect(),
+            )
+        };
+        PreparedSegment {
+            segment_len: segment.len(),
+            kept: outcome.kept.len(),
+            kept_images,
+            kept_labels,
+            kept_weights,
+            active_classes: outcome.active_classes,
+            pseudo_label_accuracy,
+        }
+    }
 
-        if !outcome.kept.is_empty() {
-            let kept_images = segment.images.select_rows(&outcome.kept);
-            let kept_labels: Vec<usize> =
-                outcome.kept.iter().map(|&i| predictions[i].class).collect();
-            let kept_weights: Vec<f32> = outcome
-                .kept
-                .iter()
-                .map(|&i| predictions[i].confidence)
-                .collect();
-            match &mut self.policy {
-                BufferPolicy::Condensed { condenser, buffer } => {
-                    let data = SegmentData {
-                        images: &kept_images,
-                        labels: &kept_labels,
-                        weights: &kept_weights,
-                        active_classes: &outcome.active_classes,
+    /// Phase 2 of segment processing: hand the kept items to the buffer
+    /// policy (condense or select). A segment with nothing kept is a
+    /// no-op, exactly as in the monolithic path.
+    pub fn condense_prepared(&mut self, prepared: &PreparedSegment) {
+        let Some(kept_images) = &prepared.kept_images else {
+            return;
+        };
+        match &mut self.policy {
+            BufferPolicy::Condensed { condenser, buffer } => {
+                let data = SegmentData {
+                    images: kept_images,
+                    labels: &prepared.kept_labels,
+                    weights: &prepared.kept_weights,
+                    active_classes: &prepared.active_classes,
+                };
+                let mut ctx = CondenseContext {
+                    scratch: &self.scratch,
+                    deployed: &self.model,
+                    rng: &mut self.rng,
+                };
+                condenser.condense(buffer, &data, &mut ctx);
+            }
+            BufferPolicy::Selection { strategy, buffer } => {
+                let frame: Vec<usize> = kept_images.shape().dims()[1..].to_vec();
+                for k in 0..prepared.kept {
+                    let image = kept_images.select_rows(&[k]).reshape(frame.clone());
+                    let item = BufferItem {
+                        image,
+                        label: prepared.kept_labels[k],
+                        confidence: prepared.kept_weights[k],
                     };
-                    let mut ctx = CondenseContext {
-                        scratch: &self.scratch,
-                        deployed: &self.model,
+                    let mut ctx = SelectionContext {
+                        model: &self.model,
                         rng: &mut self.rng,
                     };
-                    condenser.condense(buffer, &data, &mut ctx);
-                }
-                BufferPolicy::Selection { strategy, buffer } => {
-                    let frame: Vec<usize> = segment.images.shape().dims()[1..].to_vec();
-                    for (k, _) in outcome.kept.iter().enumerate() {
-                        let image = kept_images.select_rows(&[k]).reshape(frame.clone());
-                        let item = BufferItem {
-                            image,
-                            label: kept_labels[k],
-                            confidence: kept_weights[k],
-                        };
-                        let mut ctx = SelectionContext {
-                            model: &self.model,
-                            rng: &mut self.rng,
-                        };
-                        strategy.offer(buffer, item, &mut ctx);
-                    }
+                    strategy.offer(buffer, item, &mut ctx);
                 }
             }
         }
+    }
 
+    /// Phase 3 of segment processing: counters, the `β`-interval model
+    /// update, memory accounting, and the report.
+    pub fn complete_segment(&mut self, prepared: PreparedSegment) -> SegmentReport {
         self.segments_seen += 1;
-        self.items_seen += segment.len();
+        self.items_seen += prepared.segment_len;
         let model_updated = self.segments_seen.is_multiple_of(self.config.beta);
         if model_updated {
             self.train_model_now();
@@ -333,14 +459,177 @@ impl OnDeviceLearner {
         self.account_memory();
 
         let report = SegmentReport {
-            segment_len: segment.len(),
-            kept: outcome.kept.len(),
-            pseudo_label_accuracy,
-            active_classes: outcome.active_classes,
+            segment_len: prepared.segment_len,
+            kept: prepared.kept,
+            pseudo_label_accuracy: prepared.pseudo_label_accuracy,
+            active_classes: prepared.active_classes,
             model_updated,
         };
         self.reports.push(report.clone());
         report
+    }
+
+    /// Starts a *batched* DECO condensation pass, the phase-level
+    /// replacement for [`OnDeviceLearner::condense_prepared`] that lets an
+    /// external scheduler dispatch the matching jobs — e.g. merged with
+    /// other tenants' jobs in one pool batch. Returns `None` when the
+    /// phased path does not apply (policy is not DECO-condensed, nothing
+    /// was kept, or no buffer rows are active); the caller then falls back
+    /// to [`OnDeviceLearner::condense_prepared`], which reproduces the
+    /// monolithic behavior exactly.
+    ///
+    /// On `Some`, drive the pass with exactly `iterations` rounds of
+    /// [`OnDeviceLearner::deco_build_iteration`] → external match →
+    /// [`OnDeviceLearner::deco_apply_iteration`], then finish the segment
+    /// with [`OnDeviceLearner::complete_segment`]. The build/apply
+    /// methods consume learner RNG in the same order as the monolithic
+    /// path, so both paths are bitwise identical.
+    pub fn deco_begin_segment(&mut self, prepared: &PreparedSegment) -> Option<DecoPhase> {
+        if prepared.kept == 0 {
+            return None;
+        }
+        let BufferPolicy::Condensed { condenser, buffer } = &mut self.policy else {
+            return None;
+        };
+        let deco = condenser.as_any_mut()?.downcast_mut::<DecoCondenser>()?;
+        let active_rows = deco.begin_segment(buffer, &prepared.active_classes)?;
+        Some(DecoPhase {
+            iterations: deco.config().iterations,
+            active_rows,
+        })
+    }
+
+    /// Builds one DECO iteration's matching jobs (re-randomizing the
+    /// scratch model, consuming RNG exactly like the monolithic loop).
+    ///
+    /// # Panics
+    /// Panics when no DECO phase is active (see
+    /// [`OnDeviceLearner::deco_begin_segment`]).
+    pub fn deco_build_iteration(&mut self, prepared: &PreparedSegment) -> DecoIterationJobs {
+        let BufferPolicy::Condensed { condenser, buffer } = &mut self.policy else {
+            panic!("deco_build_iteration without a condensed policy");
+        };
+        let deco = condenser
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<DecoCondenser>())
+            .expect("deco_build_iteration without a DECO condenser");
+        let kept_images = prepared
+            .kept_images
+            .as_ref()
+            .expect("deco_build_iteration on an empty segment");
+        let data = SegmentData {
+            images: kept_images,
+            labels: &prepared.kept_labels,
+            weights: &prepared.kept_weights,
+            active_classes: &prepared.active_classes,
+        };
+        let mut ctx = CondenseContext {
+            scratch: &self.scratch,
+            deployed: &self.model,
+            rng: &mut self.rng,
+        };
+        let (rows_list, jobs) = deco.build_iteration(buffer, &data, &mut ctx);
+        DecoIterationJobs {
+            config: *self.scratch.config(),
+            params: self.scratch.get_params(),
+            epsilon_scale: deco.config().epsilon_scale,
+            rows_list,
+            jobs,
+        }
+    }
+
+    /// Applies one DECO iteration's externally computed match results
+    /// (in the job order of [`OnDeviceLearner::deco_build_iteration`]).
+    ///
+    /// # Panics
+    /// Panics when no DECO phase is active or counts mismatch.
+    pub fn deco_apply_iteration(
+        &mut self,
+        phase: &DecoPhase,
+        rows_list: &[Vec<usize>],
+        results: &[MatchResult],
+    ) {
+        let BufferPolicy::Condensed { condenser, buffer } = &mut self.policy else {
+            panic!("deco_apply_iteration without a condensed policy");
+        };
+        let deco = condenser
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<DecoCondenser>())
+            .expect("deco_apply_iteration without a DECO condenser");
+        let mut ctx = CondenseContext {
+            scratch: &self.scratch,
+            deployed: &self.model,
+            rng: &mut self.rng,
+        };
+        deco.apply_iteration(buffer, &phase.active_rows, rows_list, results, &mut ctx);
+    }
+
+    /// Segments processed so far.
+    pub fn segments_seen(&self) -> usize {
+        self.segments_seen
+    }
+
+    /// Captures a [`LearnerSnapshot`] of the condensed-policy state.
+    ///
+    /// # Panics
+    /// Panics for a selection policy: the baselines' strategies carry
+    /// private internal state this snapshot cannot round-trip.
+    pub fn snapshot(&self) -> LearnerSnapshot {
+        let BufferPolicy::Condensed { condenser, buffer } = &self.policy else {
+            panic!("snapshot supports condensed policies only");
+        };
+        let condenser_velocity = condenser
+            .as_any()
+            .and_then(|a| a.downcast_ref::<DecoCondenser>())
+            .map(DecoCondenser::opt_state)
+            .unwrap_or_default();
+        let (rng_state, rng_spare) = self.rng.state_parts();
+        LearnerSnapshot {
+            model_params: self.model.get_params(),
+            opt_model_velocity: self.opt_model.velocity_snapshot(),
+            condenser_velocity,
+            buffer_images: buffer.images().clone(),
+            buffer_ipc: buffer.ipc(),
+            buffer_classes: buffer.num_classes(),
+            rng_state,
+            rng_spare,
+            segments_seen: self.segments_seen,
+            items_seen: self.items_seen,
+        }
+    }
+
+    /// Restores a [`LearnerSnapshot`] in place. The learner must have been
+    /// built with the same architecture, buffer geometry, and configs as
+    /// the captured one; after restoring, segment processing continues
+    /// bit-for-bit where the captured learner stopped. Diagnostics
+    /// (reports, memory peaks) restart empty — they never feed back into
+    /// the computation.
+    ///
+    /// # Panics
+    /// Panics on architecture or buffer-geometry mismatches, or for a
+    /// selection policy.
+    pub fn restore(&mut self, snap: &LearnerSnapshot) {
+        let BufferPolicy::Condensed { condenser, buffer } = &mut self.policy else {
+            panic!("restore supports condensed policies only");
+        };
+        assert_eq!(buffer.ipc(), snap.buffer_ipc, "buffer IpC mismatch");
+        assert_eq!(
+            buffer.num_classes(),
+            snap.buffer_classes,
+            "buffer class-count mismatch"
+        );
+        self.model.set_params(&snap.model_params);
+        buffer.set_images(snap.buffer_images.clone());
+        self.opt_model.set_velocity(snap.opt_model_velocity.clone());
+        if let Some(deco) = condenser
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<DecoCondenser>())
+        {
+            deco.restore_opt_state(snap.condenser_velocity.clone());
+        }
+        self.rng = Rng::from_state_parts(snap.rng_state, snap.rng_spare);
+        self.segments_seen = snap.segments_seen;
+        self.items_seen = snap.items_seen;
     }
 
     /// Retrains the deployed model on the current buffer immediately
@@ -514,6 +803,110 @@ mod tests {
         let (learner, data) = make_learner("deco", &mut rng);
         let acc = learner.evaluate(&data.test_set(2));
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn phased_deco_path_is_bitwise_identical_to_monolithic() {
+        let run = |batched: bool| -> (Vec<u32>, Vec<u32>) {
+            let mut rng = Rng::new(11);
+            let (mut learner, data) = make_learner("deco", &mut rng);
+            let cfg = StreamConfig {
+                stc: 30,
+                segment_size: 24,
+                num_segments: 4,
+                seed: 5,
+            };
+            for segment in Stream::new(&data, cfg) {
+                if batched {
+                    let prepared = learner.prepare_segment(&segment);
+                    if let Some(phase) = learner.deco_begin_segment(&prepared) {
+                        for _ in 0..phase.iterations {
+                            let built = learner.deco_build_iteration(&prepared);
+                            let results = deco_condense::match_classes_parallel(
+                                built.config,
+                                built.params,
+                                built.jobs,
+                                built.epsilon_scale,
+                            );
+                            learner.deco_apply_iteration(&phase, &built.rows_list, &results);
+                        }
+                    } else {
+                        learner.condense_prepared(&prepared);
+                    }
+                    learner.complete_segment(prepared);
+                } else {
+                    learner.process_segment(&segment);
+                }
+            }
+            let model: Vec<u32> = learner
+                .model()
+                .get_params()
+                .iter()
+                .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+                .collect();
+            let buffer: Vec<u32> = match learner.policy() {
+                BufferPolicy::Condensed { buffer, .. } => {
+                    buffer.images().data().iter().map(|v| v.to_bits()).collect()
+                }
+                _ => unreachable!(),
+            };
+            (model, buffer)
+        };
+        let mono = run(false);
+        let phased = run(true);
+        assert_eq!(mono.0, phased.0, "model params diverged");
+        assert_eq!(mono.1, phased.1, "buffer diverged");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bitwise() {
+        let cfg = StreamConfig {
+            stc: 30,
+            segment_size: 24,
+            num_segments: 6,
+            seed: 9,
+        };
+        // Reference: process all six segments straight through.
+        let mut rng = Rng::new(21);
+        let (mut straight, data) = make_learner("deco", &mut rng);
+        let segments: Vec<_> = Stream::new(&data, cfg).collect();
+        for seg in &segments {
+            straight.process_segment(seg);
+        }
+
+        // Interrupted: snapshot after three segments, restore into a
+        // *fresh* learner built from different RNG draws, continue.
+        let mut rng = Rng::new(21);
+        let (mut first_half, data2) = make_learner("deco", &mut rng);
+        let _ = data2;
+        for seg in &segments[..3] {
+            first_half.process_segment(seg);
+        }
+        let snap = first_half.snapshot();
+        assert_eq!(snap.segments_seen, 3);
+        let mut other_rng = Rng::new(777);
+        let (mut resumed, _) = make_learner("deco", &mut other_rng);
+        resumed.restore(&snap);
+        for seg in &segments[3..] {
+            resumed.process_segment(seg);
+        }
+
+        let bits = |l: &OnDeviceLearner| -> Vec<u32> {
+            l.model()
+                .get_params()
+                .iter()
+                .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+                .collect()
+        };
+        assert_eq!(bits(&straight), bits(&resumed), "model diverged");
+        match (straight.policy(), resumed.policy()) {
+            (
+                BufferPolicy::Condensed { buffer: a, .. },
+                BufferPolicy::Condensed { buffer: b, .. },
+            ) => assert_eq!(a.images().data(), b.images().data(), "buffer diverged"),
+            _ => unreachable!(),
+        }
+        assert_eq!(straight.items_seen(), resumed.items_seen());
     }
 
     #[test]

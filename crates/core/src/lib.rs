@@ -66,7 +66,10 @@ mod voting;
 
 pub use condenser::DecoCondenser;
 pub use config::DecoConfig;
-pub use learner::{BufferPolicy, LearnerConfig, OnDeviceLearner, SegmentReport};
+pub use learner::{
+    BufferPolicy, DecoIterationJobs, DecoPhase, LearnerConfig, LearnerSnapshot, OnDeviceLearner,
+    PreparedSegment, SegmentReport,
+};
 pub use persist::Checkpoint;
 pub use self_training::{SelfTrainer, SelfTrainingConfig, SelfTrainingReport};
 pub use train::{accuracy, confusion_matrix, pretrain, train_classifier, WEIGHT_DECAY};

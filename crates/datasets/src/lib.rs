@@ -46,4 +46,4 @@ pub use spec::{
     cifar100, cifar10_confusable, confusable_partner, core50, icub1, imagenet10, DatasetSpec,
     CIFAR10_NAMES,
 };
-pub use stream::{empirical_stc, Segment, Stream, StreamConfig};
+pub use stream::{empirical_stc, RunState, Segment, Stream, StreamConfig, StreamCursor};

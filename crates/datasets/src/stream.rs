@@ -71,6 +71,44 @@ struct Run {
     remaining: usize,
 }
 
+/// Serializable snapshot of an in-progress same-class run (the public
+/// mirror of the stream's internal run state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunState {
+    /// Class of the run.
+    pub class: usize,
+    /// Object instance within the class.
+    pub instance: usize,
+    /// Environment the instance is observed in.
+    pub environment: usize,
+    /// Current viewpoint in `[0, 1)`.
+    pub view: f32,
+    /// Viewpoint increment per frame.
+    pub view_step: f32,
+    /// Frames left in the run.
+    pub remaining: usize,
+}
+
+/// A resumable position in a [`Stream`]: the stream RNG state, the current
+/// run (if one is mid-flight), and the number of segments already emitted.
+///
+/// Captured with [`Stream::cursor`] and restored with [`Stream::seek`] on a
+/// stream built over the *same dataset and config*; the reseeked stream
+/// then emits the exact same remaining segments, bit for bit. This is what
+/// lets a serving host evict a tenant's session to disk mid-stream and
+/// rehydrate it later with no observable difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCursor {
+    /// Stream RNG state, as [`deco_tensor::Rng::state_parts`].
+    pub rng_state: u64,
+    /// Cached Box–Muller spare of the stream RNG.
+    pub rng_spare: Option<f32>,
+    /// The in-flight run, if any.
+    pub run: Option<RunState>,
+    /// Segments already emitted.
+    pub emitted: usize,
+}
+
 /// A lazily generated non-i.i.d. stream, yielding [`Segment`]s.
 ///
 /// ```
@@ -124,6 +162,41 @@ impl<'a> Stream<'a> {
     /// The stream configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// Captures the current position as a [`StreamCursor`].
+    pub fn cursor(&self) -> StreamCursor {
+        let (rng_state, rng_spare) = self.rng.state_parts();
+        StreamCursor {
+            rng_state,
+            rng_spare,
+            run: self.run.as_ref().map(|r| RunState {
+                class: r.class,
+                instance: r.instance,
+                environment: r.environment,
+                view: r.view,
+                view_step: r.view_step,
+                remaining: r.remaining,
+            }),
+            emitted: self.emitted,
+        }
+    }
+
+    /// Repositions the stream at a previously captured [`StreamCursor`].
+    /// The stream must have been built over the same dataset and config as
+    /// the one the cursor was taken from; subsequent segments are then
+    /// bitwise identical to what the original stream would have produced.
+    pub fn seek(&mut self, cursor: &StreamCursor) {
+        self.rng = Rng::from_state_parts(cursor.rng_state, cursor.rng_spare);
+        self.run = cursor.run.as_ref().map(|r| Run {
+            class: r.class,
+            instance: r.instance,
+            environment: r.environment,
+            view: r.view,
+            view_step: r.view_step,
+            remaining: r.remaining,
+        });
+        self.emitted = cursor.emitted;
     }
 
     fn fresh_run(&mut self) -> Run {
@@ -293,6 +366,43 @@ mod tests {
         seen.sort_unstable();
         seen.dedup();
         assert!(seen.len() >= 8, "saw only {} classes", seen.len());
+    }
+
+    #[test]
+    fn cursor_seek_resumes_bitwise_mid_stream() {
+        let data = SyntheticVision::new(core50());
+        let cfg = StreamConfig {
+            stc: 20,
+            segment_size: 16,
+            num_segments: 6,
+            seed: 12,
+        };
+        let mut original = Stream::new(&data, cfg);
+        // Advance past several run boundaries, then checkpoint.
+        let _ = original.next();
+        let _ = original.next();
+        let cursor = original.cursor();
+        let mut resumed = Stream::new(&data, cfg);
+        resumed.seek(&cursor);
+        for (a, b) in original.zip(resumed) {
+            assert_eq!(a.true_labels, b.true_labels);
+            assert_eq!(a.images.data(), b.images.data());
+        }
+    }
+
+    #[test]
+    fn cursor_of_fresh_stream_is_the_origin() {
+        let data = SyntheticVision::new(core50());
+        let cfg = StreamConfig {
+            stc: 10,
+            segment_size: 8,
+            num_segments: 2,
+            seed: 3,
+        };
+        let fresh = Stream::new(&data, cfg);
+        let c = fresh.cursor();
+        assert_eq!(c.emitted, 0);
+        assert!(c.run.is_none());
     }
 
     #[test]

@@ -55,6 +55,29 @@ impl Sgd {
         self.lr
     }
 
+    /// The configured momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The configured weight decay.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// A copy of the per-slot momentum buffers, for session persistence.
+    /// `None` entries are slots never stepped (or stepped without momentum).
+    pub fn velocity_snapshot(&self) -> Vec<Option<Tensor>> {
+        self.velocity.clone()
+    }
+
+    /// Replaces the momentum state with a [`Sgd::velocity_snapshot`], so a
+    /// restored optimizer continues bit-for-bit where the captured one
+    /// stopped.
+    pub fn set_velocity(&mut self, velocity: Vec<Option<Tensor>>) {
+        self.velocity = velocity;
+    }
+
     /// Updates `value` in place from `grad`, using per-`slot` momentum
     /// state. Slots identify parameters across steps; pass a stable index.
     ///
@@ -241,6 +264,25 @@ mod tests {
         let mut x = Tensor::from_vec(vec![1.0], [1]);
         opt.step_slot(0, &mut x, &Tensor::zeros([1]));
         assert!(x.item() < 1.0);
+    }
+
+    #[test]
+    fn velocity_snapshot_restores_momentum_trajectory() {
+        let g = Tensor::from_vec(vec![1.0], [1]);
+        let mut original = Sgd::new(0.1).with_momentum(0.9);
+        let mut x = Tensor::from_vec(vec![0.0], [1]);
+        for _ in 0..3 {
+            original.step_slot(0, &mut x, &g);
+        }
+        let mut resumed = Sgd::new(original.lr()).with_momentum(original.momentum());
+        resumed.set_velocity(original.velocity_snapshot());
+        let mut x1 = x.clone();
+        let mut x2 = x.clone();
+        for _ in 0..3 {
+            original.step_slot(0, &mut x1, &g);
+            resumed.step_slot(0, &mut x2, &g);
+        }
+        assert_eq!(x1.item().to_bits(), x2.item().to_bits());
     }
 
     #[test]

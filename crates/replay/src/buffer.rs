@@ -41,6 +41,27 @@ impl ReplayBuffer {
         }
     }
 
+    /// Rebuilds a buffer from persisted parts: capacity, stored items, and
+    /// the offered-item counter. The restored buffer is indistinguishable
+    /// from the captured one for every strategy (reservoir sampling reads
+    /// `seen`, so it must survive the round trip).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or `items` exceeds it.
+    pub fn from_parts(capacity: usize, items: Vec<BufferItem>, seen: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        assert!(
+            items.len() <= capacity,
+            "restored {} items into capacity {capacity}",
+            items.len()
+        );
+        ReplayBuffer {
+            capacity,
+            items,
+            seen,
+        }
+    }
+
     /// Maximum number of stored items.
     pub fn capacity(&self) -> usize {
         self.capacity

@@ -1,0 +1,131 @@
+//! The `deco-serve` driver: spins up a fleet of tenants over the CORe50
+//! synthetic stand-in, drains their interleaved streams through the batch
+//! scheduler under a resident-memory budget, and prints a service summary.
+//!
+//! ```text
+//! deco-serve [--tenants N] [--segments N] [--batch K] [--budget BYTES]
+//! ```
+//!
+//! Defaults: 32 tenants × 4 segments, batch width 8, and — unless
+//! `DECO_SERVE_MEM_BYTES` or `--budget` says otherwise — a budget sized
+//! to hold ~8 resident sessions, so evictions are actually exercised.
+
+use deco_datasets::{core50, SyntheticVision};
+use deco_serve::{Server, ServerConfig, TenantSession, TenantSpec};
+
+struct Args {
+    tenants: u64,
+    segments: usize,
+    batch: usize,
+    budget: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tenants: 32,
+        segments: 4,
+        batch: 8,
+        budget: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs an integer value"))
+        };
+        match flag.as_str() {
+            "--tenants" => args.tenants = grab("--tenants"),
+            "--segments" => args.segments = grab("--segments") as usize,
+            "--batch" => args.batch = grab("--batch") as usize,
+            "--budget" => args.budget = Some(grab("--budget")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: deco-serve [--tenants N] [--segments N] [--batch K] [--budget BYTES]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    deco_telemetry::set_enabled(true);
+    let data = SyntheticVision::new(core50());
+    let spill_dir = std::env::temp_dir().join("deco-serve-spill");
+
+    // Size the default budget off a probe tenant: room for ~8 resident
+    // sessions, so a 32-tenant fleet must spill.
+    let probe = TenantSession::new(TenantSpec::quick(u64::MAX, 0xBEEF, data.spec(), 1), &data)
+        .resident_bytes();
+    let config = ServerConfig::new(spill_dir.clone()).with_batch_tenants(args.batch);
+    let config = match (args.budget, config.mem_budget_bytes) {
+        (Some(b), _) => config.with_budget(Some(b)),
+        (None, Some(_)) => config, // honor DECO_SERVE_MEM_BYTES
+        (None, None) => config.with_budget(Some(probe * 8)),
+    };
+    println!(
+        "deco-serve: {} tenants × {} segments, batch width {}, budget {:?} bytes (≈{} bytes/tenant resident)",
+        args.tenants, args.segments, args.batch, config.mem_budget_bytes, probe
+    );
+
+    let start = std::time::Instant::now();
+    let mut server = Server::new(&data, config);
+    for id in 0..args.tenants {
+        server.admit(TenantSpec::quick(
+            id,
+            0x5EED_0000 ^ id,
+            data.spec(),
+            args.segments,
+        ));
+        server.submit(id, args.segments);
+    }
+    let events = server.run();
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = events.iter().map(|e| e.batch_seconds * 1e3).collect();
+    latencies.sort_by(f64::total_cmp);
+    let state_bytes = server.state_of(0).serialized_bytes();
+    println!("events processed     {}", events.len());
+    println!("wall time            {wall:.2} s");
+    println!(
+        "throughput           {:.2} events/s ({:.2} tenants/s end-to-end)",
+        events.len() as f64 / wall,
+        args.tenants as f64 / wall
+    );
+    println!(
+        "step latency         p50 {:.1} ms, p99 {:.1} ms",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99)
+    );
+    println!(
+        "sessions             {} resident, {} spilled at exit",
+        server.resident_count(),
+        server.spilled_count()
+    );
+    println!(
+        "evictions            {} ({} rehydrations, {} pool batches)",
+        server.evictions(),
+        server.rehydrations(),
+        server.batches()
+    );
+    println!("session file size    {state_bytes} bytes/tenant");
+    println!("spill dir            {}", spill_dir.display());
+
+    assert_eq!(
+        events.len(),
+        (args.tenants as usize) * args.segments,
+        "every submitted segment must produce an event"
+    );
+}

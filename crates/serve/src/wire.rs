@@ -1,0 +1,546 @@
+//! The versioned binary session format.
+//!
+//! The repo's JSON codec prints every number through `f64`, which silently
+//! corrupts `u64` RNG state above 2⁵³ and loses `f32` bit patterns such as
+//! `-0.0` — fatal for a format whose contract is *bitwise* rehydration. So
+//! sessions use a dependency-free little-endian binary layout instead:
+//! `f32` travels as its raw bits, `u64` as eight exact bytes.
+//!
+//! Layout: a 4-byte magic, a `u32` format version, the versioned payload,
+//! and a trailing FNV-1a checksum over everything before it. Every read
+//! path returns a typed [`WireError`] — a corrupted or truncated file can
+//! never panic or over-allocate.
+
+use std::path::Path;
+
+use deco_replay::{BufferItem, ReplayBuffer};
+use deco_tensor::Tensor;
+
+/// File magic of the session format (`DSRV`).
+pub const MAGIC: [u8; 4] = *b"DSRV";
+
+/// Current format version. Bump on any layout change; readers reject
+/// versions they do not understand with
+/// [`WireError::UnsupportedVersion`] instead of misparsing.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound on a single tensor's element count accepted by the reader —
+/// a corrupt length field must fail cleanly, not attempt a huge allocation.
+const MAX_TENSOR_NUMEL: u64 = 1 << 31;
+
+/// Typed failure of session encoding/decoding.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the session magic.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload is structurally invalid (bad checksum, impossible
+    /// lengths, trailing garbage, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "session i/o error: {e}"),
+            WireError::BadMagic => write!(f, "not a session file (bad magic)"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported session format version {v} (reader understands {FORMAT_VERSION})")
+            }
+            WireError::Truncated {
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated session payload at offset {offset}: needed {needed} bytes, {available} available"
+            ),
+            WireError::Corrupt(msg) => write!(f, "corrupt session payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice — the integrity check appended to every
+/// session file. Not cryptographic; it catches the torn writes and bit rot
+/// an evict/rehydrate cycle must fail loudly on.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Little-endian binary writer backing the session format.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A writer pre-loaded with the magic and format version.
+    pub fn with_header() -> Writer {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w
+    }
+
+    /// Appends the checksum and returns the finished byte vector.
+    pub fn seal(mut self) -> Vec<u8> {
+        let sum = fnv1a64(&self.buf);
+        self.put_u64(sum);
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` as its exact bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an optional `f32` (presence flag + bits).
+    pub fn put_opt_f32(&mut self, v: Option<f32>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f32(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Appends a tensor: rank, dims, then raw `f32` bits.
+    pub fn put_tensor(&mut self, t: &Tensor) {
+        let dims = t.shape().dims();
+        self.put_u32(dims.len() as u32);
+        for &d in dims {
+            self.put_u64(d as u64);
+        }
+        for &v in t.data() {
+            self.put_f32(v);
+        }
+    }
+
+    /// Appends a tensor list with a count prefix.
+    pub fn put_tensor_vec(&mut self, ts: &[Tensor]) {
+        self.put_u32(ts.len() as u32);
+        for t in ts {
+            self.put_tensor(t);
+        }
+    }
+
+    /// Appends an optional-tensor list (optimizer velocity slots).
+    pub fn put_opt_tensor_vec(&mut self, ts: &[Option<Tensor>]) {
+        self.put_u32(ts.len() as u32);
+        for t in ts {
+            match t {
+                Some(t) => {
+                    self.put_u8(1);
+                    self.put_tensor(t);
+                }
+                None => self.put_u8(0),
+            }
+        }
+    }
+
+    /// Appends a replay buffer: capacity, offered-item counter, items.
+    pub fn put_replay_buffer(&mut self, buf: &ReplayBuffer) {
+        self.put_usize(buf.capacity());
+        self.put_usize(buf.seen());
+        self.put_u32(buf.items().len() as u32);
+        for item in buf.items() {
+            self.put_tensor(&item.image);
+            self.put_usize(item.label);
+            self.put_f32(item.confidence);
+        }
+    }
+}
+
+/// Bounds-checked reader over a sealed session payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Validates magic, version, and checksum, returning a reader scoped
+    /// to the payload between header and checksum.
+    ///
+    /// # Errors
+    /// Returns the typed [`WireError`] describing the first defect found.
+    pub fn open(bytes: &'a [u8]) -> Result<Reader<'a>, WireError> {
+        // magic(4) + version(4) + checksum(8)
+        if bytes.len() < 16 {
+            return Err(WireError::Truncated {
+                offset: 0,
+                needed: 16,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let body_end = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+        let actual = fnv1a64(&bytes[..body_end]);
+        if stored != actual {
+            return Err(WireError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            )));
+        }
+        Ok(Reader {
+            bytes: &bytes[..body_end],
+            pos: 8,
+        })
+    }
+
+    /// Bytes left before the checksum.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the payload was fully consumed.
+    ///
+    /// # Errors
+    /// Returns [`WireError::Corrupt`] on trailing bytes.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Corrupt(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` into a `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, WireError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| WireError::Corrupt(format!("count {v} exceeds usize")))
+    }
+
+    /// Reads an `f32` from its exact bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an optional `f32`.
+    pub fn get_opt_f32(&mut self) -> Result<Option<f32>, WireError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_f32()?)),
+            tag => Err(WireError::Corrupt(format!("bad option tag {tag}"))),
+        }
+    }
+
+    /// Reads a tensor, validating its geometry before allocating.
+    pub fn get_tensor(&mut self) -> Result<Tensor, WireError> {
+        let rank = self.get_u32()? as usize;
+        if rank > 8 {
+            return Err(WireError::Corrupt(format!("tensor rank {rank} too large")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut numel: u64 = 1;
+        for _ in 0..rank {
+            let d = self.get_u64()?;
+            numel = numel
+                .checked_mul(d)
+                .filter(|&n| n <= MAX_TENSOR_NUMEL)
+                .ok_or_else(|| {
+                    WireError::Corrupt(format!("tensor dims overflow: {dims:?} × {d}"))
+                })?;
+            dims.push(d as usize);
+        }
+        let numel = numel as usize;
+        // Check the data is actually present before allocating for it.
+        if self.remaining() < numel * 4 {
+            return Err(WireError::Truncated {
+                offset: self.pos,
+                needed: numel * 4,
+                available: self.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(self.get_f32()?);
+        }
+        Ok(Tensor::from_vec(data, dims))
+    }
+
+    /// Reads a count-prefixed tensor list.
+    pub fn get_tensor_vec(&mut self) -> Result<Vec<Tensor>, WireError> {
+        let n = self.get_u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(self.get_tensor()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads an optional-tensor list.
+    pub fn get_opt_tensor_vec(&mut self) -> Result<Vec<Option<Tensor>>, WireError> {
+        let n = self.get_u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(match self.get_u8()? {
+                0 => None,
+                1 => Some(self.get_tensor()?),
+                tag => return Err(WireError::Corrupt(format!("bad option tag {tag}"))),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Reads a replay buffer written by [`Writer::put_replay_buffer`].
+    pub fn get_replay_buffer(&mut self) -> Result<ReplayBuffer, WireError> {
+        let capacity = self.get_usize()?;
+        let seen = self.get_usize()?;
+        let n = self.get_u32()? as usize;
+        if capacity == 0 || n > capacity {
+            return Err(WireError::Corrupt(format!(
+                "replay buffer holds {n} items with capacity {capacity}"
+            )));
+        }
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            let image = self.get_tensor()?;
+            let label = self.get_usize()?;
+            let confidence = self.get_f32()?;
+            items.push(BufferItem {
+                image,
+                label,
+                confidence,
+            });
+        }
+        Ok(ReplayBuffer::from_parts(capacity, items, seen))
+    }
+}
+
+/// Writes sealed bytes to `path` atomically enough for a single host: a
+/// temp file in the same directory, then a rename.
+///
+/// # Errors
+/// Returns any I/O error.
+pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), WireError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a whole session file.
+///
+/// # Errors
+/// Returns any I/O error.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, WireError> {
+    Ok(std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_tensor::Rng;
+
+    #[test]
+    fn primitives_roundtrip_exactly() {
+        let mut w = Writer::with_header();
+        w.put_u64(u64::MAX - 12); // beyond f64's exact-integer range
+        w.put_f32(-0.0);
+        w.put_f32(f32::NAN);
+        w.put_opt_f32(None);
+        w.put_opt_f32(Some(f32::MIN_POSITIVE));
+        let bytes = w.seal();
+        let mut r = Reader::open(&bytes).unwrap();
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 12);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.get_opt_f32().unwrap(), None);
+        assert_eq!(
+            r.get_opt_f32().unwrap().unwrap().to_bits(),
+            f32::MIN_POSITIVE.to_bits()
+        );
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tensor_roundtrip_is_bitwise() {
+        let mut rng = Rng::new(5);
+        let t = Tensor::randn([3, 2, 4], &mut rng);
+        let mut w = Writer::with_header();
+        w.put_tensor(&t);
+        let bytes = w.seal();
+        let mut r = Reader::open(&bytes).unwrap();
+        let back = r.get_tensor().unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = Writer::with_header().seal();
+        bytes[0] = b'X';
+        assert!(matches!(Reader::open(&bytes), Err(WireError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&MAGIC);
+        w.put_u32(FORMAT_VERSION + 1);
+        let bytes = w.seal();
+        assert!(matches!(
+            Reader::open(&bytes),
+            Err(WireError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let mut w = Writer::with_header();
+        w.put_u64(42);
+        let mut bytes = w.seal();
+        bytes[9] ^= 0x40;
+        assert!(matches!(Reader::open(&bytes), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let mut w = Writer::with_header();
+        let mut rng = Rng::new(6);
+        w.put_tensor(&Tensor::randn([4, 4], &mut rng));
+        let bytes = w.seal();
+        for cut in 0..bytes.len() {
+            let err = Reader::open(&bytes[..cut])
+                .and_then(|mut r| r.get_tensor().map(|_| ()))
+                .expect_err("truncated payload must fail");
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::Corrupt(_)),
+                "cut at {cut}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_tensor_dims_fail_before_allocating() {
+        // Hand-craft a tensor whose dims claim ~10^18 elements.
+        let mut w = Writer::with_header();
+        w.put_u32(2); // rank
+        w.put_u64(1 << 30);
+        w.put_u64(1 << 30);
+        let bytes = w.seal();
+        let mut r = Reader::open(&bytes).unwrap();
+        assert!(matches!(r.get_tensor(), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn replay_buffer_roundtrips_with_seen_counter() {
+        let mut rng = Rng::new(7);
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..3 {
+            buf.record_seen();
+            buf.push(BufferItem {
+                image: Tensor::randn([1, 4, 4], &mut rng),
+                label: i,
+                confidence: 0.5 + i as f32 * 0.1,
+            });
+        }
+        buf.record_seen(); // an offered-but-rejected item
+        let mut w = Writer::with_header();
+        w.put_replay_buffer(&buf);
+        let bytes = w.seal();
+        let mut r = Reader::open(&bytes).unwrap();
+        let back = r.get_replay_buffer().unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.capacity(), 4);
+        assert_eq!(back.seen(), 4);
+        assert_eq!(back.items(), buf.items());
+    }
+}

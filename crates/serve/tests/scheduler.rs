@@ -1,0 +1,152 @@
+//! Scheduler contract tests: cross-tenant batching, LRU eviction, and
+//! round-robin fairness never change any tenant's results — a tenant is
+//! bitwise identical run solo, interleaved, or through evictions.
+
+use deco_datasets::{core50, SyntheticVision};
+use deco_serve::{Server, ServerConfig, SessionState, TenantSession, TenantSpec};
+
+const SEGMENTS: usize = 3;
+
+fn spec(id: u64, data: &SyntheticVision) -> TenantSpec {
+    TenantSpec::quick(id, 0xACE0_0000 ^ id, data.spec(), SEGMENTS)
+}
+
+fn test_config(name: &str) -> ServerConfig {
+    let dir = std::env::temp_dir().join(format!("deco-serve-test-{name}"));
+    // Explicit unlimited budget so an ambient DECO_SERVE_MEM_BYTES cannot
+    // change what these tests measure.
+    ServerConfig::new(dir).with_budget(None)
+}
+
+/// The reference result: one tenant driven by a plain monolithic loop,
+/// no server anywhere.
+fn solo_reference(id: u64, data: &SyntheticVision) -> SessionState {
+    let mut session = TenantSession::new(spec(id, data), data);
+    while let Some(segment) = session.next_segment(data) {
+        session.learner_mut().process_segment(&segment);
+    }
+    session.state()
+}
+
+#[test]
+fn served_tenant_matches_plain_loop_bitwise() {
+    let data = SyntheticVision::new(core50());
+    let mut server = Server::new(&data, test_config("solo"));
+    server.admit(spec(0, &data));
+    server.submit(0, SEGMENTS);
+    let events = server.run();
+    assert_eq!(events.len(), SEGMENTS);
+    assert_eq!(
+        server.state_of(0).to_bytes(),
+        solo_reference(0, &data).to_bytes(),
+        "server-driven tenant diverged from the plain loop"
+    );
+}
+
+#[test]
+fn interleaving_tenants_changes_nothing() {
+    let data = SyntheticVision::new(core50());
+    let mut server = Server::new(&data, test_config("interleave").with_batch_tenants(4));
+    for id in 0..4 {
+        server.admit(spec(id, &data));
+        server.submit(id, SEGMENTS);
+    }
+    let events = server.run();
+    assert_eq!(events.len(), 4 * SEGMENTS);
+    assert!(server.batches() > 0);
+    for id in 0..4 {
+        assert_eq!(
+            server.state_of(id).to_bytes(),
+            solo_reference(id, &data).to_bytes(),
+            "tenant {id} diverged when interleaved with 3 others"
+        );
+    }
+}
+
+#[test]
+fn evictions_change_nothing() {
+    let data = SyntheticVision::new(core50());
+    // A budget below two resident sessions: every batch rotation evicts.
+    let probe = TenantSession::new(spec(0, &data), &data).resident_bytes();
+    let mut server = Server::new(
+        &data,
+        test_config("evict")
+            .with_budget(Some(probe + probe / 2))
+            .with_batch_tenants(1),
+    );
+    for id in 0..3 {
+        server.admit(spec(id, &data));
+        server.submit(id, SEGMENTS);
+    }
+    let events = server.run();
+    assert_eq!(events.len(), 3 * SEGMENTS);
+    assert!(
+        server.evictions() > 0 && server.rehydrations() > 0,
+        "budget was meant to force evict/rehydrate cycles ({} evictions)",
+        server.evictions()
+    );
+    for id in 0..3 {
+        assert_eq!(
+            server.state_of(id).to_bytes(),
+            solo_reference(id, &data).to_bytes(),
+            "tenant {id} diverged across evict/rehydrate cycles"
+        );
+    }
+}
+
+#[test]
+fn forced_mid_stream_eviction_is_invisible() {
+    let data = SyntheticVision::new(core50());
+    let mut server = Server::new(&data, test_config("force-evict"));
+    server.admit(spec(7, &data));
+    // One segment, evict to disk, then the rest — rehydrated transparently.
+    server.submit(7, 1);
+    server.run();
+    assert!(server.force_evict(7));
+    assert_eq!(server.resident_count(), 0);
+    server.submit(7, SEGMENTS - 1);
+    server.run();
+    assert_eq!(server.rehydrations(), 1);
+    assert_eq!(
+        server.state_of(7).to_bytes(),
+        solo_reference(7, &data).to_bytes()
+    );
+}
+
+#[test]
+fn round_robin_keeps_tenants_within_one_segment_of_each_other() {
+    let data = SyntheticVision::new(core50());
+    let mut server = Server::new(&data, test_config("fairness").with_batch_tenants(2));
+    for id in 0..3 {
+        server.admit(spec(id, &data));
+        server.submit(id, SEGMENTS);
+    }
+    let events = server.run();
+    assert_eq!(events.len(), 3 * SEGMENTS);
+    // Fairness: when tenant A's k-th segment completes, no tenant may
+    // already have completed its (k+2)-th — round-robin never lets a
+    // tenant run two full segments ahead of a pending peer.
+    let mut done = [0usize; 3];
+    for event in &events {
+        let idx = event.tenant_id as usize;
+        done[idx] += 1;
+        assert_eq!(done[idx], event.segment_index);
+        let min = *done.iter().min().unwrap();
+        assert!(
+            done[idx] <= min + 2,
+            "tenant {idx} ran ahead: progress {done:?}"
+        );
+    }
+}
+
+#[test]
+fn exhausted_streams_stop_producing_events() {
+    let data = SyntheticVision::new(core50());
+    let mut server = Server::new(&data, test_config("exhaust"));
+    server.admit(spec(1, &data));
+    // Submit more events than the stream holds.
+    server.submit(1, SEGMENTS + 5);
+    let events = server.run();
+    assert_eq!(events.len(), SEGMENTS, "over-submission must drain cleanly");
+    assert_eq!(server.events(), SEGMENTS as u64);
+}

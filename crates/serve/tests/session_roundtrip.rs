@@ -1,0 +1,214 @@
+//! Property tests for the versioned session format: every state round-trips
+//! bit for bit — including hostile `f32` patterns (NaN, `-0.0`, denormals)
+//! and `u64` values beyond `f64`'s exact-integer range — and every corrupted
+//! or truncated payload fails with a *typed* error, never a panic.
+
+use deco::LearnerSnapshot;
+use deco_datasets::{core50, RunState, StreamCursor, SyntheticVision};
+use deco_serve::{SessionState, TenantSession, TenantSpec, WireError};
+use deco_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+/// A synthetic session with adversarial numeric content.
+fn arb_state(seed: u64, ipc: usize, classes: usize, mid_run: bool) -> SessionState {
+    let mut rng = Rng::new(seed);
+    let mut hostile = |dims: Vec<usize>| -> Tensor {
+        let mut t = Tensor::randn(dims, &mut rng);
+        let n = t.numel();
+        let data = t.data_mut();
+        data[0] = f32::NAN;
+        if n > 1 {
+            data[1] = -0.0;
+        }
+        if n > 2 {
+            data[2] = f32::MIN_POSITIVE / 2.0; // denormal
+        }
+        if n > 3 {
+            data[3] = f32::NEG_INFINITY;
+        }
+        t
+    };
+    let model_params = vec![hostile(vec![4, 3, 3, 3]), hostile(vec![4])];
+    SessionState {
+        tenant_id: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), // exceeds 2^53
+        snapshot: LearnerSnapshot {
+            opt_model_velocity: vec![Some(hostile(vec![4, 3, 3, 3])), None],
+            condenser_velocity: vec![Some(hostile(vec![ipc * classes, 3, 4, 4]))],
+            buffer_images: hostile(vec![ipc * classes, 3, 4, 4]),
+            buffer_ipc: ipc,
+            buffer_classes: classes,
+            rng_state: !seed, // high bits set
+            rng_spare: if seed.is_multiple_of(2) { Some(-0.0) } else { None },
+            segments_seen: seed as usize % 1000,
+            items_seen: seed as usize % 100_000,
+            model_params,
+        },
+        cursor: StreamCursor {
+            rng_state: seed | (1 << 63),
+            rng_spare: Some(f32::NAN),
+            run: mid_run.then(|| RunState {
+                class: 3,
+                instance: 1,
+                environment: 2,
+                view: 0.75,
+                view_step: -0.0,
+                remaining: 17,
+            }),
+            emitted: seed as usize % 64,
+        },
+    }
+}
+
+fn tensor_bits(t: &Tensor) -> (Vec<usize>, Vec<u32>) {
+    (
+        t.shape().dims().to_vec(),
+        t.data().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+/// Bitwise equality (`PartialEq` on `f32` would reject NaN == NaN).
+fn assert_states_bitwise_equal(a: &SessionState, b: &SessionState) {
+    assert_eq!(a.tenant_id, b.tenant_id);
+    let (sa, sb) = (&a.snapshot, &b.snapshot);
+    assert_eq!(sa.model_params.len(), sb.model_params.len());
+    for (x, y) in sa.model_params.iter().zip(&sb.model_params) {
+        assert_eq!(tensor_bits(x), tensor_bits(y));
+    }
+    for (x, y) in sa.opt_model_velocity.iter().zip(&sb.opt_model_velocity) {
+        assert_eq!(x.as_ref().map(tensor_bits), y.as_ref().map(tensor_bits));
+    }
+    for (x, y) in sa.condenser_velocity.iter().zip(&sb.condenser_velocity) {
+        assert_eq!(x.as_ref().map(tensor_bits), y.as_ref().map(tensor_bits));
+    }
+    assert_eq!(
+        tensor_bits(&sa.buffer_images),
+        tensor_bits(&sb.buffer_images)
+    );
+    assert_eq!(sa.buffer_ipc, sb.buffer_ipc);
+    assert_eq!(sa.buffer_classes, sb.buffer_classes);
+    assert_eq!(sa.rng_state, sb.rng_state);
+    assert_eq!(
+        sa.rng_spare.map(f32::to_bits),
+        sb.rng_spare.map(f32::to_bits)
+    );
+    assert_eq!(sa.segments_seen, sb.segments_seen);
+    assert_eq!(sa.items_seen, sb.items_seen);
+    let (ca, cb) = (&a.cursor, &b.cursor);
+    assert_eq!(ca.rng_state, cb.rng_state);
+    assert_eq!(
+        ca.rng_spare.map(f32::to_bits),
+        cb.rng_spare.map(f32::to_bits)
+    );
+    assert_eq!(ca.emitted, cb.emitted);
+    assert_eq!(ca.run.is_some(), cb.run.is_some());
+    if let (Some(ra), Some(rb)) = (&ca.run, &cb.run) {
+        assert_eq!(
+            (ra.class, ra.instance, ra.environment, ra.remaining),
+            (rb.class, rb.instance, rb.environment, rb.remaining)
+        );
+        assert_eq!(ra.view.to_bits(), rb.view.to_bits());
+        assert_eq!(ra.view_step.to_bits(), rb.view_step.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hostile_states_roundtrip_bitwise(
+        seed in 0u64..10_000,
+        ipc in 1usize..3,
+        classes in 1usize..5,
+        mid_run in 0u32..2,
+    ) {
+        let state = arb_state(seed, ipc, classes, mid_run == 1);
+        let bytes = state.to_bytes();
+        let back = SessionState::from_bytes(&bytes).expect("decode");
+        assert_states_bitwise_equal(&state, &back);
+        // Re-serialization is deterministic, so bytes are canonical.
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn flipping_any_byte_is_detected(
+        seed in 0u64..1000,
+        position in 0.0f32..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = arb_state(seed, 1, 3, true).to_bytes();
+        let idx = ((bytes.len() - 1) as f32 * position) as usize;
+        bytes[idx] ^= 1 << bit;
+        // Magic → BadMagic, version → UnsupportedVersion, anything
+        // else → checksum mismatch. Never a silent wrong decode.
+        let err = SessionState::from_bytes(&bytes).expect_err("corruption must fail");
+        let typed = matches!(
+            err,
+            WireError::BadMagic
+                | WireError::UnsupportedVersion(_)
+                | WireError::Corrupt(_)
+                | WireError::Truncated { .. }
+        );
+        prop_assert!(typed);
+    }
+
+    #[test]
+    fn truncating_anywhere_is_typed(
+        seed in 0u64..1000,
+        position in 0.0f32..1.0,
+    ) {
+        let bytes = arb_state(seed, 2, 2, false).to_bytes();
+        let cut = ((bytes.len() - 1) as f32 * position) as usize;
+        let err = SessionState::from_bytes(&bytes[..cut]).expect_err("truncation must fail");
+        let typed = matches!(err, WireError::Truncated { .. } | WireError::Corrupt(_));
+        prop_assert!(typed);
+    }
+}
+
+#[test]
+fn live_tenant_roundtrips_through_disk_bitwise() {
+    let data = SyntheticVision::new(core50());
+    let spec = TenantSpec::quick(9, 0xFEED, data.spec(), 4);
+    let mut session = TenantSession::new(spec.clone(), &data);
+    for _ in 0..2 {
+        let segment = session.next_segment(&data).expect("segment");
+        session.learner_mut().process_segment(&segment);
+    }
+    let state = session.state();
+
+    let dir = std::env::temp_dir().join("deco-serve-test-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tenant-9.dsrv");
+    state.save(&path).unwrap();
+    let loaded = SessionState::load(&path).unwrap();
+    assert_states_bitwise_equal(&state, &loaded);
+
+    // Continue both the original and the rehydrated session; they must
+    // stay bitwise identical through the remaining stream.
+    let mut rehydrated = TenantSession::from_state(spec, &data, &loaded);
+    for _ in 0..2 {
+        let a = session.next_segment(&data).expect("segment");
+        let b = rehydrated.next_segment(&data).expect("segment");
+        assert_eq!(a.images.data(), b.images.data(), "streams diverged");
+        session.learner_mut().process_segment(&a);
+        rehydrated.learner_mut().process_segment(&b);
+    }
+    assert_eq!(
+        session.state().to_bytes(),
+        rehydrated.state().to_bytes(),
+        "final states diverged after rehydration"
+    );
+}
+
+#[test]
+fn empty_and_garbage_files_are_typed_errors() {
+    assert!(matches!(
+        SessionState::from_bytes(&[]),
+        Err(WireError::Truncated { .. })
+    ));
+    assert!(matches!(
+        SessionState::from_bytes(b"not a session file at all....."),
+        Err(WireError::BadMagic)
+    ));
+    let missing = std::path::Path::new("/nonexistent/deco/tenant.dsrv");
+    assert!(matches!(SessionState::load(missing), Err(WireError::Io(_))));
+}

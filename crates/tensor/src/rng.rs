@@ -30,6 +30,23 @@ impl Rng {
         }
     }
 
+    /// The generator's full internal state: the SplitMix64 counter and the
+    /// cached Box–Muller spare. Feeding both into [`Rng::from_state_parts`]
+    /// reproduces the stream bit-for-bit — the hook session persistence
+    /// uses to freeze and resume a device's randomness.
+    pub fn state_parts(&self) -> (u64, Option<f32>) {
+        (self.state, self.spare_normal)
+    }
+
+    /// Rebuilds a generator from [`Rng::state_parts`] output. The restored
+    /// generator continues the original stream exactly.
+    pub fn from_state_parts(state: u64, spare_normal: Option<f32>) -> Rng {
+        Rng {
+            state,
+            spare_normal,
+        }
+    }
+
     /// Derives an independent child generator. Children with distinct `salt`
     /// values produce decorrelated streams even from the same parent state.
     pub fn fork(&mut self, salt: u64) -> Rng {
@@ -209,6 +226,20 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 10);
         assert!(picks.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn state_parts_roundtrip_continues_stream_exactly() {
+        let mut rng = Rng::new(41);
+        // Consume an odd number of normals so the Box–Muller spare is hot.
+        let _ = rng.normal();
+        let (state, spare) = rng.state_parts();
+        assert!(spare.is_some(), "spare should be cached after one normal");
+        let mut resumed = Rng::from_state_parts(state, spare);
+        for _ in 0..64 {
+            assert_eq!(rng.normal().to_bits(), resumed.normal().to_bits());
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`core`] | `deco` | DECO itself + the on-device learning loop |
 //! | [`eval`] | `deco-eval` | experiment runner, tables, reports |
 //! | [`runtime`] | `deco-runtime` | work-stealing pool, deterministic reductions |
+//! | [`serve`] | `deco-serve` | multi-tenant serving: session persistence, LRU eviction, batch scheduling |
 //!
 //! ```no_run
 //! use deco_repro::prelude::*;
@@ -36,6 +37,7 @@ pub use deco_eval as eval;
 pub use deco_nn as nn;
 pub use deco_replay as replay;
 pub use deco_runtime as runtime;
+pub use deco_serve as serve;
 pub use deco_tensor as tensor;
 
 /// The most commonly used items, importable in one line.

@@ -9,7 +9,9 @@ use deco_repro::condense::{
     DsaCondenser, SegmentData, SyntheticBuffer,
 };
 use deco_repro::core::{DecoCondenser, DecoConfig};
+use deco_repro::datasets::{core50, SyntheticVision};
 use deco_repro::nn::{ConvNet, ConvNetConfig, Sgd};
+use deco_repro::serve::{Server, ServerConfig, TenantSession, TenantSpec};
 use deco_repro::tensor::{Rng, Tensor};
 
 fn net_cfg() -> ConvNetConfig {
@@ -77,6 +79,86 @@ fn deco_condense_and_train_bitwise_identical_across_thread_counts() {
         deco_repro::runtime::with_thread_count(4, || condense_and_train(&mut make()));
     assert_eq!(serial_buf, parallel_buf, "synthetic tensors diverged");
     assert_eq!(serial_loss, parallel_loss, "final training loss diverged");
+}
+
+/// The serving layer's determinism contract, end to end: a tenant's final
+/// session bytes must be identical whether it runs (a) solo in a plain
+/// loop, (b) interleaved with 7 other tenants through the cross-tenant
+/// batch scheduler, or (c) through a forced evict/rehydrate cycle
+/// mid-stream — and all of that at both `DECO_THREADS=1` and a 4-thread
+/// pool (six execution shapes, one result).
+#[test]
+fn serving_is_bitwise_identical_solo_interleaved_and_evicted_across_thread_counts() {
+    const SEGMENTS: usize = 3;
+    const FLEET: u64 = 8;
+    let data = SyntheticVision::new(core50());
+    let spec = |id: u64| TenantSpec::quick(id, 0xD15C_0000 ^ id, data.spec(), SEGMENTS);
+    let tracked: u64 = 3; // the tenant whose bytes all variants must agree on
+
+    let solo = |threads: usize| {
+        deco_repro::runtime::with_thread_count(threads, || {
+            let mut session = TenantSession::new(spec(tracked), &data);
+            while let Some(segment) = session.next_segment(&data) {
+                session.learner_mut().process_segment(&segment);
+            }
+            session.state().to_bytes()
+        })
+    };
+    let interleaved = |threads: usize| {
+        deco_repro::runtime::with_thread_count(threads, || {
+            let dir = std::env::temp_dir().join(format!("deco-serve-det-il-{threads}t"));
+            let mut server = Server::new(
+                &data,
+                ServerConfig::new(dir)
+                    .with_budget(None)
+                    .with_batch_tenants(4),
+            );
+            for id in 0..FLEET {
+                server.admit(spec(id));
+                server.submit(id, SEGMENTS);
+            }
+            server.run();
+            server.state_of(tracked).to_bytes()
+        })
+    };
+    let evicted = |threads: usize| {
+        deco_repro::runtime::with_thread_count(threads, || {
+            let dir = std::env::temp_dir().join(format!("deco-serve-det-ev-{threads}t"));
+            let mut server = Server::new(&data, ServerConfig::new(dir).with_budget(None));
+            server.admit(spec(tracked));
+            // One segment, force the session to disk, then the rest.
+            server.submit(tracked, 1);
+            server.run();
+            assert!(server.force_evict(tracked));
+            server.submit(tracked, SEGMENTS - 1);
+            server.run();
+            assert_eq!(server.rehydrations(), 1);
+            server.state_of(tracked).to_bytes()
+        })
+    };
+
+    let reference = solo(1);
+    assert_eq!(solo(4), reference, "solo diverged across thread counts");
+    assert_eq!(
+        interleaved(1),
+        reference,
+        "interleaved@1T diverged from solo"
+    );
+    assert_eq!(
+        interleaved(4),
+        reference,
+        "interleaved@4T diverged from solo"
+    );
+    assert_eq!(
+        evicted(1),
+        reference,
+        "evict/rehydrate@1T diverged from solo"
+    );
+    assert_eq!(
+        evicted(4),
+        reference,
+        "evict/rehydrate@4T diverged from solo"
+    );
 }
 
 #[test]
