@@ -43,7 +43,7 @@ mod stream;
 pub use dataset::{LabeledSet, SyntheticVision};
 pub use drift::DriftStream;
 pub use spec::{
-    cifar100, cifar10_confusable, confusable_partner, core50, icub1, imagenet10, DatasetSpec,
-    CIFAR10_NAMES,
+    cifar100, cifar10_confusable, confusable_partner, core50, icub1, imagenet10, imagenet_scale,
+    DatasetSpec, CIFAR10_NAMES,
 };
 pub use stream::{empirical_stc, RunState, Segment, Stream, StreamConfig, StreamCursor};

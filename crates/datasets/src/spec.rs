@@ -141,6 +141,28 @@ pub fn imagenet10() -> DatasetSpec {
     }
 }
 
+/// ImageNet-scale analogue: the ROADMAP's stand-in for large-vocabulary
+/// streams (SRe2L-style settings, arXiv 2306.13092). Twice the classes of
+/// ImageNet-10 at the same 32 px resolution, with a wide environment pool
+/// so scenario generators (domain shift in particular) have room to carve
+/// disjoint sub-domains.
+pub fn imagenet_scale() -> DatasetSpec {
+    DatasetSpec {
+        name: "ImageNet-Scale",
+        num_classes: 20,
+        image_side: 32,
+        channels: 3,
+        instances_per_class: 30,
+        num_environments: 8,
+        confusability: 0.55,
+        noise_std: 0.5,
+        view_rotation: 1.0,
+        stc: 100,
+        seed: 0x1346_0100,
+        class_names: None,
+    }
+}
+
 /// Names of the CIFAR-10 classes used by the Fig. 2 confusion analysis.
 pub const CIFAR10_NAMES: [&str; 10] = [
     "airplane",
@@ -212,6 +234,7 @@ mod tests {
             core50(),
             cifar100(),
             imagenet10(),
+            imagenet_scale(),
             cifar10_confusable(),
         ] {
             spec.validate();
@@ -240,6 +263,14 @@ mod tests {
     #[test]
     fn imagenet_preset_has_higher_resolution() {
         assert!(imagenet10().image_side > core50().image_side);
+    }
+
+    #[test]
+    fn imagenet_scale_doubles_the_vocabulary() {
+        let spec = imagenet_scale();
+        assert_eq!(spec.num_classes, 2 * imagenet10().num_classes);
+        assert_eq!(spec.image_side, imagenet10().image_side);
+        assert!(spec.num_environments >= 2, "domain shift needs ≥2 envs");
     }
 
     #[test]

@@ -411,4 +411,20 @@ mod tests {
         assert_eq!(empirical_stc(&[1, 1, 1, 1]), 4.0);
         assert_eq!(empirical_stc(&[1, 2, 3, 4]), 1.0);
     }
+
+    /// Pins the exact value (down to the bit pattern) on a known mixed
+    /// sequence: the scenario leaderboard exports `empirical_stc` per cell
+    /// as the stream-difficulty measure, so its definition — total items
+    /// over number of runs, runs delimited by label *changes* (a class
+    /// recurring later counts as a new run) — must never drift silently.
+    #[test]
+    fn empirical_stc_pinned_on_known_sequence() {
+        // Runs: [7,7,7] [2,2] [7] [5,5,5,5] [2] → 11 items / 5 runs.
+        let labels = [7, 7, 7, 2, 2, 7, 5, 5, 5, 5, 2];
+        let measured = empirical_stc(&labels);
+        assert_eq!(measured, 11.0 / 5.0);
+        assert_eq!(measured.to_bits(), 2.2f32.to_bits());
+        // A single-item sequence is one run of length one.
+        assert_eq!(empirical_stc(&[3]), 1.0);
+    }
 }

@@ -30,8 +30,8 @@ pub use forgetting::{per_class_accuracy, ForgettingTracker};
 pub use plot::{ascii_plot, Series};
 pub use report::{write_json, write_json_value, ResourceUsage, Table};
 pub use runner::{
-    run_cell, run_trial, upper_bound, CellResult, CurvePoint, MethodKind, TrialFailure,
-    TrialResult, TrialSpec,
+    run_cell, run_trial, run_trial_on_segments, upper_bound, CellResult, CurvePoint, MethodKind,
+    TrialFailure, TrialResult, TrialSpec,
 };
 pub use scale::{DatasetId, ExperimentScale, ScaleParams};
 pub use stats::{relative_improvement, top_confusions, MeanStd};

@@ -8,7 +8,7 @@ use deco::{
     accuracy, pretrain, BufferPolicy, DecoCondenser, DecoConfig, LearnerConfig, OnDeviceLearner,
 };
 use deco_condense::{DcCondenser, DcConfig, DmCondenser, DmConfig, DsaCondenser, SyntheticBuffer};
-use deco_datasets::{LabeledSet, Stream, StreamConfig, SyntheticVision};
+use deco_datasets::{LabeledSet, Segment, Stream, StreamConfig, SyntheticVision};
 use deco_nn::{ConvNet, ConvNetConfig};
 use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
 use deco_telemetry::{impl_to_json, Json, ToJson};
@@ -327,6 +327,104 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     }
 }
 
+/// Runs one trial over *caller-provided* segments instead of the spec's
+/// own [`Stream`]. This is the entry point the `deco-scenarios` benchmark
+/// matrix drives: a scenario generator materializes an adversarial segment
+/// sequence, and this function measures the learner on it with **exactly**
+/// the setup of [`run_trial`] — same RNG derivation, same pre-training,
+/// same policy construction — so feeding it the baseline stream's segments
+/// reproduces `run_trial` bitwise (deterministic fields).
+///
+/// Alongside the [`TrialResult`], a [`ForgettingTracker`] is returned with
+/// per-class accuracy snapshots: one before the stream, one after every
+/// `forgetting_every` segments (0 = endpoints only), and one at the end.
+///
+/// # Panics
+/// Panics on invalid configurations, like [`run_trial`].
+pub fn run_trial_on_segments(
+    spec: &TrialSpec,
+    segments: &[Segment],
+    forgetting_every: usize,
+) -> (TrialResult, crate::ForgettingTracker) {
+    let data = spec.dataset.build();
+    let params = &spec.params;
+    let mut rng = Rng::new(0xDEC0 ^ spec.seed.wrapping_mul(0x9E37_79B9));
+
+    let net_cfg = convnet_config(spec.dataset, params);
+    let model = ConvNet::new(net_cfg, &mut rng);
+    let pretrain_set = data.pretrain_set(params.pretrain_per_class);
+    pretrain(
+        &model,
+        &pretrain_set,
+        params.pretrain_steps,
+        params.pretrain_lr,
+    );
+    let scratch = ConvNet::new(net_cfg, &mut rng);
+    let test_set = data.test_set(params.test_per_class);
+    let classes = data.num_classes();
+
+    let policy = build_policy(spec, &data, &pretrain_set, &model, &mut rng);
+    let learner_cfg = LearnerConfig {
+        vote_threshold: spec.vote_threshold_override.unwrap_or(0.4),
+        beta: params.beta,
+        model_lr: params.model_lr,
+        model_epochs: params.model_epochs,
+    };
+    let mut learner = OnDeviceLearner::new(model, scratch, policy, learner_cfg, rng.fork(1));
+
+    let mut tracker = crate::ForgettingTracker::new();
+    tracker.record(crate::per_class_accuracy(
+        learner.model(),
+        &test_set,
+        classes,
+    ));
+    let mut curve = Vec::new();
+    let mut processing_time = Duration::ZERO;
+    let mut segment_wall_time_ms = Vec::new();
+    for (i, segment) in segments.iter().enumerate() {
+        let start = Instant::now();
+        learner.process_segment(segment);
+        let elapsed = start.elapsed();
+        processing_time += elapsed;
+        segment_wall_time_ms.push(elapsed.as_secs_f64() * 1e3);
+        if spec.eval_every > 0 && (i + 1) % spec.eval_every == 0 {
+            curve.push(CurvePoint {
+                items: learner.items_seen(),
+                accuracy: learner.evaluate(&test_set),
+            });
+        }
+        let last = i + 1 == segments.len();
+        if forgetting_every > 0 && (i + 1) % forgetting_every == 0 && !last {
+            tracker.record(crate::per_class_accuracy(
+                learner.model(),
+                &test_set,
+                classes,
+            ));
+        }
+    }
+    if !segments.len().is_multiple_of(params.beta) {
+        learner.train_model_now();
+    }
+    tracker.record(crate::per_class_accuracy(
+        learner.model(),
+        &test_set,
+        classes,
+    ));
+    let (retention, pseudo_accuracy) = learner.pseudo_label_stats();
+    let peak_memory_bytes =
+        deco_telemetry::is_enabled().then(|| learner.memory_tracker().storage_peak());
+    let result = TrialResult {
+        final_accuracy: learner.evaluate(&test_set),
+        curve,
+        retention,
+        pseudo_accuracy,
+        processing_time,
+        segment_wall_time_ms,
+        peak_memory_bytes,
+    };
+    (result, tracker)
+}
+
 /// A trial that panicked, recorded instead of aborting the whole cell.
 #[derive(Debug, Clone)]
 pub struct TrialFailure {
@@ -522,6 +620,31 @@ mod tests {
         let a = run_trial(&spec);
         let b = run_trial(&spec);
         assert_eq!(a.final_accuracy, b.final_accuracy);
+    }
+
+    #[test]
+    fn trial_on_baseline_segments_matches_run_trial_bitwise() {
+        let spec = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 1, 2, micro_params());
+        let data = spec.dataset.build();
+        let stream_cfg = StreamConfig {
+            stc: spec.params.stc,
+            segment_size: spec.params.segment_size,
+            num_segments: spec.params.num_segments,
+            seed: spec.seed,
+        };
+        let segments: Vec<Segment> = Stream::new(&data, stream_cfg).collect();
+        let reference = run_trial(&spec);
+        let (result, tracker) = run_trial_on_segments(&spec, &segments, 0);
+        assert_eq!(
+            result.final_accuracy.to_bits(),
+            reference.final_accuracy.to_bits()
+        );
+        assert_eq!(result.retention.to_bits(), reference.retention.to_bits());
+        assert_eq!(
+            result.pseudo_accuracy.to_bits(),
+            reference.pseudo_accuracy.to_bits()
+        );
+        assert_eq!(tracker.len(), 2, "endpoint snapshots only");
     }
 
     #[test]

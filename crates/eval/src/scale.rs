@@ -5,7 +5,8 @@
 //! absolute accuracy changes.
 
 use deco_datasets::{
-    cifar100, cifar10_confusable, core50, icub1, imagenet10, DatasetSpec, SyntheticVision,
+    cifar100, cifar10_confusable, core50, icub1, imagenet10, imagenet_scale, DatasetSpec,
+    SyntheticVision,
 };
 
 /// Which benchmark dataset analogue an experiment runs on.
@@ -21,6 +22,9 @@ pub enum DatasetId {
     ImageNet10,
     /// CIFAR-10 analogue with designed confusable pairs (Fig. 2).
     Cifar10,
+    /// ImageNet-scale analogue (ROADMAP item: 20 classes at 32 px) for the
+    /// benchmark matrix's large-vocabulary axis.
+    ImageNetScale,
 }
 
 impl DatasetId {
@@ -40,6 +44,7 @@ impl DatasetId {
             DatasetId::Cifar100 => cifar100(),
             DatasetId::ImageNet10 => imagenet10(),
             DatasetId::Cifar10 => cifar10_confusable(),
+            DatasetId::ImageNetScale => imagenet_scale(),
         }
     }
 
@@ -56,6 +61,7 @@ impl DatasetId {
             DatasetId::Cifar100 => "CIFAR-100",
             DatasetId::ImageNet10 => "ImageNet-10",
             DatasetId::Cifar10 => "CIFAR-10",
+            DatasetId::ImageNetScale => "ImageNet-Scale",
         }
     }
 }
@@ -185,6 +191,7 @@ mod tests {
             DatasetId::Cifar100,
             DatasetId::ImageNet10,
             DatasetId::Cifar10,
+            DatasetId::ImageNetScale,
         ] {
             for s in [ExperimentScale::Smoke, ExperimentScale::Paper] {
                 let p = s.params(d);

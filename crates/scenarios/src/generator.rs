@@ -1,0 +1,776 @@
+//! Adversarial stream generators.
+//!
+//! The paper's streams are benign: every class is available from the first
+//! segment, arrival rate is constant, runs are pure, and the acquisition
+//! environment is drawn uniformly per run. A fleet serving millions of
+//! heterogeneous users sees none of those luxuries. This module wraps the
+//! [`Stream`]/[`StreamConfig`] machinery of `deco-datasets` into *hostile*
+//! workloads:
+//!
+//! * [`ClassIncremental`] — new classes appear mid-stream, exercising the
+//!   condensed buffer's class-allocation path;
+//! * [`Bursty`] — periodic rate spikes (oversized segments) that stress the
+//!   serve scheduler's queue and LRU eviction under `DECO_SERVE_MEM_BYTES`;
+//! * [`LabelNoiseRamp`] — a time-varying fraction of *intruder* frames
+//!   breaks the temporal-correlation assumption majority voting relies on;
+//! * [`DomainShift`] — an abrupt mid-stream shift of the render-environment
+//!   pool (the hard cousin of `deco_datasets::DriftStream`'s gradual sweep).
+//!
+//! # Determinism contract
+//!
+//! A [`ScenarioStream`] is a pure function of `(dataset, StreamConfig,
+//! ScenarioConfig)`. Every scenario decision — burst placement, the class
+//! pool, the intruder probability, the environment pool — depends only on
+//! the *segment index* and the config, never on wall-clock, thread count or
+//! scheduling. All randomness flows through one `Rng` whose state, together
+//! with the in-flight run and the emitted-segment count, is exactly a
+//! [`StreamCursor`]: [`ScenarioStream::cursor`]/[`ScenarioStream::seek`]
+//! round-trip through the *same* cursor type (and hence the same serve-layer
+//! session wire format) as the baseline stream, so a tenant can be evicted
+//! to disk mid-scenario and rehydrated bitwise.
+
+use std::ops::Range;
+
+use deco_datasets::{RunState, Segment, Stream, StreamConfig, StreamCursor, SyntheticVision};
+use deco_tensor::{Rng, Tensor};
+
+/// Position of segment `index` within a stream of `num_segments`, in
+/// `[0, 1]` (0 for a single-segment stream).
+fn progress(index: usize, num_segments: usize) -> f32 {
+    if num_segments <= 1 {
+        0.0
+    } else {
+        index as f32 / (num_segments - 1) as f32
+    }
+}
+
+/// A stream scenario: a set of pure hooks that reshape how segments are
+/// generated. Every hook must be a deterministic function of its arguments
+/// only — in particular of the segment `index`, never of mutable state —
+/// which is what makes scenario streams seekable through a plain
+/// [`StreamCursor`] (see `docs/scenarios.md` for the contract and a
+/// checklist for adding a generator).
+pub trait Scenario {
+    /// Stable snake_case name used in leaderboard cell keys and telemetry.
+    fn name(&self) -> &'static str;
+
+    /// Salt mixed into the stream RNG seed so that a scenario's item
+    /// sequence differs from the baseline's even at equal config seeds.
+    fn rng_salt(&self) -> u64;
+
+    /// Items in segment `index` (rate spikes return more than
+    /// `base.segment_size`).
+    fn items_in_segment(&self, base: &StreamConfig, index: usize) -> usize {
+        let _ = index;
+        base.segment_size
+    }
+
+    /// Classes available to *new* runs started inside segment `index`
+    /// (a growing prefix under class-incremental arrival). Must be in
+    /// `1..=num_classes`.
+    fn available_classes(&self, num_classes: usize, index: usize, num_segments: usize) -> usize {
+        let _ = (index, num_segments);
+        num_classes
+    }
+
+    /// The render-environment pool for runs started inside segment
+    /// `index`. Must be a non-empty subrange of `0..num_environments`.
+    fn environment_range(
+        &self,
+        num_environments: usize,
+        index: usize,
+        num_segments: usize,
+    ) -> Range<usize> {
+        let _ = (index, num_segments);
+        0..num_environments
+    }
+
+    /// Probability in `[0, 1)` that an item of segment `index` is replaced
+    /// by an *intruder* frame of a different class (temporal-correlation
+    /// poisoning). Returning exactly `0.0` must mean "no RNG draw", so the
+    /// baseline path consumes no extra randomness.
+    fn intruder_prob(&self, index: usize, num_segments: usize) -> f32 {
+        let _ = (index, num_segments);
+        0.0
+    }
+}
+
+/// New classes appear over the stream: runs started in segment `index` draw
+/// from a class-prefix that grows linearly from `start_frac` of the classes
+/// to all of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassIncremental {
+    /// Fraction of the classes available at stream start (clamped so at
+    /// least one class is always available).
+    pub start_frac: f32,
+}
+
+impl Default for ClassIncremental {
+    fn default() -> Self {
+        ClassIncremental { start_frac: 0.3 }
+    }
+}
+
+impl Scenario for ClassIncremental {
+    fn name(&self) -> &'static str {
+        "class_incremental"
+    }
+
+    fn rng_salt(&self) -> u64 {
+        0xC1A5_51C0
+    }
+
+    fn available_classes(&self, num_classes: usize, index: usize, num_segments: usize) -> usize {
+        let t = progress(index, num_segments);
+        let frac = self.start_frac + (1.0 - self.start_frac) * t;
+        (((num_classes as f32) * frac).ceil() as usize).clamp(1, num_classes)
+    }
+}
+
+/// Periodic arrival-rate spikes: every `every`-th segment carries
+/// `factor ×` the base item count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bursty {
+    /// Burst period in segments (the last segment of each period bursts).
+    pub every: usize,
+    /// Item multiplier during a burst segment.
+    pub factor: usize,
+}
+
+impl Default for Bursty {
+    fn default() -> Self {
+        Bursty {
+            every: 3,
+            factor: 4,
+        }
+    }
+}
+
+impl Bursty {
+    /// Whether segment `index` is a burst segment.
+    pub fn is_burst(&self, index: usize) -> bool {
+        self.every > 0 && (index + 1).is_multiple_of(self.every)
+    }
+}
+
+impl Scenario for Bursty {
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+
+    fn rng_salt(&self) -> u64 {
+        0xB0B5_7321
+    }
+
+    fn items_in_segment(&self, base: &StreamConfig, index: usize) -> usize {
+        if self.is_burst(index) {
+            base.segment_size * self.factor.max(1)
+        } else {
+            base.segment_size
+        }
+    }
+}
+
+/// Temporal-correlation poisoning that worsens over the stream: each item
+/// is replaced by an intruder frame of another class with a probability
+/// ramping linearly from `start` to `end`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelNoiseRamp {
+    /// Intruder probability at the first segment.
+    pub start: f32,
+    /// Intruder probability at the last segment.
+    pub end: f32,
+}
+
+impl Default for LabelNoiseRamp {
+    fn default() -> Self {
+        LabelNoiseRamp {
+            start: 0.0,
+            end: 0.5,
+        }
+    }
+}
+
+impl Scenario for LabelNoiseRamp {
+    fn name(&self) -> &'static str {
+        "label_noise_ramp"
+    }
+
+    fn rng_salt(&self) -> u64 {
+        0x4015_E4A8
+    }
+
+    fn intruder_prob(&self, index: usize, num_segments: usize) -> f32 {
+        let t = progress(index, num_segments);
+        (self.start + (self.end - self.start) * t).clamp(0.0, 0.999)
+    }
+}
+
+/// An abrupt mid-stream environment shift: runs started before the shift
+/// point draw environments from the first half of the pool, runs started
+/// after draw from the second half.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainShift {
+    /// Stream fraction in `[0, 1]` at which the shift happens.
+    pub at: f32,
+}
+
+impl Default for DomainShift {
+    fn default() -> Self {
+        DomainShift { at: 0.5 }
+    }
+}
+
+impl Scenario for DomainShift {
+    fn name(&self) -> &'static str {
+        "domain_shift"
+    }
+
+    fn rng_salt(&self) -> u64 {
+        0xD0AA_5417
+    }
+
+    fn environment_range(
+        &self,
+        num_environments: usize,
+        index: usize,
+        num_segments: usize,
+    ) -> Range<usize> {
+        if num_environments <= 1 {
+            return 0..num_environments;
+        }
+        let mid = (num_environments / 2).max(1);
+        if progress(index, num_segments) >= self.at {
+            mid..num_environments
+        } else {
+            0..mid
+        }
+    }
+}
+
+/// The serializable identity of a scenario: which generator, with which
+/// parameters. `Copy + PartialEq` so it can live inside a
+/// `deco-serve` `TenantSpec` and survive evict/rehydrate comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioConfig {
+    /// The paper's benign stream — delegates to [`Stream`] verbatim, so a
+    /// baseline scenario is *bitwise identical* to no scenario at all.
+    Baseline,
+    /// Class-incremental arrival.
+    ClassIncremental(ClassIncremental),
+    /// Bursty traffic.
+    Bursty(Bursty),
+    /// Ramping label noise.
+    LabelNoiseRamp(LabelNoiseRamp),
+    /// Mid-stream domain shift.
+    DomainShift(DomainShift),
+}
+
+/// The baseline scenario hooks (all defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BaselineScenario;
+
+impl Scenario for BaselineScenario {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn rng_salt(&self) -> u64 {
+        0
+    }
+}
+
+static BASELINE: BaselineScenario = BaselineScenario;
+
+impl ScenarioConfig {
+    /// The four adversarial scenarios with default parameters, in
+    /// leaderboard order.
+    pub fn adversarial() -> [ScenarioConfig; 4] {
+        [
+            ScenarioConfig::ClassIncremental(ClassIncremental::default()),
+            ScenarioConfig::Bursty(Bursty::default()),
+            ScenarioConfig::LabelNoiseRamp(LabelNoiseRamp::default()),
+            ScenarioConfig::DomainShift(DomainShift::default()),
+        ]
+    }
+
+    /// All five scenarios (baseline first).
+    pub fn all() -> [ScenarioConfig; 5] {
+        let [a, b, c, d] = Self::adversarial();
+        [ScenarioConfig::Baseline, a, b, c, d]
+    }
+
+    /// The scenario's hook implementation.
+    pub fn as_scenario(&self) -> &dyn Scenario {
+        match self {
+            ScenarioConfig::Baseline => &BASELINE,
+            ScenarioConfig::ClassIncremental(s) => s,
+            ScenarioConfig::Bursty(s) => s,
+            ScenarioConfig::LabelNoiseRamp(s) => s,
+            ScenarioConfig::DomainShift(s) => s,
+        }
+    }
+
+    /// Stable snake_case name (leaderboard keys, telemetry, CLI).
+    pub fn name(&self) -> &'static str {
+        self.as_scenario().name()
+    }
+
+    /// Parses a scenario name (default parameters). Accepts `-` or `_`
+    /// separators; returns `None` for unknown names.
+    pub fn parse(s: &str) -> Option<ScenarioConfig> {
+        match s.to_ascii_lowercase().replace('-', "_").as_str() {
+            "baseline" => Some(ScenarioConfig::Baseline),
+            "class_incremental" => {
+                Some(ScenarioConfig::ClassIncremental(ClassIncremental::default()))
+            }
+            "bursty" => Some(ScenarioConfig::Bursty(Bursty::default())),
+            "label_noise_ramp" | "label_noise" => {
+                Some(ScenarioConfig::LabelNoiseRamp(LabelNoiseRamp::default()))
+            }
+            "domain_shift" => Some(ScenarioConfig::DomainShift(DomainShift::default())),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Internal stream state: the baseline delegates to the real [`Stream`]
+/// (bitwise-equal by construction), adversarial scenarios drive their own
+/// run machinery whose entire state is `(rng, run, emitted)`.
+#[derive(Debug, Clone)]
+enum Inner<'a> {
+    Base(Stream<'a>),
+    Synth {
+        rng: Rng,
+        run: Option<RunState>,
+        emitted: usize,
+    },
+}
+
+/// A lazily generated scenario stream, yielding [`Segment`]s.
+///
+/// ```
+/// use deco_datasets::{core50, StreamConfig, SyntheticVision};
+/// use deco_scenarios::{ScenarioConfig, ScenarioStream};
+///
+/// let data = SyntheticVision::new(core50());
+/// let cfg = StreamConfig { stc: 20, segment_size: 16, num_segments: 4, seed: 1 };
+/// let scenario = ScenarioConfig::parse("class-incremental").unwrap();
+/// let segments: Vec<_> = ScenarioStream::new(&data, cfg, scenario).collect();
+/// assert_eq!(segments.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioStream<'a> {
+    dataset: &'a SyntheticVision,
+    config: StreamConfig,
+    scenario: ScenarioConfig,
+    inner: Inner<'a>,
+}
+
+impl<'a> ScenarioStream<'a> {
+    /// Creates a scenario stream over `dataset`.
+    ///
+    /// # Panics
+    /// Panics on an invalid base configuration.
+    pub fn new(
+        dataset: &'a SyntheticVision,
+        config: StreamConfig,
+        scenario: ScenarioConfig,
+    ) -> Self {
+        config.validate();
+        let inner = match scenario {
+            ScenarioConfig::Baseline => Inner::Base(Stream::new(dataset, config)),
+            _ => Inner::Synth {
+                rng: Rng::new(
+                    dataset.spec().seed
+                        ^ config.seed.wrapping_mul(0x5DEECE66D)
+                        ^ scenario.as_scenario().rng_salt(),
+                ),
+                run: None,
+                emitted: 0,
+            },
+        };
+        ScenarioStream {
+            dataset,
+            config,
+            scenario,
+            inner,
+        }
+    }
+
+    /// The base stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The scenario.
+    pub fn scenario(&self) -> &ScenarioConfig {
+        &self.scenario
+    }
+
+    /// Segments already emitted.
+    pub fn emitted(&self) -> usize {
+        match &self.inner {
+            Inner::Base(s) => s.cursor().emitted,
+            Inner::Synth { emitted, .. } => *emitted,
+        }
+    }
+
+    /// Captures the current position. The cursor is a plain
+    /// [`StreamCursor`] — the same type (and serve-layer wire encoding) the
+    /// baseline stream uses — so scenario sessions persist through the
+    /// unchanged `deco-serve` session format.
+    pub fn cursor(&self) -> StreamCursor {
+        match &self.inner {
+            Inner::Base(s) => s.cursor(),
+            Inner::Synth { rng, run, emitted } => {
+                let (rng_state, rng_spare) = rng.state_parts();
+                StreamCursor {
+                    rng_state,
+                    rng_spare,
+                    run: run.clone(),
+                    emitted: *emitted,
+                }
+            }
+        }
+    }
+
+    /// Repositions at a previously captured cursor. The stream must have
+    /// been built over the same dataset, config *and scenario* the cursor
+    /// was taken from; subsequent segments are then bitwise identical to
+    /// what the original stream would have produced.
+    pub fn seek(&mut self, cursor: &StreamCursor) {
+        match &mut self.inner {
+            Inner::Base(s) => s.seek(cursor),
+            Inner::Synth { rng, run, emitted } => {
+                *rng = Rng::from_state_parts(cursor.rng_state, cursor.rng_spare);
+                *run = cursor.run.clone();
+                *emitted = cursor.emitted;
+            }
+        }
+    }
+}
+
+/// Starts a fresh run inside segment `index` (scenario-restricted class
+/// pool and environment pool; same run-length jitter as the baseline).
+fn fresh_run(
+    dataset: &SyntheticVision,
+    config: &StreamConfig,
+    scenario: &dyn Scenario,
+    rng: &mut Rng,
+    prev_class: Option<usize>,
+    index: usize,
+) -> RunState {
+    let spec = dataset.spec();
+    let avail = scenario
+        .available_classes(spec.num_classes, index, config.num_segments)
+        .clamp(1, spec.num_classes);
+    // Avoid immediately repeating the previous class when possible.
+    let class = loop {
+        let c = rng.below(avail);
+        if Some(c) != prev_class || avail == 1 {
+            break c;
+        }
+    };
+    // Run length: STC ± 50 % jitter, exactly as the baseline stream.
+    let jitter = rng.uniform(0.5, 1.5);
+    let length = ((config.stc as f32 * jitter) as usize).max(1);
+    let view = rng.next_f32();
+    let envs = scenario.environment_range(spec.num_environments, index, config.num_segments);
+    let envs = if envs.is_empty() {
+        0..spec.num_environments
+    } else {
+        envs
+    };
+    RunState {
+        class,
+        instance: rng.below(spec.instances_per_class),
+        environment: envs.start + rng.below(envs.len()),
+        view,
+        view_step: 1.0 / length as f32,
+        remaining: length,
+    }
+}
+
+/// Generates the next item of segment `index`, advancing the in-flight run
+/// and possibly substituting an intruder frame.
+fn next_item(
+    dataset: &SyntheticVision,
+    config: &StreamConfig,
+    scenario: &dyn Scenario,
+    rng: &mut Rng,
+    run: &mut Option<RunState>,
+    index: usize,
+) -> (Tensor, usize) {
+    let spec = dataset.spec();
+    if run.as_ref().is_none_or(|r| r.remaining == 0) {
+        let prev = run.as_ref().map(|r| r.class);
+        *run = Some(fresh_run(dataset, config, scenario, rng, prev, index));
+    }
+    let (class, instance, environment, view) = {
+        let r = run.as_mut().expect("run initialized above");
+        let out = (r.class, r.instance, r.environment, r.view);
+        r.view = (r.view + r.view_step).fract();
+        r.remaining -= 1;
+        out
+    };
+    let p = scenario.intruder_prob(index, config.num_segments);
+    if p > 0.0 && rng.next_f32() < p && spec.num_classes > 1 {
+        // An intruder: one frame of a *different* class spliced into the
+        // run, with its own instance/environment/view draw.
+        let mut intruder = rng.below(spec.num_classes);
+        if intruder == class {
+            intruder = (intruder + 1) % spec.num_classes;
+        }
+        let instance = rng.below(spec.instances_per_class);
+        let environment = rng.below(spec.num_environments);
+        let view = rng.next_f32();
+        deco_telemetry::counter!("scenario.intruders");
+        let frame = dataset.render(intruder, instance, environment, view, rng);
+        return (frame, intruder);
+    }
+    let frame = dataset.render(class, instance, environment, view, rng);
+    (frame, class)
+}
+
+impl Iterator for ScenarioStream<'_> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        let scenario = self.scenario;
+        let (rng, run, emitted) = match &mut self.inner {
+            Inner::Base(s) => return s.next(),
+            Inner::Synth { rng, run, emitted } => (rng, run, emitted),
+        };
+        if *emitted >= self.config.num_segments {
+            return None;
+        }
+        let index = *emitted;
+        *emitted += 1;
+        let hooks = scenario.as_scenario();
+        let b = hooks.items_in_segment(&self.config, index).max(1);
+        let spec = self.dataset.spec();
+        deco_telemetry::counter!("scenario.segments");
+        deco_telemetry::counter!("scenario.items", b as u64);
+        if b > self.config.segment_size {
+            deco_telemetry::counter!("scenario.burst_segments");
+        }
+        let mut data = Vec::with_capacity(b * self.dataset.frame_numel());
+        let mut labels = Vec::with_capacity(b);
+        for _ in 0..b {
+            let (frame, label) = next_item(self.dataset, &self.config, hooks, rng, run, index);
+            data.extend_from_slice(frame.data());
+            labels.push(label);
+        }
+        Some(Segment {
+            images: Tensor::from_vec(data, [b, spec.channels, spec.image_side, spec.image_side]),
+            true_labels: labels,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.num_segments - self.emitted();
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ScenarioStream<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_datasets::{core50, empirical_stc};
+
+    fn dataset() -> SyntheticVision {
+        SyntheticVision::new(core50())
+    }
+
+    fn cfg(num_segments: usize, seed: u64) -> StreamConfig {
+        StreamConfig {
+            stc: 10,
+            segment_size: 16,
+            num_segments,
+            seed,
+        }
+    }
+
+    fn labels_of(segments: &[Segment]) -> Vec<usize> {
+        segments
+            .iter()
+            .flat_map(|s| s.true_labels.clone())
+            .collect()
+    }
+
+    #[test]
+    fn baseline_scenario_is_bitwise_the_plain_stream() {
+        let data = dataset();
+        let c = cfg(4, 9);
+        let plain: Vec<Segment> = Stream::new(&data, c).collect();
+        let wrapped: Vec<Segment> =
+            ScenarioStream::new(&data, c, ScenarioConfig::Baseline).collect();
+        assert_eq!(plain.len(), wrapped.len());
+        for (a, b) in plain.iter().zip(&wrapped) {
+            assert_eq!(a.true_labels, b.true_labels);
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.images), bits(&b.images));
+        }
+    }
+
+    #[test]
+    fn every_scenario_is_deterministic_per_seed() {
+        let data = dataset();
+        for scenario in ScenarioConfig::all() {
+            let a: Vec<Segment> = ScenarioStream::new(&data, cfg(5, 3), scenario).collect();
+            let b: Vec<Segment> = ScenarioStream::new(&data, cfg(5, 3), scenario).collect();
+            assert_eq!(a, b, "{scenario} not deterministic");
+            let c: Vec<Segment> = ScenarioStream::new(&data, cfg(5, 4), scenario).collect();
+            assert_ne!(labels_of(&a), labels_of(&c), "{scenario} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn class_incremental_grows_the_class_pool() {
+        let data = dataset();
+        let scenario = ScenarioConfig::ClassIncremental(ClassIncremental { start_frac: 0.3 });
+        let segs: Vec<Segment> = ScenarioStream::new(&data, cfg(10, 5), scenario).collect();
+        // Early segments: only the initial prefix (3 of 10 classes, plus
+        // the tail of runs — none here since runs start fresh).
+        let early_max = segs[0].true_labels.iter().copied().max().unwrap();
+        assert!(early_max < 3, "segment 0 leaked class {early_max}");
+        // Over the whole stream, later classes must appear.
+        let all = labels_of(&segs);
+        let global_max = all.iter().copied().max().unwrap();
+        assert!(global_max >= 7, "classes never grew past {global_max}");
+    }
+
+    #[test]
+    fn bursty_segments_carry_factor_times_the_items() {
+        let data = dataset();
+        let burst = Bursty {
+            every: 3,
+            factor: 4,
+        };
+        let scenario = ScenarioConfig::Bursty(burst);
+        let segs: Vec<Segment> = ScenarioStream::new(&data, cfg(6, 2), scenario).collect();
+        for (i, seg) in segs.iter().enumerate() {
+            let expect = if burst.is_burst(i) { 64 } else { 16 };
+            assert_eq!(seg.len(), expect, "segment {i}");
+            assert_eq!(seg.images.shape().dims()[0], expect);
+        }
+    }
+
+    #[test]
+    fn label_noise_ramp_destroys_temporal_correlation_late() {
+        let data = dataset();
+        let scenario = ScenarioConfig::LabelNoiseRamp(LabelNoiseRamp {
+            start: 0.0,
+            end: 0.6,
+        });
+        let c = StreamConfig {
+            stc: 20,
+            segment_size: 64,
+            num_segments: 8,
+            seed: 7,
+        };
+        let segs: Vec<Segment> = ScenarioStream::new(&data, c, scenario).collect();
+        let early = empirical_stc(&labels_of(&segs[..2]));
+        let late = empirical_stc(&labels_of(&segs[6..]));
+        assert!(
+            late < early * 0.5,
+            "intruders should shorten runs: early STC {early}, late STC {late}"
+        );
+    }
+
+    #[test]
+    fn domain_shift_changes_environment_statistics() {
+        let data = dataset();
+        let scenario = ScenarioConfig::DomainShift(DomainShift { at: 0.5 });
+        let c = StreamConfig {
+            stc: 8,
+            segment_size: 64,
+            num_segments: 8,
+            seed: 3,
+        };
+        let segs: Vec<Segment> = ScenarioStream::new(&data, c, scenario).collect();
+        // Compare mean class-0 frames before and after the shift.
+        let frame = data.frame_numel();
+        let class_mean = |seg: &Segment| -> Option<f32> {
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            for (i, &y) in seg.true_labels.iter().enumerate() {
+                if y == 0 {
+                    let row = &seg.images.data()[i * frame..(i + 1) * frame];
+                    sum += row.iter().map(|&v| v as f64).sum::<f64>();
+                    n += frame;
+                }
+            }
+            (n > 0).then(|| (sum / n as f64) as f32)
+        };
+        let pre = segs[..3].iter().filter_map(class_mean).next();
+        let post = segs[5..].iter().filter_map(class_mean).next();
+        if let (Some(a), Some(b)) = (pre, post) {
+            assert!((a - b).abs() > 1e-4, "no measurable shift: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cursor_seek_resumes_bitwise_for_every_scenario() {
+        let data = dataset();
+        for scenario in ScenarioConfig::all() {
+            let c = cfg(6, 11);
+            let mut original = ScenarioStream::new(&data, c, scenario);
+            let _ = original.next();
+            let _ = original.next();
+            let cursor = original.cursor();
+            let mut resumed = ScenarioStream::new(&data, c, scenario);
+            resumed.seek(&cursor);
+            for (a, b) in original.zip(resumed) {
+                assert_eq!(a.true_labels, b.true_labels, "{scenario}");
+                assert_eq!(a.images.data(), b.images.data(), "{scenario}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_names_parse_roundtrip() {
+        for scenario in ScenarioConfig::all() {
+            assert_eq!(ScenarioConfig::parse(scenario.name()), Some(scenario));
+        }
+        assert_eq!(
+            ScenarioConfig::parse("class-incremental"),
+            ScenarioConfig::parse("class_incremental")
+        );
+        assert_eq!(ScenarioConfig::parse("galactic"), None);
+    }
+
+    #[test]
+    fn scenario_streams_are_exact_size_iterators() {
+        let data = dataset();
+        for scenario in ScenarioConfig::all() {
+            let mut s = ScenarioStream::new(&data, cfg(3, 1), scenario);
+            assert_eq!(s.len(), 3);
+            let _ = s.next();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.count(), 2);
+        }
+    }
+
+    #[test]
+    fn available_classes_is_monotone_and_bounded() {
+        let ci = ClassIncremental { start_frac: 0.3 };
+        let mut prev = 0;
+        for i in 0..12 {
+            let a = ci.available_classes(10, i, 12);
+            assert!((1..=10).contains(&a));
+            assert!(a >= prev, "class pool shrank at segment {i}");
+            prev = a;
+        }
+        assert_eq!(ci.available_classes(10, 11, 12), 10);
+    }
+}

@@ -4,20 +4,29 @@
 //!
 //! ```text
 //! deco-serve [--tenants N] [--segments N] [--batch K] [--budget BYTES]
+//!            [--scenario NAME]
 //! ```
 //!
 //! Defaults: 32 tenants × 4 segments, batch width 8, and — unless
 //! `DECO_SERVE_MEM_BYTES` or `--budget` says otherwise — a budget sized
 //! to hold ~8 resident sessions, so evictions are actually exercised.
+//!
+//! `--scenario` runs the fleet under an adversarial stream scenario (see
+//! `docs/scenarios.md`). Under `bursty`, segments are submitted in waves
+//! so the periodic 4× rate spikes hit the scheduler queue together — the
+//! driver then *asserts* that the LRU budget actually evicted and
+//! rehydrated sessions, turning the hostile-arrival path into a checked
+//! invariant instead of a synthetic-budget hope.
 
 use deco_datasets::{core50, SyntheticVision};
-use deco_serve::{Server, ServerConfig, TenantSession, TenantSpec};
+use deco_serve::{ScenarioConfig, Server, ServerConfig, TenantSession, TenantSpec};
 
 struct Args {
     tenants: u64,
     segments: usize,
     batch: usize,
     budget: Option<u64>,
+    scenario: ScenarioConfig,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +35,7 @@ fn parse_args() -> Args {
         segments: 4,
         batch: 8,
         budget: None,
+        scenario: ScenarioConfig::Baseline,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -39,9 +49,16 @@ fn parse_args() -> Args {
             "--segments" => args.segments = grab("--segments") as usize,
             "--batch" => args.batch = grab("--batch") as usize,
             "--budget" => args.budget = Some(grab("--budget")),
+            "--scenario" => {
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--scenario needs a name"));
+                args.scenario = ScenarioConfig::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown scenario {name:?}"));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: deco-serve [--tenants N] [--segments N] [--batch K] [--budget BYTES]"
+                    "usage: deco-serve [--tenants N] [--segments N] [--batch K] [--budget BYTES] [--scenario NAME]"
                 );
                 std::process::exit(0);
             }
@@ -76,22 +93,37 @@ fn main() {
         (None, None) => config.with_budget(Some(probe * 8)),
     };
     println!(
-        "deco-serve: {} tenants × {} segments, batch width {}, budget {:?} bytes (≈{} bytes/tenant resident)",
-        args.tenants, args.segments, args.batch, config.mem_budget_bytes, probe
+        "deco-serve: {} tenants × {} segments, batch width {}, budget {:?} bytes (≈{} bytes/tenant resident), scenario {}",
+        args.tenants, args.segments, args.batch, config.mem_budget_bytes, probe, args.scenario
     );
+    let budgeted = config.mem_budget_bytes.is_some();
 
     let start = std::time::Instant::now();
     let mut server = Server::new(&data, config);
     for id in 0..args.tenants {
-        server.admit(TenantSpec::quick(
-            id,
-            0x5EED_0000 ^ id,
-            data.spec(),
-            args.segments,
-        ));
-        server.submit(id, args.segments);
+        server.admit(
+            TenantSpec::quick(id, 0x5EED_0000 ^ id, data.spec(), args.segments)
+                .with_scenario(args.scenario),
+        );
     }
-    let events = server.run();
+    let bursty = matches!(args.scenario, ScenarioConfig::Bursty(_));
+    let mut events = Vec::new();
+    if bursty {
+        // Wave submission: every tenant advances one segment per wave, so
+        // each burst segment lands on the whole fleet at once and the
+        // queue + LRU eviction path absorbs a genuine rate spike.
+        for _wave in 0..args.segments {
+            for id in 0..args.tenants {
+                server.submit(id, 1);
+            }
+            events.extend(server.run());
+        }
+    } else {
+        for id in 0..args.tenants {
+            server.submit(id, args.segments);
+        }
+        events = server.run();
+    }
     let wall = start.elapsed().as_secs_f64();
 
     let mut latencies: Vec<f64> = events.iter().map(|e| e.batch_seconds * 1e3).collect();
@@ -128,4 +160,17 @@ fn main() {
         (args.tenants as usize) * args.segments,
         "every submitted segment must produce an event"
     );
+    if bursty && budgeted && args.tenants >= 16 {
+        // The point of the bursty run: the rate spikes must push the
+        // fleet through the LRU budget, not idle beside it.
+        assert!(
+            server.evictions() > 0,
+            "bursty fleet under budget produced no evictions"
+        );
+        assert!(
+            server.rehydrations() > 0,
+            "bursty fleet under budget produced no rehydrations"
+        );
+        println!("bursty scenario: eviction/rehydration counters moved ✔");
+    }
 }

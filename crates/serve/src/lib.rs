@@ -50,6 +50,7 @@ pub mod session;
 pub mod tenant;
 pub mod wire;
 
+pub use deco_scenarios::ScenarioConfig;
 pub use scheduler::{EventResult, Server, ServerConfig, MEM_BUDGET_ENV};
 pub use session::SessionState;
 pub use tenant::{TenantSession, TenantSpec};

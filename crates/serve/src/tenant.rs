@@ -5,8 +5,9 @@
 
 use deco::{pretrain, BufferPolicy, DecoCondenser, DecoConfig, LearnerConfig, OnDeviceLearner};
 use deco_condense::SyntheticBuffer;
-use deco_datasets::{DatasetSpec, Segment, Stream, StreamConfig, StreamCursor, SyntheticVision};
+use deco_datasets::{DatasetSpec, Segment, StreamConfig, StreamCursor, SyntheticVision};
 use deco_nn::{ConvNet, ConvNetConfig};
+use deco_scenarios::{ScenarioConfig, ScenarioStream};
 use deco_tensor::Rng;
 
 use crate::session::SessionState;
@@ -29,6 +30,10 @@ pub struct TenantSpec {
     pub learner: LearnerConfig,
     /// The tenant's input-stream shape (seed included).
     pub stream: StreamConfig,
+    /// The stream scenario the tenant's traffic follows. Part of the spec
+    /// (not the persisted session), so the wire format is unchanged: the
+    /// cursor of a scenario stream is a plain [`StreamCursor`].
+    pub scenario: ScenarioConfig,
     /// Synthetic-buffer images per class.
     pub ipc: usize,
     /// Labeled samples per class for pre-deployment training (0 = none,
@@ -67,10 +72,19 @@ impl TenantSpec {
                 num_segments,
                 seed,
             },
+            scenario: ScenarioConfig::Baseline,
             ipc: 1,
             pretrain_samples: 2,
             pretrain_steps: 10,
         }
+    }
+
+    /// The same tenant under an adversarial stream scenario. The baseline
+    /// scenario is bitwise identical to no scenario at all, so existing
+    /// specs are unchanged by the field's existence.
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> TenantSpec {
+        self.scenario = scenario;
+        self
     }
 }
 
@@ -117,7 +131,7 @@ impl TenantSession {
             buffer,
         };
         let learner = OnDeviceLearner::new(model, scratch, policy, spec.learner, rng.fork(1));
-        let cursor = Stream::new(dataset, spec.stream).cursor();
+        let cursor = ScenarioStream::new(dataset, spec.stream, spec.scenario).cursor();
         TenantSession {
             spec,
             learner,
@@ -210,7 +224,7 @@ impl TenantSession {
         if self.segments_remaining() == 0 {
             return None;
         }
-        let mut stream = Stream::new(dataset, self.spec.stream);
+        let mut stream = ScenarioStream::new(dataset, self.spec.stream, self.spec.scenario);
         stream.seek(&self.cursor);
         let segment = stream.next();
         self.cursor = stream.cursor();

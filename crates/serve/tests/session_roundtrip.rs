@@ -38,7 +38,11 @@ fn arb_state(seed: u64, ipc: usize, classes: usize, mid_run: bool) -> SessionSta
             buffer_ipc: ipc,
             buffer_classes: classes,
             rng_state: !seed, // high bits set
-            rng_spare: if seed.is_multiple_of(2) { Some(-0.0) } else { None },
+            rng_spare: if seed.is_multiple_of(2) {
+                Some(-0.0)
+            } else {
+                None
+            },
             segments_seen: seed as usize % 1000,
             items_seen: seed as usize % 100_000,
             model_params,

@@ -16,6 +16,7 @@
 //! | [`eval`] | `deco-eval` | experiment runner, tables, reports |
 //! | [`runtime`] | `deco-runtime` | work-stealing pool, deterministic reductions |
 //! | [`serve`] | `deco-serve` | multi-tenant serving: session persistence, LRU eviction, batch scheduling |
+//! | [`scenarios`] | `deco-scenarios` | adversarial stream scenarios + benchmark matrix / leaderboard |
 //!
 //! ```no_run
 //! use deco_repro::prelude::*;
@@ -37,6 +38,7 @@ pub use deco_eval as eval;
 pub use deco_nn as nn;
 pub use deco_replay as replay;
 pub use deco_runtime as runtime;
+pub use deco_scenarios as scenarios;
 pub use deco_serve as serve;
 pub use deco_tensor as tensor;
 
@@ -54,5 +56,6 @@ pub mod prelude {
     pub use deco_eval::{run_cell, run_trial, DatasetId, ExperimentScale, MethodKind, TrialSpec};
     pub use deco_nn::{ConvNet, ConvNetConfig, Sgd};
     pub use deco_replay::{BaselineKind, ReplayBuffer};
+    pub use deco_scenarios::{ScenarioConfig, ScenarioStream};
     pub use deco_tensor::{Rng, Tensor, Var};
 }

@@ -11,6 +11,7 @@ use deco_repro::condense::{
 use deco_repro::core::{DecoCondenser, DecoConfig};
 use deco_repro::datasets::{core50, SyntheticVision};
 use deco_repro::nn::{ConvNet, ConvNetConfig, Sgd};
+use deco_repro::scenarios::ScenarioConfig;
 use deco_repro::serve::{Server, ServerConfig, TenantSession, TenantSpec};
 use deco_repro::tensor::{Rng, Tensor};
 
@@ -149,6 +150,70 @@ fn serving_is_bitwise_identical_solo_interleaved_and_evicted_across_thread_count
         reference,
         "interleaved@4T diverged from solo"
     );
+    assert_eq!(
+        evicted(1),
+        reference,
+        "evict/rehydrate@1T diverged from solo"
+    );
+    assert_eq!(
+        evicted(4),
+        reference,
+        "evict/rehydrate@4T diverged from solo"
+    );
+}
+
+/// The same contract under an *adversarial* stream: a class-incremental
+/// tenant's session bytes must be identical at `DECO_THREADS` 1 and 4,
+/// and through a forced evict/rehydrate cycle mid-scenario. This is what
+/// makes the scenario layer safe to serve — a scenario's entire resumable
+/// state is the ordinary stream cursor, so spilling a tenant to disk in
+/// the middle of a class ramp loses nothing.
+#[test]
+fn class_incremental_serving_is_bitwise_identical_across_threads_and_eviction() {
+    const SEGMENTS: usize = 3;
+    let data = SyntheticVision::new(core50());
+    let spec = || {
+        TenantSpec::quick(5, 0xD15C_0005, data.spec(), SEGMENTS)
+            .with_scenario(ScenarioConfig::parse("class_incremental").expect("known scenario"))
+    };
+
+    let solo = |threads: usize| {
+        deco_repro::runtime::with_thread_count(threads, || {
+            let mut session = TenantSession::new(spec(), &data);
+            while let Some(segment) = session.next_segment(&data) {
+                session.learner_mut().process_segment(&segment);
+            }
+            session.state().to_bytes()
+        })
+    };
+    let evicted = |threads: usize| {
+        deco_repro::runtime::with_thread_count(threads, || {
+            let dir = std::env::temp_dir().join(format!("deco-serve-det-ci-{threads}t"));
+            let mut server = Server::new(&data, ServerConfig::new(dir).with_budget(None));
+            server.admit(spec());
+            server.submit(5, 1);
+            server.run();
+            assert!(server.force_evict(5));
+            server.submit(5, SEGMENTS - 1);
+            server.run();
+            assert_eq!(server.rehydrations(), 1);
+            server.state_of(5).to_bytes()
+        })
+    };
+
+    let reference = solo(1);
+    // A scenario must actually change the traffic — otherwise this test
+    // would silently degrade into the baseline case above.
+    let baseline_spec = TenantSpec::quick(5, 0xD15C_0005, data.spec(), SEGMENTS);
+    let baseline = deco_repro::runtime::with_thread_count(1, || {
+        let mut session = TenantSession::new(baseline_spec, &data);
+        while let Some(segment) = session.next_segment(&data) {
+            session.learner_mut().process_segment(&segment);
+        }
+        session.state().to_bytes()
+    });
+    assert_ne!(reference, baseline, "scenario did not alter the stream");
+    assert_eq!(solo(4), reference, "solo diverged across thread counts");
     assert_eq!(
         evicted(1),
         reference,
