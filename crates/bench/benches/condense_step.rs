@@ -10,6 +10,13 @@
 //! conventions. A counting `#[global_allocator]` measures heap
 //! allocations per step.
 //!
+//! A second section sweeps the buffer's at-rest storage precision: one
+//! DM condense round per [`StorageDtype`] (the f32 working mirror makes
+//! the compute identical — the delta is the per-segment
+//! `commit_storage` snap) plus the resulting at-rest buffer bytes and
+//! the reduction relative to f32. Restrict the sweep with
+//! `--storage-dtype f32,i8`.
+//!
 //! ```bash
 //! cargo bench -p deco-bench --bench condense_step            # full run
 //! DECO_BENCH_ITERS=5 cargo bench -p deco-bench --bench condense_step -- --check
@@ -31,7 +38,7 @@ use deco_condense::{
 };
 use deco_nn::{ConvNet, ConvNetConfig};
 use deco_telemetry::json::Json;
-use deco_tensor::{plancache, Rng, Tensor};
+use deco_tensor::{plancache, Rng, StorageDtype, Tensor};
 
 /// System allocator wrapped with an allocation counter.
 struct CountingAlloc;
@@ -163,6 +170,68 @@ fn bench_ops(iters: usize) -> Vec<OpResult> {
     ]
 }
 
+struct DtypeResult {
+    dtype: StorageDtype,
+    mean_round_ms: f64,
+    commit_ms: f64,
+    buffer_bytes: u64,
+}
+
+/// One DM condense round per storage precision over an identically
+/// seeded buffer, plus the per-segment `commit_storage` cost and the
+/// at-rest footprint of the committed buffer.
+fn bench_storage_dtypes(iters: usize, dtypes: &[StorageDtype]) -> Vec<DtypeResult> {
+    dtypes
+        .iter()
+        .map(|&dtype| {
+            deco_runtime::with_thread_count(1, move || {
+                let mut rng = Rng::new(3);
+                let scratch = net(&mut rng);
+                let deployed = net(&mut rng);
+                let images = Tensor::randn([32, 3, 16, 16], &mut rng);
+                let labels = vec![3usize; 32];
+                let weights = vec![1.0f32; 32];
+                let mut buffer = SyntheticBuffer::new_random(5, 10, [3, 16, 16], &mut rng)
+                    .with_storage_dtype(dtype);
+                let mut dm = DmCondenser::new(DmConfig::default());
+                let mut round_rng = Rng::new(7);
+                let mut round = |buffer: &mut SyntheticBuffer, rng: &mut Rng| {
+                    let seg = SegmentData {
+                        images: &images,
+                        labels: &labels,
+                        weights: &weights,
+                        active_classes: &[3],
+                    };
+                    let mut ctx = CondenseContext {
+                        scratch: &scratch,
+                        deployed: &deployed,
+                        rng,
+                    };
+                    dm.condense(buffer, &seg, &mut ctx);
+                };
+                round(&mut buffer, &mut round_rng); // warm-up
+                buffer.commit_storage();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    round(&mut buffer, &mut round_rng);
+                }
+                let round_secs = start.elapsed().as_secs_f64() / iters as f64;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    buffer.commit_storage();
+                }
+                let commit_secs = start.elapsed().as_secs_f64() / iters as f64;
+                DtypeResult {
+                    dtype,
+                    mean_round_ms: round_secs * 1e3,
+                    commit_ms: commit_secs * 1e3,
+                    buffer_bytes: buffer.approx_bytes(),
+                }
+            })
+        })
+        .collect()
+}
+
 fn baseline_mean_ms(path: &str, op: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let json = Json::parse(&text).ok()?;
@@ -178,6 +247,23 @@ fn speedup(results: &[OpResult], on: &str, off: &str) -> Option<f64> {
     let on_ms = results.iter().find(|r| r.name == on)?.mean_ms;
     let off_ms = results.iter().find(|r| r.name == off)?.mean_ms;
     Some(off_ms / on_ms)
+}
+
+fn parse_dtypes() -> Vec<StorageDtype> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--storage-dtype" {
+            let list = args.get(i + 1).expect("--storage-dtype needs a value");
+            return list
+                .split(',')
+                .map(|name| {
+                    StorageDtype::parse(name.trim())
+                        .unwrap_or_else(|| panic!("unknown storage dtype {name:?}"))
+                })
+                .collect();
+        }
+    }
+    StorageDtype::ALL.to_vec()
 }
 
 fn main() {
@@ -199,6 +285,29 @@ fn main() {
     let dm_speedup = speedup(&results, "dm_round_cache_on", "dm_round_cache_off").unwrap_or(0.0);
     println!("\nspeedup: one_step_match {step_speedup:.2}x, dm_round {dm_speedup:.2}x");
 
+    let dtypes = parse_dtypes();
+    eprintln!(
+        "[condense_step] storage-precision sweep: {} dtype(s)",
+        dtypes.len()
+    );
+    let dtype_results = bench_storage_dtypes(iters, &dtypes);
+    let f32_bytes = dtype_results
+        .iter()
+        .find(|r| r.dtype == StorageDtype::F32)
+        .map(|r| r.buffer_bytes);
+    println!("\n## condense_step — storage precision (at-rest buffer)\n");
+    println!("| dtype | DM round (ms) | commit (ms) | buffer bytes | vs f32 |");
+    println!("|---|---|---|---|---|");
+    for r in &dtype_results {
+        let ratio = f32_bytes
+            .map(|f| f as f64 / r.buffer_bytes as f64)
+            .unwrap_or(0.0);
+        println!(
+            "| {} | {:.4} | {:.4} | {} | {:.2}x |",
+            r.dtype, r.mean_round_ms, r.commit_ms, r.buffer_bytes, ratio
+        );
+    }
+
     let ops: Vec<Json> = results
         .iter()
         .map(|r| {
@@ -209,6 +318,21 @@ fn main() {
             ])
         })
         .collect();
+    let dtype_rows: Vec<Json> = dtype_results
+        .iter()
+        .map(|r| {
+            let ratio = f32_bytes
+                .map(|f| f as f64 / r.buffer_bytes as f64)
+                .unwrap_or(0.0);
+            Json::obj([
+                ("dtype", Json::Str(r.dtype.label().to_string())),
+                ("mean_round_ms", Json::Num(r.mean_round_ms)),
+                ("commit_ms", Json::Num(r.commit_ms)),
+                ("buffer_bytes", Json::Num(r.buffer_bytes as f64)),
+                ("reduction_vs_f32", Json::Num(ratio)),
+            ])
+        })
+        .collect();
     let report = Json::obj([
         ("bench", Json::Str("condense_step".to_string())),
         ("iters_per_point", Json::Num(iters as f64)),
@@ -216,6 +340,7 @@ fn main() {
         ("speedup_one_step_match", Json::Num(step_speedup)),
         ("speedup_dm_round", Json::Num(dm_speedup)),
         ("ops", Json::Arr(ops)),
+        ("storage_dtypes", Json::Arr(dtype_rows)),
     ]);
     let mut text = report.to_string_pretty();
     text.push('\n');

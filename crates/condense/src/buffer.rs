@@ -1,7 +1,8 @@
 //! The synthetic data buffer `S`: a class-balanced set of learnable images.
 
 use deco_datasets::LabeledSet;
-use deco_tensor::{Rng, Tensor};
+use deco_tensor::dtype::snap_to_scalar;
+use deco_tensor::{Rng, ScalarType, StorageDtype, StoredTensor, Tensor};
 
 /// The condensed dataset stored on the device: `ipc` learnable images per
 /// class with fixed labels, kept class-balanced by construction (rows
@@ -22,6 +23,17 @@ pub struct SyntheticBuffer {
     labels: Vec<usize>,
     ipc: usize,
     num_classes: usize,
+    /// The committed scalar type the buffer is held at *at rest*. The
+    /// `images` tensor is the f32 working mirror condense iterations
+    /// update; [`SyntheticBuffer::commit_storage`] snaps it onto this
+    /// scalar type's lattice at segment boundaries (re-deriving the i8
+    /// affine parameters from the pre-snap mirror), and
+    /// [`SyntheticBuffer::stored_images`] produces the compact encoded
+    /// form for serialization and byte accounting. Carrying the full
+    /// [`ScalarType`] (not just the dtype) is what makes serialization
+    /// byte-stable: i8 parameters re-derived from already-quantized
+    /// data would drift, so they are remembered instead.
+    scalar: ScalarType,
 }
 
 impl SyntheticBuffer {
@@ -45,6 +57,7 @@ impl SyntheticBuffer {
             labels,
             ipc,
             num_classes,
+            scalar: ScalarType::F32,
         }
     }
 
@@ -93,7 +106,78 @@ impl SyntheticBuffer {
             labels: (0..n).map(|i| i / ipc).collect(),
             ipc,
             num_classes,
+            scalar: ScalarType::F32,
         }
+    }
+
+    /// Sets the at-rest storage precision (builder style) and commits
+    /// the current images onto its lattice, so a freshly-built buffer
+    /// starts from stored-precision values exactly as a rehydrated one
+    /// would. Identity for [`StorageDtype::F32`].
+    pub fn with_storage_dtype(mut self, dtype: StorageDtype) -> Self {
+        self.set_storage_dtype(dtype);
+        self
+    }
+
+    /// The at-rest storage precision.
+    pub fn storage_dtype(&self) -> StorageDtype {
+        self.scalar.storage_dtype()
+    }
+
+    /// The committed scalar type (dtype plus i8 affine parameters).
+    pub fn scalar_type(&self) -> ScalarType {
+        self.scalar
+    }
+
+    /// Re-applies a storage dtype (configuration path): sets the dtype
+    /// and commits the current images, deriving fresh i8 parameters
+    /// from them.
+    pub fn set_storage_dtype(&mut self, dtype: StorageDtype) {
+        self.scalar = ScalarType::identity_for(dtype);
+        self.commit_storage();
+    }
+
+    /// Re-applies a committed scalar type verbatim (restore path):
+    /// unlike [`SyntheticBuffer::set_storage_dtype`] this reuses the
+    /// captured i8 parameters instead of re-deriving them, so a
+    /// rehydrated buffer serializes byte-identically to the captured
+    /// one. Snapping with a remembered scalar type is idempotent, so
+    /// this changes no bytes of an on-lattice mirror.
+    pub fn restore_scalar(&mut self, scalar: ScalarType) {
+        self.scalar = scalar;
+        if !matches!(scalar, ScalarType::F32) {
+            self.images = snap_to_scalar(&self.images, scalar);
+        }
+    }
+
+    /// Snaps the f32 working mirror onto the storage lattice —
+    /// `decode(encode(images))` in one pass. Called at segment
+    /// boundaries: condense iterations *within* a segment keep full f32
+    /// precision, and everything held *between* segments is exactly
+    /// what the compact encoding represents. For i8, fresh affine
+    /// parameters are derived from the pre-snap mirror (the stored
+    /// range tracks the images as they evolve) and remembered for
+    /// [`SyntheticBuffer::stored_images`]. No-op (and allocation-free)
+    /// for `F32`.
+    pub fn commit_storage(&mut self) {
+        match self.scalar.storage_dtype() {
+            StorageDtype::F32 => {}
+            StorageDtype::I8 => {
+                let stored = StoredTensor::encode(&self.images, StorageDtype::I8);
+                self.scalar = stored.scalar_type();
+                self.images = stored.decode();
+            }
+            _ => self.images = snap_to_scalar(&self.images, self.scalar),
+        }
+    }
+
+    /// The image stack encoded at the committed scalar type — the
+    /// serialization form. Exact after
+    /// [`SyntheticBuffer::commit_storage`]: committed mirror values are
+    /// lattice points of the remembered parameters, so encode is
+    /// lossless (and byte-stable) on them.
+    pub fn stored_images(&self) -> StoredTensor {
+        StoredTensor::encode_with(&self.images, self.scalar)
     }
 
     /// Images per class.
@@ -126,12 +210,19 @@ impl SyntheticBuffer {
         &self.labels
     }
 
-    /// Approximate heap bytes held by the buffer: the single contiguous
-    /// `[ipc·C, c, h, w]` image stack plus the label vector. The
-    /// condensed-memory number Table 2 compares against
-    /// `ReplayBuffer::approx_bytes` in `deco-replay`.
+    /// Approximate heap bytes held by the buffer *at rest*: the single
+    /// contiguous `[ipc·C, c, h, w]` image stack at the storage dtype's
+    /// width (plus the i8 affine parameters where applicable) and the
+    /// label vector. The condensed-memory number Table 2 compares
+    /// against `ReplayBuffer::approx_bytes` in `deco-replay`; under
+    /// sub-f32 storage it reflects the compact encoding the buffer
+    /// serializes to (the f32 mirror is transient compute state,
+    /// already on the dtype's lattice after commit).
     pub fn approx_bytes(&self) -> u64 {
-        self.images.heap_bytes() + (self.labels.len() * std::mem::size_of::<usize>()) as u64
+        let dtype = self.storage_dtype();
+        let pixels = self.images.numel() as u64 * dtype.bytes_per_element() as u64;
+        let params = if dtype == StorageDtype::I8 { 5 } else { 0 };
+        pixels + params + (self.labels.len() * std::mem::size_of::<usize>()) as u64
     }
 
     /// Row indices of one class.
@@ -262,6 +353,38 @@ mod tests {
             } else {
                 assert_eq!(row.data(), orig.data());
             }
+        }
+    }
+
+    #[test]
+    fn commit_storage_snaps_once_and_shrinks_accounting() {
+        let mut rng = Rng::new(9);
+        let f32_buf = SyntheticBuffer::new_random(2, 3, [1, 4, 4], &mut rng);
+        let label_bytes = std::mem::size_of_val(f32_buf.labels()) as u64;
+        let f32_pixels = f32_buf.approx_bytes() - label_bytes;
+        for (dtype, shrink) in [
+            (StorageDtype::Bf16, 2u64),
+            (StorageDtype::F16, 2u64),
+            (StorageDtype::I8, 4u64),
+        ] {
+            let buf = f32_buf.clone().with_storage_dtype(dtype);
+            assert_eq!(buf.storage_dtype(), dtype);
+            buf.check_invariants();
+            // Committed values are lattice points: a second commit (and
+            // an encode/decode round trip) is the identity.
+            let mut again = buf.clone();
+            again.commit_storage();
+            assert_eq!(again.images().data(), buf.images().data(), "{dtype}");
+            assert_eq!(
+                buf.stored_images().decode().data(),
+                buf.images().data(),
+                "{dtype}"
+            );
+            // At-rest accounting shrinks by the width ratio (i8 carries
+            // its 5 parameter bytes).
+            let pixels =
+                buf.approx_bytes() - label_bytes - if dtype == StorageDtype::I8 { 5 } else { 0 };
+            assert_eq!(f32_pixels, shrink * pixels, "{dtype}");
         }
     }
 

@@ -8,10 +8,11 @@
 //! and pure-geometry helpers).
 //!
 //! Coverage is *enforced*, not aspirational: [`parsed_op_surface`],
-//! [`parsed_layer_surface`] and [`parsed_plancache_surface`] extract the
-//! real public surface from the source files at test time, and the audit
-//! tests assert two-way agreement with [`entries`] — a new public op
-//! without an audit entry fails CI.
+//! [`parsed_layer_surface`], [`parsed_plancache_surface`] and
+//! [`parsed_dtype_surface`] extract the real public surface from the
+//! source files at test time, and the audit tests assert two-way
+//! agreement with [`entries`] — a new public op without an audit entry
+//! fails CI.
 //!
 //! The module also verifies the paper's Eq. 7 finite-difference HVP two
 //! ways: against a closed-form baseline that is *exact* for quadratic
@@ -28,7 +29,7 @@ use deco_nn::{
 };
 use deco_telemetry::Json;
 use deco_tensor::gradcheck::grad_report;
-use deco_tensor::{Conv2dSpec, Rng, Tensor, Var};
+use deco_tensor::{Conv2dSpec, Rng, ScalarType, StorageDtype, StoredTensor, Tensor, Var};
 
 /// How an entry is verified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,8 +155,9 @@ pub fn run_audit() -> AuditReport {
 }
 
 /// The explicit coverage list: every public tensor op, every `nn` layer,
-/// the plan-cache / tape-arena surface, the matcher's closed-form
-/// `∇_g D`, and the Eq. 7 HVP checks.
+/// the plan-cache / tape-arena surface, the storage-precision surface
+/// (`dtype.rs` — conversions held to their per-dtype tolerance bands),
+/// the matcher's closed-form `∇_g D`, and the Eq. 7 HVP checks.
 pub fn entries() -> Vec<AuditEntry> {
     macro_rules! entry {
         ($name:expr, $kind:expr, $tol:expr, $f:expr) => {
@@ -174,6 +176,7 @@ pub fn entries() -> Vec<AuditEntry> {
     vec![
         // --- crates/tensor/src/ops/linalg.rs ---
         entry!("linalg::matmul", Gradcheck, 3e-2, check_matmul),
+        entry!("linalg::matmul_stored", Algebraic, 0.0, check_matmul_stored),
         entry!("linalg::transpose2", Gradcheck, 2e-2, check_transpose2),
         // --- crates/tensor/src/ops/conv.rs ---
         entry!(
@@ -293,6 +296,18 @@ pub fn entries() -> Vec<AuditEntry> {
         ),
         entry!("plancache::hits", Algebraic, 0.0, check_plancache_stats),
         entry!("plancache::misses", Algebraic, 0.0, check_plancache_stats),
+        entry!(
+            "plancache::pack_hits_for",
+            Algebraic,
+            0.0,
+            check_pack_dtype_stats
+        ),
+        entry!(
+            "plancache::pack_misses_for",
+            Algebraic,
+            0.0,
+            check_pack_dtype_stats
+        ),
         entry!("plancache::clear", Algebraic, 0.0, check_plancache_clear),
         entry!(
             "plancache::with_tape_arena",
@@ -312,6 +327,108 @@ pub fn entries() -> Vec<AuditEntry> {
             Algebraic,
             0.0,
             check_buffer_identity
+        ),
+        // --- crates/tensor/src/dtype.rs: storage precision ---
+        // Tolerances here are the per-dtype bands the formats pin down:
+        // 2⁻⁸ relative for bf16, 2⁻¹⁰ for f16 (both 2× the half-ulp),
+        // 0.75 in units of `scale` for affine i8. Everything else on
+        // this surface is exact and held to 0.
+        entry!("dtype::parse", Algebraic, 0.0, check_dtype_tags),
+        entry!("dtype::label", Algebraic, 0.0, check_dtype_tags),
+        entry!("dtype::tag_byte", Algebraic, 0.0, check_dtype_tags),
+        entry!("dtype::from_tag_byte", Algebraic, 0.0, check_dtype_tags),
+        entry!(
+            "dtype::bytes_per_element",
+            Algebraic,
+            0.0,
+            check_dtype_widths
+        ),
+        entry!("dtype::heap_bytes", Algebraic, 0.0, check_dtype_widths),
+        entry!(
+            "dtype::storage_dtype",
+            Algebraic,
+            0.0,
+            check_scalar_identity
+        ),
+        entry!("dtype::identity_for", Algebraic, 0.0, check_scalar_identity),
+        entry!("dtype::scalar_type", Algebraic, 0.0, check_scalar_identity),
+        entry!(
+            "dtype::f32_to_bf16",
+            Algebraic,
+            3.91e-3,
+            check_bf16_conversions
+        ),
+        entry!(
+            "dtype::bf16_to_f32",
+            Algebraic,
+            3.91e-3,
+            check_bf16_conversions
+        ),
+        entry!(
+            "dtype::f32_to_f16",
+            Algebraic,
+            9.77e-4,
+            check_f16_conversions
+        ),
+        entry!(
+            "dtype::f16_to_f32",
+            Algebraic,
+            9.77e-4,
+            check_f16_conversions
+        ),
+        entry!(
+            "dtype::i8_affine_params",
+            Algebraic,
+            0.75,
+            check_i8_quantization
+        ),
+        entry!("dtype::quantize_i8", Algebraic, 0.75, check_i8_quantization),
+        entry!(
+            "dtype::dequantize_i8",
+            Algebraic,
+            0.75,
+            check_i8_quantization
+        ),
+        entry!("dtype::encode", Algebraic, 0.0, check_stored_roundtrip),
+        entry!("dtype::decode", Algebraic, 0.0, check_stored_roundtrip),
+        entry!("dtype::widen_into", Algebraic, 0.0, check_stored_roundtrip),
+        entry!("dtype::dtype", Algebraic, 0.0, check_stored_roundtrip),
+        entry!("dtype::as_f32", Algebraic, 0.0, check_stored_roundtrip),
+        entry!("dtype::buffer_id", Algebraic, 0.0, check_stored_roundtrip),
+        entry!(
+            "dtype::encode_with",
+            Algebraic,
+            0.0,
+            check_encode_with_stable
+        ),
+        entry!("dtype::from_raw_bf16", Algebraic, 0.0, check_from_raw),
+        entry!("dtype::from_raw_f16", Algebraic, 0.0, check_from_raw),
+        entry!("dtype::from_raw_i8", Algebraic, 0.0, check_from_raw),
+        entry!("dtype::raw_u16", Algebraic, 0.0, check_from_raw),
+        entry!("dtype::raw_i8", Algebraic, 0.0, check_from_raw),
+        entry!(
+            "dtype::snap_to_dtype",
+            Algebraic,
+            0.0,
+            check_snap_idempotent
+        ),
+        entry!(
+            "dtype::snap_to_scalar",
+            Algebraic,
+            0.0,
+            check_snap_idempotent
+        ),
+        entry!(
+            "dtype::dims",
+            Exempt("shape accessor, no arithmetic"),
+            0.0,
+            zero
+        ),
+        entry!(
+            "dtype::numel",
+            Exempt("shape accessor, no arithmetic"),
+            0.0,
+            zero
         ),
         // --- condense matcher: ∇_g D and the Eq. 7 HVP ---
         entry!(
@@ -416,6 +533,20 @@ pub fn parsed_plancache_surface() -> Vec<String> {
     let mut out: Vec<String> = parse_pub_fns(&path)
         .into_iter()
         .map(|f| format!("plancache::{f}"))
+        .collect();
+    out.sort();
+    out
+}
+
+/// `dtype::fn` names for the storage-precision surface in
+/// `crates/tensor/src/dtype.rs` — the free conversion primitives and
+/// the `StorageDtype` / `ScalarType` / `StoredTensor` methods alike
+/// (the parser does not distinguish, and all are public API).
+pub fn parsed_dtype_surface() -> Vec<String> {
+    let path = repo_crates_dir().join("tensor/src/dtype.rs");
+    let mut out: Vec<String> = parse_pub_fns(&path)
+        .into_iter()
+        .map(|f| format!("dtype::{f}"))
         .collect();
     out.sort();
     out
@@ -1252,6 +1383,334 @@ fn check_arena_high_water() -> f32 {
     // The scope built at least one recyclable node, so the gauge is
     // positive and monotone.
     if after >= before && after > 0 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage-precision checks (crates/tensor/src/dtype.rs).
+// ---------------------------------------------------------------------------
+
+fn check_dtype_tags() -> f32 {
+    let mut ok = StorageDtype::parse("f64").is_none() && StorageDtype::from_tag_byte(4).is_none();
+    for (i, d) in StorageDtype::ALL.into_iter().enumerate() {
+        ok = ok
+            && StorageDtype::parse(d.label()) == Some(d)
+            && StorageDtype::parse(&d.label().to_ascii_uppercase()) == Some(d)
+            && usize::from(d.tag_byte()) == i
+            && StorageDtype::from_tag_byte(d.tag_byte()) == Some(d);
+    }
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_dtype_widths() -> f32 {
+    let mut rng = Rng::new(150);
+    let t = Tensor::randn([4, 6], &mut rng);
+    let mut ok = true;
+    for (d, width) in StorageDtype::ALL.into_iter().zip([4usize, 2, 2, 1]) {
+        ok = ok && d.bytes_per_element() == width;
+        let s = StoredTensor::encode(&t, d);
+        // At-rest footprint is numel × width (plus the 5 i8 parameter
+        // bytes); f32 reports the wrapped tensor's own bytes.
+        let expect = match d {
+            StorageDtype::F32 => t.heap_bytes(),
+            StorageDtype::I8 => t.numel() as u64 + 5,
+            _ => (t.numel() * 2) as u64,
+        };
+        ok = ok && s.heap_bytes() == expect;
+    }
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_scalar_identity() -> f32 {
+    let mut rng = Rng::new(151);
+    let t = Tensor::randn([3, 5], &mut rng);
+    let mut ok = matches!(
+        ScalarType::identity_for(StorageDtype::I8),
+        ScalarType::I8 {
+            scale,
+            zero: 0
+        } if scale == 1.0
+    );
+    for d in StorageDtype::ALL {
+        ok = ok && ScalarType::identity_for(d).storage_dtype() == d;
+        let s = StoredTensor::encode(&t, d);
+        ok = ok && s.dtype() == d && s.scalar_type().storage_dtype() == d;
+    }
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_bf16_conversions() -> f32 {
+    use deco_tensor::dtype::{bf16_to_f32, f32_to_bf16};
+    let mut rng = Rng::new(152);
+    let mut worst = 0.0f32;
+    for _ in 0..4096 {
+        let x = rng.normal() * 10f32.powi(rng.below(7) as i32 - 3);
+        let y = bf16_to_f32(f32_to_bf16(x));
+        worst = worst.max((y - x).abs() / x.abs().max(f32::MIN_POSITIVE));
+        // Round-tripped values are fixed points (idempotence).
+        if f32_to_bf16(y) != f32_to_bf16(x) {
+            return 1.0;
+        }
+    }
+    let specials_ok = bf16_to_f32(f32_to_bf16(f32::INFINITY)) == f32::INFINITY
+        && bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)) == f32::NEG_INFINITY
+        && bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan();
+    if specials_ok {
+        worst
+    } else {
+        1.0
+    }
+}
+
+fn check_f16_conversions() -> f32 {
+    use deco_tensor::dtype::{f16_to_f32, f32_to_f16};
+    // 2⁻¹⁴, the smallest f16 normal: below it the band is measured
+    // against this magnitude (the format's absolute subnormal step).
+    const F16_MIN_NORMAL: f32 = 6.1035156e-5;
+    let mut rng = Rng::new(153);
+    let mut worst = 0.0f32;
+    for _ in 0..4096 {
+        let x = rng.normal() * 10f32.powi(rng.below(5) as i32 - 2);
+        let y = f16_to_f32(f32_to_f16(x));
+        worst = worst.max((y - x).abs() / x.abs().max(F16_MIN_NORMAL));
+    }
+    // Finite f16 bit patterns are fixed points of the round trip.
+    for bits in (0u16..=0xFFFF).step_by(7) {
+        if (bits >> 10) & 0x1F == 0x1F {
+            continue;
+        }
+        if f32_to_f16(f16_to_f32(bits)) != bits {
+            return 1.0;
+        }
+    }
+    let specials_ok = f32_to_f16(65520.0) == 0x7C00 // overflow saturates
+        && f16_to_f32(f32_to_f16(f32::NEG_INFINITY)) == f32::NEG_INFINITY
+        && f16_to_f32(f32_to_f16(f32::NAN)).is_nan();
+    if specials_ok {
+        worst
+    } else {
+        1.0
+    }
+}
+
+fn check_i8_quantization() -> f32 {
+    use deco_tensor::dtype::{dequantize_i8, i8_affine_params, quantize_i8};
+    let mut rng = Rng::new(154);
+    let mut worst = 0.0f32;
+    for _ in 0..64 {
+        let spread = rng.uniform(0.1, 4.0);
+        let vals: Vec<f32> = (0..256).map(|_| rng.normal() * spread).collect();
+        let (scale, zero) = i8_affine_params(&vals);
+        // Zero always round-trips exactly (the zero code is exact).
+        if dequantize_i8(quantize_i8(0.0, scale, zero), scale, zero) != 0.0 {
+            return 1.0;
+        }
+        // Lattice points are fixed points of dequantize∘quantize.
+        for q in [i8::MIN, -1, 0, 1, i8::MAX] {
+            if quantize_i8(dequantize_i8(q, scale, zero), scale, zero) != q {
+                return 1.0;
+            }
+        }
+        // In-range values land within half a step (in units of scale).
+        for &v in &vals {
+            let y = dequantize_i8(quantize_i8(v, scale, zero), scale, zero);
+            worst = worst.max((y - v).abs() / scale);
+        }
+    }
+    worst
+}
+
+fn check_stored_roundtrip() -> f32 {
+    use deco_tensor::dtype::snap_to_dtype;
+    let mut rng = Rng::new(155);
+    let t = Tensor::randn([5, 7], &mut rng);
+    // F32: zero-copy wrap — shared identity, bitwise decode.
+    let f = StoredTensor::encode(&t, StorageDtype::F32);
+    let mut ok = f.dtype() == StorageDtype::F32
+        && f.buffer_id() == t.buffer_id()
+        && f.as_f32().is_some_and(|inner| inner.data() == t.data())
+        && f.decode().data() == t.data();
+    for d in [StorageDtype::Bf16, StorageDtype::F16, StorageDtype::I8] {
+        let s = StoredTensor::encode(&t, d);
+        let once = s.decode();
+        // decode == snap (one definition of the lattice), widen_into is
+        // decode's kernel, and decode∘encode is idempotent.
+        let mut widened = vec![0.0f32; s.numel()];
+        s.widen_into(&mut widened);
+        ok = ok
+            && s.dtype() == d
+            && s.as_f32().is_none()
+            && s.buffer_id() != t.buffer_id()
+            && once.data() == snap_to_dtype(&t, d).data()
+            && once.data() == widened.as_slice()
+            && StoredTensor::encode(&once, d).decode().data() == once.data();
+    }
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_encode_with_stable() -> f32 {
+    let mut rng = Rng::new(156);
+    let t = Tensor::randn([6, 4], &mut rng);
+    let mut ok = true;
+    for d in StorageDtype::ALL {
+        let first = StoredTensor::encode(&t, d);
+        let scalar = first.scalar_type();
+        // decode → encode_with(remembered scalar) reproduces the
+        // identical payload across cycles — the byte-stability the
+        // wire format and committed buffers rely on.
+        let mut cur = first.decode();
+        for _ in 0..2 {
+            let re = StoredTensor::encode_with(&cur, scalar);
+            ok = ok
+                && re.scalar_type() == scalar
+                && re.raw_u16() == first.raw_u16()
+                && re.raw_i8().map(|(v, s, z)| (v.to_vec(), s, z))
+                    == first.raw_i8().map(|(v, s, z)| (v.to_vec(), s, z));
+            cur = re.decode();
+        }
+    }
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_from_raw() -> f32 {
+    let mut rng = Rng::new(157);
+    let t = Tensor::randn([3, 8], &mut rng);
+    let dims = t.shape().dims().to_vec();
+    let bf = StoredTensor::encode(&t, StorageDtype::Bf16);
+    let f16 = StoredTensor::encode(&t, StorageDtype::F16);
+    let i8t = StoredTensor::encode(&t, StorageDtype::I8);
+    // Raw payloads exist exactly for their own variant…
+    let mut ok = bf.raw_u16().is_some()
+        && bf.raw_i8().is_none()
+        && i8t.raw_u16().is_none()
+        && i8t.raw_i8().is_some()
+        && StoredTensor::encode(&t, StorageDtype::F32)
+            .raw_u16()
+            .is_none();
+    // …and rebuilding from them decodes bitwise identically.
+    let bf2 = StoredTensor::from_raw_bf16(dims.clone(), bf.raw_u16().expect("bf16 raw").to_vec());
+    let f2 = StoredTensor::from_raw_f16(dims.clone(), f16.raw_u16().expect("f16 raw").to_vec());
+    let (codes, scale, zero) = i8t.raw_i8().expect("i8 raw");
+    let i2 = StoredTensor::from_raw_i8(dims, codes.to_vec(), scale, zero);
+    ok = ok
+        && bf2.decode().data() == bf.decode().data()
+        && f2.decode().data() == f16.decode().data()
+        && i2.decode().data() == i8t.decode().data();
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_snap_idempotent() -> f32 {
+    use deco_tensor::dtype::{snap_to_dtype, snap_to_scalar};
+    let mut rng = Rng::new(158);
+    let t = Tensor::randn([4, 9], &mut rng);
+    // F32 snap is the identity.
+    let mut ok = snap_to_dtype(&t, StorageDtype::F32).data() == t.data();
+    for d in [StorageDtype::Bf16, StorageDtype::F16, StorageDtype::I8] {
+        let once = snap_to_dtype(&t, d);
+        // Idempotent through the *parameterized* scalar: lattice points
+        // re-snap to themselves under the same i8 parameters.
+        let scalar = StoredTensor::encode(&t, d).scalar_type();
+        ok = ok
+            && snap_to_scalar(&once, scalar).data() == once.data()
+            && snap_to_scalar(&t, scalar).data() == once.data();
+    }
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_matmul_stored() -> f32 {
+    use deco_tensor::plancache;
+    let mut rng = Rng::new(159);
+    plancache::set_thread_override(Some(true));
+    let mut ok = true;
+    // One shape below the packed-GEMM gate (decode fallback) and one
+    // above it (plan-cached pack-time widening).
+    for (m, k, n) in [(3usize, 4usize, 2usize), (16, 64, 16)] {
+        let a = Tensor::randn([m, k], &mut rng);
+        let b = Tensor::randn([k, n], &mut rng);
+        for d in StorageDtype::ALL {
+            let s = StoredTensor::encode(&b, d);
+            let want = a.matmul(&s.decode());
+            let got1 = deco_runtime::with_thread_count(1, || a.matmul_stored(&s));
+            let got4 = deco_runtime::with_thread_count(4, || a.matmul_stored(&s));
+            ok = ok && got1.data() == want.data() && got4.data() == want.data();
+        }
+    }
+    plancache::clear();
+    plancache::set_thread_override(None);
+    if ok {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+fn check_pack_dtype_stats() -> f32 {
+    use deco_tensor::plancache;
+    plancache::set_thread_override(Some(true));
+    plancache::clear();
+    plancache::reset_stats();
+    let mut rng = Rng::new(160);
+    // 2·16·64·16 crosses the packed gate, so every dtype's repeated
+    // product consults the pack cache: miss then hit, tallied per dtype.
+    let a = Tensor::randn([16, 64], &mut rng);
+    let b = Tensor::randn([64, 16], &mut rng);
+    let mut ok = true;
+    for d in StorageDtype::ALL {
+        let s = StoredTensor::encode(&b, d);
+        let first = a.matmul_stored(&s);
+        let second = a.matmul_stored(&s);
+        let stats = plancache::stats();
+        ok = ok
+            && first.data() == second.data()
+            && stats.pack_misses_for(d) >= 1
+            && stats.pack_hits_for(d) >= 1;
+    }
+    // The per-dtype split partitions the totals.
+    let stats = plancache::stats();
+    let hits: u64 = StorageDtype::ALL
+        .iter()
+        .map(|&d| stats.pack_hits_for(d))
+        .sum();
+    let misses: u64 = StorageDtype::ALL
+        .iter()
+        .map(|&d| stats.pack_misses_for(d))
+        .sum();
+    ok = ok && hits == stats.pack_hits && misses == stats.pack_misses;
+    plancache::clear();
+    plancache::reset_stats();
+    plancache::set_thread_override(None);
+    if ok {
         0.0
     } else {
         1.0

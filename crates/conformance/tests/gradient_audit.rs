@@ -7,7 +7,8 @@
 use std::collections::BTreeSet;
 
 use deco_conformance::audit::{
-    entries, parsed_layer_surface, parsed_op_surface, parsed_plancache_surface, run_audit,
+    entries, parsed_dtype_surface, parsed_layer_surface, parsed_op_surface,
+    parsed_plancache_surface, run_audit,
 };
 
 #[test]
@@ -28,6 +29,7 @@ fn every_public_op_and_layer_is_audited() {
         .into_iter()
         .chain(parsed_layer_surface())
         .chain(parsed_plancache_surface())
+        .chain(parsed_dtype_surface())
     {
         if !audited.contains(&name) {
             missing.push(name);
@@ -50,6 +52,7 @@ fn no_stale_audit_entries() {
         .into_iter()
         .chain(parsed_layer_surface())
         .chain(parsed_plancache_surface())
+        .chain(parsed_dtype_surface())
         .collect();
     let op_namespaces = [
         "conv",
@@ -60,6 +63,7 @@ fn no_stale_audit_entries() {
         "layers",
         "dropout",
         "plancache",
+        "dtype",
     ];
     let mut stale = Vec::new();
     for entry in entries() {

@@ -206,6 +206,14 @@ pub struct LearnerSnapshot {
     pub condenser_velocity: Vec<Option<Tensor>>,
     /// The synthetic-buffer image stack.
     pub buffer_images: Tensor,
+    /// The buffer's committed scalar type (storage dtype plus i8 affine
+    /// parameters). Captured alongside the images so a rehydrated
+    /// learner keeps committing to the same lattice — and, for i8,
+    /// serializes with the *same* quantization parameters — as the
+    /// captured one. Re-deriving i8 parameters from already-quantized
+    /// images would drift, so the full scalar type travels with the
+    /// snapshot.
+    pub buffer_scalar: deco_tensor::ScalarType,
     /// Buffer images-per-class.
     pub buffer_ipc: usize,
     /// Buffer class count.
@@ -319,6 +327,19 @@ impl OnDeviceLearner {
     /// `peak_memory_bytes` reported by `deco-eval`.
     pub fn memory_tracker(&self) -> &MemoryTracker {
         &self.tracker
+    }
+
+    /// Current at-rest bytes of the maintained buffer — the compact
+    /// encoding of the synthetic dataset (condensed policies) or the
+    /// stored replay items (selection policies), at the buffer's storage
+    /// dtype. Unlike [`OnDeviceLearner::memory_tracker`] this is always
+    /// measured, telemetry enabled or not: it is the steady-state
+    /// footprint the per-precision experiment tables compare.
+    pub fn buffer_bytes(&self) -> u64 {
+        match &self.policy {
+            BufferPolicy::Condensed { buffer, .. } => buffer.approx_bytes(),
+            BufferPolicy::Selection { buffer, .. } => buffer.approx_bytes(),
+        }
     }
 
     /// Re-measures every memory component into the private tracker and
@@ -449,6 +470,16 @@ impl OnDeviceLearner {
     /// Phase 3 of segment processing: counters, the `β`-interval model
     /// update, memory accounting, and the report.
     pub fn complete_segment(&mut self, prepared: PreparedSegment) -> SegmentReport {
+        // Commit the condensed set to its at-rest storage precision
+        // before anything downstream (the β-interval retrain, memory
+        // accounting, snapshots) reads it: condense iterations within
+        // the segment ran at full f32, everything held between segments
+        // is exactly what the compact encoding represents. Shared by
+        // the monolithic and phased DECO paths — both finish here — so
+        // they stay bitwise identical. No-op at f32.
+        if let BufferPolicy::Condensed { buffer, .. } = &mut self.policy {
+            buffer.commit_storage();
+        }
         self.segments_seen += 1;
         self.items_seen += prepared.segment_len;
         let model_updated = self.segments_seen.is_multiple_of(self.config.beta);
@@ -589,6 +620,7 @@ impl OnDeviceLearner {
             opt_model_velocity: self.opt_model.velocity_snapshot(),
             condenser_velocity,
             buffer_images: buffer.images().clone(),
+            buffer_scalar: buffer.scalar_type(),
             buffer_ipc: buffer.ipc(),
             buffer_classes: buffer.num_classes(),
             rng_state,
@@ -620,6 +652,10 @@ impl OnDeviceLearner {
         );
         self.model.set_params(&snap.model_params);
         buffer.set_images(snap.buffer_images.clone());
+        // Snapshotted images are post-commit lattice points of the
+        // captured scalar type, so this re-applies it (parameters
+        // included) without changing a byte.
+        buffer.restore_scalar(snap.buffer_scalar);
         self.opt_model.set_velocity(snap.opt_model_velocity.clone());
         if let Some(deco) = condenser
             .as_any_mut()

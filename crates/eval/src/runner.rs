@@ -12,7 +12,7 @@ use deco_datasets::{LabeledSet, Segment, Stream, StreamConfig, SyntheticVision};
 use deco_nn::{ConvNet, ConvNetConfig};
 use deco_replay::{BaselineKind, BufferItem, ReplayBuffer, SelectionContext};
 use deco_telemetry::{impl_to_json, Json, ToJson};
-use deco_tensor::Rng;
+use deco_tensor::{Rng, StorageDtype};
 
 use crate::scale::{DatasetId, ScaleParams};
 use crate::stats::MeanStd;
@@ -91,6 +91,11 @@ pub struct TrialSpec {
     /// Override for the majority-voting threshold `m` (`None` = 0.4).
     /// Used by the Fig. 4a sweep.
     pub vote_threshold_override: Option<f32>,
+    /// At-rest precision of the maintained buffer (synthetic images for
+    /// condensation methods, stored items for selection baselines).
+    /// Compute always stays f32; this sets the lattice the buffer is
+    /// committed to between segments and the width it serializes at.
+    pub storage_dtype: StorageDtype,
 }
 
 impl TrialSpec {
@@ -111,7 +116,14 @@ impl TrialSpec {
             eval_every: 0,
             alpha_override: None,
             vote_threshold_override: None,
+            storage_dtype: StorageDtype::F32,
         }
+    }
+
+    /// The same trial with the buffer held at `dtype` between segments.
+    pub fn with_storage_dtype(mut self, dtype: StorageDtype) -> Self {
+        self.storage_dtype = dtype;
+        self
     }
 }
 
@@ -148,6 +160,10 @@ pub struct TrialResult {
     /// the transient autograd-tape peak is tracked separately in the
     /// telemetry `usage` breakdown. `None` when telemetry is disabled.
     pub peak_memory_bytes: Option<u64>,
+    /// Final at-rest bytes of the maintained buffer at its storage
+    /// dtype — the steady-state footprint the per-precision tables
+    /// compare (always measured, telemetry or not).
+    pub buffer_memory_bytes: u64,
 }
 
 impl TrialResult {
@@ -214,7 +230,8 @@ fn build_policy(
             }
             BufferPolicy::Condensed {
                 condenser: Box::new(DecoCondenser::new(cfg)),
-                buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng),
+                buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng)
+                    .with_storage_dtype(spec.storage_dtype),
             }
         }
         MethodKind::Dc | MethodKind::Dsa => {
@@ -226,18 +243,21 @@ fn build_policy(
             };
             BufferPolicy::Condensed {
                 condenser,
-                buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng),
+                buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng)
+                    .with_storage_dtype(spec.storage_dtype),
             }
         }
         MethodKind::Dm => BufferPolicy::Condensed {
             condenser: Box::new(DmCondenser::new(DmConfig::default())),
-            buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng),
+            buffer: SyntheticBuffer::from_labeled(pretrain_set, spec.ipc, classes, rng)
+                .with_storage_dtype(spec.storage_dtype),
         },
         MethodKind::Selection(kind) => {
             // Pre-fill the baseline buffer from the pre-training set, so
             // every method starts from the same labeled knowledge.
             let mut strategy = kind.build();
-            let mut buffer = ReplayBuffer::new(spec.ipc * classes);
+            let mut buffer =
+                ReplayBuffer::with_storage_dtype(spec.ipc * classes, spec.storage_dtype);
             let frame: Vec<usize> = pretrain_set.images.shape().dims()[1..].to_vec();
             for i in 0..pretrain_set.len() {
                 if buffer.is_full() {
@@ -324,6 +344,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         processing_time,
         segment_wall_time_ms,
         peak_memory_bytes,
+        buffer_memory_bytes: learner.buffer_bytes(),
     }
 }
 
@@ -421,6 +442,7 @@ pub fn run_trial_on_segments(
         processing_time,
         segment_wall_time_ms,
         peak_memory_bytes,
+        buffer_memory_bytes: learner.buffer_bytes(),
     };
     (result, tracker)
 }
@@ -645,6 +667,44 @@ mod tests {
             reference.pseudo_accuracy.to_bits()
         );
         assert_eq!(tracker.len(), 2, "endpoint snapshots only");
+    }
+
+    #[test]
+    fn sub_f32_storage_shrinks_buffer_memory_with_sane_accuracy() {
+        let base = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 1, 0, micro_params());
+        let f32_trial = run_trial(&base);
+        assert!(f32_trial.buffer_memory_bytes > 0);
+        for (dtype, min_ratio) in [(StorageDtype::Bf16, 1.8f64), (StorageDtype::I8, 3.5)] {
+            let trial = run_trial(&base.with_storage_dtype(dtype));
+            let ratio = f32_trial.buffer_memory_bytes as f64 / trial.buffer_memory_bytes as f64;
+            assert!(
+                ratio >= min_ratio,
+                "{dtype}: buffer shrank only {ratio:.2}x (f32 {} -> {})",
+                f32_trial.buffer_memory_bytes,
+                trial.buffer_memory_bytes
+            );
+            assert!((0.0..=1.0).contains(&trial.final_accuracy), "{dtype}");
+        }
+    }
+
+    #[test]
+    fn selection_baseline_honors_storage_dtype() {
+        let base = TrialSpec::new(
+            DatasetId::Core50,
+            MethodKind::Selection(BaselineKind::Fifo),
+            1,
+            0,
+            micro_params(),
+        );
+        let f32_trial = run_trial(&base);
+        let i8_trial = run_trial(&base.with_storage_dtype(StorageDtype::I8));
+        assert!(
+            i8_trial.buffer_memory_bytes < f32_trial.buffer_memory_bytes,
+            "i8 replay storage must shrink the buffer ({} vs {})",
+            i8_trial.buffer_memory_bytes,
+            f32_trial.buffer_memory_bytes
+        );
+        assert!((0.0..=1.0).contains(&i8_trial.final_accuracy));
     }
 
     #[test]

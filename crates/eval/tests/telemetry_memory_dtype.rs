@@ -1,0 +1,49 @@
+//! Telemetry-enabled memory accounting across storage precisions: the
+//! `peak_memory_bytes` a trial reports must shrink by exactly the
+//! buffer's at-rest saving when the synthetic buffer is held at bf16 or
+//! i8 — model parameters and optimizer state stay f32 (they are live
+//! compute state), so the *entire* storage-peak delta is the buffer.
+
+use deco_eval::{run_trial, DatasetId, ExperimentScale, MethodKind, ScaleParams, TrialSpec};
+use deco_tensor::StorageDtype;
+
+fn micro() -> ScaleParams {
+    let mut p = ExperimentScale::Smoke.params(DatasetId::Core50);
+    p.num_segments = 2;
+    p.segment_size = 16;
+    p.model_epochs = 2;
+    p.pretrain_steps = 6;
+    p.test_per_class = 2;
+    p.seeds = 1;
+    p.deco_iterations = 1;
+    p.beta = 1;
+    p
+}
+
+#[test]
+fn storage_peak_shrinks_by_exactly_the_buffer_saving() {
+    // This test binary owns the process-wide telemetry flag.
+    deco_telemetry::set_enabled(true);
+    let base = TrialSpec::new(DatasetId::Core50, MethodKind::Deco, 2, 0, micro());
+    let f32_trial = run_trial(&base);
+    let f32_peak = f32_trial.peak_memory_bytes.expect("telemetry enabled");
+    assert!(f32_peak > f32_trial.buffer_memory_bytes);
+    for (dtype, min_ratio) in [(StorageDtype::Bf16, 1.8f64), (StorageDtype::I8, 3.5)] {
+        let trial = run_trial(&base.with_storage_dtype(dtype));
+        let peak = trial.peak_memory_bytes.expect("telemetry enabled");
+        // The synthetic-dataset component is the only one whose width
+        // changes, and its accounting is constant over the stream, so
+        // the storage-peak delta equals the buffer delta byte-for-byte.
+        assert_eq!(
+            f32_peak - peak,
+            f32_trial.buffer_memory_bytes - trial.buffer_memory_bytes,
+            "{dtype}: storage-peak delta must be exactly the buffer saving"
+        );
+        let ratio = f32_trial.buffer_memory_bytes as f64 / trial.buffer_memory_bytes as f64;
+        assert!(
+            ratio >= min_ratio,
+            "{dtype}: buffer component shrank only {ratio:.2}x"
+        );
+    }
+    deco_telemetry::set_enabled(false);
+}

@@ -1,7 +1,8 @@
 //! The bounded replay buffer of real samples used by all selection-based
 //! baselines.
 
-use deco_tensor::Tensor;
+use deco_tensor::dtype::snap_to_dtype;
+use deco_tensor::{StorageDtype, Tensor};
 
 /// One stored sample: an image, its (pseudo-)label, and the model
 /// confidence recorded when it was offered.
@@ -25,19 +26,51 @@ pub struct ReplayBuffer {
     items: Vec<BufferItem>,
     /// Total number of items ever offered (used by reservoir sampling).
     seen: usize,
+    /// Storage precision items are held at. Incoming images are snapped
+    /// onto this dtype's representable lattice on entry, so every pixel
+    /// the buffer holds (and replays, and serializes) is exactly a
+    /// stored-precision value; compute on batches stays f32.
+    dtype: StorageDtype,
 }
 
 impl ReplayBuffer {
-    /// An empty buffer with the given capacity.
+    /// An empty buffer with the given capacity, storing items at f32.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_storage_dtype(capacity, StorageDtype::F32)
+    }
+
+    /// An empty buffer storing item images at `dtype` precision.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_storage_dtype(capacity: usize, dtype: StorageDtype) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
         ReplayBuffer {
             capacity,
             items: Vec::with_capacity(capacity),
             seen: 0,
+            dtype,
+        }
+    }
+
+    /// The storage precision item images are held at.
+    pub fn storage_dtype(&self) -> StorageDtype {
+        self.dtype
+    }
+
+    /// Re-applies a storage dtype after [`ReplayBuffer::from_parts`]
+    /// (restore path): sets the dtype and snaps every held image onto
+    /// its lattice. A no-op for images already on the lattice — which
+    /// restored v2 payloads always are — so rehydration is byte-stable.
+    pub fn set_storage_dtype(&mut self, dtype: StorageDtype) {
+        self.dtype = dtype;
+        if dtype != StorageDtype::F32 {
+            for item in &mut self.items {
+                item.image = snap_to_dtype(&item.image, dtype);
+            }
         }
     }
 
@@ -59,6 +92,7 @@ impl ReplayBuffer {
             capacity,
             items,
             seen,
+            dtype: StorageDtype::F32,
         }
     }
 
@@ -104,7 +138,7 @@ impl ReplayBuffer {
     /// Panics if the buffer is full (strategies must evict first).
     pub fn push(&mut self, item: BufferItem) {
         assert!(!self.is_full(), "push into a full buffer");
-        self.items.push(item);
+        self.items.push(self.store(item));
     }
 
     /// Replaces the item at `index`, returning the evicted item.
@@ -116,7 +150,17 @@ impl ReplayBuffer {
             index < self.items.len(),
             "replace index {index} out of range"
         );
+        let item = self.store(item);
         std::mem::replace(&mut self.items[index], item)
+    }
+
+    /// Snaps an incoming item's image onto the buffer's storage lattice
+    /// (identity at f32).
+    fn store(&self, mut item: BufferItem) -> BufferItem {
+        if self.dtype != StorageDtype::F32 {
+            item.image = snap_to_dtype(&item.image, self.dtype);
+        }
+        item
     }
 
     /// Stacks the buffer into training tensors: `[n, c, h, w]` images, the
@@ -151,13 +195,23 @@ impl ReplayBuffer {
 
     /// Approximate heap bytes held by the buffer: the reserved item
     /// slots (`capacity × size_of::<BufferItem>()`) plus, per stored
-    /// image, its pixel buffer and allocation overhead. This is the
-    /// raw-replay cost the paper's Table 2 compares against condensed
-    /// buffers.
+    /// image, its pixel buffer *at the storage dtype's width* and
+    /// allocation overhead. This is the raw-replay cost the paper's
+    /// Table 2 compares against condensed buffers; under bf16/f16/i8
+    /// storage the pixel term reflects the 2-byte/1-byte at-rest
+    /// encoding the buffer serializes to (the in-process f32 mirror is
+    /// transient compute state, already on the dtype's lattice).
     pub fn approx_bytes(&self) -> u64 {
         let slots = self.capacity.max(self.items.capacity()) * std::mem::size_of::<BufferItem>();
         let per_item = (self.items.len() * Self::PER_ITEM_HEAP_OVERHEAD) as u64;
-        slots as u64 + per_item + self.items.iter().map(|i| i.image.heap_bytes()).sum::<u64>()
+        let bpe = self.dtype.bytes_per_element() as u64;
+        slots as u64
+            + per_item
+            + self
+                .items
+                .iter()
+                .map(|i| i.image.numel() as u64 * bpe)
+                .sum::<u64>()
     }
 
     /// Per-class item counts (length = `num_classes`).
@@ -251,6 +305,40 @@ mod tests {
         // per-item allocation overhead.
         let per_item = 16 + ReplayBuffer::PER_ITEM_HEAP_OVERHEAD as u64;
         assert_eq!(buf.approx_bytes(), slots + 2 * per_item);
+    }
+
+    #[test]
+    fn sub_f32_storage_snaps_images_and_shrinks_accounting() {
+        let mut rng = deco_tensor::Rng::new(5);
+        let img = Tensor::randn([1, 4, 4], &mut rng);
+        let f32_buf = {
+            let mut b = ReplayBuffer::new(2);
+            b.push(BufferItem {
+                image: img.clone(),
+                label: 0,
+                confidence: 0.5,
+            });
+            b
+        };
+        for (dtype, shrink) in [(StorageDtype::Bf16, 2u64), (StorageDtype::I8, 4u64)] {
+            let mut b = ReplayBuffer::with_storage_dtype(2, dtype);
+            assert_eq!(b.storage_dtype(), dtype);
+            b.push(BufferItem {
+                image: img.clone(),
+                label: 0,
+                confidence: 0.5,
+            });
+            let stored = &b.items()[0].image;
+            // On-lattice: snapping again changes nothing.
+            assert_eq!(snap_to_dtype(stored, dtype).data(), stored.data());
+            // Pixel accounting shrinks by exactly the width ratio.
+            let pixels = |buf: &ReplayBuffer| {
+                buf.approx_bytes()
+                    - (2 * std::mem::size_of::<BufferItem>() + ReplayBuffer::PER_ITEM_HEAP_OVERHEAD)
+                        as u64
+            };
+            assert_eq!(pixels(&f32_buf), shrink * pixels(&b), "{dtype}");
+        }
     }
 
     #[test]

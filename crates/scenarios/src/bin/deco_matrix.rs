@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! deco-matrix [--grid ci|small|full] [--check] [--out DIR] [--seeds N]
+//!             [--storage-dtype LIST]
 //! ```
+//!
+//! `--storage-dtype` overrides the grid's storage-precision axis with a
+//! comma-separated list (e.g. `--storage-dtype f32,i8`) — the reduced-grid
+//! CI job uses it to keep the precision sweep cheap.
 //!
 //! Default mode runs the grid and writes `LEADERBOARD.json` (machine
 //! readable, see `docs/scenarios.md` for the schema) and `LEADERBOARD.md`
@@ -17,6 +22,7 @@ use std::process::ExitCode;
 
 use deco_scenarios::{check_against, run_matrix, MatrixGrid};
 use deco_telemetry::Json;
+use deco_tensor::StorageDtype;
 
 /// Default output directory: the repository root.
 fn repo_root() -> PathBuf {
@@ -47,9 +53,22 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("--seeds needs a value")?;
                 grid.seeds = n.parse().map_err(|_| format!("bad seed count {n:?}"))?;
             }
+            "--storage-dtype" => {
+                let list = it.next().ok_or("--storage-dtype needs a value")?;
+                grid.storage_dtypes = list
+                    .split(',')
+                    .map(|name| {
+                        StorageDtype::parse(name.trim())
+                            .ok_or_else(|| format!("unknown storage dtype {name:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if grid.storage_dtypes.is_empty() {
+                    return Err("--storage-dtype needs at least one dtype".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: deco-matrix [--grid ci|small|full] [--check] [--out DIR] [--seeds N]"
+                    "usage: deco-matrix [--grid ci|small|full] [--check] [--out DIR] [--seeds N] [--storage-dtype LIST]"
                 );
                 std::process::exit(0);
             }

@@ -18,11 +18,14 @@ use deco_eval::{
     TrialFailure, TrialSpec,
 };
 use deco_telemetry::{Json, ToJson};
+use deco_tensor::StorageDtype;
 
 use crate::generator::{ScenarioConfig, ScenarioStream};
 
 /// Leaderboard schema identifier (bump on breaking JSON changes).
-pub const LEADERBOARD_SCHEMA: &str = "deco-leaderboard/v1";
+/// v2: cells gained a `storage_dtype` axis (key suffix + coordinate
+/// field) and a deterministic `buffer_memory_bytes` column.
+pub const LEADERBOARD_SCHEMA: &str = "deco-leaderboard/v2";
 
 /// One coordinate of the benchmark matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,19 +40,22 @@ pub struct CellSpec {
     pub scenario: ScenarioConfig,
     /// `DECO_THREADS` setting the cell runs under.
     pub threads: usize,
+    /// At-rest precision of the maintained buffer.
+    pub storage_dtype: StorageDtype,
 }
 
 impl CellSpec {
     /// The cell's stable leaderboard key,
-    /// e.g. `CORe50/DECO/ipc1/class_incremental/t2`.
+    /// e.g. `CORe50/DECO/ipc1/class_incremental/t2/bf16`.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/ipc{}/{}/t{}",
+            "{}/{}/ipc{}/{}/t{}/{}",
             self.dataset.label(),
             self.method.label(),
             self.ipc,
             self.scenario.name(),
-            self.threads
+            self.threads,
+            self.storage_dtype.label()
         )
     }
 }
@@ -70,6 +76,9 @@ pub struct MatrixGrid {
     /// Thread counts — the matrix *asserts* that cells differing only in
     /// this axis have identical deterministic fields.
     pub threads: Vec<usize>,
+    /// Buffer storage precisions — the accuracy-vs-memory axis of the
+    /// per-precision tables.
+    pub storage_dtypes: Vec<StorageDtype>,
     /// Seeds per cell.
     pub seeds: usize,
 }
@@ -90,13 +99,14 @@ impl MatrixGrid {
                 ScenarioConfig::parse("label_noise_ramp").expect("known"),
             ],
             threads: vec![1],
+            storage_dtypes: vec![StorageDtype::F32, StorageDtype::Bf16, StorageDtype::I8],
             seeds: 1,
         }
     }
 
     /// The default grid behind `LEADERBOARD.json`: 2 methods × 2 IPC
-    /// settings × all 4 adversarial scenarios × 2 thread counts on CORe50
-    /// (32 cells, CPU-minutes).
+    /// settings × all 4 adversarial scenarios × 2 thread counts × 3
+    /// storage precisions on CORe50 (96 cells, CPU-minutes).
     pub fn small() -> MatrixGrid {
         MatrixGrid {
             name: "small",
@@ -105,6 +115,7 @@ impl MatrixGrid {
             ipcs: vec![1, 2],
             scenarios: ScenarioConfig::adversarial().to_vec(),
             threads: vec![1, 2],
+            storage_dtypes: vec![StorageDtype::F32, StorageDtype::Bf16, StorageDtype::I8],
             seeds: 1,
         }
     }
@@ -120,6 +131,7 @@ impl MatrixGrid {
             ipcs: vec![1, 5],
             scenarios: ScenarioConfig::all().to_vec(),
             threads: vec![1],
+            storage_dtypes: StorageDtype::ALL.to_vec(),
             seeds: 2,
         }
     }
@@ -135,7 +147,7 @@ impl MatrixGrid {
     }
 
     /// All cells of the grid, in deterministic sweep order
-    /// (dataset ▸ method ▸ ipc ▸ scenario ▸ threads).
+    /// (dataset ▸ method ▸ ipc ▸ scenario ▸ threads ▸ storage dtype).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
         for &dataset in &self.datasets {
@@ -143,13 +155,16 @@ impl MatrixGrid {
                 for &ipc in &self.ipcs {
                     for &scenario in &self.scenarios {
                         for &threads in &self.threads {
-                            out.push(CellSpec {
-                                dataset,
-                                method,
-                                ipc,
-                                scenario,
-                                threads,
-                            });
+                            for &storage_dtype in &self.storage_dtypes {
+                                out.push(CellSpec {
+                                    dataset,
+                                    method,
+                                    ipc,
+                                    scenario,
+                                    threads,
+                                    storage_dtype,
+                                });
+                            }
                         }
                     }
                 }
@@ -216,6 +231,10 @@ pub struct CellOutcome {
     pub empirical_stc: Vec<f32>,
     /// Per-seed storage high-water mark in bytes.
     pub peak_memory_bytes: Vec<u64>,
+    /// Per-seed final at-rest buffer bytes at the cell's storage dtype —
+    /// deterministic byte accounting, so it sits in the `--check`ed
+    /// subtree (unlike wall-clock fields).
+    pub buffer_memory_bytes: Vec<u64>,
     /// Seeds that panicked.
     pub failures: Vec<TrialFailure>,
     /// Total wall time of the cell in milliseconds (all seeds).
@@ -246,6 +265,7 @@ impl CellOutcome {
             ("empirical_stc", self.empirical_stc.to_json()),
             ("empirical_stc_bits", bits(&self.empirical_stc)),
             ("peak_memory_bytes", self.peak_memory_bytes.to_json()),
+            ("buffer_memory_bytes", self.buffer_memory_bytes.to_json()),
             ("failures", self.failures.to_json()),
         ])
     }
@@ -259,6 +279,7 @@ impl CellOutcome {
             ("ipc", self.spec.ipc.to_json()),
             ("scenario", self.spec.scenario.name().to_json()),
             ("threads", self.spec.threads.to_json()),
+            ("storage_dtype", self.spec.storage_dtype.label().to_json()),
             ("deterministic", self.deterministic_json()),
             (
                 "timing",
@@ -312,12 +333,14 @@ fn run_cell(cell: &CellSpec, seeds: usize) -> CellOutcome {
             pseudo_accuracy: Vec::new(),
             empirical_stc: Vec::new(),
             peak_memory_bytes: Vec::new(),
+            buffer_memory_bytes: Vec::new(),
             failures: Vec::new(),
             wall_time_ms: 0.0,
             processing_ms: 0.0,
         };
         for seed in 0..seeds as u64 {
-            let spec = TrialSpec::new(cell.dataset, cell.method, cell.ipc, seed, params);
+            let spec = TrialSpec::new(cell.dataset, cell.method, cell.ipc, seed, params)
+                .with_storage_dtype(cell.storage_dtype);
             let segments = scenario_segments(&data, &params, cell.scenario, seed);
             let labels: Vec<usize> = segments
                 .iter()
@@ -335,6 +358,7 @@ fn run_cell(cell: &CellSpec, seeds: usize) -> CellOutcome {
                     out.empirical_stc.push(empirical_stc(&labels));
                     out.peak_memory_bytes
                         .push(result.peak_memory_bytes.unwrap_or(0));
+                    out.buffer_memory_bytes.push(result.buffer_memory_bytes);
                     out.processing_ms += result.processing_time.as_secs_f64() * 1e3;
                 }
                 Err(payload) => {
@@ -397,10 +421,12 @@ impl MatrixResult {
                 "IpC",
                 "Scenario",
                 "Thr",
+                "Dtype",
                 "Accuracy",
                 "Forgetting",
                 "Emp. STC",
                 "Peak KiB",
+                "Buf KiB",
                 "Wall ms",
             ]
             .map(String::from)
@@ -425,12 +451,17 @@ impl MatrixResult {
                 cell.spec.ipc.to_string(),
                 cell.spec.scenario.name().to_string(),
                 cell.spec.threads.to_string(),
+                cell.spec.storage_dtype.label().to_string(),
                 format!("{:.2}%{}", cell.accuracy_mean() * 100.0, failed),
                 format!("{:.3}", mean(&cell.mean_forgetting)),
                 format!("{:.1}", mean(&cell.empirical_stc)),
                 format!(
                     "{:.1}",
                     cell.peak_memory_bytes.iter().copied().max().unwrap_or(0) as f64 / 1024.0
+                ),
+                format!(
+                    "{:.1}",
+                    cell.buffer_memory_bytes.iter().copied().max().unwrap_or(0) as f64 / 1024.0
                 ),
                 format!("{:.0}", cell.wall_time_ms),
             ]);
@@ -472,6 +503,7 @@ pub fn run_matrix(grid: &MatrixGrid) -> MatrixResult {
                 && a.spec.method == b.spec.method
                 && a.spec.ipc == b.spec.ipc
                 && a.spec.scenario == b.spec.scenario
+                && a.spec.storage_dtype == b.spec.storage_dtype
                 && a.spec.threads < b.spec.threads;
             if same_cell_different_threads {
                 assert_eq!(
@@ -541,9 +573,9 @@ mod tests {
     #[test]
     fn grids_have_the_advertised_shape() {
         let ci = MatrixGrid::ci();
-        assert_eq!(ci.cells().len(), 4);
+        assert_eq!(ci.cells().len(), 12);
         let small = MatrixGrid::small();
-        assert_eq!(small.cells().len(), 32);
+        assert_eq!(small.cells().len(), 96);
         assert!(small.methods.len() >= 2);
         assert!(small.scenarios.len() >= 4);
         assert!(small.ipcs.len() >= 2);
@@ -576,8 +608,9 @@ mod tests {
             ipc: 1,
             scenario: ScenarioConfig::parse("class_incremental").unwrap(),
             threads: 2,
+            storage_dtype: StorageDtype::Bf16,
         };
-        assert_eq!(first.key(), "CORe50/DECO/ipc1/class_incremental/t2");
+        assert_eq!(first.key(), "CORe50/DECO/ipc1/class_incremental/t2/bf16");
     }
 
     #[test]
@@ -589,6 +622,7 @@ mod tests {
                 ipc: 1,
                 scenario: ScenarioConfig::Baseline,
                 threads: 1,
+                storage_dtype: StorageDtype::F32,
             },
             final_accuracy: vec![0.25],
             mean_forgetting: vec![0.1],
@@ -596,6 +630,7 @@ mod tests {
             pseudo_accuracy: vec![0.9],
             empirical_stc: vec![9.5],
             peak_memory_bytes: vec![1024],
+            buffer_memory_bytes: vec![256],
             failures: Vec::new(),
             wall_time_ms: 12.0,
             processing_ms: 8.0,
@@ -653,16 +688,25 @@ mod tests {
             ipcs: vec![1],
             scenarios: vec![ScenarioConfig::parse("bursty").unwrap()],
             threads: vec![1, 2],
+            storage_dtypes: vec![StorageDtype::F32, StorageDtype::I8],
             seeds: 1,
         };
         let first = run_matrix(&grid);
-        assert_eq!(first.cells.len(), 2);
+        assert_eq!(first.cells.len(), 4);
         assert!(first.cells[0].failures.is_empty());
         assert!(first.cells[0].peak_memory_bytes[0] > 0);
         assert!(first.cells[0].empirical_stc[0] > 1.0);
+        // The i8 sibling of an f32 cell keeps ≥ 3.5× less buffer.
+        let f32_buf = first.cells[0].buffer_memory_bytes[0] as f64;
+        let i8_buf = first.cells[1].buffer_memory_bytes[0] as f64;
+        assert!(
+            f32_buf / i8_buf >= 3.5,
+            "i8 cell shrank only {:.2}x",
+            f32_buf / i8_buf
+        );
         let baseline = first.to_json();
         let second = run_matrix(&grid);
-        assert_eq!(check_against(&second, &baseline), Ok(2));
+        assert_eq!(check_against(&second, &baseline), Ok(4));
         let md = first.to_markdown();
         assert!(md.contains("bursty"), "{md}");
     }

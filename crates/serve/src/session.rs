@@ -12,6 +12,7 @@ use std::path::Path;
 
 use deco::{LearnerSnapshot, OnDeviceLearner};
 use deco_datasets::{RunState, StreamCursor};
+use deco_tensor::{ScalarType, StoredTensor};
 
 use crate::wire::{read_file, write_file, Reader, WireError, Writer};
 
@@ -49,9 +50,41 @@ impl SessionState {
         learner.restore(&self.snapshot);
     }
 
-    /// Serializes to the versioned binary session format.
+    /// Serializes to the current (version-2) binary session format: the
+    /// synthetic buffer travels as a dtype-tagged stored-tensor record
+    /// encoded at the snapshot's committed scalar type, so a bf16 buffer
+    /// costs half — and an i8 buffer a quarter — of the v1 payload.
+    /// Model parameters and optimizer momenta stay raw f32: they are
+    /// live compute state, and evict/rehydrate must reproduce them
+    /// bit-for-bit.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::with_header();
+        w.put_u64(self.tenant_id);
+        let s = &self.snapshot;
+        w.put_tensor_vec(&s.model_params);
+        w.put_opt_tensor_vec(&s.opt_model_velocity);
+        w.put_opt_tensor_vec(&s.condenser_velocity);
+        w.put_stored_tensor(&StoredTensor::encode_with(
+            &s.buffer_images,
+            s.buffer_scalar,
+        ));
+        w.put_usize(s.buffer_ipc);
+        w.put_usize(s.buffer_classes);
+        w.put_u64(s.rng_state);
+        w.put_opt_f32(s.rng_spare);
+        w.put_usize(s.segments_seen);
+        w.put_usize(s.items_seen);
+        Self::put_cursor(&mut w, &self.cursor);
+        w.seal()
+    }
+
+    /// Serializes to the **legacy version-1** layout (all tensors as raw
+    /// f32 bits, no dtype records). Kept for the version-skew tests and
+    /// for handing sessions to older hosts; lossless only for an
+    /// f32-storage buffer — sub-f32 scalar types cannot be represented
+    /// in v1 and widen to their lattice values.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        let mut w = Writer::with_header_version(1);
         w.put_u64(self.tenant_id);
         let s = &self.snapshot;
         w.put_tensor_vec(&s.model_params);
@@ -64,7 +97,11 @@ impl SessionState {
         w.put_opt_f32(s.rng_spare);
         w.put_usize(s.segments_seen);
         w.put_usize(s.items_seen);
-        let c = &self.cursor;
+        Self::put_cursor(&mut w, &self.cursor);
+        w.seal()
+    }
+
+    fn put_cursor(w: &mut Writer, c: &deco_datasets::StreamCursor) {
         w.put_u64(c.rng_state);
         w.put_opt_f32(c.rng_spare);
         match &c.run {
@@ -80,10 +117,11 @@ impl SessionState {
             None => w.put_u8(0),
         }
         w.put_usize(c.emitted);
-        w.seal()
     }
 
-    /// Deserializes a session written by [`SessionState::to_bytes`].
+    /// Deserializes a session written by [`SessionState::to_bytes`] — or
+    /// by a version-1 writer: v1 payloads carry a plain f32 buffer
+    /// tensor and rehydrate with [`ScalarType::F32`] storage.
     ///
     /// # Errors
     /// Returns a typed [`WireError`] for any defect — wrong magic, future
@@ -94,7 +132,12 @@ impl SessionState {
         let model_params = r.get_tensor_vec()?;
         let opt_model_velocity = r.get_opt_tensor_vec()?;
         let condenser_velocity = r.get_opt_tensor_vec()?;
-        let buffer_images = r.get_tensor()?;
+        let (buffer_images, buffer_scalar) = if r.version() >= 2 {
+            let stored = r.get_stored_tensor()?;
+            (stored.decode(), stored.scalar_type())
+        } else {
+            (r.get_tensor()?, ScalarType::F32)
+        };
         let buffer_ipc = r.get_usize()?;
         let buffer_classes = r.get_usize()?;
         let rng_state = r.get_u64()?;
@@ -129,6 +172,7 @@ impl SessionState {
                 opt_model_velocity,
                 condenser_velocity,
                 buffer_images,
+                buffer_scalar,
                 buffer_ipc,
                 buffer_classes,
                 rng_state,

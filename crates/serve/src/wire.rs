@@ -14,7 +14,7 @@
 use std::path::Path;
 
 use deco_replay::{BufferItem, ReplayBuffer};
-use deco_tensor::Tensor;
+use deco_tensor::{StorageDtype, StoredTensor, Tensor};
 
 /// File magic of the session format (`DSRV`).
 pub const MAGIC: [u8; 4] = *b"DSRV";
@@ -22,7 +22,18 @@ pub const MAGIC: [u8; 4] = *b"DSRV";
 /// Current format version. Bump on any layout change; readers reject
 /// versions they do not understand with
 /// [`WireError::UnsupportedVersion`] instead of misparsing.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// - **1** — all tensors stored as raw `f32` bits.
+/// - **2** — the synthetic buffer travels as a dtype-tagged
+///   [`StoredTensor`] record (bf16/f16 halve, i8 quarters its payload;
+///   i8 carries its affine parameters so re-serialization is
+///   byte-identical), and replay buffers carry their storage dtype.
+///   Readers still accept version-1 payloads.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this reader still understands.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Upper bound on a single tensor's element count accepted by the reader —
 /// a corrupt length field must fail cleanly, not attempt a huge allocation.
@@ -57,7 +68,7 @@ impl std::fmt::Display for WireError {
             WireError::Io(e) => write!(f, "session i/o error: {e}"),
             WireError::BadMagic => write!(f, "not a session file (bad magic)"),
             WireError::UnsupportedVersion(v) => {
-                write!(f, "unsupported session format version {v} (reader understands {FORMAT_VERSION})")
+                write!(f, "unsupported session format version {v} (reader understands {MIN_FORMAT_VERSION}..={FORMAT_VERSION})")
             }
             WireError::Truncated {
                 offset,
@@ -106,11 +117,18 @@ pub struct Writer {
 }
 
 impl Writer {
-    /// A writer pre-loaded with the magic and format version.
+    /// A writer pre-loaded with the magic and the current format version.
     pub fn with_header() -> Writer {
+        Writer::with_header_version(FORMAT_VERSION)
+    }
+
+    /// A writer pre-loaded with the magic and an explicit format version —
+    /// for emitting payloads older readers understand (and for the
+    /// version-skew tests that prove newer readers still accept them).
+    pub fn with_header_version(version: u32) -> Writer {
         let mut w = Writer { buf: Vec::new() };
         w.buf.extend_from_slice(&MAGIC);
-        w.put_u32(FORMAT_VERSION);
+        w.put_u32(version);
         w
     }
 
@@ -124,6 +142,11 @@ impl Writer {
     /// Appends one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u32`, little-endian.
@@ -191,10 +214,48 @@ impl Writer {
         }
     }
 
-    /// Appends a replay buffer: capacity, offered-item counter, items.
+    /// Appends a dtype-tagged stored tensor: tag, rank, dims, then the
+    /// payload at its native width (`u16` bits for bf16/f16; the affine
+    /// parameters followed by the quantized bytes for i8). Carrying the
+    /// i8 parameters — rather than re-deriving them on read — is what
+    /// makes a decode/re-encode cycle byte-identical.
+    pub fn put_stored_tensor(&mut self, t: &StoredTensor) {
+        self.put_u8(t.dtype().tag_byte());
+        let dims = t.dims();
+        self.put_u32(dims.len() as u32);
+        for &d in dims {
+            self.put_u64(d as u64);
+        }
+        match t.dtype() {
+            StorageDtype::F32 => {
+                for &v in t.as_f32().expect("f32 stored tensor").data() {
+                    self.put_f32(v);
+                }
+            }
+            StorageDtype::Bf16 | StorageDtype::F16 => {
+                for &bits in t.raw_u16().expect("16-bit stored tensor") {
+                    self.put_u16(bits);
+                }
+            }
+            StorageDtype::I8 => {
+                let (data, scale, zero) = t.raw_i8().expect("i8 stored tensor");
+                self.put_f32(scale);
+                self.put_u8(zero as u8);
+                for &q in data {
+                    self.put_u8(q as u8);
+                }
+            }
+        }
+    }
+
+    /// Appends a replay buffer: capacity, offered-item counter, storage
+    /// dtype tag, items (images as raw `f32` bits — items are snapped
+    /// onto the dtype's lattice on entry, so the bits *are*
+    /// stored-precision values).
     pub fn put_replay_buffer(&mut self, buf: &ReplayBuffer) {
         self.put_usize(buf.capacity());
         self.put_usize(buf.seen());
+        self.put_u8(buf.storage_dtype().tag_byte());
         self.put_u32(buf.items().len() as u32);
         for item in buf.items() {
             self.put_tensor(&item.image);
@@ -209,6 +270,7 @@ impl Writer {
 pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    version: u32,
 }
 
 impl<'a> Reader<'a> {
@@ -230,7 +292,7 @@ impl<'a> Reader<'a> {
             return Err(WireError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(WireError::UnsupportedVersion(version));
         }
         let body_end = bytes.len() - 8;
@@ -244,7 +306,13 @@ impl<'a> Reader<'a> {
         Ok(Reader {
             bytes: &bytes[..body_end],
             pos: 8,
+            version,
         })
+    }
+
+    /// The payload's format version (validated by [`Reader::open`]).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Bytes left before the checksum.
@@ -284,6 +352,13 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(
@@ -320,6 +395,69 @@ impl<'a> Reader<'a> {
 
     /// Reads a tensor, validating its geometry before allocating.
     pub fn get_tensor(&mut self) -> Result<Tensor, WireError> {
+        let (dims, numel) = self.get_checked_dims()?;
+        // Check the data is actually present before allocating for it.
+        self.ensure_payload(numel, 4)?;
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(self.get_f32()?);
+        }
+        Ok(Tensor::from_vec(data, dims))
+    }
+
+    /// Reads a stored tensor written by [`Writer::put_stored_tensor`],
+    /// validating the dtype tag and geometry before allocating.
+    pub fn get_stored_tensor(&mut self) -> Result<StoredTensor, WireError> {
+        let tag = self.get_u8()?;
+        let dtype = StorageDtype::from_tag_byte(tag)
+            .ok_or_else(|| WireError::Corrupt(format!("unknown storage dtype tag {tag}")))?;
+        let (dims, numel) = self.get_checked_dims()?;
+        match dtype {
+            StorageDtype::F32 => {
+                self.ensure_payload(numel, 4)?;
+                let mut data = Vec::with_capacity(numel);
+                for _ in 0..numel {
+                    data.push(self.get_f32()?);
+                }
+                Ok(StoredTensor::encode(
+                    &Tensor::from_vec(data, dims),
+                    StorageDtype::F32,
+                ))
+            }
+            StorageDtype::Bf16 | StorageDtype::F16 => {
+                self.ensure_payload(numel, 2)?;
+                let mut bits = Vec::with_capacity(numel);
+                for _ in 0..numel {
+                    bits.push(self.get_u16()?);
+                }
+                Ok(if dtype == StorageDtype::Bf16 {
+                    StoredTensor::from_raw_bf16(dims, bits)
+                } else {
+                    StoredTensor::from_raw_f16(dims, bits)
+                })
+            }
+            StorageDtype::I8 => {
+                let scale = self.get_f32()?;
+                let zero = self.get_u8()? as i8;
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(WireError::Corrupt(format!(
+                        "i8 scale {scale} is not a positive finite value"
+                    )));
+                }
+                self.ensure_payload(numel, 1)?;
+                let mut data = Vec::with_capacity(numel);
+                for _ in 0..numel {
+                    data.push(self.get_u8()? as i8);
+                }
+                Ok(StoredTensor::from_raw_i8(dims, data, scale, zero))
+            }
+        }
+    }
+
+    /// Reads and validates a rank + dims prefix shared by the tensor
+    /// record kinds, rejecting impossible geometry before any payload
+    /// allocation.
+    fn get_checked_dims(&mut self) -> Result<(Vec<usize>, usize), WireError> {
         let rank = self.get_u32()? as usize;
         if rank > 8 {
             return Err(WireError::Corrupt(format!("tensor rank {rank} too large")));
@@ -336,20 +474,21 @@ impl<'a> Reader<'a> {
                 })?;
             dims.push(d as usize);
         }
-        let numel = numel as usize;
-        // Check the data is actually present before allocating for it.
-        if self.remaining() < numel * 4 {
+        Ok((dims, numel as usize))
+    }
+
+    /// Fails with [`WireError::Truncated`] if fewer than
+    /// `numel × bytes_per_element` payload bytes remain.
+    fn ensure_payload(&self, numel: usize, bytes_per_element: usize) -> Result<(), WireError> {
+        let needed = numel * bytes_per_element;
+        if self.remaining() < needed {
             return Err(WireError::Truncated {
                 offset: self.pos,
-                needed: numel * 4,
+                needed,
                 available: self.remaining(),
             });
         }
-        let mut data = Vec::with_capacity(numel);
-        for _ in 0..numel {
-            data.push(self.get_f32()?);
-        }
-        Ok(Tensor::from_vec(data, dims))
+        Ok(())
     }
 
     /// Reads a count-prefixed tensor list.
@@ -377,9 +516,15 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a replay buffer written by [`Writer::put_replay_buffer`].
+    /// Item images are already lattice points of the recorded dtype, so
+    /// re-applying it restores the accounting width without changing a
+    /// pixel.
     pub fn get_replay_buffer(&mut self) -> Result<ReplayBuffer, WireError> {
         let capacity = self.get_usize()?;
         let seen = self.get_usize()?;
+        let tag = self.get_u8()?;
+        let dtype = StorageDtype::from_tag_byte(tag)
+            .ok_or_else(|| WireError::Corrupt(format!("unknown storage dtype tag {tag}")))?;
         let n = self.get_u32()? as usize;
         if capacity == 0 || n > capacity {
             return Err(WireError::Corrupt(format!(
@@ -397,7 +542,9 @@ impl<'a> Reader<'a> {
                 confidence,
             });
         }
-        Ok(ReplayBuffer::from_parts(capacity, items, seen))
+        let mut buf = ReplayBuffer::from_parts(capacity, items, seen);
+        buf.set_storage_dtype(dtype);
+        Ok(buf)
     }
 }
 
@@ -518,6 +665,104 @@ mod tests {
         let bytes = w.seal();
         let mut r = Reader::open(&bytes).unwrap();
         assert!(matches!(r.get_tensor(), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stored_tensor_roundtrips_bitwise_per_dtype() {
+        let mut rng = Rng::new(11);
+        let t = Tensor::randn([2, 3, 4], &mut rng);
+        for dtype in StorageDtype::ALL {
+            let stored = StoredTensor::encode(&t, dtype);
+            let mut w = Writer::with_header();
+            w.put_stored_tensor(&stored);
+            let bytes = w.seal();
+            let mut r = Reader::open(&bytes).unwrap();
+            let back = r.get_stored_tensor().unwrap();
+            r.finish().unwrap();
+            assert_eq!(back.dtype(), dtype);
+            assert_eq!(back.dims(), stored.dims());
+            assert_eq!(back.scalar_type(), stored.scalar_type(), "{dtype}");
+            let (a, b) = (stored.decode(), back.decode());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{dtype}");
+            }
+            // Re-serializing the decoded record reproduces the bytes.
+            let mut w2 = Writer::with_header();
+            w2.put_stored_tensor(&back);
+            assert_eq!(w2.seal(), bytes, "{dtype}");
+        }
+    }
+
+    #[test]
+    fn stored_tensor_sub_f32_payloads_shrink() {
+        let mut rng = Rng::new(12);
+        let t = Tensor::randn([8, 8], &mut rng);
+        let size = |dtype| {
+            let mut w = Writer::with_header();
+            w.put_stored_tensor(&StoredTensor::encode(&t, dtype));
+            w.seal().len()
+        };
+        // 16 header/checksum + tag + rank + dims overhead is shared; the
+        // 64-element payload drops 4 → 2 → 1 bytes per element.
+        let overhead = 16 + 1 + 4 + 2 * 8;
+        assert_eq!(size(StorageDtype::F32) - overhead, 256);
+        assert_eq!(size(StorageDtype::Bf16) - overhead, 128);
+        assert_eq!(size(StorageDtype::F16) - overhead, 128);
+        assert_eq!(size(StorageDtype::I8) - overhead, 64 + 5);
+    }
+
+    #[test]
+    fn unknown_dtype_tag_is_corrupt_not_a_panic() {
+        let mut w = Writer::with_header();
+        w.put_u8(9); // no such dtype tag
+        w.put_u32(1);
+        w.put_u64(1);
+        w.put_f32(0.0);
+        let bytes = w.seal();
+        let mut r = Reader::open(&bytes).unwrap();
+        assert!(matches!(
+            r.get_stored_tensor(),
+            Err(WireError::Corrupt(msg)) if msg.contains("dtype tag 9")
+        ));
+    }
+
+    #[test]
+    fn nonpositive_i8_scale_is_corrupt() {
+        for scale in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+            let mut w = Writer::with_header();
+            w.put_u8(StorageDtype::I8.tag_byte());
+            w.put_u32(1); // rank
+            w.put_u64(1);
+            w.put_f32(scale);
+            w.put_u8(0); // zero point
+            w.put_u8(0); // datum
+            let bytes = w.seal();
+            let mut r = Reader::open(&bytes).unwrap();
+            assert!(
+                matches!(r.get_stored_tensor(), Err(WireError::Corrupt(_))),
+                "scale {scale} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_payloads_are_still_accepted() {
+        let mut w = Writer::with_header_version(1);
+        w.put_u64(77);
+        let bytes = w.seal();
+        let mut r = Reader::open(&bytes).unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.get_u64().unwrap(), 77);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn version_zero_is_rejected() {
+        let bytes = Writer::with_header_version(0).seal();
+        assert!(matches!(
+            Reader::open(&bytes),
+            Err(WireError::UnsupportedVersion(0))
+        ));
     }
 
     #[test]

@@ -6,11 +6,21 @@
 use deco::LearnerSnapshot;
 use deco_datasets::{core50, RunState, StreamCursor, SyntheticVision};
 use deco_serve::{SessionState, TenantSession, TenantSpec, WireError};
-use deco_tensor::{Rng, Tensor};
+use deco_tensor::{Rng, ScalarType, StorageDtype, StoredTensor, Tensor};
 use proptest::prelude::*;
 
-/// A synthetic session with adversarial numeric content.
-fn arb_state(seed: u64, ipc: usize, classes: usize, mid_run: bool) -> SessionState {
+/// A synthetic session with adversarial numeric content. For sub-f32
+/// `dtype`s the buffer images are committed onto the storage lattice
+/// first — exactly what `complete_segment` guarantees for any state a
+/// host can ever capture — and the remembered scalar type (with its i8
+/// affine parameters) rides along, as `LearnerSnapshot` does.
+fn arb_state(
+    seed: u64,
+    ipc: usize,
+    classes: usize,
+    mid_run: bool,
+    dtype: StorageDtype,
+) -> SessionState {
     let mut rng = Rng::new(seed);
     let mut hostile = |dims: Vec<usize>| -> Tensor {
         let mut t = Tensor::randn(dims, &mut rng);
@@ -29,12 +39,22 @@ fn arb_state(seed: u64, ipc: usize, classes: usize, mid_run: bool) -> SessionSta
         t
     };
     let model_params = vec![hostile(vec![4, 3, 3, 3]), hostile(vec![4])];
+    let (buffer_images, buffer_scalar) = {
+        let raw = hostile(vec![ipc * classes, 3, 4, 4]);
+        if dtype == StorageDtype::F32 {
+            (raw, ScalarType::F32)
+        } else {
+            let stored = StoredTensor::encode(&raw, dtype);
+            (stored.decode(), stored.scalar_type())
+        }
+    };
     SessionState {
         tenant_id: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), // exceeds 2^53
         snapshot: LearnerSnapshot {
             opt_model_velocity: vec![Some(hostile(vec![4, 3, 3, 3])), None],
             condenser_velocity: vec![Some(hostile(vec![ipc * classes, 3, 4, 4]))],
-            buffer_images: hostile(vec![ipc * classes, 3, 4, 4]),
+            buffer_images,
+            buffer_scalar,
             buffer_ipc: ipc,
             buffer_classes: classes,
             rng_state: !seed, // high bits set
@@ -88,6 +108,7 @@ fn assert_states_bitwise_equal(a: &SessionState, b: &SessionState) {
         tensor_bits(&sa.buffer_images),
         tensor_bits(&sb.buffer_images)
     );
+    assert_eq!(sa.buffer_scalar, sb.buffer_scalar);
     assert_eq!(sa.buffer_ipc, sb.buffer_ipc);
     assert_eq!(sa.buffer_classes, sb.buffer_classes);
     assert_eq!(sa.rng_state, sb.rng_state);
@@ -124,12 +145,15 @@ proptest! {
         ipc in 1usize..3,
         classes in 1usize..5,
         mid_run in 0u32..2,
+        dtype in 0usize..4,
     ) {
-        let state = arb_state(seed, ipc, classes, mid_run == 1);
+        let state = arb_state(seed, ipc, classes, mid_run == 1, StorageDtype::ALL[dtype]);
         let bytes = state.to_bytes();
         let back = SessionState::from_bytes(&bytes).expect("decode");
         assert_states_bitwise_equal(&state, &back);
-        // Re-serialization is deterministic, so bytes are canonical.
+        // Re-serialization is deterministic, so bytes are canonical —
+        // for i8 this holds *because* the affine parameters travel in
+        // the payload instead of being re-derived from quantized data.
         prop_assert_eq!(back.to_bytes(), bytes);
     }
 
@@ -139,7 +163,7 @@ proptest! {
         position in 0.0f32..1.0,
         bit in 0u32..8,
     ) {
-        let mut bytes = arb_state(seed, 1, 3, true).to_bytes();
+        let mut bytes = arb_state(seed, 1, 3, true, StorageDtype::ALL[seed as usize % 4]).to_bytes();
         let idx = ((bytes.len() - 1) as f32 * position) as usize;
         bytes[idx] ^= 1 << bit;
         // Magic → BadMagic, version → UnsupportedVersion, anything
@@ -160,7 +184,7 @@ proptest! {
         seed in 0u64..1000,
         position in 0.0f32..1.0,
     ) {
-        let bytes = arb_state(seed, 2, 2, false).to_bytes();
+        let bytes = arb_state(seed, 2, 2, false, StorageDtype::ALL[seed as usize % 4]).to_bytes();
         let cut = ((bytes.len() - 1) as f32 * position) as usize;
         let err = SessionState::from_bytes(&bytes[..cut]).expect_err("truncation must fail");
         let typed = matches!(err, WireError::Truncated { .. } | WireError::Corrupt(_));
@@ -201,6 +225,90 @@ fn live_tenant_roundtrips_through_disk_bitwise() {
         rehydrated.state().to_bytes(),
         "final states diverged after rehydration"
     );
+}
+
+#[test]
+fn v1_sessions_rehydrate_bitwise() {
+    // Version skew: a payload written by the v1 (all-f32) layout decodes
+    // on the current reader into the identical state, with f32 storage.
+    for seed in [3u64, 8, 21] {
+        let state = arb_state(seed, 2, 3, seed.is_multiple_of(2), StorageDtype::F32);
+        let v1 = state.to_bytes_v1();
+        let back = SessionState::from_bytes(&v1).expect("v1 decode");
+        assert_states_bitwise_equal(&state, &back);
+        // And writing it back through the legacy layout is byte-stable.
+        assert_eq!(back.to_bytes_v1(), v1);
+    }
+}
+
+#[test]
+fn v2_sessions_survive_evict_rehydrate_byte_identically_per_dtype() {
+    let dir = std::env::temp_dir().join("deco-serve-test-dtype-evict");
+    std::fs::create_dir_all(&dir).unwrap();
+    for dtype in StorageDtype::ALL {
+        let state = arb_state(41, 2, 3, true, dtype);
+        let bytes = state.to_bytes();
+        let path = dir.join(format!("tenant-{dtype}.dsrv"));
+        // Three evict/rehydrate generations: every on-disk image must be
+        // byte-identical to the first.
+        let mut current = state;
+        for generation in 0..3 {
+            current.save(&path).unwrap();
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                bytes,
+                "{dtype} drifted at generation {generation}"
+            );
+            current = SessionState::load(&path).unwrap();
+        }
+        assert_eq!(current.snapshot.buffer_scalar.storage_dtype(), dtype);
+    }
+}
+
+#[test]
+fn sub_f32_sessions_shrink_on_disk() {
+    // The buffer payload dominates these states; the v2 encoding must
+    // show the promised at-rest reduction relative to the same state
+    // serialized at f32 (buffer bytes: 4 → 2 → 1 per pixel).
+    let f32_len = arb_state(7, 2, 4, false, StorageDtype::F32).serialized_bytes();
+    let buffer_pixels = 2 * 4 * 3 * 4 * 4; // ipc × classes × CHW
+    for (dtype, saved_per_pixel) in [
+        (StorageDtype::Bf16, 2usize),
+        (StorageDtype::F16, 2),
+        (StorageDtype::I8, 3),
+    ] {
+        let len = arb_state(7, 2, 4, false, dtype).serialized_bytes();
+        let expected_saving =
+            buffer_pixels * saved_per_pixel - if dtype == StorageDtype::I8 { 5 } else { 0 };
+        assert_eq!(f32_len - len, expected_saving, "{dtype}");
+    }
+}
+
+#[test]
+fn unknown_dtype_tag_in_session_is_corrupt() {
+    use deco_serve::wire::{fnv1a64, Reader};
+    let state = arb_state(13, 1, 2, false, StorageDtype::Bf16);
+    let mut bytes = state.to_bytes();
+    // Locate the buffer's dtype tag byte by re-reading the prefix the
+    // same way the decoder does, then overwrite it with an undefined
+    // tag and re-seal the checksum so only the tag is at fault.
+    let tag_offset = {
+        let mut r = Reader::open(&bytes).expect("valid payload");
+        r.get_u64().unwrap(); // tenant id
+        r.get_tensor_vec().unwrap(); // model params
+        r.get_opt_tensor_vec().unwrap(); // model velocity
+        r.get_opt_tensor_vec().unwrap(); // condenser velocity
+        bytes.len() - 8 - r.remaining()
+    };
+    assert_eq!(bytes[tag_offset], StorageDtype::Bf16.tag_byte());
+    bytes[tag_offset] = 200;
+    let body_end = bytes.len() - 8;
+    let sum = fnv1a64(&bytes[..body_end]).to_le_bytes();
+    bytes[body_end..].copy_from_slice(&sum);
+    assert!(matches!(
+        SessionState::from_bytes(&bytes),
+        Err(WireError::Corrupt(msg)) if msg.contains("dtype tag 200")
+    ));
 }
 
 #[test]

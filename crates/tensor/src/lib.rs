@@ -35,6 +35,7 @@
 #![deny(unsafe_code)]
 
 mod autograd;
+pub mod dtype;
 pub mod gradcheck;
 pub mod ops;
 pub mod plancache;
@@ -47,6 +48,7 @@ mod tensor;
 pub mod testhook;
 
 pub use autograd::{reset_tape_peak, tape_current_bytes, tape_peak_bytes, Reduction, Var};
+pub use dtype::{ScalarType, StorageDtype, StoredTensor};
 pub use ops::conv::Conv2dSpec;
 pub use ops::stats::RunningStats;
 pub use rng::Rng;

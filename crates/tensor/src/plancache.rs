@@ -52,6 +52,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
+use crate::dtype::{StorageDtype, StoredTensor};
 use crate::ops::conv::Conv2dSpec;
 use crate::ops::gemm::PackedB;
 use crate::pool;
@@ -75,13 +76,18 @@ struct Im2colKey {
 }
 
 /// Key of a cached packed GEMM B operand (the blocking shape is the
-/// logical `k × n`; slab/panel geometry is a pure function of it).
+/// logical `k × n`; slab/panel geometry is a pure function of it). The
+/// `dtype` component keeps packs derived from different storage
+/// precisions of a buffer from ever aliasing: a widened bf16 pack and
+/// an f32 pack of "the same" operand are different bytes and get
+/// different keys even before the id spaces diverge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PackKey {
     id: u64,
     version: u64,
     k: usize,
     n: usize,
+    dtype: StorageDtype,
 }
 
 /// Key of a cached broadcast index plan: source and output dims. Pure
@@ -104,6 +110,12 @@ pub struct PlanCacheStats {
     pub pack_hits: u64,
     /// Packed-B lookups that had to pack.
     pub pack_misses: u64,
+    /// Packed-B hits split by storage dtype, indexed by
+    /// [`StorageDtype::tag_byte`]. Sums to `pack_hits`.
+    pub pack_dtype_hits: [u64; 4],
+    /// Packed-B misses split by storage dtype, indexed by
+    /// [`StorageDtype::tag_byte`]. Sums to `pack_misses`.
+    pub pack_dtype_misses: [u64; 4],
     /// Broadcast index-plan lookups served from the cache.
     pub bcast_hits: u64,
     /// Broadcast index-plan lookups that had to build the plan.
@@ -123,6 +135,16 @@ impl PlanCacheStats {
     /// Total misses across all entry kinds.
     pub fn misses(&self) -> u64 {
         self.im2col_misses + self.pack_misses + self.bcast_misses
+    }
+
+    /// Packed-B hits for one storage dtype.
+    pub fn pack_hits_for(&self, dtype: StorageDtype) -> u64 {
+        self.pack_dtype_hits[dtype.tag_byte() as usize]
+    }
+
+    /// Packed-B misses for one storage dtype.
+    pub fn pack_misses_for(&self, dtype: StorageDtype) -> u64 {
+        self.pack_dtype_misses[dtype.tag_byte() as usize]
     }
 }
 
@@ -272,22 +294,59 @@ pub(crate) fn packed_b(b: &Tensor, k: usize, n: usize) -> Option<Arc<PackedB>> {
         version: b.buffer_version(),
         k,
         n,
+        dtype: StorageDtype::F32,
     };
+    packed_b_cached(key, || {
+        PackedB::pack(&crate::ops::gemm::MatRef::new(b.data(), k, n))
+    })
+}
+
+/// Looks up (or widens, packs and inserts) the GEMM-packed form of a
+/// *stored* matmul right operand (logical `k × n`). The `F32` variant
+/// delegates to [`packed_b`] on the wrapped tensor (identical key,
+/// identical bytes). Sub-f32 variants key on the stored payload's own
+/// id + dtype — stored payloads are immutable, so the version component
+/// is always 0 — and widen into pooled scratch only on a miss
+/// (pack-time widening: the f32 copy lives exactly as long as the pack
+/// build). Returns `None` when the cache is disabled.
+pub(crate) fn packed_b_stored(b: &StoredTensor, k: usize, n: usize) -> Option<Arc<PackedB>> {
+    if let Some(t) = b.as_f32() {
+        return packed_b(t, k, n);
+    }
+    if !enabled() {
+        return None;
+    }
+    let key = PackKey {
+        id: b.buffer_id(),
+        version: 0,
+        k,
+        n,
+        dtype: b.dtype(),
+    };
+    packed_b_cached(key, || {
+        let mut wide = pool::take(k * n);
+        b.widen_into(&mut wide);
+        let bp = PackedB::pack(&crate::ops::gemm::MatRef::new(&wide, k, n));
+        pool::give(wide);
+        bp
+    })
+}
+
+fn packed_b_cached(key: PackKey, pack: impl FnOnce() -> PackedB) -> Option<Arc<PackedB>> {
+    let di = key.dtype.tag_byte() as usize;
     CACHE.with(|c| {
         let mut c = c.borrow_mut();
         if let Some(bp) = c.packs.get(&key) {
             let bp = Arc::clone(bp);
             c.stats.pack_hits += 1;
+            c.stats.pack_dtype_hits[di] += 1;
             deco_telemetry::counter!("tensor.plan_cache.hits");
             return Some(bp);
         }
         c.stats.pack_misses += 1;
+        c.stats.pack_dtype_misses[di] += 1;
         deco_telemetry::counter!("tensor.plan_cache.misses");
-        let bp = Arc::new(PackedB::pack(&crate::ops::gemm::MatRef::new(
-            b.data(),
-            k,
-            n,
-        )));
+        let bp = Arc::new(pack());
         let bytes = bp.bytes();
         c.reserve(bytes);
         c.charge(bytes);
@@ -448,6 +507,43 @@ mod tests {
         let p3 = packed_b(&b, 16, 16).unwrap();
         assert!(!Arc::ptr_eq(&p1, &p3));
         assert_eq!(stats().pack_misses, 2);
+    }
+
+    #[test]
+    fn stored_packs_do_not_alias_across_dtypes() {
+        let _guard = ForceOn::new();
+        let mut rng = crate::rng::Rng::new(7);
+        let b = Tensor::randn([16, 16], &mut rng);
+        let f32_pack = packed_b(&b, 16, 16).unwrap();
+        let mut packs = vec![];
+        for dtype in [StorageDtype::Bf16, StorageDtype::F16, StorageDtype::I8] {
+            let stored = StoredTensor::encode(&b, dtype);
+            let p1 = packed_b_stored(&stored, 16, 16).unwrap();
+            let p2 = packed_b_stored(&stored, 16, 16).unwrap();
+            assert!(Arc::ptr_eq(&p1, &p2), "{dtype}: second lookup must hit");
+            assert!(
+                !Arc::ptr_eq(&f32_pack, &p1),
+                "{dtype}: must not alias the f32 pack"
+            );
+            packs.push(p1);
+        }
+        // The F32 stored variant shares the tensor's own key/pack.
+        let stored_f32 = StoredTensor::encode(&b, StorageDtype::F32);
+        let p = packed_b_stored(&stored_f32, 16, 16).unwrap();
+        assert!(Arc::ptr_eq(&f32_pack, &p));
+        let s = stats();
+        assert_eq!(s.pack_misses, 4, "one pack per dtype");
+        assert_eq!(s.pack_hits_for(StorageDtype::F32), 1);
+        for dtype in [StorageDtype::Bf16, StorageDtype::F16, StorageDtype::I8] {
+            assert_eq!(s.pack_hits_for(dtype), 1, "{dtype}");
+            assert_eq!(s.pack_misses_for(dtype), 1, "{dtype}");
+        }
+        assert_eq!(
+            s.pack_dtype_hits.iter().sum::<u64>(),
+            s.pack_hits,
+            "per-dtype hits must sum to the total"
+        );
+        assert_eq!(s.pack_dtype_misses.iter().sum::<u64>(), s.pack_misses);
     }
 
     #[test]

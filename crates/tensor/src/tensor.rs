@@ -35,6 +35,14 @@ pub struct Tensor {
 /// in caches keyed on `(id, version)`.
 static NEXT_STORAGE_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Mints a process-unique buffer id from the same counter [`Tensor`]
+/// storage uses. Sub-f32 stored tensors ([`crate::dtype::StoredTensor`])
+/// take their identities from here, so a plan-cache key can never alias a
+/// tensor buffer against a stored payload.
+pub(crate) fn fresh_buffer_id() -> u64 {
+    NEXT_STORAGE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A tensor's backing buffer plus the identity/version pair that makes the
 /// buffer's *contents* addressable: the id is process-unique and never
 /// reused, and the version is bumped on every mutable access. A cache entry
@@ -50,7 +58,7 @@ impl Storage {
     fn fresh(buf: Vec<f32>) -> Self {
         Storage {
             buf,
-            id: NEXT_STORAGE_ID.fetch_add(1, Ordering::Relaxed),
+            id: fresh_buffer_id(),
             version: 0,
         }
     }
