@@ -272,7 +272,12 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_condense.json");
     let baseline = baseline_mean_ms(path, CHECK_OP);
 
-    eprintln!("[condense_step] {iters} iters/op, single thread");
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let dispatch = deco_tensor::ops::simd::active_kernel().name();
+    eprintln!(
+        "[condense_step] {iters} iters/op, single thread, host parallelism {parallelism}, \
+         simd_dispatch {dispatch}"
+    );
     let results = bench_ops(iters);
 
     println!("\n## condense_step — plan cache on vs off, single thread\n");
@@ -337,6 +342,8 @@ fn main() {
         ("bench", Json::Str("condense_step".to_string())),
         ("iters_per_point", Json::Num(iters as f64)),
         ("threads", Json::Num(1.0)),
+        ("available_parallelism", Json::Num(parallelism as f64)),
+        ("simd_dispatch", Json::Str(dispatch.to_string())),
         ("speedup_one_step_match", Json::Num(step_speedup)),
         ("speedup_dm_round", Json::Num(dm_speedup)),
         ("ops", Json::Arr(ops)),

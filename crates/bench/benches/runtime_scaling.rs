@@ -1,8 +1,10 @@
 //! `runtime_scaling`: wall-clock scaling of the pool-parallel tensor
 //! kernels (matmul, conv2d forward) at 1 / 2 / 4 threads, using
 //! `deco_runtime::with_thread_count` so all three configurations run in
-//! one process. Prints a speedup table and writes `BENCH_runtime.json`
-//! at the repository root (linked from EXPERIMENTS.md).
+//! one process. Prints a speedup table and writes the `intra_op` section
+//! of `BENCH_runtime.json` (schema v2) at the repository root — the
+//! `throughput` section written by the `throughput_scaling` bench is
+//! preserved on rewrite, and vice versa. EXPERIMENTS.md links the file.
 //!
 //! ```bash
 //! cargo bench -p deco-bench --bench runtime_scaling
@@ -119,17 +121,36 @@ fn main() {
             ])
         })
         .collect();
-    let report = Json::obj([
-        ("bench", Json::Str("runtime_scaling".to_string())),
+    let intra_op = Json::obj([
         ("iters_per_point", Json::Num(ITERS as f64)),
-        ("available_parallelism", Json::Num(cores as f64)),
         (
             "threads",
             Json::Arr(THREADS.iter().map(|&t| Json::Num(t as f64)).collect()),
         ),
         ("ops", Json::Arr(ops)),
     ]);
+
+    // Schema v2 read-modify-write: preserve the throughput section owned
+    // by the throughput_scaling bench.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let throughput = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|j| j.get("throughput").cloned());
+    let mut fields = vec![
+        ("bench", Json::Str("runtime_scaling".to_string())),
+        ("schema_version", Json::Num(2.0)),
+        ("available_parallelism", Json::Num(cores as f64)),
+        (
+            "simd_dispatch",
+            Json::Str(deco_tensor::ops::simd::active_kernel().name().to_string()),
+        ),
+        ("intra_op", intra_op),
+    ];
+    if let Some(tp) = throughput {
+        fields.push(("throughput", tp));
+    }
+    let report = Json::obj(fields);
     let mut text = report.to_string_pretty();
     text.push('\n');
     std::fs::write(path, text).expect("write BENCH_runtime.json");

@@ -148,6 +148,7 @@ pub fn run_differential(cases: usize, seed: u64) -> DiffReport {
             fuzz_gemm_blocked_vs_naive(cases, seed ^ 0x0A),
             fuzz_matcher_plan_cache(cases, seed ^ 0x0B),
             fuzz_matcher_storage_dtype(cases, seed ^ 0x0C),
+            fuzz_gemm_simd_vs_scalar(cases, seed ^ 0x0D),
         ],
     }
 }
@@ -436,6 +437,61 @@ fn fuzz_gemm_blocked_vs_naive(cases: usize, seed: u64) -> KernelReport {
         let r = reference::matmul(&a, &b, m, k, n);
         let dev = reference::max_rel_deviation(out.data(), &r);
         tr.record(dev, ok, &format!("[{m}x{k}]x[{k}x{n}]"));
+    }
+    tr.finish()
+}
+
+/// Differential case for the explicit-SIMD numerics mode: the detected
+/// SIMD microkernel (AVX2+FMA or NEON) and the scalar reference are
+/// forced **per call** (via [`deco_tensor::testhook::matmul_with_kernel`]
+/// — no process-global state, safe alongside concurrent tests) on the
+/// same packed-path products. Both kernels are held to the `f64`
+/// reference within [`DEVIATION_TOLERANCE`], and the SIMD-vs-scalar gap
+/// itself is folded into the deviation channel — this is the tolerance
+/// band the SIMD numerics mode is gated behind (see `docs/kernels.md`).
+/// The bitwise channel checks that forcing the same kernel twice is
+/// bitwise-reproducible. Hosts without a SIMD kernel degenerate to
+/// scalar-vs-scalar; the case label records which kernel ran.
+fn fuzz_gemm_simd_vs_scalar(cases: usize, seed: u64) -> KernelReport {
+    use deco_tensor::testhook::matmul_with_kernel;
+    use deco_tensor::{ops::simd, GemmKernel};
+
+    let simd_kernel = simd::detected_simd();
+    let tag = simd_kernel.map_or("scalar-only", GemmKernel::name);
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("gemm_simd_vs_scalar");
+    for i in 0..cases {
+        // Same block-edge-straddling shape family as
+        // `gemm_blocked_vs_naive`: every case takes the packed path, so
+        // the forced microkernel actually runs.
+        let (m, k, n) = match i {
+            0 => (8, 8, 64),
+            1 => (9, 8, 64),
+            2 => (64, 256, 8),
+            3 => (65, 257, 9),
+            4 => (2, 512, 4),
+            _ => {
+                let m = rng.below(96) + 2;
+                let n = rng.below(48) + 4;
+                let k_min = (1usize << 13).div_ceil(2 * m * n).max(4);
+                (m, rng.below(300) + k_min, n)
+            }
+        };
+        let a = randn_vec(m * k, &mut rng);
+        let b = randn_vec(k * n, &mut rng);
+        let at = Tensor::from_vec(a.clone(), [m, k]);
+        let bt = Tensor::from_vec(b.clone(), [k, n]);
+        let scalar = matmul_with_kernel(&at, &bt, GemmKernel::Scalar);
+        let kernel = simd_kernel.unwrap_or(GemmKernel::Scalar);
+        let vec1 = matmul_with_kernel(&at, &bt, kernel);
+        let vec2 = matmul_with_kernel(&at, &bt, kernel);
+        let ok = bits_equal(vec1.data(), vec2.data());
+        let r = reference::matmul(&a, &b, m, k, n);
+        let scalar64: Vec<f64> = scalar.data().iter().map(|&v| f64::from(v)).collect();
+        let dev = reference::max_rel_deviation(scalar.data(), &r)
+            .max(reference::max_rel_deviation(vec1.data(), &r))
+            .max(reference::max_rel_deviation(vec1.data(), &scalar64));
+        tr.record(dev, ok, &format!("{tag} [{m}x{k}]x[{k}x{n}]"));
     }
     tr.finish()
 }
@@ -870,7 +926,7 @@ mod tests {
         let b = run_differential(8, 0xD1FF);
         assert!(a.passed(), "\n{}", a.render());
         assert_eq!(a.max_deviation(), b.max_deviation());
-        assert_eq!(a.kernels.len(), 12);
+        assert_eq!(a.kernels.len(), 13);
     }
 
     #[test]

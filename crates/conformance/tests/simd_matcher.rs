@@ -1,0 +1,117 @@
+//! Full-pipeline SIMD-vs-scalar conformance: a complete
+//! `one_step_match` (forward, backward, cosine gradient distance,
+//! synthetic-image gradient) run under the SIMD numerics mode must stay
+//! inside the matcher tolerance band relative to the scalar reference,
+//! and must itself be bitwise thread-invariant.
+//!
+//! This lives in its own integration-test binary because it flips the
+//! process-global SIMD override (the per-call forced kernel only covers
+//! a single matmul; a matcher step routes through `Tensor::matmul` and
+//! the conv kernels' internal `gemm_into` calls, which follow the
+//! global mode). Hosts without a SIMD kernel log a notice and cover the
+//! scalar path only.
+
+use deco_condense::{one_step_match, Augmentation, MatchBatch};
+use deco_conformance::fuzz::DEVIATION_TOLERANCE;
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_tensor::testhook::set_simd_override;
+use deco_tensor::{ops::simd, Rng, Tensor};
+
+fn randn_vec(n: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..n).map(|_| rng.normal()).collect()
+}
+
+#[test]
+fn one_step_match_simd_within_matcher_band() {
+    let Some(kernel) = simd::detected_simd() else {
+        eprintln!("[simd_matcher] host has no SIMD kernel; scalar path only, nothing to compare");
+        return;
+    };
+    eprintln!("[simd_matcher] comparing {} vs scalar", kernel.name());
+
+    let mut rng = Rng::new(4242);
+    for (case, &(side, depth, width, cin)) in [
+        (8usize, 2usize, 4usize, 1usize),
+        (16, 2, 8, 3),
+        (8, 1, 4, 3),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let classes = 4;
+        let config = ConvNetConfig {
+            in_channels: cin,
+            image_side: side,
+            width,
+            depth,
+            num_classes: classes,
+            norm: case % 2 == 0,
+        };
+        let params = ConvNet::new(config, &mut rng).get_params();
+        let (n_syn, n_real) = (3, 5);
+        let syn = Tensor::from_vec(
+            randn_vec(n_syn * cin * side * side, &mut rng),
+            [n_syn, cin, side, side],
+        );
+        let real = Tensor::from_vec(
+            randn_vec(n_real * cin * side * side, &mut rng),
+            [n_real, cin, side, side],
+        );
+        let syn_labels: Vec<usize> = (0..n_syn).map(|_| rng.below(classes)).collect();
+        let real_labels: Vec<usize> = (0..n_real).map(|_| rng.below(classes)).collect();
+        let aug = if case == 1 {
+            Some(Augmentation::Flip)
+        } else {
+            None
+        };
+        let batch = MatchBatch {
+            syn_images: &syn,
+            syn_labels: &syn_labels,
+            real_images: &real,
+            real_labels: &real_labels,
+            real_weights: None,
+        };
+        let run = || {
+            let net = ConvNet::from_params(config, &params);
+            let r = one_step_match(&net, &batch, aug.as_ref(), 0.01);
+            (r.distance, r.image_grad.data().to_vec())
+        };
+
+        set_simd_override(Some(false));
+        let (d_scalar, g_scalar) = deco_runtime::with_thread_count(1, run);
+
+        set_simd_override(Some(true));
+        let (d_simd, g_simd) = deco_runtime::with_thread_count(1, run);
+        let (d_simd4, g_simd4) = deco_runtime::with_thread_count(4, run);
+        set_simd_override(None);
+
+        // Within the SIMD mode the step is bitwise thread-invariant.
+        assert_eq!(
+            d_simd.to_bits(),
+            d_simd4.to_bits(),
+            "case {case}: SIMD distance not thread-invariant"
+        );
+        assert!(
+            g_simd
+                .iter()
+                .zip(&g_simd4)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "case {case}: SIMD image grad not thread-invariant"
+        );
+
+        // SIMD vs scalar: inside the matcher band. Same normalization
+        // as the fuzzer's deviation channel (`max(1, |ref|)`).
+        let d_dev = f64::from((d_simd - d_scalar).abs()) / f64::from(d_scalar.abs().max(1.0));
+        assert!(
+            d_dev <= DEVIATION_TOLERANCE,
+            "case {case}: distance deviation {d_dev:.3e} ({d_scalar} vs {d_simd})"
+        );
+        for (i, (&s, &v)) in g_scalar.iter().zip(&g_simd).enumerate() {
+            let dev = f64::from((v - s).abs()) / f64::from(s.abs().max(1.0));
+            assert!(
+                dev <= DEVIATION_TOLERANCE,
+                "case {case}: image grad elem {i} deviation {dev:.3e} ({s} vs {v})"
+            );
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod testhook;
 pub use autograd::{reset_tape_peak, tape_current_bytes, tape_peak_bytes, Reduction, Var};
 pub use dtype::{ScalarType, StorageDtype, StoredTensor};
 pub use ops::conv::Conv2dSpec;
+pub use ops::simd::GemmKernel;
 pub use ops::stats::RunningStats;
 pub use rng::Rng;
 pub use shape::Shape;

@@ -107,14 +107,33 @@ fn pack_a(apack: &mut [f32], a: &MatRef<'_>, rows: std::ops::Range<usize>, k0: u
         let base = panel * kc * MR;
         let r0 = rows.start + panel * MR;
         let lanes = MR.min(rows.end - r0);
-        for p in 0..kc {
-            let dst = &mut apack[base + p * MR..base + p * MR + MR];
-            for (lane, d) in dst.iter_mut().enumerate() {
-                *d = if lane < lanes {
-                    a.at(r0 + lane, k0 + p)
-                } else {
-                    0.0
-                };
+        let dst = &mut apack[base..base + kc * MR];
+        if a.trans && lanes == MR {
+            // Transposed storage keeps a panel's `MR` lanes contiguous
+            // per depth step: straight `MR`-wide copies.
+            for (p, chunk) in dst.chunks_exact_mut(MR).enumerate() {
+                let src = (k0 + p) * a.rows + r0;
+                chunk.copy_from_slice(&a.data[src..src + MR]);
+            }
+        } else if !a.trans && lanes == MR {
+            // Row-major storage: each lane's depth run is contiguous;
+            // read rows sequentially, scatter into the panel stride.
+            for lane in 0..MR {
+                let src = &a.data[(r0 + lane) * a.cols + k0..][..kc];
+                for (chunk, &v) in dst.chunks_exact_mut(MR).zip(src) {
+                    chunk[lane] = v;
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let dst = &mut dst[p * MR..p * MR + MR];
+                for (lane, d) in dst.iter_mut().enumerate() {
+                    *d = if lane < lanes {
+                        a.at(r0 + lane, k0 + p)
+                    } else {
+                        0.0
+                    };
+                }
             }
         }
     }
@@ -130,14 +149,33 @@ fn pack_b(bpack: &mut [f32], b: &MatRef<'_>, k0: usize, kc: usize, n: usize) {
         let base = panel * kc * NR;
         let c0 = panel * NR;
         let lanes = NR.min(n - c0);
-        for p in 0..kc {
-            let dst = &mut bpack[base + p * NR..base + p * NR + NR];
-            for (lane, d) in dst.iter_mut().enumerate() {
-                *d = if lane < lanes {
-                    b.at(k0 + p, c0 + lane)
-                } else {
-                    0.0
-                };
+        let dst = &mut bpack[base..base + kc * NR];
+        if !b.trans && lanes == NR {
+            // Row-major storage keeps a panel's `NR` lanes contiguous
+            // per depth step: straight `NR`-wide copies.
+            for (p, chunk) in dst.chunks_exact_mut(NR).enumerate() {
+                let src = (k0 + p) * b.cols + c0;
+                chunk.copy_from_slice(&b.data[src..src + NR]);
+            }
+        } else if b.trans && lanes == NR {
+            // Transposed storage: each lane's depth run is contiguous;
+            // read columns sequentially, scatter into the panel stride.
+            for lane in 0..NR {
+                let src = &b.data[(c0 + lane) * b.rows + k0..][..kc];
+                for (chunk, &v) in dst.chunks_exact_mut(NR).zip(src) {
+                    chunk[lane] = v;
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let dst = &mut dst[p * NR..p * NR + NR];
+                for (lane, d) in dst.iter_mut().enumerate() {
+                    *d = if lane < lanes {
+                        b.at(k0 + p, c0 + lane)
+                    } else {
+                        0.0
+                    };
+                }
             }
         }
     }
@@ -148,9 +186,17 @@ fn pack_b(bpack: &mut [f32], b: &MatRef<'_>, k0: usize, kc: usize, n: usize) {
 /// the valid `mr × nr` corner into `C` (`c_row0` is relative to the
 /// start of the output slice). The fixed-size `acc` array is what the
 /// compiler keeps in vector registers.
+///
+/// This is the **bitwise-determinism reference**: separate multiply and
+/// add per step (rustc never contracts `a*b + c` to FMA), so results
+/// are identical across vector widths and hosts of one architecture.
+/// The explicit-SIMD variants in [`super::simd`] run over the same
+/// panels in the same accumulation order but round once per step; they
+/// are only selected in SIMD numerics mode. Keep this kernel verbatim —
+/// every committed f32 golden is pinned to it.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn microkernel(
+pub(crate) fn microkernel(
     apanel: &[f32],
     bpanel: &[f32],
     kc: usize,
@@ -202,7 +248,8 @@ impl PackedB {
         let slabs = k.div_ceil(KC).max(1);
         let last_kc = k - (slabs - 1) * KC;
         let total = panels_n * NR * ((slabs - 1) * KC + last_kc);
-        let mut buf = pool::take(total);
+        // Scratch: pack_b overwrites every element below `total`.
+        let mut buf = pool::take_scratch(total);
         for s in 0..slabs {
             let kc = KC.min(k - s * KC);
             pack_b(&mut buf[Self::offset_for(panels_n, s)..], b, s * KC, kc, n);
@@ -243,11 +290,30 @@ pub(crate) fn gemm_rows_packed(
     bp: &PackedB,
     rows: std::ops::Range<usize>,
 ) {
+    gemm_rows_packed_with(super::simd::active_kernel(), c, a, bp, rows)
+}
+
+/// [`gemm_rows_packed`] with the microkernel forced, bypassing the
+/// process-global numerics mode. Used by the conformance fuzzer (via
+/// [`crate::testhook::matmul_with_kernel`]) to compare kernels per call
+/// without global state. Callers must only pass SIMD kernels the host
+/// actually supports (see [`super::simd::detected_simd`]).
+pub(crate) fn gemm_rows_packed_with(
+    kernel: super::simd::GemmKernel,
+    c: &mut [f32],
+    a: &MatRef<'_>,
+    bp: &PackedB,
+    rows: std::ops::Range<usize>,
+) {
+    super::simd::count_dispatch(kernel);
+    let pair = super::simd::pairs_panels(kernel);
     let (k, n) = (bp.k, bp.n);
     debug_assert_eq!(a.cols, k);
     debug_assert_eq!(c.len(), rows.len() * n);
     let panels_n = n.div_ceil(NR);
-    let mut apack = pool::take(MC.div_ceil(MR) * MR * KC);
+    // Scratch: every microkernel read is preceded by a pack_a write of
+    // the same region (panels × kc × MR), so skip the zero-fill.
+    let mut apack = pool::take_scratch(MC.div_ceil(MR) * MR * KC);
     let mut r0 = rows.start;
     while r0 < rows.end {
         let mc = MC.min(rows.end - r0);
@@ -261,10 +327,44 @@ pub(crate) fn gemm_rows_packed(
                 let apanel = &apack[pm * kc * MR..(pm + 1) * kc * MR];
                 let mr = MR.min(mc - pm * MR);
                 let c_row0 = r0 + pm * MR - rows.start;
-                for pn in 0..panels_n {
-                    let bpanel = &bp.buf[slab_off + pn * kc * NR..slab_off + (pn + 1) * kc * NR];
-                    let nr = NR.min(n - pn * NR);
-                    microkernel(apanel, bpanel, kc, c, c_row0, pn * NR, n, mr, nr);
+                let mut pn = 0;
+                while pn < panels_n {
+                    let off = |q: usize| slab_off + q * kc * NR;
+                    // Wide kernels take two adjacent panels at a time
+                    // (the pairing is a function of `n` alone, so any
+                    // row-range split pairs identically).
+                    if pair && pn + 1 < panels_n {
+                        let nr1 = NR.min(n - (pn + 1) * NR);
+                        super::simd::microkernel_dispatch_pair(
+                            kernel,
+                            apanel,
+                            &bp.buf[off(pn)..off(pn + 1)],
+                            &bp.buf[off(pn + 1)..off(pn + 2)],
+                            kc,
+                            c,
+                            c_row0,
+                            pn * NR,
+                            n,
+                            mr,
+                            nr1,
+                        );
+                        pn += 2;
+                    } else {
+                        let nr = NR.min(n - pn * NR);
+                        super::simd::microkernel_dispatch(
+                            kernel,
+                            apanel,
+                            &bp.buf[off(pn)..off(pn + 1)],
+                            kc,
+                            c,
+                            c_row0,
+                            pn * NR,
+                            n,
+                            mr,
+                            nr,
+                        );
+                        pn += 1;
+                    }
                 }
             }
         }

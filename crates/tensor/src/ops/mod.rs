@@ -4,5 +4,6 @@ pub mod conv;
 pub(crate) mod gemm;
 pub mod linalg;
 pub mod reduce;
+pub mod simd;
 pub mod stats;
 pub mod transform;

@@ -90,10 +90,25 @@ fn bytes_of(cap: usize) -> u64 {
     (cap * std::mem::size_of::<f32>()) as u64
 }
 
+/// [`take`] without the zero-fill for callers that overwrite every
+/// element before reading any (the GEMM pack buffers): a reused buffer
+/// keeps its stale contents up to `min(old_len, len)` and only growth
+/// beyond the previous length is zeroed. Still safe — stale values are
+/// ordinary `f32`s from a previous op — but results would be
+/// nondeterministic if a caller ever read an unwritten slot, so keep
+/// this out of any path that partially fills its scratch.
+pub fn take_scratch(len: usize) -> Vec<f32> {
+    take_with(len, false)
+}
+
 /// Takes a buffer of length `len`, zero-filled, with capacity
 /// `len.next_power_of_two()`. Reuses a pooled buffer when one is
 /// available; allocates otherwise.
 pub fn take(len: usize) -> Vec<f32> {
+    take_with(len, true)
+}
+
+fn take_with(len: usize, zero: bool) -> Vec<f32> {
     let cap = len.max(1).next_power_of_two();
     let bucket = cap.trailing_zeros() as usize;
     let reused = if bucket <= MAX_BUCKET_LOG2 {
@@ -123,7 +138,9 @@ pub fn take(len: usize) -> Vec<f32> {
             deco_telemetry::counter!("tensor.pool.hit");
             deco_telemetry::counter!("tensor.pool.reused_bytes", bytes_of(cap));
             debug_assert_eq!(buf.capacity(), cap);
-            buf.clear();
+            if zero {
+                buf.clear();
+            }
             buf.resize(len, 0.0);
             buf
         }

@@ -1,5 +1,6 @@
 //! The dense `f32` tensor type.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,6 +92,41 @@ fn track_buffer(numel: usize) {
     );
 }
 
+/// Max parked `Arc<Storage>` shells per thread. Shells are tiny (an
+/// empty `Vec` plus two `u64`s inside an `Arc` control block), so the
+/// cap only bounds pathological churn.
+const STORAGE_FREELIST_CAP: usize = 256;
+
+thread_local! {
+    /// Empty `Arc<Storage>` shells parked by [`Tensor`]'s `Drop` for
+    /// reuse by [`alloc_storage`]. Together with the buffer pool this
+    /// makes steady-state kernel outputs fully allocation-free: the
+    /// f32 buffer comes from [`crate::pool`] and the `Arc` control
+    /// block from here.
+    static STORAGE_FREELIST: RefCell<Vec<Arc<Storage>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Wraps `buf` in storage carrying a fresh id, reusing a parked `Arc`
+/// shell when one is available instead of allocating a control block.
+fn alloc_storage(buf: Vec<f32>) -> Arc<Storage> {
+    let recycled = STORAGE_FREELIST
+        .try_with(|fl| fl.borrow_mut().pop())
+        .ok()
+        .flatten();
+    match recycled {
+        Some(mut arc) => {
+            // Parked shells are uniquely owned by construction (Drop
+            // only parks after proving unique ownership).
+            let s = Arc::get_mut(&mut arc).expect("parked storage shell must be unique");
+            s.buf = buf;
+            s.id = fresh_buffer_id();
+            s.version = 0;
+            arc
+        }
+        None => Arc::new(Storage::fresh(buf)),
+    }
+}
+
 /// Shared empty storage (id 0) swapped into a tensor being dropped so its
 /// real buffer can be extracted without allocating a replacement.
 fn hollow_storage() -> Arc<Storage> {
@@ -116,9 +152,20 @@ impl Drop for Tensor {
         if Arc::strong_count(&self.data) != 1 || self.data.buf.capacity() == 0 {
             return;
         }
-        let data = std::mem::replace(&mut self.data, hollow_storage());
-        if let Ok(storage) = Arc::try_unwrap(data) {
-            crate::pool::give(storage.buf);
+        let mut data = std::mem::replace(&mut self.data, hollow_storage());
+        if Arc::get_mut(&mut data)
+            .map(|storage| crate::pool::give(std::mem::take(&mut storage.buf)))
+            .is_some()
+        {
+            // The buffer went back to the pool; park the now-empty Arc
+            // shell so the next output tensor skips the control-block
+            // allocation too.
+            let _ = STORAGE_FREELIST.try_with(|fl| {
+                let mut fl = fl.borrow_mut();
+                if fl.len() < STORAGE_FREELIST_CAP {
+                    fl.push(data);
+                }
+            });
         }
     }
 }
@@ -140,7 +187,7 @@ impl Tensor {
         );
         track_buffer(data.len());
         Tensor {
-            data: Arc::new(Storage::fresh(data)),
+            data: alloc_storage(data),
             shape,
         }
     }
@@ -152,7 +199,7 @@ impl Tensor {
         let shape = shape.into();
         debug_assert_eq!(data.len(), shape.numel());
         Tensor {
-            data: Arc::new(Storage::fresh(data)),
+            data: alloc_storage(data),
             shape,
         }
     }
@@ -170,7 +217,7 @@ impl Tensor {
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
         Tensor {
-            data: Arc::new(Storage::fresh(vec![value])),
+            data: alloc_storage(vec![value]),
             shape: Shape::scalar(),
         }
     }
@@ -180,7 +227,7 @@ impl Tensor {
         let shape = shape.into();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(Storage::fresh(vec![0.0; shape.numel()])),
+            data: alloc_storage(vec![0.0; shape.numel()]),
             shape,
         }
     }
@@ -195,7 +242,7 @@ impl Tensor {
         let shape = shape.into();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(Storage::fresh(vec![value; shape.numel()])),
+            data: alloc_storage(vec![value; shape.numel()]),
             shape,
         }
     }
@@ -206,7 +253,7 @@ impl Tensor {
         let data = (0..shape.numel()).map(|_| rng.normal()).collect();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(Storage::fresh(data)),
+            data: alloc_storage(data),
             shape,
         }
     }
@@ -217,7 +264,7 @@ impl Tensor {
         let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
         track_buffer(shape.numel());
         Tensor {
-            data: Arc::new(Storage::fresh(data)),
+            data: alloc_storage(data),
             shape,
         }
     }
@@ -314,7 +361,7 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         track_buffer(self.data.len());
         Tensor {
-            data: Arc::new(Storage::fresh(self.data.iter().map(|&x| f(x)).collect())),
+            data: alloc_storage(self.data.iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
@@ -333,7 +380,7 @@ impl Tensor {
                 .collect();
             track_buffer(data.len());
             return Tensor {
-                data: Arc::new(Storage::fresh(data)),
+                data: alloc_storage(data),
                 shape: self.shape.clone(),
             };
         }
@@ -371,7 +418,7 @@ impl Tensor {
             }
         }
         Tensor {
-            data: Arc::new(Storage::fresh(out)),
+            data: alloc_storage(out),
             shape: out_shape,
         }
     }
@@ -486,7 +533,7 @@ impl Tensor {
             }
         }
         Tensor {
-            data: Arc::new(Storage::fresh(out)),
+            data: alloc_storage(out),
             shape: target.clone(),
         }
     }

@@ -1,15 +1,57 @@
 //! Steady-state allocation contract of the kernel hot path.
 //!
-//! After a warm-up pass has populated the thread-local buffer pool,
-//! repeated matmul / conv2d / gradient-kernel calls must be served
-//! entirely from the pool's free lists: zero `take` misses, every
-//! output and scratch buffer recycled. The pool's always-on counters
-//! ([`deco_tensor::pool::stats`]) are the observation mechanism.
+//! After a warm-up pass has populated the thread-local buffer pool and
+//! the storage-shell freelist, repeated matmul / conv2d /
+//! gradient-kernel calls must touch the heap **zero** times: every f32
+//! buffer is served by [`deco_tensor::pool`], every `Arc<Storage>`
+//! control block by the parked-shell freelist, and shapes of rank ≤ 4
+//! are stored inline. Two observation mechanisms:
+//!
+//! * the pool's always-on counters ([`deco_tensor::pool::stats`]) must
+//!   report zero `take` misses;
+//! * a counting `#[global_allocator]` must report **zero allocations**
+//!   across the steady-state iterations of each of the four benched
+//!   ops individually — the same contract `BENCH_kernels.json` reports
+//!   as `allocs_per_op`.
 //!
 //! Runs serially (one runtime thread) so all pool traffic lands on this
-//! test thread's free lists.
+//! test thread's free lists, in its own binary so no concurrent test
+//! can allocate into the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use deco_tensor::{pool, Conv2dSpec, Rng, Tensor};
+
+/// System allocator wrapped with an allocation counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed
+// atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` `iters` times and returns the allocation count over the
+/// whole run (warm-up excluded by the caller).
+fn count_allocs(iters: usize, mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        f();
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 #[test]
 fn kernels_allocate_nothing_after_warm_up() {
@@ -52,6 +94,35 @@ fn kernels_allocate_nothing_after_warm_up() {
         // results whether buffers came from the heap or the pool.
         for (a, b) in warm.iter().zip(&steady) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Zero heap allocations per op — the `allocs_per_op = 0`
+        // contract of BENCH_kernels.json, asserted for each of the four
+        // benched ops individually.
+        for _ in 0..2 {
+            step(); // make sure every free list is fully settled
+        }
+        let checks: [(&str, &dyn Fn()); 4] = [
+            ("conv2d_fwd", &|| {
+                std::hint::black_box(x.conv2d(&w, Some(&b), spec));
+            }),
+            ("conv2d_input_grad", &|| {
+                std::hint::black_box(g.conv2d_input_grad(&w, (16, 16), spec));
+            }),
+            ("conv2d_weight_grad", &|| {
+                std::hint::black_box(g.conv2d_weight_grad(&x, 3, spec));
+            }),
+            ("matmul", &|| {
+                std::hint::black_box(a.matmul(&c));
+            }),
+        ];
+        for (name, op) in checks {
+            op(); // per-op warm-up: buffers sized for this op alone
+            let allocs = count_allocs(5, op);
+            assert_eq!(
+                allocs, 0,
+                "{name}: {allocs} heap allocations in 5 steady-state calls"
+            );
         }
     });
 }

@@ -1,0 +1,95 @@
+//! Forced-dispatch matrix for the GEMM microkernels: every available
+//! kernel (scalar reference, plus AVX2+FMA or NEON when the host has
+//! them) × `DECO_THREADS ∈ {1, 4}`.
+//!
+//! Contract under test (see `docs/kernels.md`):
+//!
+//! * results are **bitwise thread-invariant within a kernel** — the
+//!   dispatch choice is process-global and the accumulation order is
+//!   shape-derived, so 1-thread and 4-thread runs agree to the bit;
+//! * the default mode (no `DECO_SIMD`, no override) is the scalar
+//!   reference — byte-identical to the committed goldens' numerics;
+//! * the SIMD kernels stay inside the conformance tolerance band
+//!   relative to scalar.
+//!
+//! This binary flips the process-global SIMD override, so everything
+//! lives in one `#[test]` — the override must not leak into concurrent
+//! tests (same doctrine as the ULP-perturbation hook).
+
+use deco_tensor::testhook::{matmul_with_kernel, set_simd_override};
+use deco_tensor::{ops::simd, Conv2dSpec, GemmKernel, Rng, Tensor};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn dispatch_matrix_thread_invariant_within_kernel() {
+    let mut rng = Rng::new(99);
+    // Crosses PAR_MIN_FLOPS so 4 threads genuinely fan out.
+    let a = Tensor::randn([128, 96], &mut rng);
+    let b = Tensor::randn([96, 80], &mut rng);
+    let x = Tensor::randn([4, 3, 16, 16], &mut rng);
+    let w = Tensor::randn([16, 3, 3, 3], &mut rng);
+    let spec = Conv2dSpec::new(3, 1, 1);
+
+    // Default mode (test harness sets no DECO_SIMD): scalar reference.
+    assert_eq!(simd::active_kernel(), GemmKernel::Scalar);
+    let default_mm = deco_runtime::with_thread_count(1, || a.matmul(&b));
+    let forced_scalar = matmul_with_kernel(&a, &b, GemmKernel::Scalar);
+    assert_eq!(
+        bits(&default_mm),
+        bits(&forced_scalar),
+        "default dispatch must be the scalar reference, bitwise"
+    );
+
+    let mut kernels = vec![GemmKernel::Scalar];
+    match simd::detected_simd() {
+        Some(k) => kernels.push(k),
+        None => eprintln!("[simd_dispatch] host has no SIMD kernel; matrix covers scalar only"),
+    }
+
+    let scalar_mm = forced_scalar;
+    for &kernel in &kernels {
+        // Force the mode globally, as DECO_SIMD would.
+        set_simd_override(Some(kernel != GemmKernel::Scalar));
+        assert_eq!(simd::active_kernel(), kernel);
+
+        let mm1 = deco_runtime::with_thread_count(1, || a.matmul(&b));
+        let mm4 = deco_runtime::with_thread_count(4, || a.matmul(&b));
+        assert_eq!(
+            bits(&mm1),
+            bits(&mm4),
+            "{}: matmul not thread-invariant",
+            kernel.name()
+        );
+        let conv1 = deco_runtime::with_thread_count(1, || x.conv2d(&w, None, spec));
+        let conv4 = deco_runtime::with_thread_count(4, || x.conv2d(&w, None, spec));
+        assert_eq!(
+            bits(&conv1),
+            bits(&conv4),
+            "{}: conv2d not thread-invariant",
+            kernel.name()
+        );
+
+        // Global dispatch and the per-call forced path agree bitwise.
+        let forced = matmul_with_kernel(&a, &b, kernel);
+        assert_eq!(
+            bits(&mm1),
+            bits(&forced),
+            "{}: global dispatch vs forced call",
+            kernel.name()
+        );
+
+        // SIMD numerics stay inside the conformance tolerance band.
+        for (i, (&s, &v)) in scalar_mm.data().iter().zip(mm1.data()).enumerate() {
+            assert!(
+                (s - v).abs() <= 1e-4 * s.abs().max(1.0),
+                "{}: elem {i} outside tolerance: scalar {s} vs {v}",
+                kernel.name()
+            );
+        }
+    }
+    set_simd_override(None);
+    assert_eq!(simd::active_kernel(), GemmKernel::Scalar);
+}
