@@ -139,6 +139,64 @@ fn bench_ops(iters: usize) -> Vec<OpResult> {
     ]
 }
 
+/// Whole-ConvNet forward and forward+backward at the paper's CIFAR
+/// stem shape, with the fusion layer A/B'd via its thread override.
+/// Fused and unfused are bitwise identical — these rows report what
+/// the fusion actually buys in latency and heap traffic.
+fn bench_convnet(iters: usize) -> Vec<OpResult> {
+    use deco_nn::{weighted_cross_entropy, ConvNet, ConvNetConfig};
+    use deco_tensor::{plancache, Reduction, Var};
+
+    let mut rng = Rng::new(42);
+    let net = ConvNet::new(
+        ConvNetConfig {
+            in_channels: 3,
+            image_side: 32,
+            width: 16,
+            depth: 3,
+            num_classes: 10,
+            norm: true,
+        },
+        &mut rng,
+    );
+    let x = Tensor::randn([16, 3, 32, 32], &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+
+    plancache::set_thread_override(Some(true));
+    let mut results = Vec::new();
+    for fused in [true, false] {
+        deco_tensor::fusion::set_thread_override(Some(fused));
+        let tag = if fused { "fused" } else { "unfused" };
+        let fwd_name: &'static str = if fused {
+            "convnet_forward_fused"
+        } else {
+            "convnet_forward_unfused"
+        };
+        let bwd_name: &'static str = if fused {
+            "convnet_backward_fused"
+        } else {
+            "convnet_backward_unfused"
+        };
+        eprintln!("[kernel_scaling] convnet rows: fusion {tag}");
+        results.push(time_op(fwd_name, iters, || {
+            plancache::with_tape_arena(|| {
+                let input = Var::constant(x.clone());
+                std::hint::black_box(net.forward(&input, false));
+            });
+        }));
+        results.push(time_op(bwd_name, iters, || {
+            plancache::with_tape_arena(|| {
+                let input = Var::constant(x.clone());
+                let logits = net.forward(&input, false);
+                weighted_cross_entropy(&logits, &labels, None, Reduction::Sum).backward();
+            });
+        }));
+    }
+    deco_tensor::fusion::set_thread_override(None);
+    plancache::set_thread_override(None);
+    results
+}
+
 fn baseline_mean_ms(path: &str, op: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let json = Json::parse(&text).ok()?;
@@ -162,7 +220,8 @@ fn main() {
         "[kernel_scaling] {iters} iters/op, single thread, host parallelism {parallelism}, \
          simd_dispatch {dispatch}"
     );
-    let results = bench_ops(iters);
+    let mut results = bench_ops(iters);
+    results.extend(bench_convnet(iters));
     let simd = bench_simd_matmul(iters);
 
     println!("\n## kernel_scaling — single-thread latency & allocations\n");

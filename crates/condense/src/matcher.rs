@@ -78,7 +78,16 @@ pub fn model_gradient(
         let logits = net.forward(&x, false);
         let loss = weighted_cross_entropy(&logits, labels, weights, Reduction::Sum);
         loss.backward();
-        GradList::from_params(&net.params())
+        let params = net.params();
+        let grads = GradList::from_params(&params);
+        // Release the leaf bindings while the arena scope is still open:
+        // a bound leaf is pinned (its node can't be recycled at scope
+        // end), which would cost one fresh node allocation per parameter
+        // on every subsequent pass.
+        for p in &params {
+            p.clear_binding();
+        }
+        grads
     })
 }
 
@@ -176,7 +185,7 @@ pub fn one_step_match(
     if v_norm < 1e-12 {
         return MatchResult {
             distance,
-            image_grad: Tensor::zeros(batch.syn_images.shape().dims().to_vec()),
+            image_grad: Tensor::zeros(batch.syn_images.shape().clone()),
         };
     }
     let eps = epsilon_scale / v_norm;
@@ -311,7 +320,7 @@ pub fn numeric_image_grad(
     pixel_eps: f32,
     stride: usize,
 ) -> Tensor {
-    let mut grad = Tensor::zeros(batch.syn_images.shape().dims().to_vec());
+    let mut grad = Tensor::zeros(batch.syn_images.shape().clone());
     let n = batch.syn_images.numel();
     for i in (0..n).step_by(stride.max(1)) {
         let mut plus = batch.syn_images.clone();

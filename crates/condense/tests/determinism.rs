@@ -1,0 +1,147 @@
+//! Fusion on/off determinism for whole condense steps.
+//!
+//! The fused kernels (`group_norm_relu`, `relu_avg_pool2d`, the fused
+//! softmax cross-entropy and the conv bias epilogue) replicate the
+//! exact per-element f32 operation and accumulation order of the
+//! unfused graph, so a full `one_step_match` — five forward/backward
+//! passes through every fused op — must produce **bitwise identical**
+//! results whether fusion is enabled or not, at any thread count.
+//! The per-kernel version of this contract lives in the conformance
+//! fuzzer; this test holds the end-to-end matcher step to it.
+
+use deco_condense::{gradient_distance, one_step_match, MatchBatch};
+use deco_nn::{ConvNet, ConvNetConfig};
+use deco_tensor::{fusion, Rng, Tensor, Var};
+
+fn batch_data(rng: &mut Rng) -> (Tensor, Vec<usize>, Tensor, Vec<usize>) {
+    let syn = Tensor::randn([3, 1, 8, 8], rng);
+    let syn_labels = vec![0, 1, 0];
+    let real = Tensor::randn([6, 1, 8, 8], rng);
+    let real_labels = vec![0, 1, 0, 1, 0, 1];
+    (syn, syn_labels, real, real_labels)
+}
+
+fn config() -> ConvNetConfig {
+    ConvNetConfig {
+        in_channels: 1,
+        image_side: 8,
+        width: 4,
+        depth: 2,
+        num_classes: 2,
+        norm: true,
+    }
+}
+
+/// `one_step_match` under fusion on/off × 1/4 threads: distance and
+/// image gradient bitwise identical across all four runs.
+#[test]
+fn one_step_match_fusion_on_off_bitwise() {
+    let mut rng = Rng::new(31);
+    let config = config();
+    let params = ConvNet::new(config, &mut rng).get_params();
+    let (syn, sl, real, rl) = batch_data(&mut rng);
+    let batch = MatchBatch {
+        syn_images: &syn,
+        syn_labels: &sl,
+        real_images: &real,
+        real_labels: &rl,
+        real_weights: None,
+    };
+    // The step perturbs and restores θ in floating point, which is not
+    // bit-exact — so each run gets a fresh net from the same snapshot.
+    let run = |fused: bool, threads: usize| {
+        deco_runtime::with_thread_count(threads, || {
+            fusion::set_thread_override(Some(fused));
+            let net = ConvNet::from_params(config, &params);
+            let r = one_step_match(&net, &batch, None, 0.01);
+            fusion::set_thread_override(None);
+            r
+        })
+    };
+    let base = run(true, 1);
+    for (fused, threads) in [(true, 4), (false, 1), (false, 4)] {
+        let other = run(fused, threads);
+        assert_eq!(
+            base.distance.to_bits(),
+            other.distance.to_bits(),
+            "distance drifted (fused={fused}, threads={threads})"
+        );
+        let a = base.image_grad.data();
+        let b = other.image_grad.data();
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "image grad [{i}] drifted (fused={fused}, threads={threads})"
+            );
+        }
+    }
+}
+
+/// The gradient-matching distance `D` alone (two full model-gradient
+/// passes), fusion on vs off, bitwise.
+#[test]
+fn gradient_distance_fusion_on_off_bitwise() {
+    let mut rng = Rng::new(32);
+    let config = config();
+    let params = ConvNet::new(config, &mut rng).get_params();
+    let (syn, sl, real, rl) = batch_data(&mut rng);
+    let batch = MatchBatch {
+        syn_images: &syn,
+        syn_labels: &sl,
+        real_images: &real,
+        real_labels: &rl,
+        real_weights: None,
+    };
+    let run = |fused: bool| {
+        fusion::set_thread_override(Some(fused));
+        let net = ConvNet::from_params(config, &params);
+        let d = gradient_distance(&net, &batch, None);
+        fusion::set_thread_override(None);
+        d
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.to_bits(), off.to_bits());
+}
+
+/// A DM-style feature-matching gradient (the `ConvNet::features`
+/// encoder path, which routes through the fused block tail), fusion
+/// on/off × 1/4 threads, bitwise on the synthetic-image gradient.
+#[test]
+fn dm_feature_gradient_fusion_on_off_bitwise() {
+    let mut rng = Rng::new(33);
+    let config = config();
+    let params = ConvNet::new(config, &mut rng).get_params();
+    let real = Tensor::randn([5, 1, 8, 8], &mut rng);
+    let syn = Tensor::randn([2, 1, 8, 8], &mut rng);
+    let run = |fused: bool, threads: usize| {
+        deco_runtime::with_thread_count(threads, || {
+            fusion::set_thread_override(Some(fused));
+            let g = deco_tensor::plancache::with_tape_arena(|| {
+                let net = ConvNet::from_params(config, &params);
+                let real_feats = net.features(&Var::constant(real.clone()), true);
+                let real_mean = Var::constant(real_feats.value().mean_axes(&[0], true));
+                let syn_leaf = Var::leaf(syn.clone(), true);
+                let syn_feats = net.features(&syn_leaf, true);
+                let syn_mean = syn_feats.mean_axes_keepdim(&[0]);
+                syn_mean.sub(&real_mean).square().sum().backward();
+                syn_leaf.grad().expect("image gradient")
+            });
+            fusion::set_thread_override(None);
+            g
+        })
+    };
+    let base = run(true, 1);
+    for (fused, threads) in [(true, 4), (false, 1), (false, 4)] {
+        let other = run(fused, threads);
+        for (i, (x, y)) in base.data().iter().zip(other.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "feature grad [{i}] drifted (fused={fused}, threads={threads})"
+            );
+        }
+    }
+}

@@ -29,7 +29,9 @@ use deco_nn::{
 };
 use deco_telemetry::Json;
 use deco_tensor::gradcheck::grad_report;
-use deco_tensor::{Conv2dSpec, Rng, ScalarType, StorageDtype, StoredTensor, Tensor, Var};
+use deco_tensor::{
+    fusion, Conv2dSpec, Reduction, Rng, ScalarType, StorageDtype, StoredTensor, Tensor, Var,
+};
 
 /// How an entry is verified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,6 +271,46 @@ pub fn entries() -> Vec<AuditEntry> {
         entry!("transform::shift2d", Gradcheck, 2e-2, check_shift2d),
         entry!("transform::flip_w", Gradcheck, 2e-2, check_flip_w),
         entry!("transform::one_hot", Algebraic, 0.0, check_one_hot),
+        // Fused kernels are held to *bitwise* identity (tolerance 0)
+        // with the unfused graph they replace — the fusion layer's
+        // contract, checked here through the Var dispatch that selects
+        // fused vs unfused via the DECO_FUSION thread override.
+        entry!(
+            "fused::group_norm_relu_fwd",
+            Algebraic,
+            0.0,
+            check_fused_gn_relu_fwd
+        ),
+        entry!(
+            "fused::group_norm_relu_bwd",
+            Algebraic,
+            0.0,
+            check_fused_gn_relu_bwd
+        ),
+        entry!(
+            "fused::relu_avg_pool2d_fwd",
+            Algebraic,
+            0.0,
+            check_fused_relu_pool_fwd
+        ),
+        entry!(
+            "fused::relu_avg_pool2d_bwd",
+            Algebraic,
+            0.0,
+            check_fused_relu_pool_bwd
+        ),
+        entry!(
+            "fused::log_softmax_ce_fwd",
+            Algebraic,
+            0.0,
+            check_fused_softmax_ce_fwd
+        ),
+        entry!(
+            "fused::log_softmax_ce_bwd",
+            Algebraic,
+            0.0,
+            check_fused_softmax_ce_bwd
+        ),
         // --- crates/nn/src/layers.rs + dropout.rs ---
         entry!("layers::Conv2d", Gradcheck, 3e-2, check_layer_conv2d),
         entry!("layers::Linear", Gradcheck, 3e-2, check_layer_linear),
@@ -501,7 +543,7 @@ fn parse_names(path: &Path, prefix: &str) -> Vec<String> {
 pub fn parsed_op_surface() -> Vec<String> {
     let ops = repo_crates_dir().join("tensor/src/ops");
     let mut out = Vec::new();
-    for module in ["conv", "linalg", "reduce", "stats", "transform"] {
+    for module in ["conv", "fused", "linalg", "reduce", "stats", "transform"] {
         for f in parse_pub_fns(&ops.join(format!("{module}.rs"))) {
             out.push(format!("{module}::{f}"));
         }
@@ -1096,6 +1138,114 @@ fn check_one_hot() -> f32 {
     } else {
         1.0
     }
+}
+
+// --- Fused-kernel checks -----------------------------------------------
+//
+// Each fused op's contract is bitwise identity with the unfused graph it
+// replaces, so these checks run the Var graph twice — fusion forced on,
+// then forced off via the thread override — and return 0.0 only when
+// every output bit agrees. Tolerance is 0: any drift is a failure.
+
+/// 1.0 unless `a` and `b` agree in shape and every f32 bit.
+fn bits_differ(a: &Tensor, b: &Tensor) -> f32 {
+    let same = a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+    if same {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// GroupNorm+ReLU graph under one fusion mode: forward value plus the
+/// three input gradients.
+fn run_gn_relu(fused: bool) -> (Tensor, Tensor, Tensor, Tensor) {
+    fusion::set_thread_override(Some(fused));
+    let mut rng = Rng::new(171);
+    let x = Var::leaf(Tensor::randn([2, 4, 3, 3], &mut rng), true);
+    let gamma = Var::leaf(Tensor::randn([1, 4, 1, 1], &mut rng), true);
+    let beta = Var::leaf(Tensor::randn([1, 4, 1, 1], &mut rng), true);
+    let y = x.group_norm_relu(&gamma, &beta, 2, 1e-5);
+    y.sum().backward();
+    let out = (
+        y.value().clone(),
+        x.grad().expect("x grad"),
+        gamma.grad().expect("gamma grad"),
+        beta.grad().expect("beta grad"),
+    );
+    fusion::set_thread_override(None);
+    out
+}
+
+fn check_fused_gn_relu_fwd() -> f32 {
+    let on = run_gn_relu(true);
+    let off = run_gn_relu(false);
+    bits_differ(&on.0, &off.0)
+}
+
+fn check_fused_gn_relu_bwd() -> f32 {
+    let on = run_gn_relu(true);
+    let off = run_gn_relu(false);
+    bits_differ(&on.1, &off.1)
+        .max(bits_differ(&on.2, &off.2))
+        .max(bits_differ(&on.3, &off.3))
+}
+
+/// ReLU+AvgPool graph under one fusion mode: forward value and input
+/// gradient. Negative-heavy input exercises the rectification mask.
+fn run_relu_pool(fused: bool) -> (Tensor, Tensor) {
+    fusion::set_thread_override(Some(fused));
+    let mut rng = Rng::new(172);
+    let x = Var::leaf(Tensor::randn([2, 3, 6, 6], &mut rng), true);
+    let y = x.relu_avg_pool2d(2);
+    y.square().sum().backward();
+    let out = (y.value().clone(), x.grad().expect("x grad"));
+    fusion::set_thread_override(None);
+    out
+}
+
+fn check_fused_relu_pool_fwd() -> f32 {
+    let on = run_relu_pool(true);
+    let off = run_relu_pool(false);
+    bits_differ(&on.0, &off.0)
+}
+
+fn check_fused_relu_pool_bwd() -> f32 {
+    let on = run_relu_pool(true);
+    let off = run_relu_pool(false);
+    bits_differ(&on.1, &off.1)
+}
+
+/// Fused softmax cross-entropy under one fusion mode: loss value and
+/// logits gradient, with class weights and mean reduction so the scale
+/// path is exercised.
+fn run_softmax_ce(fused: bool) -> (Tensor, Tensor) {
+    fusion::set_thread_override(Some(fused));
+    let mut rng = Rng::new(173);
+    let logits = Var::leaf(Tensor::randn([5, 7], &mut rng), true);
+    let labels = [0usize, 3, 6, 1, 3];
+    let weights = [1.0f32, 0.5, 2.0, 1.5, 0.25];
+    let loss = logits.log_softmax_cross_entropy(&labels, Some(&weights), Reduction::Mean);
+    loss.backward();
+    let out = (loss.value().clone(), logits.grad().expect("logits grad"));
+    fusion::set_thread_override(None);
+    out
+}
+
+fn check_fused_softmax_ce_fwd() -> f32 {
+    let on = run_softmax_ce(true);
+    let off = run_softmax_ce(false);
+    bits_differ(&on.0, &off.0)
+}
+
+fn check_fused_softmax_ce_bwd() -> f32 {
+    let on = run_softmax_ce(true);
+    let off = run_softmax_ce(false);
+    bits_differ(&on.1, &off.1)
 }
 
 fn check_layer_conv2d() -> f32 {

@@ -149,6 +149,10 @@ pub fn run_differential(cases: usize, seed: u64) -> DiffReport {
             fuzz_matcher_plan_cache(cases, seed ^ 0x0B),
             fuzz_matcher_storage_dtype(cases, seed ^ 0x0C),
             fuzz_gemm_simd_vs_scalar(cases, seed ^ 0x0D),
+            fuzz_fused_group_norm_relu(cases, seed ^ 0x0E),
+            fuzz_fused_relu_avg_pool(cases, seed ^ 0x0F),
+            fuzz_fused_softmax_ce(cases, seed ^ 0x10),
+            fuzz_conv_bias_epilogue(cases, seed ^ 0x11),
         ],
     }
 }
@@ -916,6 +920,247 @@ fn fuzz_cosine_distance(cases: usize, seed: u64) -> KernelReport {
     tr.finish()
 }
 
+/// Runs `f` under every (fusion, thread-count) combination — fused and
+/// unfused, each at both [`THREAD_COUNTS`] — and returns the fused
+/// 1-thread result plus whether **all four** runs agreed bitwise. This
+/// is the fusion layer's contract: `DECO_FUSION` must never change a
+/// single output bit, only how the graph is executed.
+fn run_fusion_modes<R>(f: impl Fn() -> R, data: impl Fn(&R) -> Vec<f32>) -> (R, bool) {
+    use deco_tensor::fusion;
+    let run_at = |fused: bool, threads: usize| {
+        fusion::set_thread_override(Some(fused));
+        let r = deco_runtime::with_thread_count(threads, &f);
+        fusion::set_thread_override(None);
+        r
+    };
+    let fused_one = run_at(true, 1);
+    let base = data(&fused_one);
+    let mut ok = true;
+    for (fused, threads) in [(true, 4), (false, 1), (false, 4)] {
+        let r = run_at(fused, threads);
+        ok &= bits_equal(&base, &data(&r));
+    }
+    (fused_one, ok)
+}
+
+/// Differential case for the fused `group_norm → relu` tape op: forward
+/// value and input/affine gradients must be bitwise identical across
+/// fused/unfused × 1/4 threads, and the forward must track the `f64`
+/// group-norm reference (with relu applied) within tolerance.
+fn fuzz_fused_group_norm_relu(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("fused_group_norm_relu");
+    for i in 0..cases {
+        let (n, groups, group_c, side) = match i {
+            0 => (1, 1, 1, 1), // single pixel, single channel
+            1 => (1, 4, 1, 3), // instance norm
+            2 => (3, 2, 2, 1), // 1x1 spatial
+            _ => (
+                rng.below(3) + 1,
+                rng.below(4) + 1,
+                rng.below(3) + 1,
+                rng.below(6) + 1,
+            ),
+        };
+        let c = groups * group_c;
+        let x = randn_vec(n * c * side * side, &mut rng);
+        let gamma = randn_vec(c, &mut rng);
+        let beta = randn_vec(c, &mut rng);
+        let xt = Tensor::from_vec(x.clone(), [n, c, side, side]);
+        let gt = Tensor::from_vec(gamma.clone(), [1, c, 1, 1]);
+        let bt = Tensor::from_vec(beta.clone(), [1, c, 1, 1]);
+        let (out, ok) = run_fusion_modes(
+            || {
+                let xl = Var::leaf(xt.clone(), true);
+                let gl = Var::leaf(gt.clone(), true);
+                let bl = Var::leaf(bt.clone(), true);
+                let y = xl.group_norm_relu(&gl, &bl, groups, 1e-5);
+                y.sum().backward();
+                (
+                    y.value().clone(),
+                    xl.grad().expect("x grad"),
+                    gl.grad().expect("gamma grad"),
+                    bl.grad().expect("beta grad"),
+                )
+            },
+            |(y, gx, gg, gb)| {
+                let mut v = y.data().to_vec();
+                v.extend_from_slice(gx.data());
+                v.extend_from_slice(gg.data());
+                v.extend_from_slice(gb.data());
+                v
+            },
+        );
+        let r: Vec<f64> =
+            reference::group_norm(&x, (n, c, side, side), groups, &gamma, &beta, 1e-5)
+                .into_iter()
+                .map(|v| v.max(0.0))
+                .collect();
+        let dev = reference::max_rel_deviation(out.0.data(), &r);
+        tr.record(dev, ok, &format!("n{n} c{c} g{groups} {side}x{side}"));
+    }
+    tr.finish()
+}
+
+/// Differential case for the fused `relu → avg_pool2d` tape op:
+/// forward and the masked pooled-gradient backward, bitwise across
+/// fused/unfused × 1/4 threads, forward against the `f64` reference.
+fn fuzz_fused_relu_avg_pool(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("fused_relu_avg_pool2d");
+    for i in 0..cases {
+        let (n, c, k, tiles) = match i {
+            0 => (1, 1, 1, 1), // 1x1 image, 1x1 window
+            1 => (1, 1, 3, 1), // window == image
+            2 => (4, 1, 2, 1),
+            _ => (
+                rng.below(3) + 1,
+                rng.below(3) + 1,
+                rng.below(3) + 1,
+                rng.below(3) + 1,
+            ),
+        };
+        let (h, w) = (k * tiles, k * tiles);
+        let x = randn_vec(n * c * h * w, &mut rng);
+        let xt = Tensor::from_vec(x.clone(), [n, c, h, w]);
+        let (out, ok) = run_fusion_modes(
+            || {
+                let xl = Var::leaf(xt.clone(), true);
+                let y = xl.relu_avg_pool2d(k);
+                y.sum().backward();
+                (y.value().clone(), xl.grad().expect("x grad"))
+            },
+            |(y, gx)| {
+                let mut v = y.data().to_vec();
+                v.extend_from_slice(gx.data());
+                v
+            },
+        );
+        // relu is exact in f32, so the reference pools the rectified
+        // f32 input in f64.
+        let rect: Vec<f32> = x.iter().map(|&v| v.max(0.0)).collect();
+        let r = reference::avg_pool2d(&rect, (n, c, h, w), k);
+        let dev = reference::max_rel_deviation(out.0.data(), &r);
+        tr.record(dev, ok, &format!("n{n} c{c} {h}x{w} k{k}"));
+    }
+    tr.finish()
+}
+
+/// Differential case for the fused `log_softmax → nll` loss: loss value
+/// and logit gradient, bitwise across fused/unfused × 1/4 threads,
+/// against the `f64` softmax-cross-entropy reference.
+fn fuzz_fused_softmax_ce(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("fused_softmax_ce");
+    for i in 0..cases {
+        let (n, c) = match i {
+            0 => (1, 1), // single row, single class
+            1 => (1, 6),
+            2 => (8, 2),
+            _ => (rng.below(8) + 1, rng.below(6) + 1),
+        };
+        let logits = randn_vec(n * c, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(c)).collect();
+        let weights: Option<Vec<f32>> = if i % 2 == 0 {
+            Some((0..n).map(|_| rng.uniform(0.1, 2.0)).collect())
+        } else {
+            None
+        };
+        let mean = i % 3 != 0;
+        let reduction = if mean {
+            Reduction::Mean
+        } else {
+            Reduction::Sum
+        };
+        let lt = Tensor::from_vec(logits.clone(), [n, c]);
+        let (out, ok) = run_fusion_modes(
+            || {
+                let leaf = Var::leaf(lt.clone(), true);
+                let loss = leaf.log_softmax_cross_entropy(&labels, weights.as_deref(), reduction);
+                loss.backward();
+                (loss.value().item(), leaf.grad().expect("logit grad"))
+            },
+            |(loss, grad)| {
+                let mut v = vec![*loss];
+                v.extend_from_slice(grad.data());
+                v
+            },
+        );
+        let (r_loss, r_grad) =
+            reference::softmax_cross_entropy(&logits, (n, c), &labels, weights.as_deref(), mean);
+        let dev = reference::rel_deviation(out.0, r_loss)
+            .max(reference::max_rel_deviation(out.1.data(), &r_grad));
+        tr.record(dev, ok, &format!("[{n}x{c}] {reduction:?}"));
+    }
+    tr.finish()
+}
+
+/// Differential case for the conv bias epilogue: `conv2d` with bias
+/// folded into the GEMM writeback (fused) vs materialized and added as
+/// a separate tape op (unfused), forward plus all three gradients,
+/// bitwise across fused/unfused × 1/4 threads, forward against the
+/// `f64` reference.
+fn fuzz_conv_bias_epilogue(cases: usize, seed: u64) -> KernelReport {
+    let mut rng = Rng::new(seed);
+    let mut tr = Tracker::new("conv_bias_epilogue");
+    for i in 0..cases {
+        let (n, cin, cout, side, k, s, p) = match i {
+            0 => (1, 1, 1, 1, 1, 1, 0), // single pixel
+            1 => (1, 1, 2, 3, 3, 1, 1), // same-pad 3x3
+            2 => (2, 3, 4, 4, 2, 2, 0), // strided
+            _ => {
+                let k = rng.below(3) + 1;
+                (
+                    rng.below(3) + 1,
+                    rng.below(3) + 1,
+                    rng.below(4) + 1,
+                    rng.below(5) + k,
+                    k,
+                    rng.below(2) + 1,
+                    rng.below(k),
+                )
+            }
+        };
+        let spec = Conv2dSpec {
+            kernel: k,
+            stride: s,
+            padding: p,
+        };
+        let x = randn_vec(n * cin * side * side, &mut rng);
+        let wgt = randn_vec(cout * cin * k * k, &mut rng);
+        let bias = randn_vec(cout, &mut rng);
+        let xt = Tensor::from_vec(x.clone(), [n, cin, side, side]);
+        let wt = Tensor::from_vec(wgt.clone(), [cout, cin, k, k]);
+        let bt = Tensor::from_vec(bias.clone(), [cout]);
+        let (out, ok) = run_fusion_modes(
+            || {
+                let xl = Var::leaf(xt.clone(), true);
+                let wl = Var::leaf(wt.clone(), true);
+                let bl = Var::leaf(bt.clone(), true);
+                let y = xl.conv2d(&wl, Some(&bl), spec);
+                y.sum().backward();
+                (
+                    y.value().clone(),
+                    xl.grad().expect("x grad"),
+                    wl.grad().expect("w grad"),
+                    bl.grad().expect("bias grad"),
+                )
+            },
+            |(y, gx, gw, gb)| {
+                let mut v = y.data().to_vec();
+                v.extend_from_slice(gx.data());
+                v.extend_from_slice(gw.data());
+                v.extend_from_slice(gb.data());
+                v
+            },
+        );
+        let r = reference::conv2d(&x, (n, cin, side, side), &wgt, cout, Some(&bias), spec);
+        let dev = reference::max_rel_deviation(out.0.data(), &r);
+        tr.record(dev, ok, &format!("n{n} {cin}->{cout} {side}x{side} k{k}s{s}p{p}"));
+    }
+    tr.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -926,7 +1171,7 @@ mod tests {
         let b = run_differential(8, 0xD1FF);
         assert!(a.passed(), "\n{}", a.render());
         assert_eq!(a.max_deviation(), b.max_deviation());
-        assert_eq!(a.kernels.len(), 13);
+        assert_eq!(a.kernels.len(), 17);
     }
 
     #[test]

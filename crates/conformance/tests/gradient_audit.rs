@@ -56,6 +56,7 @@ fn no_stale_audit_entries() {
         .collect();
     let op_namespaces = [
         "conv",
+        "fused",
         "linalg",
         "reduce",
         "stats",

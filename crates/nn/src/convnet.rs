@@ -115,10 +115,13 @@ impl ConvNet {
         let mut h = x.clone();
         for (conv, norm) in &self.blocks {
             h = conv.forward(&h, frozen);
-            if let Some(gn) = norm {
-                h = gn.forward(&h, frozen);
-            }
-            h = h.relu().avg_pool2d(2);
+            // Fused block tail (bitwise identical to the unfused
+            // gn → relu → pool chain; see Var::group_norm_relu and
+            // Var::relu_avg_pool2d for the DECO_FUSION kill switch).
+            h = match norm {
+                Some(gn) => gn.forward_relu(&h, frozen).avg_pool2d(2),
+                None => h.relu_avg_pool2d(2),
+            };
         }
         h.reshape([n, self.config.feature_dim()])
     }
@@ -146,14 +149,15 @@ impl ConvNet {
 
     /// All parameters, in a stable order.
     pub fn params(&self) -> Vec<&Param> {
-        let mut ps = Vec::new();
+        let per_block = if self.config.norm { 4 } else { 2 };
+        let mut ps = Vec::with_capacity(per_block * self.blocks.len() + 2);
         for (conv, norm) in &self.blocks {
-            ps.extend(conv.params());
+            ps.extend(conv.param_pair());
             if let Some(gn) = norm {
-                ps.extend(gn.params());
+                ps.extend(gn.param_pair());
             }
         }
-        ps.extend(self.head.params());
+        ps.extend(self.head.param_pair());
         ps
     }
 

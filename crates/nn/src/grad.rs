@@ -35,7 +35,7 @@ impl GradList {
                 .iter()
                 .map(|p| {
                     p.grad()
-                        .unwrap_or_else(|| Tensor::zeros(p.tensor().shape().dims().to_vec()))
+                        .unwrap_or_else(|| Tensor::zeros(p.tensor().shape().clone()))
                 })
                 .collect(),
         )
@@ -145,7 +145,7 @@ pub fn cosine_distance_grad(g_syn: &GradList, g_real: &GradList) -> GradList {
         let ng = g.l2_norm() as f64;
         let nr = r.l2_norm() as f64;
         if ng < NORM_EPS || nr < NORM_EPS {
-            out.push(Tensor::zeros(g.shape().dims().to_vec()));
+            out.push(Tensor::zeros(g.shape().clone()));
             continue;
         }
         let dotgr = g.dot(r) as f64;

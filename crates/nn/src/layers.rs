@@ -59,6 +59,11 @@ impl Conv2d {
     pub fn params(&self) -> Vec<&Param> {
         vec![&self.weight, &self.bias]
     }
+
+    /// Borrowed (weight, bias) pair without a heap allocation.
+    pub(crate) fn param_pair(&self) -> [&Param; 2] {
+        [&self.weight, &self.bias]
+    }
 }
 
 /// A fully-connected layer computing `x·W + b` for `[n, in]` inputs.
@@ -101,6 +106,11 @@ impl Linear {
     /// The layer's parameters (weight, bias).
     pub fn params(&self) -> Vec<&Param> {
         vec![&self.weight, &self.bias]
+    }
+
+    /// Borrowed (weight, bias) pair without a heap allocation.
+    pub(crate) fn param_pair(&self) -> [&Param; 2] {
+        [&self.weight, &self.bias]
     }
 }
 
@@ -172,6 +182,30 @@ impl GroupNorm {
         normed.mul(&g).add(&b)
     }
 
+    /// [`GroupNorm::forward`] followed by relu, routed through the fused
+    /// `group_norm_relu` tape op — bitwise identical to
+    /// `self.forward(x, frozen).relu()` whether fusion is enabled or not
+    /// (with `DECO_FUSION=0` it lowers to exactly that chain).
+    ///
+    /// # Panics
+    /// Panics unless `x` is NCHW with the configured channel count.
+    pub fn forward_relu(&self, x: &Var, frozen: bool) -> Var {
+        assert_eq!(x.shape().rank(), 4, "GroupNorm expects NCHW");
+        assert_eq!(
+            x.shape().dim(1),
+            self.channels,
+            "channel mismatch: {} vs {}",
+            x.shape().dim(1),
+            self.channels
+        );
+        let (g, b) = if frozen {
+            (self.gamma.frozen_var(), self.beta.frozen_var())
+        } else {
+            (self.gamma.var(), self.beta.var())
+        };
+        x.group_norm_relu(&g, &b, self.groups, self.eps)
+    }
+
     /// Resets scale to one and shift to zero.
     pub fn reinit(&self) {
         self.gamma.set(Tensor::ones([1, self.channels, 1, 1]));
@@ -181,6 +215,11 @@ impl GroupNorm {
     /// The layer's parameters (gamma, beta).
     pub fn params(&self) -> Vec<&Param> {
         vec![&self.gamma, &self.beta]
+    }
+
+    /// Borrowed (gamma, beta) pair without a heap allocation.
+    pub(crate) fn param_pair(&self) -> [&Param; 2] {
+        [&self.gamma, &self.beta]
     }
 }
 

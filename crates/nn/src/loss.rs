@@ -17,7 +17,9 @@ pub fn weighted_cross_entropy(
     weights: Option<&[f32]>,
     reduction: Reduction,
 ) -> Var {
-    logits.log_softmax().nll(labels, weights, reduction)
+    // Fused log-softmax + nll; with DECO_FUSION=0 this lowers to the
+    // original `log_softmax().nll(...)` chain, bitwise identically.
+    logits.log_softmax_cross_entropy(labels, weights, reduction)
 }
 
 /// Inputs to [`feature_discrimination_loss`]: for each active sample, its

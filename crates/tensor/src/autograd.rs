@@ -216,6 +216,66 @@ pub enum Reduction {
 
 type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Option<Tensor>>>;
 
+/// Cap on recycled parent-gradient vectors parked per thread (each is
+/// a handful of machine words once cleared).
+const GRADVEC_FREE_CAP: usize = 64;
+
+thread_local! {
+    /// Spent parent-gradient vectors recycled by [`Var::backward_with`]
+    /// so steady-state backward passes stop allocating the per-node
+    /// return `Vec`.
+    static GRADVEC_FREE: RefCell<Vec<Vec<Option<Tensor>>>> = const { RefCell::new(Vec::new()) };
+    /// Recycled traversal state for `backward_with` (topological order,
+    /// visited set, DFS stack), reused across backward passes.
+    static BWD_SCRATCH: RefCell<Option<BackwardScratch>> = const { RefCell::new(None) };
+}
+
+/// An empty parent-gradient vector from the thread's free list, keeping
+/// whatever capacity its previous life grew to. Used via `grads!`.
+fn take_grad_vec() -> Vec<Option<Tensor>> {
+    GRADVEC_FREE
+        .try_with(|fl| fl.borrow_mut().pop())
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
+/// Parks a spent parent-gradient vector for reuse; its elements must
+/// already have been taken.
+fn park_grad_vec(mut v: Vec<Option<Tensor>>) {
+    v.clear();
+    let _ = GRADVEC_FREE.try_with(|fl| {
+        let mut fl = fl.borrow_mut();
+        if fl.len() < GRADVEC_FREE_CAP {
+            fl.push(v);
+        }
+    });
+}
+
+/// Builds a backward closure's return vector from the recycled pool
+/// instead of a fresh `vec![...]` allocation.
+macro_rules! grads {
+    ($($g:expr),* $(,)?) => {{
+        let mut v = take_grad_vec();
+        $(v.push($g);)*
+        v
+    }};
+}
+
+/// DFS work item for `backward_with`'s iterative topological sort.
+enum Visit {
+    Enter(Var),
+    Exit(Var),
+}
+
+/// Reusable traversal state for `backward_with`.
+#[derive(Default)]
+struct BackwardScratch {
+    order: Vec<Var>,
+    seen: HashSet<u64>,
+    stack: Vec<Visit>,
+}
+
 struct Node {
     id: u64,
     value: Tensor,
@@ -372,7 +432,7 @@ impl Var {
     /// Runs reverse-mode differentiation from this node, seeding with a
     /// gradient of ones (call on scalars for standard loss semantics).
     pub fn backward(&self) {
-        self.backward_with(Tensor::ones(self.shape().dims().to_vec()));
+        self.backward_with(Tensor::ones(self.shape().clone()));
     }
 
     /// Runs reverse-mode differentiation with an explicit seed gradient.
@@ -390,15 +450,16 @@ impl Var {
         if !self.requires_grad() {
             return;
         }
-        // Topological order over the subgraph that requires gradients.
-        let mut order: Vec<Var> = Vec::new();
-        let mut seen: HashSet<u64> = HashSet::new();
-        // Iterative DFS with an explicit stack to avoid recursion limits.
-        enum Visit {
-            Enter(Var),
-            Exit(Var),
-        }
-        let mut stack = vec![Visit::Enter(self.clone())];
+        // Topological order over the subgraph that requires gradients,
+        // using recycled traversal scratch (fresh only on first use or
+        // under reentrancy). Iterative DFS avoids recursion limits.
+        let mut scratch = BWD_SCRATCH
+            .try_with(|s| s.borrow_mut().take())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        let BackwardScratch { order, seen, stack } = &mut scratch;
+        stack.push(Visit::Enter(self.clone()));
         while let Some(v) = stack.pop() {
             match v {
                 Visit::Enter(var) => {
@@ -426,14 +487,14 @@ impl Var {
                 .borrow()
                 .clone()
                 .expect("node visited without gradient");
-            let parent_grads = backward(&grad_out);
+            let mut parent_grads = backward(&grad_out);
             assert_eq!(
                 parent_grads.len(),
                 var.node.parents.len(),
                 "backward returned wrong number of parent gradients"
             );
-            for (p, g) in var.node.parents.iter().zip(parent_grads) {
-                if let Some(g) = g {
+            for (p, slot) in var.node.parents.iter().zip(parent_grads.iter_mut()) {
+                if let Some(g) = slot.take() {
                     if p.requires_grad() {
                         assert_eq!(
                             g.shape(),
@@ -446,12 +507,18 @@ impl Var {
                     }
                 }
             }
+            park_grad_vec(parent_grads);
             // This non-leaf node's gradient has been fully consumed;
             // release it eagerly so its buffer returns to the pool
             // instead of living until the graph drops. Leaves (no
             // backward fn) keep theirs — they are what callers read.
             *var.node.grad.borrow_mut() = None;
         }
+        // Release the node handles (the arena relies on unique ownership
+        // at scope end) and park the scratch for the next pass.
+        order.clear();
+        seen.clear();
+        let _ = BWD_SCRATCH.try_with(|s| *s.borrow_mut() = Some(scratch));
     }
 
     // ---- elementwise arithmetic (broadcasting) ----
@@ -463,7 +530,7 @@ impl Var {
         Var::from_op(
             value,
             &[self, rhs],
-            Box::new(move |g| vec![Some(g.sum_to(&sa)), Some(g.sum_to(&sb))]),
+            Box::new(move |g| grads![Some(g.sum_to(&sa)), Some(g.sum_to(&sb))]),
         )
     }
 
@@ -474,7 +541,7 @@ impl Var {
         Var::from_op(
             value,
             &[self, rhs],
-            Box::new(move |g| vec![Some(g.sum_to(&sa)), Some((-g).sum_to(&sb))]),
+            Box::new(move |g| grads![Some(g.sum_to(&sa)), Some((-g).sum_to(&sb))]),
         )
     }
 
@@ -486,7 +553,7 @@ impl Var {
         Var::from_op(
             value,
             &[self, rhs],
-            Box::new(move |g| vec![Some((g * &vb).sum_to(&sa)), Some((g * &va).sum_to(&sb))]),
+            Box::new(move |g| grads![Some((g * &vb).sum_to(&sa)), Some((g * &va).sum_to(&sb))]),
         )
     }
 
@@ -501,7 +568,7 @@ impl Var {
             Box::new(move |g| {
                 let ga = (g / &vb).sum_to(&sa);
                 let gb = (&(&(-g) * &va) / &(&vb * &vb)).sum_to(&sb);
-                vec![Some(ga), Some(gb)]
+                grads![Some(ga), Some(gb)]
             }),
         )
     }
@@ -509,19 +576,19 @@ impl Var {
     /// Negation.
     pub fn neg(&self) -> Var {
         let value = -self.value();
-        Var::from_op(value, &[self], Box::new(move |g| vec![Some(-g)]))
+        Var::from_op(value, &[self], Box::new(move |g| grads![Some(-g)]))
     }
 
     /// Adds a scalar.
     pub fn add_scalar(&self, c: f32) -> Var {
         let value = self.value() + c;
-        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g.clone())]))
+        Var::from_op(value, &[self], Box::new(move |g| grads![Some(g.clone())]))
     }
 
     /// Multiplies by a scalar.
     pub fn mul_scalar(&self, c: f32) -> Var {
         let value = self.value() * c;
-        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g * c)]))
+        Var::from_op(value, &[self], Box::new(move |g| grads![Some(g * c)]))
     }
 
     /// Elementwise square.
@@ -531,7 +598,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(&(g * 2.0) * &v)]),
+            Box::new(move |g| grads![Some(&(g * 2.0) * &v)]),
         )
     }
 
@@ -544,7 +611,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g * &out.map(|y| 0.5 / y))]),
+            Box::new(move |g| grads![Some(g * &out.map(|y| 0.5 / y))]),
         )
     }
 
@@ -552,14 +619,14 @@ impl Var {
     pub fn exp(&self) -> Var {
         let value = self.value().map(f32::exp);
         let out = value.clone();
-        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g * &out)]))
+        Var::from_op(value, &[self], Box::new(move |g| grads![Some(g * &out)]))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var {
         let v = self.value().clone();
         let value = self.value().map(f32::ln);
-        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g / &v)]))
+        Var::from_op(value, &[self], Box::new(move |g| grads![Some(g / &v)]))
     }
 
     /// Rectified linear unit.
@@ -570,7 +637,7 @@ impl Var {
             value,
             &[self],
             Box::new(move |g| {
-                vec![Some(
+                grads![Some(
                     g.zip_broadcast(&v, |gi, xi| if xi > 0.0 { gi } else { 0.0 }),
                 )]
             }),
@@ -612,7 +679,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g * &out.map(|y| 1.0 - y * y))]),
+            Box::new(move |g| grads![Some(g * &out.map(|y| 1.0 - y * y))]),
         )
     }
 
@@ -623,7 +690,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g * &out.map(|y| y * (1.0 - y)))]),
+            Box::new(move |g| grads![Some(g * &out.map(|y| y * (1.0 - y)))]),
         )
     }
 
@@ -635,7 +702,7 @@ impl Var {
             value,
             &[self],
             Box::new(move |g| {
-                vec![Some(g.zip_broadcast(&v, |gi, xi| {
+                grads![Some(g.zip_broadcast(&v, |gi, xi| {
                     if xi > 0.0 {
                         gi
                     } else {
@@ -654,7 +721,7 @@ impl Var {
             value,
             &[self],
             Box::new(move |g| {
-                vec![Some(g.zip_broadcast(&v, |gi, xi| {
+                grads![Some(g.zip_broadcast(&v, |gi, xi| {
                     if xi == 0.0 {
                         0.0
                     } else {
@@ -670,12 +737,12 @@ impl Var {
     /// Reshapes without copying.
     pub fn reshape(&self, dims: impl Into<Shape>) -> Var {
         let dims = dims.into();
-        let value = self.value().reshape(dims.dims().to_vec());
+        let value = self.value().reshape(dims);
         let orig = self.shape().clone();
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g.reshape(orig.dims().to_vec()))]),
+            Box::new(move |g| grads![Some(g.reshape(orig.clone()))]),
         )
     }
 
@@ -688,7 +755,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g.scatter_rows_add(&idx, n))]),
+            Box::new(move |g| grads![Some(g.scatter_rows_add(&idx, n))]),
         )
     }
 
@@ -706,7 +773,8 @@ impl Var {
             value,
             &parent_refs,
             Box::new(move |g| {
-                let mut grads = Vec::with_capacity(row_counts.len());
+                let mut grads = take_grad_vec();
+                grads.reserve(row_counts.len());
                 let mut start = 0usize;
                 for &rows in &row_counts {
                     let idx: Vec<usize> = (start..start + rows).collect();
@@ -724,14 +792,14 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g.shift2d(-dy, -dx))]),
+            Box::new(move |g| grads![Some(g.shift2d(-dy, -dx))]),
         )
     }
 
     /// Horizontal mirror (NCHW); gradient mirrors back.
     pub fn flip_w(&self) -> Var {
         let value = self.value().flip_w();
-        Var::from_op(value, &[self], Box::new(move |g| vec![Some(g.flip_w())]))
+        Var::from_op(value, &[self], Box::new(move |g| grads![Some(g.flip_w())]))
     }
 
     // ---- linear algebra ----
@@ -746,7 +814,7 @@ impl Var {
             Box::new(move |g| {
                 let ga = g.matmul(&b.transpose2());
                 let gb = a.transpose2().matmul(g);
-                vec![Some(ga), Some(gb)]
+                grads![Some(ga), Some(gb)]
             }),
         )
     }
@@ -757,7 +825,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g.transpose2())]),
+            Box::new(move |g| grads![Some(g.transpose2())]),
         )
     }
 
@@ -772,24 +840,20 @@ impl Var {
         let w = weight.value().clone();
         let hw = (self.shape().dim(2), self.shape().dim(3));
         let kernel = spec.kernel;
-        let mut parents: Vec<&Var> = vec![self, weight];
         let has_bias = bias.is_some();
-        if let Some(b) = bias {
-            parents.push(b);
+        let backward: BackwardFn = Box::new(move |g| {
+            let gx = g.conv2d_input_grad(&w, hw, spec);
+            let gw = g.conv2d_weight_grad(&x, kernel, spec);
+            let mut out = grads![Some(gx), Some(gw)];
+            if has_bias {
+                out.push(Some(g.conv2d_bias_grad()));
+            }
+            out
+        });
+        match bias {
+            Some(b) => Var::from_op(value, &[self, weight, b], backward),
+            None => Var::from_op(value, &[self, weight], backward),
         }
-        Var::from_op(
-            value,
-            &parents,
-            Box::new(move |g| {
-                let gx = g.conv2d_input_grad(&w, hw, spec);
-                let gw = g.conv2d_weight_grad(&x, kernel, spec);
-                let mut out = vec![Some(gx), Some(gw)];
-                if has_bias {
-                    out.push(Some(g.conv2d_bias_grad()));
-                }
-                out
-            }),
-        )
     }
 
     /// Non-overlapping average pooling.
@@ -798,7 +862,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g.avg_pool2d_grad(k))]),
+            Box::new(move |g| grads![Some(g.avg_pool2d_grad(k))]),
         )
     }
 
@@ -810,7 +874,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(g.max_pool2d_grad(&indices, input_numel))]),
+            Box::new(move |g| grads![Some(g.max_pool2d_grad(&indices, input_numel))]),
         )
     }
 
@@ -823,7 +887,7 @@ impl Var {
         Var::from_op(
             value,
             &[self],
-            Box::new(move |g| vec![Some(Tensor::full(shape.dims().to_vec(), g.item()))]),
+            Box::new(move |g| grads![Some(Tensor::full(shape.clone(), g.item()))]),
         )
     }
 
@@ -842,8 +906,8 @@ impl Var {
             &[self],
             Box::new(move |g| {
                 // Broadcast the reduced gradient back over the summed axes.
-                vec![Some(g.zip_broadcast(
-                    &Tensor::zeros(shape.dims().to_vec()),
+                grads![Some(g.zip_broadcast(
+                    &Tensor::zeros(shape.clone()),
                     |a, _| a,
                 ))]
             }),
@@ -892,7 +956,7 @@ impl Var {
                         gx[i * c + j] = gd[i * c + j] - p * gsum;
                     }
                 }
-                vec![Some(Tensor::from_vec(gx, [n, c]))]
+                grads![Some(Tensor::from_vec(gx, [n, c]))]
             }),
         )
     }
@@ -934,7 +998,7 @@ impl Var {
                 for (i, &y) in labels.iter().enumerate() {
                     gx[i * c + y] = -w[i] * gv;
                 }
-                vec![Some(Tensor::from_vec(gx, [n, c]))]
+                grads![Some(Tensor::from_vec(gx, [n, c]))]
             }),
         )
     }
@@ -993,7 +1057,139 @@ impl Var {
                         gx[i * c + j] = gd[i] * s[i * c + j];
                     }
                 }
-                vec![Some(Tensor::from_vec(gx, [n, c]))]
+                grads![Some(Tensor::from_vec(gx, [n, c]))]
+            }),
+        )
+    }
+
+    // ---- fused ConvNet-block ops (bitwise-preserving) ----
+    //
+    // Each op below runs the fused single-node kernel from
+    // `crate::ops::fused` when `crate::fusion::enabled()`, and otherwise
+    // falls back to the exact unfused tape-op chain it replaces. The
+    // fused kernels replicate the unfused graph's per-element f32
+    // operation and accumulation order, so both paths produce identical
+    // bits — `DECO_FUSION` only changes how many tape nodes and
+    // intermediate tensors exist.
+
+    /// Fused group normalization (over `groups` channel groups, epsilon
+    /// `eps`) with `[1, c, 1, 1]` affine parameters, followed by relu.
+    ///
+    /// Bitwise identical to
+    /// `reshape → mean → sub → square → mean → add_scalar → sqrt → div →
+    /// reshape → mul(gamma) → add(beta) → relu`, but records one tape
+    /// node and runs one backward kernel instead of eleven.
+    ///
+    /// # Panics
+    /// Panics unless `self` is `[n, c, h, w]` with `c % groups == 0` and
+    /// `gamma`/`beta` have `c` elements.
+    pub fn group_norm_relu(&self, gamma: &Var, beta: &Var, groups: usize, eps: f32) -> Var {
+        if !crate::fusion::enabled() {
+            let (n, c) = (self.shape().dim(0), self.shape().dim(1));
+            let (h, w) = (self.shape().dim(2), self.shape().dim(3));
+            let grouped = self.reshape([n, groups, (c / groups) * h * w]);
+            let mean = grouped.mean_axes_keepdim(&[2]);
+            let centered = grouped.sub(&mean);
+            let var = centered.square().mean_axes_keepdim(&[2]);
+            let std = var.add_scalar(eps).sqrt();
+            let normed = centered.div(&std).reshape([n, c, h, w]);
+            return normed.mul(gamma).add(beta).relu();
+        }
+        crate::fusion::count_group_norm_relu();
+        let (out, mean, std) = crate::ops::fused::group_norm_relu_fwd(
+            self.value(),
+            gamma.value(),
+            beta.value(),
+            groups,
+            eps,
+        );
+        let x = self.value().clone();
+        let gam = gamma.value().clone();
+        let (gshape, bshape) = (gamma.shape().clone(), beta.shape().clone());
+        let saved_out = out.clone();
+        Var::from_op(
+            out,
+            &[self, gamma, beta],
+            Box::new(move |g| {
+                crate::fusion::count_fused_backward();
+                let (gx, ggamma, gbeta) = crate::ops::fused::group_norm_relu_bwd(
+                    g, &x, &saved_out, &mean, &std, &gam, groups,
+                );
+                vec![
+                    Some(gx),
+                    Some(ggamma.reshape(gshape.clone())),
+                    Some(gbeta.reshape(bshape.clone())),
+                ]
+            }),
+        )
+    }
+
+    /// Fused relu followed by non-overlapping `k×k` average pooling.
+    ///
+    /// Bitwise identical to `self.relu().avg_pool2d(k)`, but the relu'd
+    /// intermediate is never materialized and the backward collapses the
+    /// pool-scatter and relu-mask passes into one kernel.
+    pub fn relu_avg_pool2d(&self, k: usize) -> Var {
+        if !crate::fusion::enabled() {
+            return self.relu().avg_pool2d(k);
+        }
+        crate::fusion::count_relu_avg_pool2d();
+        let value = crate::ops::fused::relu_avg_pool2d_fwd(self.value(), k);
+        let x = self.value().clone();
+        Var::from_op(
+            value,
+            &[self],
+            Box::new(move |g| {
+                crate::fusion::count_fused_backward();
+                grads![Some(crate::ops::fused::relu_avg_pool2d_bwd(g, &x, k))]
+            }),
+        )
+    }
+
+    /// Fused row-wise log-softmax + weighted negative log-likelihood.
+    ///
+    /// Bitwise identical to
+    /// `self.log_softmax().nll(labels, weights, reduction)`, but the
+    /// `[n, classes]` log-probability matrix is never materialized: the
+    /// forward saves only the per-row log-sum-exp and the backward emits
+    /// the logits gradient directly.
+    ///
+    /// # Panics
+    /// Panics on label/weight length mismatches or out-of-range labels.
+    pub fn log_softmax_cross_entropy(
+        &self,
+        labels: &[usize],
+        weights: Option<&[f32]>,
+        reduction: Reduction,
+    ) -> Var {
+        if !crate::fusion::enabled() {
+            return self.log_softmax().nll(labels, weights, reduction);
+        }
+        crate::fusion::count_log_softmax_ce();
+        assert_eq!(self.shape().rank(), 2, "cross-entropy needs [n, classes]");
+        let n = self.shape().dim(0);
+        let scale = match reduction {
+            Reduction::Sum => 1.0,
+            Reduction::Mean => 1.0 / n as f32,
+        };
+        let (value, lse) =
+            crate::ops::fused::log_softmax_ce_fwd(self.value(), labels, weights, scale);
+        let logits = self.value().clone();
+        let labels = labels.to_vec();
+        let weights = weights.map(<[f32]>::to_vec);
+        Var::from_op(
+            value,
+            &[self],
+            Box::new(move |g| {
+                crate::fusion::count_fused_backward();
+                grads![Some(crate::ops::fused::log_softmax_ce_bwd(
+                    g,
+                    &logits,
+                    &lse,
+                    &labels,
+                    weights.as_deref(),
+                    scale,
+                ))]
             }),
         )
     }
@@ -1011,6 +1207,99 @@ fn accumulate(slot: &RefCell<Option<Tensor>>, g: Tensor) {
 mod tests {
     use super::*;
     use crate::rng::Rng;
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: bit mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    /// Runs `build` under both fusion modes and asserts the forward
+    /// value and every leaf gradient are bitwise identical.
+    fn assert_fusion_invariant(leaves: &[Tensor], build: impl Fn(&[Var]) -> Var) {
+        let run = |fused: bool| {
+            crate::fusion::set_thread_override(Some(fused));
+            let vars: Vec<Var> = leaves.iter().map(|t| Var::leaf(t.clone(), true)).collect();
+            let loss = build(&vars);
+            loss.backward();
+            crate::fusion::set_thread_override(None);
+            let grads: Vec<Tensor> = vars
+                .iter()
+                .map(|v| v.grad().expect("leaf gradient"))
+                .collect();
+            (loss.value().clone(), grads)
+        };
+        let (v_fused, g_fused) = run(true);
+        let (v_unfused, g_unfused) = run(false);
+        assert_bits_eq(&v_fused, &v_unfused, "forward value");
+        for (i, (a, b)) in g_fused.iter().zip(&g_unfused).enumerate() {
+            assert_bits_eq(a, b, &format!("gradient of leaf {i}"));
+        }
+    }
+
+    #[test]
+    fn group_norm_relu_fused_matches_unfused_bitwise() {
+        let mut rng = Rng::new(90);
+        for groups in [1usize, 2, 4] {
+            let x = Tensor::randn([2, 4, 3, 3], &mut rng);
+            let gamma = Tensor::rand_uniform([1, 4, 1, 1], 0.5, 1.5, &mut rng);
+            let beta = Tensor::randn([1, 4, 1, 1], &mut rng);
+            assert_fusion_invariant(&[x, gamma, beta], |v| {
+                v[0].group_norm_relu(&v[1], &v[2], groups, 1e-5)
+                    .square()
+                    .sum()
+            });
+        }
+    }
+
+    #[test]
+    fn relu_avg_pool2d_fused_matches_unfused_bitwise() {
+        let mut rng = Rng::new(91);
+        for (side, k) in [(4usize, 2usize), (6, 3), (6, 2)] {
+            let x = Tensor::randn([2, 3, side, side], &mut rng);
+            assert_fusion_invariant(&[x], |v| v[0].relu_avg_pool2d(k).square().sum());
+        }
+    }
+
+    #[test]
+    fn log_softmax_cross_entropy_fused_matches_unfused_bitwise() {
+        let mut rng = Rng::new(92);
+        let labels = [3usize, 0, 2, 2];
+        for reduction in [Reduction::Sum, Reduction::Mean] {
+            for weights in [None, Some([0.5f32, 2.0, 0.0, 1.0])] {
+                let x = Tensor::randn([4, 5], &mut rng);
+                assert_fusion_invariant(&[x], |v| {
+                    v[0].log_softmax_cross_entropy(&labels, weights.as_ref().map(|w| &w[..]), reduction)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn fused_block_chain_matches_unfused_bitwise() {
+        // conv-bias epilogue + group_norm_relu + pool + fused CE in one
+        // graph, with gradients flowing to images and all parameters.
+        let mut rng = Rng::new(93);
+        let x = Tensor::randn([2, 2, 8, 8], &mut rng);
+        let w = &Tensor::randn([4, 2, 3, 3], &mut rng) * 0.4;
+        let b = Tensor::randn([4], &mut rng);
+        let gamma = Tensor::rand_uniform([1, 4, 1, 1], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn([1, 4, 1, 1], &mut rng);
+        let labels = [1usize, 0];
+        assert_fusion_invariant(&[x, w, b, gamma, beta], |v| {
+            let h = v[0].conv2d(&v[1], Some(&v[2]), Conv2dSpec::new(3, 1, 1));
+            let h = h.group_norm_relu(&v[3], &v[4], 4, 1e-5).avg_pool2d(2);
+            let n = h.shape().dim(0);
+            let flat: usize = h.shape().dims()[1..].iter().product();
+            h.reshape([n, flat])
+                .log_softmax_cross_entropy(&labels, None, Reduction::Sum)
+        });
+    }
 
     #[test]
     fn add_grads_are_ones() {

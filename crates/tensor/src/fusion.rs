@@ -1,0 +1,144 @@
+//! Kill switch and telemetry for the bitwise-preserving operator
+//! fusion layer.
+//!
+//! The per-block hot path of the ConvNet (`conv → bias → group-norm →
+//! relu → avg-pool` and the final `log-softmax → nll`) can run either
+//! as the original chain of elementwise/reduction tape ops or through
+//! the fused kernels in [`crate::ops::fused`] plus the GEMM bias
+//! epilogue in `ops/gemm.rs`. The fused kernels replicate the exact
+//! per-element f32 operation and accumulation order of the unfused
+//! graph, so the two modes are **bitwise identical** — flipping the
+//! switch never changes a single output bit, only how many times the
+//! intermediates are materialized and traversed.
+//!
+//! Kill switch: `DECO_FUSION=0` disables fusion process-wide;
+//! [`set_thread_override`] flips the switch per thread so benchmarks,
+//! the conformance fuzzer, and the determinism suite can A/B both
+//! modes in one process (mirroring the `DECO_PLAN_CACHE` pattern).
+//! The switch must be read on the *calling* thread before any
+//! `deco-runtime` fan-out and captured as a plain bool — worker
+//! threads do not see the caller's thread-local override.
+//!
+//! Always-on statistics are mirrored to the `tensor.fusion.*`
+//! telemetry series.
+
+use std::cell::{Cell, RefCell};
+use std::sync::OnceLock;
+
+/// Always-on fusion statistics for the current thread.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Convolutions whose bias add ran as a GEMM writeback epilogue.
+    pub conv_bias_epilogue: u64,
+    /// Fused `group_norm_relu` forward launches.
+    pub group_norm_relu: u64,
+    /// Fused `relu_avg_pool2d` forward launches.
+    pub relu_avg_pool2d: u64,
+    /// Fused `log_softmax_cross_entropy` forward launches.
+    pub log_softmax_ce: u64,
+    /// Fused backward-chain launches (all fused ops combined).
+    pub fused_backward: u64,
+}
+
+impl FusionStats {
+    /// Total fused forward launches across all op kinds.
+    pub fn fused_forward(&self) -> u64 {
+        self.conv_bias_epilogue + self.group_norm_relu + self.relu_avg_pool2d + self.log_softmax_ce
+    }
+}
+
+thread_local! {
+    static STATS: RefCell<FusionStats> = RefCell::new(FusionStats::default());
+    static OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+fn env_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("DECO_FUSION").map_or(true, |v| v != "0"))
+}
+
+/// Whether operator fusion is active on this thread: the thread
+/// override if set, else the `DECO_FUSION` environment default (on
+/// unless `=0`).
+pub fn enabled() -> bool {
+    OVERRIDE.with(Cell::get).unwrap_or_else(env_default)
+}
+
+/// Overrides the `DECO_FUSION` switch for the current thread:
+/// `Some(true)` forces fusion on, `Some(false)` off, `None` restores
+/// the environment default. Lets benchmarks and the conformance fuzzer
+/// A/B fused vs unfused in one process. Fused and unfused results are
+/// bitwise identical, so a mixed-mode process is always consistent.
+pub fn set_thread_override(on: Option<bool>) {
+    OVERRIDE.with(|o| o.set(on));
+}
+
+/// Snapshot of this thread's fusion statistics.
+pub fn stats() -> FusionStats {
+    STATS.try_with(|s| *s.borrow()).unwrap_or_default()
+}
+
+/// Zeroes this thread's fusion counters.
+pub fn reset_stats() {
+    let _ = STATS.try_with(|s| *s.borrow_mut() = FusionStats::default());
+}
+
+pub(crate) fn count_conv_bias_epilogue() {
+    let _ = STATS.try_with(|s| s.borrow_mut().conv_bias_epilogue += 1);
+    deco_telemetry::counter!("tensor.fusion.conv_bias_epilogue");
+}
+
+pub(crate) fn count_group_norm_relu() {
+    let _ = STATS.try_with(|s| s.borrow_mut().group_norm_relu += 1);
+    deco_telemetry::counter!("tensor.fusion.group_norm_relu");
+}
+
+pub(crate) fn count_relu_avg_pool2d() {
+    let _ = STATS.try_with(|s| s.borrow_mut().relu_avg_pool2d += 1);
+    deco_telemetry::counter!("tensor.fusion.relu_avg_pool2d");
+}
+
+pub(crate) fn count_log_softmax_ce() {
+    let _ = STATS.try_with(|s| s.borrow_mut().log_softmax_ce += 1);
+    deco_telemetry::counter!("tensor.fusion.log_softmax_ce");
+}
+
+pub(crate) fn count_fused_backward() {
+    let _ = STATS.try_with(|s| s.borrow_mut().fused_backward += 1);
+    deco_telemetry::counter!("tensor.fusion.backward");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_override_wins_over_env_default() {
+        set_thread_override(Some(false));
+        assert!(!enabled());
+        set_thread_override(Some(true));
+        assert!(enabled());
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn stats_count_and_reset() {
+        set_thread_override(Some(true));
+        reset_stats();
+        count_group_norm_relu();
+        count_relu_avg_pool2d();
+        count_log_softmax_ce();
+        count_conv_bias_epilogue();
+        count_fused_backward();
+        let s = stats();
+        assert_eq!(s.group_norm_relu, 1);
+        assert_eq!(s.relu_avg_pool2d, 1);
+        assert_eq!(s.log_softmax_ce, 1);
+        assert_eq!(s.conv_bias_epilogue, 1);
+        assert_eq!(s.fused_backward, 1);
+        assert_eq!(s.fused_forward(), 4);
+        reset_stats();
+        assert_eq!(stats(), FusionStats::default());
+        set_thread_override(None);
+    }
+}

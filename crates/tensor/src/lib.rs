@@ -36,6 +36,7 @@
 
 mod autograd;
 pub mod dtype;
+pub mod fusion;
 pub mod gradcheck;
 pub mod ops;
 pub mod plancache;

@@ -290,6 +290,15 @@ pub(crate) fn conv2d_impl(
                 );
             }
         });
+        // Fusion gate, read on the calling thread *before* the fan-out
+        // (workers do not see this thread's override) and captured as a
+        // bool. The epilogue adds the bias per finalized GEMM tile with
+        // the same per-element op order as the separate pass below, so
+        // either setting produces identical bits.
+        let fuse_bias = b.is_some() && crate::fusion::enabled();
+        if fuse_bias {
+            crate::fusion::count_conv_bias_epilogue();
+        }
         run_blocks(n, macs_per_image, cout * ohw, &mut out, move |imgs, dst| {
             let wv = MatRef::new(wt.data(), cout, ckk);
             let mut scratch = if slab.is_none() {
@@ -308,12 +317,20 @@ pub(crate) fn conv2d_impl(
                     _ => unreachable!(),
                 };
                 let dst_img = &mut dst[bi * cout * ohw..(bi + 1) * cout * ohw];
-                gemm::gemm_into(dst_img, &wv, &MatRef::new(cols, ckk, ohw));
-                if let Some(b) = &b {
-                    for (co, &bv) in b.data().iter().enumerate() {
-                        if bv != 0.0 {
-                            for o in &mut dst_img[co * ohw..(co + 1) * ohw] {
-                                *o += bv;
+                let cols_ref = MatRef::new(cols, ckk, ohw);
+                match (&b, fuse_bias) {
+                    (Some(b), true) => {
+                        gemm::gemm_into_epi(dst_img, &wv, &cols_ref, gemm::Epilogue::Bias(b.data()))
+                    }
+                    _ => {
+                        gemm::gemm_into(dst_img, &wv, &cols_ref);
+                        if let Some(b) = &b {
+                            for (co, &bv) in b.data().iter().enumerate() {
+                                if bv != 0.0 {
+                                    for o in &mut dst_img[co * ohw..(co + 1) * ohw] {
+                                        *o += bv;
+                                    }
+                                }
                             }
                         }
                     }
@@ -563,7 +580,8 @@ impl Tensor {
         let (oh, ow) = (h / k, w / k);
         let x = self.data();
         let inv = 1.0 / (k * k) as f32;
-        let mut out = vec![0.0f32; n * c * oh * ow];
+        // Scratch: every output element is written below.
+        let mut out = pool::take_scratch(n * c * oh * ow);
         for nc in 0..n * c {
             let x_base = nc * h * w;
             let o_base = nc * oh * ow;
@@ -580,7 +598,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, [n, c, oh, ow])
+        Tensor::from_pool_buf(out, [n, c, oh, ow])
     }
 
     /// Gradient of [`Tensor::avg_pool2d`]: spreads each output gradient
@@ -590,7 +608,7 @@ impl Tensor {
         let (h, w) = (oh * k, ow * k);
         let g = self.data();
         let inv = 1.0 / (k * k) as f32;
-        let mut gin = vec![0.0f32; n * c * h * w];
+        let mut gin = pool::take(n * c * h * w);
         for nc in 0..n * c {
             let g_base = nc * oh * ow;
             let gi_base = nc * h * w;
@@ -606,7 +624,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(gin, [n, c, h, w])
+        Tensor::from_pool_buf(gin, [n, c, h, w])
     }
 }
 

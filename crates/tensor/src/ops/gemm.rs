@@ -278,6 +278,72 @@ impl PackedB {
     }
 }
 
+/// Writeback fusion applied to each output tile immediately after its
+/// final `k`-slab (so the `C` region is touched once, while it is
+/// still cache-hot).
+///
+/// ## Bitwise contract
+///
+/// Both variants replicate the exact per-element operation order of
+/// the historical separate passes over the finished GEMM output:
+///
+/// * the bias is indexed by **absolute output row** and added with the
+///   same `if bv != 0.0 { c += bv }` skip the unfused conv bias pass
+///   uses (the skip is itself bitwise-relevant: `0.0 + (-0.0)` would
+///   canonicalize `-0.0` outputs);
+/// * the ReLU clamp is `f32::max(·, 0.0)` applied after the bias,
+///   unconditionally — exactly the unfused `relu` map.
+///
+/// A tile's epilogue only runs once every one of its `k`-slabs has
+/// accumulated, so per-element results are identical to running the
+/// full GEMM first and the bias/ReLU pass second, at any row-range
+/// split and under every microkernel.
+#[derive(Clone, Copy)]
+pub(crate) enum Epilogue<'a> {
+    /// Plain accumulate — the historical behavior.
+    None,
+    /// Per-output-row bias add (`bias.len() == m`, row = out channel).
+    Bias(&'a [f32]),
+    /// Bias add followed by a ReLU clamp.
+    BiasRelu(&'a [f32]),
+}
+
+/// Applies `epi` to the finalized `mr × cols` tile at
+/// (`c_row0`, `c_col0`) of the rows-relative output slice `c`.
+/// `rows_start` maps tile rows back to absolute output rows for the
+/// bias lookup.
+#[allow(clippy::too_many_arguments)]
+fn apply_epilogue(
+    epi: Epilogue<'_>,
+    c: &mut [f32],
+    rows_start: usize,
+    c_row0: usize,
+    c_col0: usize,
+    n: usize,
+    mr: usize,
+    cols: usize,
+) {
+    let (bias, relu) = match epi {
+        Epilogue::None => return,
+        Epilogue::Bias(b) => (b, false),
+        Epilogue::BiasRelu(b) => (b, true),
+    };
+    for i in 0..mr {
+        let bv = bias[rows_start + c_row0 + i];
+        let row = &mut c[(c_row0 + i) * n + c_col0..(c_row0 + i) * n + c_col0 + cols];
+        if bv != 0.0 {
+            for slot in row.iter_mut() {
+                *slot += bv;
+            }
+        }
+        if relu {
+            for slot in row.iter_mut() {
+                *slot = slot.max(0.0);
+            }
+        }
+    }
+}
+
 /// Multiplies rows `rows` of `a` (`m × k`) with pre-packed `b`
 /// (`k × n`), **adding** into `c`, which holds exactly those output
 /// rows (`rows.len() × n`, rows-relative). Accumulation order per
@@ -290,7 +356,7 @@ pub(crate) fn gemm_rows_packed(
     bp: &PackedB,
     rows: std::ops::Range<usize>,
 ) {
-    gemm_rows_packed_with(super::simd::active_kernel(), c, a, bp, rows)
+    gemm_rows_packed_epi(super::simd::active_kernel(), c, a, bp, rows, Epilogue::None)
 }
 
 /// [`gemm_rows_packed`] with the microkernel forced, bypassing the
@@ -305,12 +371,27 @@ pub(crate) fn gemm_rows_packed_with(
     bp: &PackedB,
     rows: std::ops::Range<usize>,
 ) {
+    gemm_rows_packed_epi(kernel, c, a, bp, rows, Epilogue::None)
+}
+
+/// [`gemm_rows_packed_with`] plus a fused writeback [`Epilogue`]: each
+/// tile gets its bias/ReLU applied right after its last `k`-slab (see
+/// the [`Epilogue`] bitwise contract).
+pub(crate) fn gemm_rows_packed_epi(
+    kernel: super::simd::GemmKernel,
+    c: &mut [f32],
+    a: &MatRef<'_>,
+    bp: &PackedB,
+    rows: std::ops::Range<usize>,
+    epi: Epilogue<'_>,
+) {
     super::simd::count_dispatch(kernel);
     let pair = super::simd::pairs_panels(kernel);
     let (k, n) = (bp.k, bp.n);
     debug_assert_eq!(a.cols, k);
     debug_assert_eq!(c.len(), rows.len() * n);
     let panels_n = n.div_ceil(NR);
+    let last_slab = bp.slabs() - 1;
     // Scratch: every microkernel read is preceded by a pack_a write of
     // the same region (panels × kc × MR), so skip the zero-fill.
     let mut apack = pool::take_scratch(MC.div_ceil(MR) * MR * KC);
@@ -348,6 +429,9 @@ pub(crate) fn gemm_rows_packed_with(
                             mr,
                             nr1,
                         );
+                        if s == last_slab {
+                            apply_epilogue(epi, c, rows.start, c_row0, pn * NR, n, mr, NR + nr1);
+                        }
                         pn += 2;
                     } else {
                         let nr = NR.min(n - pn * NR);
@@ -363,6 +447,9 @@ pub(crate) fn gemm_rows_packed_with(
                             mr,
                             nr,
                         );
+                        if s == last_slab {
+                            apply_epilogue(epi, c, rows.start, c_row0, pn * NR, n, mr, nr);
+                        }
                         pn += 1;
                     }
                 }
@@ -399,15 +486,28 @@ fn gemm_naive(c: &mut [f32], a: &MatRef<'_>, b: &MatRef<'_>) {
 /// packed-blocked or naive kernel from the shapes alone. `c` must
 /// already hold the desired initial values (zeros for a plain product).
 pub(crate) fn gemm_into(c: &mut [f32], a: &MatRef<'_>, b: &MatRef<'_>) {
+    gemm_into_epi(c, a, b, Epilogue::None)
+}
+
+/// [`gemm_into`] plus a fused writeback [`Epilogue`]. The packed path
+/// applies the epilogue per finalized tile; the naive path runs the
+/// full product first and then one bias/ReLU pass over the rows — the
+/// two orders are bitwise identical per element (every element's GEMM
+/// accumulation completes before its epilogue op either way).
+pub(crate) fn gemm_into_epi(c: &mut [f32], a: &MatRef<'_>, b: &MatRef<'_>, epi: Epilogue<'_>) {
     debug_assert_eq!(a.cols, b.rows, "gemm inner dimension");
     debug_assert_eq!(c.len(), a.rows * b.cols, "gemm output size");
     if use_packed(a.rows, a.cols, b.cols) {
         let _span = deco_telemetry::span!("tensor.gemm");
         let bp = PackedB::pack(b);
-        gemm_rows_packed(c, a, &bp, 0..a.rows);
+        gemm_rows_packed_epi(super::simd::active_kernel(), c, a, &bp, 0..a.rows, epi);
         bp.recycle();
     } else {
         gemm_naive(c, a, b);
+        let n = b.cols;
+        for r in 0..a.rows {
+            apply_epilogue(epi, c, 0, r, 0, n, 1, n);
+        }
     }
 }
 
@@ -513,6 +613,88 @@ mod tests {
         gemm_rows_packed(&mut split[..MC * n], &av, &bp, 0..MC);
         gemm_rows_packed(&mut split[MC * n..2 * MC * n], &av, &bp, MC..2 * MC);
         gemm_rows_packed(&mut split[2 * MC * n..], &av, &bp, 2 * MC..m);
+        bp.recycle();
+        assert!(full
+            .iter()
+            .zip(&split)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn epilogue_is_bitwise_equal_to_separate_pass() {
+        let mut rng = crate::Rng::new(14);
+        for &(m, k, n) in &[
+            (1usize, 3usize, 2usize),
+            (8, 8, 8),
+            (7, 13, 9),
+            (65, 257, 33),
+            (16, 300, 20),
+        ] {
+            let a = randv(m * k, &mut rng);
+            let b = randv(k * n, &mut rng);
+            let mut bias = randv(m, &mut rng);
+            bias[0] = 0.0; // exercise the zero-skip
+            for relu in [false, true] {
+                let epi = if relu {
+                    Epilogue::BiasRelu(&bias)
+                } else {
+                    Epilogue::Bias(&bias)
+                };
+                let mut fused = vec![0.0f32; m * n];
+                gemm_into_epi(&mut fused, &MatRef::new(&a, m, k), &MatRef::new(&b, k, n), epi);
+                let mut unfused = vec![0.0f32; m * n];
+                gemm_into(&mut unfused, &MatRef::new(&a, m, k), &MatRef::new(&b, k, n));
+                for r in 0..m {
+                    let bv = bias[r];
+                    let row = &mut unfused[r * n..(r + 1) * n];
+                    if bv != 0.0 {
+                        for slot in row.iter_mut() {
+                            *slot += bv;
+                        }
+                    }
+                    if relu {
+                        for slot in row.iter_mut() {
+                            *slot = slot.max(0.0);
+                        }
+                    }
+                }
+                assert!(
+                    fused
+                        .iter()
+                        .zip(&unfused)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "({m},{k},{n}) relu={relu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_row_range_split_matches_full_run() {
+        // The bias lookup must use absolute output rows, so a row-range
+        // split sees the same per-row bias as the unsplit run.
+        let mut rng = crate::Rng::new(15);
+        let (m, k, n) = (150, 90, 40);
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let bias = randv(m, &mut rng);
+        let av = MatRef::new(&a, m, k);
+        let bp = PackedB::pack(&MatRef::new(&b, k, n));
+        let kernel = super::super::simd::active_kernel();
+        let epi = Epilogue::BiasRelu(&bias);
+        let mut full = vec![0.0f32; m * n];
+        gemm_rows_packed_epi(kernel, &mut full, &av, &bp, 0..m, epi);
+        let mut split = vec![0.0f32; m * n];
+        gemm_rows_packed_epi(kernel, &mut split[..MC * n], &av, &bp, 0..MC, epi);
+        gemm_rows_packed_epi(
+            kernel,
+            &mut split[MC * n..2 * MC * n],
+            &av,
+            &bp,
+            MC..2 * MC,
+            epi,
+        );
+        gemm_rows_packed_epi(kernel, &mut split[2 * MC * n..], &av, &bp, 2 * MC..m, epi);
         bp.recycle();
         assert!(full
             .iter()

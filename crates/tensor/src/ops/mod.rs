@@ -1,6 +1,7 @@
 //! Tensor operation kernels, grouped by family.
 
 pub mod conv;
+pub mod fused;
 pub(crate) mod gemm;
 pub mod linalg;
 pub mod reduce;

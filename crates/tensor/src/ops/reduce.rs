@@ -50,7 +50,7 @@ impl Tensor {
                 }
             }
         }
-        let mut out = vec![0.0f32; out_shape.numel()];
+        let mut out = crate::pool::take(out_shape.numel());
         let src = self.data();
         for (flat, &v) in src.iter().enumerate() {
             let mut rem = flat;
@@ -64,7 +64,7 @@ impl Tensor {
             }
             out[out_idx] += v;
         }
-        Tensor::from_vec(out, out_shape)
+        Tensor::from_pool_buf(out, out_shape)
     }
 
     /// Means over the given axes (see [`Tensor::sum_axes`]).
@@ -114,15 +114,14 @@ impl Tensor {
         let (n, c) = (self.shape().dim(0), self.shape().dim(1));
         assert!(c > 0, "max_rows needs at least one column");
         let data = self.data();
-        let out: Vec<f32> = (0..n)
-            .map(|i| {
-                data[i * c..(i + 1) * c]
-                    .iter()
-                    .cloned()
-                    .fold(f32::NEG_INFINITY, f32::max)
-            })
-            .collect();
-        Tensor::from_vec(out, [n, 1])
+        let mut out = crate::pool::take_scratch(n);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = data[i * c..(i + 1) * c]
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+        }
+        Tensor::from_pool_buf(out, [n, 1])
     }
 }
 

@@ -54,7 +54,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "softmax_rows needs [n, c]");
         let (n, c) = (self.shape().dim(0), self.shape().dim(1));
         let x = self.data();
-        let mut out = vec![0.0f32; n * c];
+        let mut out = crate::pool::take_scratch(n * c);
         for i in 0..n {
             let row = &x[i * c..(i + 1) * c];
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -68,7 +68,7 @@ impl Tensor {
                 out[i * c + j] /= z;
             }
         }
-        Tensor::from_vec(out, [n, c])
+        Tensor::from_pool_buf(out, [n, c])
     }
 
     /// Cosine similarity between the flattened tensors, in `[-1, 1]`
@@ -99,7 +99,7 @@ impl Tensor {
         assert_eq!(d, d2, "feature dim mismatch: {d} vs {d2}");
         let a = self.data();
         let b = other.data();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::pool::take_scratch(m * n);
         for i in 0..m {
             let ra = &a[i * d..(i + 1) * d];
             for j in 0..n {
@@ -112,7 +112,7 @@ impl Tensor {
                 out[i * n + j] = acc;
             }
         }
-        Tensor::from_vec(out, [m, n])
+        Tensor::from_pool_buf(out, [m, n])
     }
 
     /// The histogram of values over `bins` equal-width buckets spanning

@@ -13,14 +13,14 @@ impl Tensor {
         assert!(self.rank() >= 1, "select_rows needs rank >= 1");
         let n = self.shape().dim(0);
         let row = self.numel() / n.max(1);
-        let mut out = Vec::with_capacity(indices.len() * row);
-        for &i in indices {
+        let mut out = crate::pool::take_scratch(indices.len() * row);
+        for (r, &i) in indices.iter().enumerate() {
             assert!(i < n, "row index {i} out of range (n = {n})");
-            out.extend_from_slice(&self.data()[i * row..(i + 1) * row]);
+            out[r * row..(r + 1) * row].copy_from_slice(&self.data()[i * row..(i + 1) * row]);
         }
         let mut dims = self.shape().dims().to_vec();
         dims[0] = indices.len();
-        Tensor::from_vec(out, dims)
+        Tensor::from_pool_buf(out, dims)
     }
 
     /// Adjoint of [`Tensor::select_rows`]: scatters this tensor's rows into
@@ -35,7 +35,7 @@ impl Tensor {
         let mut dims = self.shape().dims().to_vec();
         dims[0] = n_rows;
         let shape = Shape::new(dims);
-        let mut out = vec![0.0f32; shape.numel()];
+        let mut out = crate::pool::take(shape.numel());
         for (r, &i) in indices.iter().enumerate() {
             assert!(i < n_rows, "row index {i} out of range (n = {n_rows})");
             let src = &self.data()[r * row..(r + 1) * row];
@@ -44,7 +44,7 @@ impl Tensor {
                 *d += s;
             }
         }
-        Tensor::from_vec(out, shape)
+        Tensor::from_pool_buf(out, shape)
     }
 
     /// Concatenates tensors along axis 0. All trailing dims must match.
@@ -63,13 +63,15 @@ impl Tensor {
             );
             total += p.shape().dim(0);
         }
-        let mut data = Vec::with_capacity(total * tail.iter().product::<usize>().max(1));
+        let mut data = crate::pool::take_scratch(total * tail.iter().product::<usize>().max(1));
+        let mut at = 0;
         for p in parts {
-            data.extend_from_slice(p.data());
+            data[at..at + p.numel()].copy_from_slice(p.data());
+            at += p.numel();
         }
         let mut dims = vec![total];
         dims.extend_from_slice(&tail);
-        Tensor::from_vec(data, dims)
+        Tensor::from_pool_buf(data, dims)
     }
 
     /// Translates an NCHW image batch by `(dy, dx)` pixels, filling vacated
@@ -87,7 +89,7 @@ impl Tensor {
             self.shape().dim(3),
         );
         let x = self.data();
-        let mut out = vec![0.0f32; x.len()];
+        let mut out = crate::pool::take(x.len());
         for nc in 0..n * c {
             let base = nc * h * w;
             for oy in 0..h as isize {
@@ -105,7 +107,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, self.shape().dims().to_vec())
+        Tensor::from_pool_buf(out, self.shape().dims().to_vec())
     }
 
     /// Horizontally mirrors an NCHW image batch.
@@ -121,14 +123,14 @@ impl Tensor {
             self.shape().dim(3),
         );
         let x = self.data();
-        let mut out = vec![0.0f32; x.len()];
+        let mut out = crate::pool::take_scratch(x.len());
         for nch in 0..n * c * h {
             let base = nch * w;
             for i in 0..w {
                 out[base + i] = x[base + w - 1 - i];
             }
         }
-        Tensor::from_vec(out, self.shape().dims().to_vec())
+        Tensor::from_pool_buf(out, self.shape().dims().to_vec())
     }
 
     /// One-hot encodes class labels into an `[n, num_classes]` matrix.
@@ -136,7 +138,7 @@ impl Tensor {
     /// # Panics
     /// Panics if any label is `>= num_classes`.
     pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
-        let mut data = vec![0.0f32; labels.len() * num_classes];
+        let mut data = crate::pool::take(labels.len() * num_classes);
         for (i, &y) in labels.iter().enumerate() {
             assert!(
                 y < num_classes,
@@ -144,7 +146,7 @@ impl Tensor {
             );
             data[i * num_classes + y] = 1.0;
         }
-        Tensor::from_vec(data, [labels.len(), num_classes])
+        Tensor::from_pool_buf(data, [labels.len(), num_classes])
     }
 }
 

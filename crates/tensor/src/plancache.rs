@@ -93,10 +93,36 @@ struct PackKey {
 /// Key of a cached broadcast index plan: source and output dims. Pure
 /// geometry — no buffer identity involved, so an entry can never go
 /// stale; it is still dropped with everything else at job scope.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Dims are stored inline so a cache *hit* never touches the heap;
+/// shapes above [`BCAST_KEY_MAX_RANK`] fall back to the uncached path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct BcastKey {
-    src: Box<[usize]>,
-    out: Box<[usize]>,
+    src: [usize; BCAST_KEY_MAX_RANK],
+    src_len: u8,
+    out: [usize; BCAST_KEY_MAX_RANK],
+    out_len: u8,
+}
+
+/// Highest rank a [`BcastKey`] can hold inline.
+const BCAST_KEY_MAX_RANK: usize = 8;
+
+impl BcastKey {
+    fn new(src: &Shape, out: &Shape) -> Option<BcastKey> {
+        let (sr, or) = (src.rank(), out.rank());
+        if sr > BCAST_KEY_MAX_RANK || or > BCAST_KEY_MAX_RANK {
+            return None;
+        }
+        let mut key = BcastKey {
+            src: [0; BCAST_KEY_MAX_RANK],
+            src_len: sr as u8,
+            out: [0; BCAST_KEY_MAX_RANK],
+            out_len: or as u8,
+        };
+        key.src[..sr].copy_from_slice(src.dims());
+        key.out[..or].copy_from_slice(out.dims());
+        Some(key)
+    }
 }
 
 /// Always-on plan-cache statistics for the current thread.
@@ -369,10 +395,7 @@ pub(crate) fn broadcast_index_plan(
     if !enabled() || out.numel() > u32::MAX as usize || src.numel() > u32::MAX as usize {
         return None;
     }
-    let key = BcastKey {
-        src: src.dims().into(),
-        out: out.dims().into(),
-    };
+    let key = BcastKey::new(src, out)?;
     CACHE.with(|c| {
         let mut c = c.borrow_mut();
         if let Some(plan) = c.bcasts.get(&key) {

@@ -216,8 +216,10 @@ impl Tensor {
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
+        let mut buf = crate::pool::take_scratch(1);
+        buf[0] = value;
         Tensor {
-            data: alloc_storage(vec![value]),
+            data: alloc_storage(buf),
             shape: Shape::scalar(),
         }
     }
@@ -225,9 +227,8 @@ impl Tensor {
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        track_buffer(shape.numel());
         Tensor {
-            data: alloc_storage(vec![0.0; shape.numel()]),
+            data: alloc_storage(crate::pool::take(shape.numel())),
             shape,
         }
     }
@@ -240,9 +241,10 @@ impl Tensor {
     /// Constant tensor of the given shape.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        track_buffer(shape.numel());
+        let mut buf = crate::pool::take_scratch(shape.numel());
+        buf.fill(value);
         Tensor {
-            data: alloc_storage(vec![value; shape.numel()]),
+            data: alloc_storage(buf),
             shape,
         }
     }
@@ -359,9 +361,12 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        track_buffer(self.data.len());
+        let mut out = crate::pool::take_scratch(self.data.len());
+        for (slot, &x) in out.iter_mut().zip(self.data.iter()) {
+            *slot = f(x);
+        }
         Tensor {
-            data: alloc_storage(self.data.iter().map(|&x| f(x)).collect()),
+            data: alloc_storage(out),
             shape: self.shape.clone(),
         }
     }
@@ -372,13 +377,10 @@ impl Tensor {
     /// Panics if the shapes are not broadcast-compatible.
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
-            let data: Vec<f32> = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            track_buffer(data.len());
+            let mut data = crate::pool::take_scratch(self.data.len());
+            for (slot, (&a, &b)) in data.iter_mut().zip(self.data.iter().zip(other.data.iter())) {
+                *slot = f(a, b);
+            }
             return Tensor {
                 data: alloc_storage(data),
                 shape: self.shape.clone(),
@@ -390,8 +392,8 @@ impl Tensor {
                 self.shape, other.shape
             )
         });
-        let mut out = vec![0.0; out_shape.numel()];
-        track_buffer(out.len());
+        // Every output slot is written below, so unzeroed scratch is safe.
+        let mut out = crate::pool::take_scratch(out_shape.numel());
         // Plan-cached path: one precomputed source-index table per
         // operand replaces the per-element coordinate walk below. The
         // tables enumerate exactly the indices the fallback computes,
@@ -514,7 +516,7 @@ impl Tensor {
             self.shape,
             target
         );
-        let mut out = vec![0.0f32; target.numel()];
+        let mut out = crate::pool::take(target.numel());
         // Same plan as the forward broadcast, used as a scatter table:
         // entry i is the target slot accumulating source element i. The
         // accumulation order matches the fallback exactly.

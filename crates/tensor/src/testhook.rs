@@ -101,6 +101,54 @@ pub fn matmul_with_kernel(a: &Tensor, b: &Tensor, kernel: GemmKernel) -> Tensor 
     Tensor::from_pool_buf(out, [m, n])
 }
 
+/// [`matmul_with_kernel`] with a fused bias(+relu) epilogue: computes
+/// `a·b` then applies `row += bias[r]` (skipping exact-zero bias
+/// entries) and optionally `max(·, 0.0)` inside the GEMM writeback.
+/// Used by the conformance fuzzer to assert the epilogue is bitwise
+/// identical to the separate-pass form on every microkernel. No global
+/// state — safe alongside concurrent tests.
+#[doc(hidden)]
+pub fn matmul_bias_with_kernel(
+    a: &Tensor,
+    b: &Tensor,
+    bias: &[f32],
+    relu: bool,
+    kernel: GemmKernel,
+) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul inner dims");
+    assert_eq!(bias.len(), m, "one bias entry per output row");
+    let epi = if relu {
+        gemm::Epilogue::BiasRelu(bias)
+    } else {
+        gemm::Epilogue::Bias(bias)
+    };
+    let mut out = pool::take(m * n);
+    if gemm::use_packed(m, k, n) {
+        let bp = PackedB::pack(&MatRef::new(b.data(), k, n));
+        gemm::gemm_rows_packed_epi(
+            kernel,
+            &mut out,
+            &MatRef::new(a.data(), m, k),
+            &bp,
+            0..m,
+            epi,
+        );
+        bp.recycle();
+    } else {
+        gemm::gemm_into_epi(
+            &mut out,
+            &MatRef::new(a.data(), m, k),
+            &MatRef::new(b.data(), k, n),
+            epi,
+        );
+    }
+    Tensor::from_pool_buf(out, [m, n])
+}
+
 /// Enables or disables the one-ULP matmul output perturbation.
 #[doc(hidden)]
 pub fn set_matmul_ulp_perturbation(enabled: bool) {
